@@ -1,0 +1,22 @@
+.PHONY: install test bench experiments examples lint all
+
+PYTHON ?= python
+
+install:
+	pip install -e . --no-build-isolation || \
+	  (echo "editable install unavailable; falling back to .pth" && \
+	   echo "$(CURDIR)/src" > "$$($(PYTHON) -c 'import site; print(site.getsitepackages()[0])')/repro-editable.pth")
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro experiments
+
+examples:
+	for f in examples/*.py; do echo "== $$f =="; $(PYTHON) "$$f"; done
+
+all: test bench

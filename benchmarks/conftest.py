@@ -1,0 +1,17 @@
+"""Benchmark-suite configuration."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print experiment tables to the real terminal, bypassing capture."""
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _show

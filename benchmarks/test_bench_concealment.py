@@ -1,0 +1,65 @@
+"""Concealment benchmark: what the viewer actually sees.
+
+The CLF metric counts unit losses; the *experience* is the frozen
+picture the receiver shows while concealing them.  This bench runs the
+Figure-8 sessions and reports freeze statistics with repeat-last-frame
+concealment: spread losses are concealed by fresh neighbours (short
+freezes), bursty losses freeze the display for the whole run.
+"""
+
+from __future__ import annotations
+
+from repro.core.protocol import ProtocolConfig, compare_schemes
+from repro.experiments.reporting import render_table
+from repro.protocols.concealment import conceal, report
+from repro.traces.synthetic import calibrated_stream
+
+
+def _freeze_stats(result):
+    freezes = []
+    worst = 0
+    concealed = 0
+    unconcealable = 0
+    for window in result.windows:
+        records = conceal(sorted(window.decodable), window.frames)
+        window_report = report(records)
+        worst = max(worst, window_report.max_freeze)
+        concealed += window_report.concealed
+        unconcealable += window_report.unconcealable
+        if window_report.max_freeze:
+            freezes.append(window_report.max_freeze)
+    mean_freeze = sum(freezes) / len(freezes) if freezes else 0.0
+    return worst, mean_freeze, concealed, unconcealable
+
+
+def test_bench_concealment(benchmark, show):
+    stream = calibrated_stream("jurassic_park_corrected", gop_count=204, seed=7)
+    config = ProtocolConfig(p_bad=0.6, seed=2300)
+
+    def run():
+        return compare_schemes(stream, config, max_windows=100)
+
+    scrambled, unscrambled = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for label, result in (("unscrambled", unscrambled), ("scrambled", scrambled)):
+        worst, mean_freeze, concealed, unconcealable = _freeze_stats(result)
+        rows.append((label, worst, mean_freeze, concealed, unconcealable))
+    show(
+        render_table(
+            [
+                "arm",
+                "worst freeze (frames)",
+                "mean freeze",
+                "concealed slots",
+                "unconcealable",
+            ],
+            rows,
+            title="Repeat-last-frame concealment on the Figure-8 sessions",
+        )
+    )
+    mean_uns = rows[0][2]
+    mean_scr = rows[1][2]
+    # The *typical* freeze shortens with spreading; the single worst
+    # freeze is heavy-tailed (one unrecoverable-anchor window can wipe a
+    # whole window in either arm), so it is reported but not asserted.
+    assert mean_scr <= mean_uns

@@ -1,0 +1,20 @@
+"""Figure 12 benchmark: CLF versus sender buffer size.
+
+Regenerates the buffer sweep (W = 2, 4, 8 GOPs; 1 s to 4 s start-up
+delay): scrambling wins at every buffer size — "error spreading scales
+well in various scenarios".
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure12 import run_figure12
+
+
+def test_bench_figure12(benchmark, show):
+    result = benchmark.pedantic(run_figure12, rounds=1, iterations=1)
+    show(result.render())
+    assert result.shape_holds
+    # Larger windows spread better: the scrambled deviation shrinks as W
+    # grows from the paper's 2 to 8 GOPs.
+    first, *_, last = result.points
+    assert last.scrambled_dev <= first.scrambled_dev + 0.25

@@ -1,0 +1,39 @@
+"""Figure 8 benchmark: CLF per buffer window, scrambled vs unscrambled.
+
+Regenerates both panels (p_bad = 0.6 and 0.7) at the paper's full size
+(100 buffer windows), prints measured-vs-paper statistics plus the
+CLF-per-window series, and additionally reports the pooled multi-seed
+aggregate that makes the deviation claim robust.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import FIGURE8_BOTTOM, FIGURE8_TOP
+from repro.experiments.figure8 import run_figure8, run_figure8_multi
+from repro.experiments.reporting import render_series
+
+
+def test_bench_figure8_top_panel(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: run_figure8(FIGURE8_TOP), rounds=1, iterations=1
+    )
+    show(result.render())
+    show(render_series("scrambled CLF series", result.scrambled.series.clf_values))
+    show(render_series("unscrambled CLF series", result.unscrambled.series.clf_values))
+    assert result.scrambled.mean_clf < result.unscrambled.mean_clf
+
+
+def test_bench_figure8_bottom_panel(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: run_figure8(FIGURE8_BOTTOM), rounds=1, iterations=1
+    )
+    show(result.render())
+    assert result.scrambled.mean_clf < result.unscrambled.mean_clf
+
+
+def test_bench_figure8_pooled(benchmark, show):
+    aggregate = benchmark.pedantic(
+        lambda: run_figure8_multi(FIGURE8_TOP, seeds=10), rounds=1, iterations=1
+    )
+    show(aggregate.render())
+    assert aggregate.shape_holds

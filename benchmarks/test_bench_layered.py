@@ -1,0 +1,21 @@
+"""Layered-order ablation benchmark (Section 3.2 design choices).
+
+Toggles the three ingredients of the scheme — layering, critical-layer
+retransmission, per-layer scrambling — independently on the full
+protocol simulator.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.layering import run_layering
+
+
+def test_bench_layering_ablation(benchmark, show):
+    result = benchmark.pedantic(run_layering, rounds=1, iterations=1)
+    show(result.render())
+    assert result.shape_holds
+    rows = {name: (mean, dev) for name, mean, dev, _ in result.rows()}
+    # Retransmission of anchors is the biggest single lever on MPEG...
+    assert rows["retransmit only"][0] < rows["nothing"][0]
+    # ...and scrambling still improves on top of it.
+    assert rows["full scheme"][0] <= rows["layering+retransmit"][0]

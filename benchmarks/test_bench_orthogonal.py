@@ -1,0 +1,31 @@
+"""Figure 4 benchmark: error spreading as an orthogonal dimension.
+
+Regenerates the six-block comparison (A-F): naive, retransmission and
+FEC, each with and without spreading, over identical channels — CLF
+statistics next to consumed bandwidth overhead.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.orthogonal import run_orthogonal
+
+
+def test_bench_orthogonal_blocks(benchmark, show):
+    result = benchmark.pedantic(run_orthogonal, rounds=1, iterations=1)
+    show(result.render())
+    assert result.shape_holds
+    r = result.results
+    # Spreading costs nothing; redundancy costs bandwidth.
+    assert r["D"].mean_overhead == 0.0
+    assert r["B"].mean_overhead > 0.0
+    assert r["C"].mean_overhead > 0.0
+
+
+def test_bench_orthogonal_worse_channel(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: run_orthogonal(p_bad=0.7, seed=4100), rounds=1, iterations=1
+    )
+    show(result.render())
+    r = result.results
+    assert r["D"].mean_clf < r["A"].mean_clf
+    assert r["F"].mean_clf < r["C"].mean_clf

@@ -1,0 +1,14 @@
+"""Packet-size ablation benchmark (see repro.experiments.packetsize)."""
+
+from __future__ import annotations
+
+from repro.experiments.packetsize import run_packetsize
+
+
+def test_bench_packetsize(benchmark, show):
+    result = benchmark.pedantic(run_packetsize, rounds=1, iterations=1)
+    show(result.render())
+    assert result.shape_holds
+    # Finer packetization => more packets per window.
+    per_window = [p.packets_per_window for p in result.points]
+    assert per_window == sorted(per_window, reverse=True)

@@ -1,0 +1,25 @@
+"""Adaptation-policy benchmark on a shifting channel.
+
+Compares the paper's Equation-1 policy against the quantile policy (and
+the in-order baseline) while the channel degrades and recovers.  On the
+Figure-8 workload the two adaptive policies typically coincide: any
+designed bound up to half the B-layer yields the same CLF-1 parity
+split, so the permutation saturates — the policies only diverge when
+estimated bursts exceed half a layer.  The bench documents that
+saturation as well as the adaptive arms' win over the baseline.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.policies import run_policies
+
+
+def test_bench_policies(benchmark, show):
+    result = benchmark.pedantic(run_policies, rounds=1, iterations=1)
+    show(result.render())
+    assert result.shape_holds
+    # Adaptive scrambling helps most where it is needed: the harsh phase.
+    baseline = result.by_name("in-order")
+    for name in ("equation1", "quantile"):
+        arm = result.by_name(name)
+        assert arm.harsh_mean < baseline.harsh_mean

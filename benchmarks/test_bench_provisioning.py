@@ -1,0 +1,42 @@
+"""Provisioning benchmark: the §4.1 buffer arithmetic as a table.
+
+Regenerates the buffer-sizing numbers the paper checks by hand (the
+Star Wars two-GOP buffer of ~226 KB) and the delay-versus-tolerance
+curve behind Figure 12.
+"""
+
+from __future__ import annotations
+
+from repro.core.provisioning import delay_tradeoff, plan_for_stream
+from repro.experiments.reporting import render_table
+from repro.traces.synthetic import calibrated_stream
+
+
+def test_bench_provisioning(benchmark, show):
+    stream = calibrated_stream("star_wars", gop_count=20, seed=1)
+
+    points = benchmark.pedantic(
+        lambda: delay_tradeoff(stream, max_gops=8), rounds=5, iterations=1
+    )
+    show(
+        render_table(
+            ["W (GOPs)", "frames", "delay (s)", "buffer (KB)", "burst @ CLF 1"],
+            [
+                (
+                    p.gops_per_window,
+                    p.window_frames,
+                    p.startup_delay_seconds,
+                    p.buffer_bytes // 1024,
+                    p.burst_at_clf_one,
+                )
+                for p in points
+            ],
+            title="§4.1 provisioning, Star Wars trace (max GOP 932710 bits)",
+        )
+    )
+    # The paper's sanity check: a 2-GOP buffer is ~226 KB — "quite viable".
+    plan = plan_for_stream(stream, 2)
+    assert 220 <= plan.buffer_bytes // 1024 <= 232
+    # Doubling the window doubles the burst absorbed at CLF 1.
+    by_w = {p.gops_per_window: p for p in points}
+    assert by_w[8].burst_at_clf_one == 4 * by_w[2].burst_at_clf_one

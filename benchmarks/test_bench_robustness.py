@@ -1,0 +1,18 @@
+"""Robustness benchmark: the Figure-8 claim across many channel seeds.
+
+The paper publishes one run; this bench quantifies how often its claims
+hold over independent channel realizations.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.robustness import run_robustness
+
+
+def test_bench_robustness(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: run_robustness(seeds=12, windows=60), rounds=1, iterations=1
+    )
+    show(result.render())
+    assert result.shape_holds
+    assert result.win_rate("mean_wins") == 1.0  # mean improves every run

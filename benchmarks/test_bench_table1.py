@@ -1,0 +1,16 @@
+"""Table 1 benchmark: the 17-frame motivating example.
+
+Regenerates the paper's Table 1 rows (in-order vs permuted CLF under a
+burst of 5) and times the permutation generation + exact evaluation.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table1 import run_table1
+
+
+def test_bench_table1(benchmark, show):
+    result = benchmark.pedantic(run_table1, rounds=5, iterations=1)
+    show(result.render())
+    assert result.shape_holds
+    assert all(clf == 1 for _, clf in result.per_position)

@@ -1,0 +1,23 @@
+"""Table 2 benchmark: IBO versus k-CPO orderings.
+
+Regenerates the 8-frame comparison (CMT tail losses and sliding
+contiguous bursts) the paper uses to justify replacing IBO in CMT.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.table2 import run_table2
+
+
+def test_bench_table2(benchmark, show):
+    result = benchmark.pedantic(run_table2, rounds=5, iterations=1)
+    show(result.render())
+    assert result.shape_holds
+
+
+def test_bench_table2_larger_window(benchmark, show):
+    """The same comparison at a realistic B-set size (16 frames)."""
+    result = benchmark.pedantic(lambda: run_table2(16), rounds=5, iterations=1)
+    show(result.render())
+    # pathological regime: some tail loss where IBO is strictly worse
+    assert any(ibo > cpo for lost, ibo, cpo in result.tail_rows if lost > 8)

@@ -1,0 +1,30 @@
+"""Theorem 1 benchmark: the achievable-CLF table.
+
+Regenerates the bound-versus-construction table: exact optimality for
+every (n, b) with n <= 12, and the provable bracket for protocol-sized
+windows up to n = 120.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.theorem1 import run_theorem1
+
+
+def test_bench_theorem1_small_grid(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: run_theorem1(small_n=tuple(range(4, 13)), large_n=()),
+        rounds=1,
+        iterations=1,
+    )
+    show(result.render())
+    assert result.all_small_optimal
+
+
+def test_bench_theorem1_protocol_windows(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: run_theorem1(small_n=(), large_n=(17, 24, 48, 96, 120)),
+        rounds=1,
+        iterations=1,
+    )
+    show(result.render())
+    assert result.max_gap <= 1

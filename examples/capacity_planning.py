@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Perception-driven capacity planning — before streaming a single frame.
+
+Given a perceptual tolerance (video: CLF <= 2), a latency budget, and a
+measured channel, this example walks the planning chain the library
+provides:
+
+1. fit the channel's Gilbert parameters from observed loss indicators;
+2. take the burst quantile the tolerance allows (epsilon of runs may
+   exceed the design bound);
+3. size the buffer window: delay cost vs burst tolerance (§4.1 math);
+4. forecast the per-window CLF distribution analytically, in-order vs
+   the chosen permutation — the predicted benefit of deploying error
+   spreading on this channel;
+5. verify the prediction with a full protocol simulation.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from __future__ import annotations
+
+from repro import ProtocolConfig, calibrated_stream, compare_schemes
+from repro.core.analysis import forecast_spreading
+from repro.core.controller import PerceptionController
+from repro.core.provisioning import max_window_for_delay, plan_for_stream
+from repro.experiments.reporting import render_table
+from repro.metrics.perception import VIDEO_PROFILE
+from repro.network.markov import GilbertModel
+
+
+def main() -> None:
+    # --- 1. measure the channel --------------------------------------
+    true_channel = GilbertModel(p_good=0.92, p_bad=0.6, seed=31)
+    controller = PerceptionController(profile=VIDEO_PROFILE, epsilon=0.05)
+    for _ in range(50):  # e.g. a probing phase, or history from feedback
+        controller.observe_window(
+            [1 if lost else 0 for lost in true_channel.losses(100)]
+        )
+    estimator = controller.estimator
+    print("channel fit from 50 probe windows:")
+    print(f"  p_good ~ {estimator.p_good:.3f}   p_bad ~ {estimator.p_bad:.3f}")
+    print(f"  loss rate ~ {estimator.loss_rate:.3f}   "
+          f"mean burst ~ {estimator.mean_burst:.2f} packets")
+
+    # --- 2. design burst bound ---------------------------------------
+    burst = controller.design_burst()
+    print(f"\ndesign burst bound (95% of loss runs covered): {burst}")
+
+    # --- 3. size the buffer under a latency budget -------------------
+    stream = calibrated_stream("jurassic_park_corrected", gop_count=84, seed=7)
+    delay_budget = 1.5  # seconds of start-up delay the product tolerates
+    max_w = max_window_for_delay(delay_budget, gop_size=12, fps=stream.fps)
+    plan = plan_for_stream(stream, max_w)
+    print(f"\nlatency budget {delay_budget:.1f} s -> W = {max_w} GOPs "
+          f"({plan.window_frames} frames, "
+          f"{plan.startup_delay_seconds:.1f} s delay, "
+          f"{plan.buffer_bytes // 1024} KB buffer per side)")
+    decision = controller.decide(plan.window_frames)
+    print(f"certified worst-case CLF at the design burst: "
+          f"{decision.certified_clf} "
+          f"({'meets' if decision.meets_threshold else 'MISSES'} the "
+          f"CLF <= {VIDEO_PROFILE.clf_threshold} video threshold)")
+
+    # --- 4. forecast the benefit analytically ------------------------
+    forecast = forecast_spreading(
+        decision.permutation, estimator.p_good, estimator.p_bad,
+        windows=20_000, seed=1,
+    )
+    rows = [
+        (
+            "in-order (exact DP)",
+            forecast.inorder.mean,
+            forecast.inorder.deviation,
+            forecast.inorder.probability_at_most(2),
+        ),
+        (
+            "k-CPO (Monte Carlo)",
+            forecast.permuted.mean,
+            forecast.permuted.deviation,
+            forecast.permuted.probability_at_most(2),
+        ),
+    ]
+    print()
+    print(render_table(
+        ["arm", "mean CLF", "dev", "P(CLF<=2)"],
+        rows,
+        title="predicted per-window CLF on the fitted channel",
+    ))
+
+    # --- 5. verify with the full protocol ----------------------------
+    config = ProtocolConfig(
+        gops_per_window=max_w,
+        p_good=0.92,
+        p_bad=0.6,
+        seed=77,
+        burst_policy="quantile",
+    )
+    scrambled, unscrambled = compare_schemes(stream, config, max_windows=28)
+    print(f"\nsimulated sessions ({len(scrambled.windows)} windows):")
+    print(f"  unscrambled: mean CLF {unscrambled.mean_clf:.2f}, "
+          f"P(CLF<=2) ~ {unscrambled.series.windows_within(2):.2f}")
+    print(f"  scrambled:   mean CLF {scrambled.mean_clf:.2f}, "
+          f"P(CLF<=2) ~ {scrambled.series.windows_within(2):.2f}")
+    print("\n(the simulation adds layering + anchor retransmission on top")
+    print(" of the pure-permutation forecast, so it does a little better)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""The CMT integration (Section 4.4): swapping IBO for the k-CPO.
+
+Builds the Berkeley-CMT-style pipeline (FileSegment source -> common
+buffer -> pktSrc -> channel -> client buffer) and runs the same movie
+through all three ordering policies CMT could use: plain playback
+order, CMT's Inverse Binary Order, and this paper's layered k-CPO.
+
+Run:  python examples/cmt_pipeline.py
+"""
+
+from __future__ import annotations
+
+from repro.cmt import OrderingPolicy, Pipeline
+from repro.experiments.reporting import render_table
+from repro.traces import calibrated_stream
+
+
+def main() -> None:
+    stream = calibrated_stream("jurassic_park_corrected", gop_count=120, seed=5)
+    print(f"stream: {len(stream)} frames "
+          f"({stream.duration_seconds:.0f} s of video)")
+    print("pipeline: FileSegmentSource -> PacketSource -> channel -> client")
+    print()
+
+    rows = []
+    seeds = range(11, 16)
+    for policy in OrderingPolicy:
+        mean_clf = 0.0
+        dev_clf = 0.0
+        dropped = 0
+        retx = 0
+        for seed in seeds:
+            pipeline = Pipeline(
+                stream,
+                window_size=24,
+                policy=policy,
+                bandwidth_bps=1_200_000.0,
+                p_good=0.92,
+                p_bad=0.6,
+                seed=seed,
+            )
+            result = pipeline.run()
+            summary = result.series.clf_summary
+            mean_clf += summary.mean / len(seeds)
+            dev_clf += summary.deviation / len(seeds)
+            dropped += result.frames_dropped
+            retx += pipeline.packet_source.retransmissions
+        rows.append((policy.value, mean_clf, dev_clf, dropped, retx))
+
+    print(render_table(
+        ["ordering policy", "mean CLF", "dev CLF", "sender drops", "retx"],
+        rows,
+        title=f"CMT pipeline over {len(list(seeds))} channel seeds",
+    ))
+    print()
+    print("The paper replaced CMT's IBO with the k-CPO because IBO's tail")
+    print("spreading degrades once more than half the B frames are lost,")
+    print("while the k-CPO is provably optimal against contiguous bursts.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Internet-phone audio: error spreading on a dependency-free stream.
+
+Audio is the paper's most demanding case — the perceptual threshold is
+about three consecutive LDUs, and an LDU is only 1/30 s of sound.  Audio
+LDUs have no inter-frame dependency, so the protocol degenerates to pure
+window scrambling with loss-rate feedback (the earlier ICMCS'99 scheme):
+no layers, no retransmission, zero added bandwidth.
+
+Run:  python examples/internet_phone.py
+"""
+
+from __future__ import annotations
+
+from repro import ProtocolConfig, run_session
+from repro.experiments.reporting import render_table
+from repro.media import make_audio_ldus
+from repro.media.stream import MediaStream
+from repro.metrics import AUDIO_CLF_THRESHOLD
+from repro.protocols.concealment import conceal, report
+
+
+def main() -> None:
+    # One minute of 8 kHz / 8-bit call audio in 266-sample LDUs.
+    ldus = tuple(make_audio_ldus(30 * 60))
+    stream = MediaStream(ldus=ldus, fps=30.0, name="phone-call")
+    print(f"stream: {len(stream)} audio LDUs "
+          f"({stream.duration_seconds:.0f} s of speech, "
+          f"{stream.mean_bitrate_bps / 1000:.0f} kbps)")
+
+    # A 64 kbps access link with bursty congestion loss.
+    base = ProtocolConfig(
+        gops_per_window=1,
+        gop_size=30,          # one-second windows
+        bandwidth_bps=256_000.0,
+        rtt=0.080,
+        packet_size_bytes=512,
+        p_good=0.94,
+        p_bad=0.65,
+        seed=99,
+    )
+
+    results = {}
+    for label, layered, scramble in (
+        ("in-order", False, False),
+        ("spread", True, True),
+    ):
+        from dataclasses import replace
+
+        config = replace(base, layered=layered, scramble=scramble)
+        results[label] = run_session(stream, config)
+
+    rows = []
+    for label, result in results.items():
+        summary = result.series.clf_summary
+        # What does the listener experience after gap concealment?
+        worst_freeze = 0
+        for window in result.windows:
+            records = conceal(sorted(window.decodable), window.frames)
+            worst_freeze = max(worst_freeze, report(records).max_freeze)
+        rows.append((
+            label,
+            summary.mean,
+            summary.deviation,
+            result.series.windows_within(AUDIO_CLF_THRESHOLD),
+            worst_freeze,
+        ))
+
+    print()
+    print(render_table(
+        ["scheme", "mean CLF", "dev CLF",
+         f"frac CLF<={AUDIO_CLF_THRESHOLD}", "worst audible gap (LDUs)"],
+        rows,
+        title="one-minute call over a bursty 256 kbps link",
+    ))
+    print()
+    print("The audio threshold (3 consecutive LDUs = 100 ms) is why the")
+    print("paper calls this 'quite pressing for applications like the")
+    print("Internet phone' — spreading keeps gaps below it without any")
+    print("extra bandwidth.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Error spreading as an orthogonal dimension (Figure 4's six blocks).
+
+Composes spreading with the classical redundancy schemes — nothing,
+feedback/retransmission, forward error correction — over identical
+bursty channels, and shows the real Reed-Solomon erasure code the FEC
+block models at packet level.
+
+Run:  python examples/orthogonal_fec.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.experiments.orthogonal import run_orthogonal
+from repro.protocols.fec import ReedSolomonErasure
+
+
+def demonstrate_rs_code() -> None:
+    """The concrete erasure code behind block C/F, on real bytes."""
+    rs = ReedSolomonErasure(k=6, r=2)
+    rng = random.Random(7)
+    frames = [bytes(rng.randrange(256) for _ in range(64)) for _ in range(6)]
+    parities = rs.encode(frames)
+    print(f"RS({rs.k + rs.r}, {rs.k}) erasure code: "
+          f"{rs.r} parity frames per {rs.k} data frames "
+          f"({rs.overhead * 100:.0f}% overhead)")
+
+    # A burst wipes frames 2 and 3 in flight.
+    damaged = [f if i not in (2, 3) else None for i, f in enumerate(frames)]
+    recovered = rs.decode(damaged, parities)
+    assert recovered == frames
+    print("burst erased frames 2 and 3 -> decoder rebuilt both, bit-exact")
+    print()
+
+
+def main() -> None:
+    demonstrate_rs_code()
+
+    result = run_orthogonal(windows=200, p_bad=0.6, seed=4000)
+    print(result.render())
+    print()
+    blocks = result.results
+    a, b, c = blocks["A"], blocks["B"], blocks["C"]
+    d, e, f = blocks["D"], blocks["E"], blocks["F"]
+    print(f"spreading alone (D vs A): CLF {a.mean_clf:.2f} -> {d.mean_clf:.2f} "
+          f"at +0% bandwidth")
+    print(f"with retransmission (E vs B): CLF {b.mean_clf:.2f} -> {e.mean_clf:.2f} "
+          f"at the same +{b.mean_overhead * 100:.0f}% overhead")
+    print(f"with FEC (F vs C): CLF {c.mean_clf:.2f} -> {f.mean_clf:.2f} "
+          f"at the same +{c.mean_overhead * 100:.0f}% overhead")
+    print()
+    print("FEC struggles against bursts (a burst eats data AND parity);")
+    print("spreading fixes exactly that failure mode, which is why the")
+    print("combination F beats C — the orthogonality the paper claims.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""repro — error spreading for continuous-media streaming.
+
+A complete reproduction of "An Adaptive, Perception-Driven Error
+Spreading Scheme in Continuous Media Streaming" (Varadarajan, Ngo &
+Srivastava, ICDCS 2000): the k-CPO permutation scheme and its CLF
+bounds, the layered transmission order for dependent (MPEG) streams, the
+adaptive feedback protocol, the simulation substrate (Gilbert channel,
+packetization, traces, QoS metrics) and the baselines the paper compares
+against.
+
+Quickstart::
+
+    from repro import ErrorSpreader
+
+    spreader = ErrorSpreader(n=24, b=8)
+    sent = spreader.scramble(list(range(24)))      # transmission order
+    back = spreader.unscramble(sent)               # playback order
+    clf = spreader.clf_for_lost_slots(range(4, 12))  # a burst of 8
+
+See ``examples/`` for full streaming sessions.
+"""
+
+from repro._version import __version__
+from repro.core import (
+    AdaptiveController,
+    ErrorSpreader,
+    LayeredScheduler,
+    LossEstimator,
+    Permutation,
+    ProtocolConfig,
+    ProtocolSession,
+    SessionResult,
+    calculate_permutation,
+    clf_lower_bound,
+    compare_schemes,
+    max_burst_for_clf_one,
+    optimal_clf,
+    run_session,
+    worst_case_clf,
+)
+from repro.media import FrameType, GopPattern, Ldu, MediaStream, VideoStream
+from repro.metrics import (
+    AUDIO_CLF_THRESHOLD,
+    VIDEO_CLF_THRESHOLD,
+    ContinuityReport,
+    WindowSeries,
+    consecutive_loss,
+    measure_lost_set,
+)
+from repro.network import GilbertModel, SimulatedChannel
+from repro.poset import Poset, mpeg_poset, transmission_layers
+from repro.traces import calibrated_stream, synthetic_stream
+
+__all__ = [
+    "AUDIO_CLF_THRESHOLD",
+    "AdaptiveController",
+    "ContinuityReport",
+    "ErrorSpreader",
+    "FrameType",
+    "GilbertModel",
+    "GopPattern",
+    "Ldu",
+    "LayeredScheduler",
+    "LossEstimator",
+    "MediaStream",
+    "Permutation",
+    "Poset",
+    "ProtocolConfig",
+    "ProtocolSession",
+    "SessionResult",
+    "SimulatedChannel",
+    "VIDEO_CLF_THRESHOLD",
+    "VideoStream",
+    "WindowSeries",
+    "__version__",
+    "calculate_permutation",
+    "calibrated_stream",
+    "clf_lower_bound",
+    "compare_schemes",
+    "consecutive_loss",
+    "max_burst_for_clf_one",
+    "measure_lost_set",
+    "mpeg_poset",
+    "optimal_clf",
+    "run_session",
+    "synthetic_stream",
+    "transmission_layers",
+    "worst_case_clf",
+]

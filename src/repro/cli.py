@@ -1,0 +1,193 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``experiments [NAME ...]``
+    Run paper experiments by name (all when no names given) and print
+    the reproduced tables.  ``--list`` shows the available names.
+``trace MOVIE [--gops N] [--seed S] [--out FILE]``
+    Generate a calibrated synthetic trace and write it as an ASCII
+    trace file (stdout by default).
+``permute N B``
+    Print the ``calculatePermutation(N, B)`` transmission order and its
+    certified worst-case CLF.
+``bounds N``
+    Print the Theorem-1 bracket for every burst size of a window.
+``replay FILE [--loss-map]``
+    Summarize a saved session JSON (written by
+    ``repro.experiments.persist.save_session``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro._version import __version__
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Error spreading for continuous-media streaming (ICDCS 2000 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    experiments = commands.add_parser(
+        "experiments", help="run paper experiments and print their tables"
+    )
+    experiments.add_argument("names", nargs="*", help="experiment names (default: all)")
+    experiments.add_argument(
+        "--list", action="store_true", help="list available experiment names"
+    )
+
+    trace = commands.add_parser("trace", help="generate a calibrated synthetic trace")
+    trace.add_argument("movie", help="catalog name, e.g. star_wars")
+    trace.add_argument("--gops", type=int, default=50)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--out", default="-", help="output file (default stdout)")
+
+    permute = commands.add_parser(
+        "permute", help="print calculatePermutation(N, B) and its certificate"
+    )
+    permute.add_argument("n", type=int)
+    permute.add_argument("b", type=int)
+
+    bounds = commands.add_parser(
+        "bounds", help="print the Theorem-1 bracket for a window size"
+    )
+    bounds.add_argument("n", type=int)
+
+    replay = commands.add_parser(
+        "replay", help="summarize a saved session JSON (see repro.experiments.persist)"
+    )
+    replay.add_argument("path", help="session file written by save_session")
+    replay.add_argument(
+        "--loss-map", action="store_true", help="also print the per-window loss map"
+    )
+
+    return parser
+
+
+def _cmd_experiments(args: argparse.Namespace, out) -> int:
+    from repro.experiments.runner import available_experiments, run_all
+
+    if args.list:
+        for name in available_experiments():
+            print(name, file=out)
+        return 0
+    names = args.names or None
+    failures = 0
+    for name, (rendered, shape) in run_all(names).items():
+        print(f"=== {name} ===", file=out)
+        print(rendered, file=out)
+        if shape is not None:
+            verdict = "HOLDS" if shape else "VIOLATED"
+            print(f"[shape {verdict}]", file=out)
+            if not shape:
+                failures += 1
+        print(file=out)
+    return 1 if failures else 0
+
+
+def _cmd_trace(args: argparse.Namespace, out) -> int:
+    from repro.traces.io import write_trace
+    from repro.traces.synthetic import calibrated_stream
+
+    stream = calibrated_stream(args.movie, gop_count=args.gops, seed=args.seed)
+    if args.out == "-":
+        write_trace(stream, out)
+    else:
+        write_trace(stream, args.out)
+        print(
+            f"wrote {len(stream)} frames ({stream.total_bits} bits) to {args.out}",
+            file=out,
+        )
+    return 0
+
+
+def _cmd_permute(args: argparse.Namespace, out) -> int:
+    from repro.core.cpo import calculate_permutation
+    from repro.core.evaluation import worst_case_clf
+
+    perm = calculate_permutation(args.n, args.b)
+    clf = worst_case_clf(perm, args.b)
+    print(" ".join(str(frame) for frame in perm.order), file=out)
+    print(f"certified worst-case CLF for bursts <= {args.b}: {clf}", file=out)
+    return 0
+
+
+def _cmd_bounds(args: argparse.Namespace, out) -> int:
+    from repro.core.bounds import theorem1_bracket
+    from repro.experiments.reporting import render_table
+
+    rows = []
+    for b in range(1, args.n + 1):
+        lower, upper = theorem1_bracket(args.n, b)
+        rows.append((b, lower, upper, upper - lower))
+    print(
+        render_table(
+            ["burst", "lower bound", "achieved", "gap"],
+            rows,
+            title=f"Theorem 1 bracket, window n={args.n}",
+        ),
+        file=out,
+    )
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace, out) -> int:
+    from repro.experiments.persist import load_session_summary, series_from_saved
+    from repro.experiments.reporting import render_loss_map, render_series
+
+    data = load_session_summary(args.path)
+    series = series_from_saved(data, label=args.path)
+    summary = data["summary"]
+    config = data["config"]
+    mode = "scrambled" if config.get("scramble") else "in-order"
+    print(
+        f"{args.path}: {len(data['windows'])} windows, {mode}, "
+        f"p_bad={config.get('p_bad')}, seed={config.get('seed')}",
+        file=out,
+    )
+    print(
+        f"mean CLF {summary['mean_clf']:.2f}, dev {summary['clf_deviation']:.2f}, "
+        f"stream CLF {summary['stream_clf']}",
+        file=out,
+    )
+    print(render_series("CLF per window", series.clf_values), file=out)
+    if args.loss_map:
+
+        class _Window:
+            def __init__(self, record):
+                self.frames = record["frames"]
+                self.decodable = set(record["decodable"])
+
+        print(
+            render_loss_map(
+                [_Window(w) for w in data["windows"]],
+                label="playout (.=played x=lost)",
+            ),
+            file=out,
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "experiments": _cmd_experiments,
+        "trace": _cmd_trace,
+        "permute": _cmd_permute,
+        "bounds": _cmd_bounds,
+        "replay": _cmd_replay,
+    }
+    return handlers[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""A small CMT-like pipeline toolkit (Section 4.4 integration)."""
+
+from repro.cmt.lts import LogicalTimeSystem
+from repro.cmt.objects import (
+    BufferedFrame,
+    ClientBuffer,
+    FileSegmentSource,
+    OrderingPolicy,
+    PacketSource,
+    WindowPlayout,
+)
+from repro.cmt.pipeline import Pipeline, PipelineResult
+
+__all__ = [
+    "BufferedFrame",
+    "ClientBuffer",
+    "FileSegmentSource",
+    "LogicalTimeSystem",
+    "OrderingPolicy",
+    "PacketSource",
+    "Pipeline",
+    "PipelineResult",
+    "WindowPlayout",
+]

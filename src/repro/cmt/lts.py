@@ -1,0 +1,73 @@
+"""Logical Time System (LTS) — CMT's clock abstraction.
+
+CMT applications drive their pipelines from a *logical* clock that can
+be started, paused, rescaled (fast-forward) and repositioned.  The
+toolkit's objects convert logical time to media positions; the paper
+notes that CMT exposes the buffer-size handle by letting the user vary
+the *cycle time* of the LTS-driven objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.errors import PipelineError
+
+
+@dataclass
+class LogicalTimeSystem:
+    """Mapping from real (simulation) time to logical media time.
+
+    ``logical = offset + speed * (real - anchor)`` while running.
+    """
+
+    speed: float = 1.0
+    _offset: float = 0.0
+    _anchor: float = 0.0
+    _running: bool = False
+
+    def __post_init__(self) -> None:
+        if self.speed <= 0:
+            raise PipelineError("LTS speed must be positive")
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self, real_time: float) -> None:
+        """Start (or resume) the clock at ``real_time``."""
+        if self._running:
+            raise PipelineError("LTS already running")
+        self._anchor = real_time
+        self._running = True
+
+    def pause(self, real_time: float) -> None:
+        """Freeze logical time at its current value."""
+        if not self._running:
+            raise PipelineError("LTS not running")
+        self._offset = self.logical(real_time)
+        self._running = False
+
+    def seek(self, logical_time: float, real_time: float) -> None:
+        """Jump to an arbitrary logical position."""
+        self._offset = logical_time
+        self._anchor = real_time
+
+    def set_speed(self, speed: float, real_time: float) -> None:
+        """Change playout speed without a logical-time jump."""
+        if speed <= 0:
+            raise PipelineError("LTS speed must be positive")
+        self._offset = self.logical(real_time)
+        self._anchor = real_time
+        self.speed = speed
+
+    def logical(self, real_time: float) -> float:
+        """Logical time at ``real_time``."""
+        if not self._running:
+            return self._offset
+        return self._offset + self.speed * (real_time - self._anchor)
+
+    def real_for(self, logical_time: float, real_now: float) -> float:
+        """Real time at which ``logical_time`` is (or was) reached."""
+        if not self._running:
+            raise PipelineError("LTS not running")
+        return self._anchor + (logical_time - self._offset) / self.speed

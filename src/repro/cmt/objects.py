@@ -1,0 +1,265 @@
+"""CMT-style pipeline objects.
+
+Mirrors the objects Section 4.4 names:
+
+* :class:`FileSegmentSource` — the ``cmFileSegment`` analogue: reads the
+  stream, splits it into buffer windows, prioritizes and reorders frames
+  into a common buffer;
+* :class:`PacketSource` — the ``pktSrc`` analogue: drains the common
+  buffer onto the channel within each cycle's budget, dropping
+  lowest-priority frames it estimates it cannot deliver on time;
+* :class:`ClientBuffer` — receiver-side reassembly and playout
+  bookkeeping.
+
+The frame ordering inside the common buffer is pluggable — CMT's IBO or
+this paper's layered k-CPO — which is exactly the swap the authors made
+in their CMT implementation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.cpo import EFFORT_FAST
+from repro.core.layered import LayeredScheduler
+from repro.errors import PipelineError
+from repro.media.ldu import Ldu
+from repro.media.stream import MediaStream
+from repro.metrics.continuity import consecutive_loss
+from repro.network.channel import SimulatedChannel
+from repro.network.packet import Packetizer
+from repro.poset.builders import independent_poset, ldu_poset
+from repro.protocols.ibo import inverse_binary_order
+
+
+class OrderingPolicy(enum.Enum):
+    """How the common buffer orders a window before transmission."""
+
+    PLAYBACK = "playback"
+    IBO = "ibo"
+    LAYERED_CPO = "layered-cpo"
+
+
+@dataclass
+class BufferedFrame:
+    """One frame sitting in the common buffer with its send priority."""
+
+    ldu: Ldu
+    offset: int          # within the current window
+    priority: int        # 0 = send first
+
+
+class FileSegmentSource:
+    """Reads a stream window by window and fills the common buffer.
+
+    Priorities follow CMT: anchors before B frames; within the B set, the
+    configured ordering policy decides.  With ``LAYERED_CPO`` the paper's
+    full layered order is used for *all* frames.
+    """
+
+    def __init__(
+        self,
+        stream: MediaStream,
+        window_size: int,
+        policy: OrderingPolicy = OrderingPolicy.LAYERED_CPO,
+        *,
+        burst_bound: Optional[int] = None,
+    ) -> None:
+        if window_size <= 0:
+            raise PipelineError("window size must be positive")
+        self.stream = stream
+        self.window_size = window_size
+        self.policy = policy
+        self.burst_bound = burst_bound
+        self._windows = list(stream.windows(window_size))
+        self._cursor = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self._cursor >= len(self._windows)
+
+    @property
+    def window_count(self) -> int:
+        return len(self._windows)
+
+    def next_window(self) -> Tuple[int, List[BufferedFrame]]:
+        """Produce the next window's buffer contents, ordered and prioritized."""
+        if self.exhausted:
+            raise PipelineError("stream exhausted")
+        index = self._cursor
+        window = self._windows[index]
+        self._cursor += 1
+        order = self._order_for(window)
+        buffered = [
+            BufferedFrame(ldu=window[offset], offset=offset, priority=priority)
+            for priority, offset in enumerate(order)
+        ]
+        return index, buffered
+
+    def _order_for(self, window: Sequence[Ldu]) -> Sequence[int]:
+        n = len(window)
+        if self.policy is OrderingPolicy.PLAYBACK:
+            return range(n)
+        if self.policy is OrderingPolicy.IBO:
+            # CMT: anchors first in playback order, then B frames in IBO.
+            anchors = [i for i in range(n) if window[i].frame_type.is_anchor]
+            b_frames = [i for i in range(n) if not window[i].frame_type.is_anchor]
+            ibo = inverse_binary_order(len(b_frames))
+            return anchors + [b_frames[i] for i in ibo.order]
+        # Layered k-CPO.
+        has_dependency = any(
+            window[i].frame_type.is_anchor for i in range(n)
+        )
+        poset = (
+            ldu_poset(window) if has_dependency else independent_poset(n)
+        )
+        scheduler = LayeredScheduler(poset, effort=EFFORT_FAST)
+        bounds = None
+        if self.burst_bound is not None:
+            bounds = {
+                layer.index: min(self.burst_bound, layer.size)
+                for layer in scheduler.layers
+            }
+        return scheduler.plan(bounds).order
+
+
+class PacketSource:
+    """Drains the common buffer onto the channel within the cycle budget.
+
+    Frames that cannot finish serializing before the cycle deadline are
+    dropped, lowest priority (= latest in the ordered buffer) first —
+    CMT's behaviour when its bandwidth estimate says the buffer will not
+    fit.
+    """
+
+    def __init__(
+        self,
+        channel: SimulatedChannel,
+        packetizer: Optional[Packetizer] = None,
+        *,
+        retransmit_anchors: bool = True,
+        nack_delay: float = 0.023,
+    ) -> None:
+        self.channel = channel
+        self.packetizer = packetizer or Packetizer()
+        self.retransmit_anchors = retransmit_anchors
+        self.nack_delay = nack_delay
+        self.frames_sent = 0
+        self.frames_dropped = 0
+        self.retransmissions = 0
+
+    def transmit_window(
+        self,
+        window_index: int,
+        buffered: Sequence[BufferedFrame],
+        start_time: float,
+        deadline: float,
+    ) -> Dict[int, bool]:
+        """Send one window; returns offset -> delivered (False = lost/dropped).
+
+        Lost anchor frames are retransmitted while the cycle deadline
+        allows ("I frames and P frames might have to be retransmitted if
+        lost, and time still allows"), one NACK delay after each failure.
+        """
+        if deadline <= start_time:
+            raise PipelineError("cycle deadline must be after its start")
+        outcome: Dict[int, bool] = {}
+        retry: List[Tuple[float, BufferedFrame]] = []  # (due time, frame)
+
+        def send(frame: BufferedFrame, at: float) -> bool:
+            packets = self.packetizer.packetize(frame.ldu, window_index=window_index)
+            transmissions = self.channel.send_all(packets, at)
+            return all(not t.lost for t in transmissions)
+
+        def run_due_retries(now: float) -> None:
+            while retry:
+                due, frame = min(retry, key=lambda item: item[0])
+                if due > now:
+                    break
+                retry.remove((due, frame))
+                at = max(due, self.channel.busy_until)
+                serialization = (
+                    frame.ldu.size_bytes * 8.0 / self.channel.bandwidth_bps
+                )
+                if at + serialization > deadline:
+                    continue
+                self.retransmissions += 1
+                if send(frame, at):
+                    outcome[frame.offset] = True
+                else:
+                    retry.append((self.channel.busy_until + self.nack_delay, frame))
+
+        for frame in sorted(buffered, key=lambda f: f.priority):
+            run_due_retries(max(start_time, self.channel.busy_until))
+            at = max(start_time, self.channel.busy_until)
+            serialization = frame.ldu.size_bytes * 8.0 / self.channel.bandwidth_bps
+            if at + serialization > deadline:
+                outcome[frame.offset] = False
+                self.frames_dropped += 1
+                continue
+            delivered = send(frame, at)
+            outcome[frame.offset] = delivered
+            self.frames_sent += 1
+            if (
+                not delivered
+                and self.retransmit_anchors
+                and frame.ldu.frame_type.is_anchor
+            ):
+                retry.append((self.channel.busy_until + self.nack_delay, frame))
+        # Use the idle tail of the cycle for the remaining retries.
+        while retry:
+            due, frame = min(retry, key=lambda item: item[0])
+            at = max(due, self.channel.busy_until)
+            serialization = frame.ldu.size_bytes * 8.0 / self.channel.bandwidth_bps
+            if at + serialization > deadline:
+                break
+            retry.remove((due, frame))
+            self.retransmissions += 1
+            if send(frame, at):
+                outcome[frame.offset] = True
+            else:
+                retry.append((self.channel.busy_until + self.nack_delay, frame))
+        return outcome
+
+
+@dataclass
+class WindowPlayout:
+    """Per-window playout measurement from the client buffer."""
+
+    index: int
+    frames: int
+    decodable: Set[int]
+    clf: int
+    unit_losses: int
+
+
+class ClientBuffer:
+    """Receiver-side reassembly, decodability and continuity measurement."""
+
+    def __init__(self) -> None:
+        self.playouts: List[WindowPlayout] = []
+
+    def complete_window(
+        self,
+        index: int,
+        window: Sequence[Ldu],
+        outcome: Dict[int, bool],
+    ) -> WindowPlayout:
+        n = len(window)
+        received = sorted(offset for offset, ok in outcome.items() if ok)
+        has_dependency = any(ldu.frame_type.is_anchor for ldu in window)
+        poset = ldu_poset(window) if has_dependency else independent_poset(n)
+        scheduler = LayeredScheduler(poset)
+        decodable = set(scheduler.decodable(received))
+        indicator = [0 if offset in decodable else 1 for offset in range(n)]
+        playout = WindowPlayout(
+            index=index,
+            frames=n,
+            decodable=decodable,
+            clf=consecutive_loss(indicator),
+            unit_losses=sum(indicator),
+        )
+        self.playouts.append(playout)
+        return playout

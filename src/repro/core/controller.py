@@ -1,0 +1,136 @@
+"""The perception-driven controller — the title's policy, made explicit.
+
+Given (a) the user's perceptual tolerance (a CLF threshold and how often
+it may be exceeded) and (b) an online estimate of the channel's Gilbert
+parameters, the controller answers the two questions the sender faces
+every window:
+
+1. **Which burst bound should the permutation be designed for?**
+   Not the smoothed last observation (Equation 1) but the *quantile* of
+   the fitted run-length distribution: the smallest ``b`` such that at
+   most ``epsilon`` of loss runs exceed it.
+2. **Is the current window big enough at all?**  The window tolerates a
+   burst of ``floor(n/2)`` at CLF 1 and a computable bound at any other
+   threshold; if the quantile burst exceeds it, the controller
+   recommends growing the buffer (more start-up delay) — the Figure-12
+   dial.
+
+This subsumes the paper's Equation-1 policy (which remains available in
+:mod:`repro.core.adaptation`); the ``controller`` ablation in the tests
+compares the two under a shifting channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.cpo import EFFORT_FAST, calculate_permutation
+from repro.core.evaluation import worst_case_clf
+from repro.core.permutation import Permutation
+from repro.errors import ConfigurationError
+from repro.metrics.perception import PerceptionProfile, VIDEO_PROFILE
+from repro.network.estimation import GilbertEstimator
+
+
+@dataclass(frozen=True)
+class ControlDecision:
+    """What the controller chose for one window."""
+
+    window: int
+    burst_bound: int
+    permutation: Permutation
+    certified_clf: int
+    meets_threshold: bool
+    recommended_window: Optional[int]  # None when the current window suffices
+
+    @property
+    def needs_bigger_buffer(self) -> bool:
+        return self.recommended_window is not None
+
+
+class PerceptionController:
+    """Chooses per-window permutations to honour a perceptual threshold.
+
+    Parameters
+    ----------
+    profile:
+        Perceptual tolerance (defaults to video: CLF <= 2).
+    epsilon:
+        Acceptable probability that one loss run exceeds the designed
+        burst bound (i.e. that a window violates the threshold due to a
+        single oversized burst).
+    effort:
+        Permutation search effort forwarded to ``calculate_permutation``.
+    """
+
+    def __init__(
+        self,
+        profile: PerceptionProfile = VIDEO_PROFILE,
+        *,
+        epsilon: float = 0.05,
+        effort: str = EFFORT_FAST,
+    ) -> None:
+        if not 0.0 < epsilon < 1.0:
+            raise ConfigurationError("epsilon must be within (0, 1)")
+        self.profile = profile
+        self.epsilon = epsilon
+        self.effort = effort
+        self.estimator = GilbertEstimator()
+
+    def observe_window(self, indicator: Sequence[int]) -> None:
+        """Feed one window's per-packet loss indicator (from feedback)."""
+        self.estimator.observe(indicator)
+
+    def design_burst(self) -> int:
+        """The burst bound the next permutation should be designed for."""
+        return self.estimator.burst_quantile(self.epsilon)
+
+    def decide(self, window: int) -> ControlDecision:
+        """Choose the permutation for a window of ``window`` LDUs."""
+        if window <= 0:
+            raise ConfigurationError("window must be positive")
+        burst = min(self.design_burst(), window)
+        permutation = calculate_permutation(window, burst, effort=self.effort)
+        certified = worst_case_clf(permutation, burst)
+        meets = certified <= self.profile.clf_threshold
+        recommended = None
+        if not meets:
+            recommended = self.recommend_window(burst)
+            if recommended <= window:
+                recommended = None
+        return ControlDecision(
+            window=window,
+            burst_bound=burst,
+            permutation=permutation,
+            certified_clf=certified,
+            meets_threshold=meets,
+            recommended_window=recommended,
+        )
+
+    def recommend_window(self, burst: int) -> int:
+        """Smallest window meeting the threshold against ``burst``.
+
+        For threshold 1 this is exactly ``2 x burst`` (antibandwidth);
+        for larger thresholds the CLF-1 window also suffices, so it is a
+        safe (if slightly conservative) recommendation — refined by a
+        downward search over the certified construction.
+        """
+        if burst <= 0:
+            raise ConfigurationError("burst must be positive")
+        threshold = self.profile.clf_threshold
+        safe = 2 * burst  # CLF 1 guaranteed, hence <= any threshold
+        if threshold <= 1:
+            return safe
+        # Walk down while the certified construction still meets the
+        # threshold; cheap because windows are small.
+        best = safe
+        candidate = safe - 1
+        while candidate > burst:
+            perm = calculate_permutation(candidate, burst, effort=self.effort)
+            if worst_case_clf(perm, burst) <= threshold:
+                best = candidate
+                candidate -= 1
+            else:
+                break
+        return best

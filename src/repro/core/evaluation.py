@@ -1,0 +1,165 @@
+"""Exact evaluation of permutations against bursty loss.
+
+The quantities here are the analytical core of the paper: given a
+permutation of a window of ``n`` frames and a burst of ``b`` consecutive
+*transmission* slots, how long is the worst run of consecutive *playback*
+frames lost (the CLF contribution of that burst)?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Set, Tuple
+
+from repro.core.permutation import Permutation
+from repro.errors import PermutationError
+
+
+def max_run(values: Iterable[int]) -> int:
+    """Longest run of consecutive integers in ``values``.
+
+    >>> max_run([3, 5, 6, 7, 10])
+    3
+    >>> max_run([])
+    0
+    """
+    present: Set[int] = set(values)
+    best = 0
+    for value in present:
+        if value - 1 in present:
+            continue  # only start counting at the head of a run
+        length = 1
+        while value + length in present:
+            length += 1
+        if length > best:
+            best = length
+    return best
+
+
+def burst_loss_run(perm: Permutation, start_slot: int, burst: int) -> int:
+    """Max playback run lost by a burst of ``burst`` slots at ``start_slot``."""
+    n = len(perm)
+    if start_slot < 0 or start_slot > n:
+        raise PermutationError(f"start slot {start_slot} out of range")
+    end = min(start_slot + burst, n)
+    return max_run(perm.order[start_slot:end])
+
+
+def worst_case_clf(perm: Permutation, burst: int) -> int:
+    """Worst CLF over all positions of one burst of ``burst`` slots.
+
+    The burst is confined to the window (the paper's model: a bursty loss
+    of bounded size within a window of ``n`` LDUs).  ``burst >= n`` wipes
+    the window and yields ``n``.
+    """
+    n = len(perm)
+    if burst <= 0 or n == 0:
+        return 0
+    if burst >= n:
+        return n
+    best = 0
+    for start in range(n - burst + 1):
+        run = burst_loss_run(perm, start, burst)
+        if run > best:
+            best = run
+    return best
+
+
+def cyclic_worst_case_clf(perm: Permutation, burst: int) -> int:
+    """Worst CLF when a burst may straddle back-to-back windows.
+
+    In a stream, windows are transmitted continuously with the same
+    permutation, so a burst can cover the tail of window ``k`` and the
+    head of window ``k+1`` (or, for ``burst > n``, several whole windows).
+    Evaluated exactly by sliding the burst over three concatenated copies
+    of the window, with playback offsets shifted by ``n`` per copy.
+    """
+    n = len(perm)
+    if burst <= 0 or n == 0:
+        return 0
+    copies = 2 + (burst + n - 1) // n  # enough copies that no burst truncates
+    stream = [
+        copy * n + frame
+        for copy in range(copies)
+        for frame in perm.order
+    ]
+    limit = min(burst, len(stream))
+    best = 0
+    # Sliding the start over one full period covers every distinct
+    # alignment of the burst relative to window boundaries.
+    for start in range(n):
+        lost = stream[start:start + limit]
+        run = max_run(lost)
+        if run > best:
+            best = run
+    return best
+
+
+@dataclass(frozen=True)
+class BurstProfile:
+    """Per-burst-position response of a permutation.
+
+    ``runs[s]`` is the worst playback run lost by a burst starting at
+    transmission slot ``s``.
+    """
+
+    burst: int
+    runs: Tuple[int, ...]
+
+    @property
+    def worst(self) -> int:
+        return max(self.runs) if self.runs else 0
+
+    @property
+    def mean(self) -> float:
+        return sum(self.runs) / len(self.runs) if self.runs else 0.0
+
+
+def burst_profile(perm: Permutation, burst: int) -> BurstProfile:
+    """Evaluate every burst position; useful for plots and ablations."""
+    n = len(perm)
+    if burst <= 0 or n == 0:
+        return BurstProfile(burst=burst, runs=())
+    burst_eff = min(burst, n)
+    runs = tuple(
+        burst_loss_run(perm, start, burst_eff)
+        for start in range(n - burst_eff + 1)
+    )
+    return BurstProfile(burst=burst, runs=runs)
+
+
+def clf_of_lost_frames(lost_frames: Iterable[int]) -> int:
+    """CLF of an arbitrary set of lost playback offsets (= longest run)."""
+    return max_run(lost_frames)
+
+
+def spread_table(perm: Permutation) -> List[int]:
+    """For each adjacent playback pair ``(i, i+1)``, their slot distance.
+
+    A permutation tolerates burst ``b`` at CLF 1 iff every entry is >= ``b``
+    (the antibandwidth view of the problem).
+    """
+    return [
+        abs(perm.slot_of(i + 1) - perm.slot_of(i))
+        for i in range(len(perm) - 1)
+    ]
+
+
+def group_spread(perm: Permutation, group: int) -> int:
+    """Minimum slot spread over all windows of ``group`` consecutive frames.
+
+    ``worst_case_clf(perm, b) <= c`` iff ``group_spread(perm, c + 1) >= b``:
+    a burst of ``b`` slots can wipe ``c+1`` consecutive frames exactly when
+    their slots all fit within ``b`` consecutive slots.
+    """
+    n = len(perm)
+    if group <= 1 or group > n:
+        return n  # vacuous
+    slots = [perm.slot_of(i) for i in range(n)]
+    best = n
+    for start in range(n - group + 1):
+        window = slots[start:start + group]
+        spread = max(window) - min(window)
+        if spread < best:
+            best = spread
+    return best

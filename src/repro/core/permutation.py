@@ -1,0 +1,178 @@
+"""Permutations of transmission order.
+
+A :class:`Permutation` maps *transmission slots* to *frame offsets* within
+one sender-buffer window: ``perm[t]`` is the playback-order offset of the
+frame sent in slot ``t``.  The identity permutation is plain in-order
+transmission (the paper's "unscrambled" baseline).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple, TypeVar
+
+from repro.errors import PermutationError
+
+T = TypeVar("T")
+
+
+class Permutation:
+    """An immutable permutation of ``0..n-1`` with streaming semantics.
+
+    ``perm.order[t]`` is the frame offset transmitted in slot ``t``;
+    ``perm.slot_of(i)`` is the slot in which frame offset ``i`` is sent.
+    """
+
+    __slots__ = ("_order", "_inverse")
+
+    def __init__(self, order: Iterable[int]) -> None:
+        order_tuple = tuple(order)
+        n = len(order_tuple)
+        inverse = [-1] * n
+        for slot, frame in enumerate(order_tuple):
+            if not isinstance(frame, int):
+                raise PermutationError(f"permutation entries must be ints, got {frame!r}")
+            if frame < 0 or frame >= n:
+                raise PermutationError(
+                    f"entry {frame} out of range for a permutation of {n}"
+                )
+            if inverse[frame] != -1:
+                raise PermutationError(f"duplicate entry {frame} in permutation")
+            inverse[frame] = slot
+        self._order: Tuple[int, ...] = order_tuple
+        self._inverse: Tuple[int, ...] = tuple(inverse)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def identity(cls, n: int) -> "Permutation":
+        """In-order transmission of ``n`` frames."""
+        if n < 0:
+            raise PermutationError("permutation size must be non-negative")
+        return cls(range(n))
+
+    @classmethod
+    def from_slots(cls, slot_of: Sequence[int]) -> "Permutation":
+        """Build from the inverse view: ``slot_of[i]`` = slot of frame ``i``."""
+        return cls(slot_of).inverse()
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    @property
+    def order(self) -> Tuple[int, ...]:
+        """Frame offset sent in each slot (slot -> frame)."""
+        return self._order
+
+    @property
+    def n(self) -> int:
+        return len(self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._order)
+
+    def __getitem__(self, slot: int) -> int:
+        return self._order[slot]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Permutation):
+            return NotImplemented
+        return self._order == other._order
+
+    def __hash__(self) -> int:
+        return hash(self._order)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Permutation({list(self._order)})"
+
+    def slot_of(self, frame: int) -> int:
+        """Transmission slot of the frame at playback offset ``frame``."""
+        if frame < 0 or frame >= len(self._inverse):
+            raise PermutationError(f"frame offset {frame} out of range")
+        return self._inverse[frame]
+
+    def inverse(self) -> "Permutation":
+        """The inverse permutation (frame -> slot as an order)."""
+        return Permutation(self._inverse)
+
+    @property
+    def is_identity(self) -> bool:
+        return all(frame == slot for slot, frame in enumerate(self._order))
+
+    # ------------------------------------------------------------------
+    # Streaming operations
+    # ------------------------------------------------------------------
+
+    def apply(self, window: Sequence[T]) -> List[T]:
+        """Permute a window of items into transmission order.
+
+        >>> Permutation([2, 0, 1]).apply(["a", "b", "c"])
+        ['c', 'a', 'b']
+        """
+        if len(window) != len(self._order):
+            raise PermutationError(
+                f"window of {len(window)} items does not match permutation of {len(self._order)}"
+            )
+        return [window[frame] for frame in self._order]
+
+    def unapply(self, transmitted: Sequence[T]) -> List[T]:
+        """Un-permute a transmission-order window back to playback order.
+
+        Inverse of :meth:`apply`:
+
+        >>> p = Permutation([2, 0, 1])
+        >>> p.unapply(p.apply(["a", "b", "c"]))
+        ['a', 'b', 'c']
+        """
+        if len(transmitted) != len(self._order):
+            raise PermutationError(
+                f"window of {len(transmitted)} items does not match permutation of {len(self._order)}"
+            )
+        restored: List[T] = [None] * len(self._order)  # type: ignore[list-item]
+        for slot, item in enumerate(transmitted):
+            restored[self._order[slot]] = item
+        return restored
+
+    def lost_frames(self, lost_slots: Iterable[int]) -> List[int]:
+        """Frame offsets lost when the given transmission slots are lost.
+
+        The result is sorted in playback order, ready for run analysis.
+        """
+        frames = []
+        for slot in lost_slots:
+            if slot < 0 or slot >= len(self._order):
+                raise PermutationError(f"slot {slot} out of range")
+            frames.append(self._order[slot])
+        return sorted(frames)
+
+    def compose(self, other: "Permutation") -> "Permutation":
+        """``self`` after ``other``: slot -> other -> self.
+
+        ``(self.compose(other)).apply(w) == other.apply(self.apply(w))`` does
+        not hold in general; composition here is the usual function
+        composition on slot indices: ``result[t] = self[other[t]]``.
+        """
+        if len(other) != len(self):
+            raise PermutationError("cannot compose permutations of different sizes")
+        return Permutation(self._order[t] for t in other._order)
+
+
+def stride_permutation(n: int, stride: int, offset: int = 0) -> Permutation:
+    """The cyclic stride order: slot ``t`` carries frame ``(offset + stride*t) % n``.
+
+    This is the shape of the paper's Table-1 example (n=17, stride 5).
+    ``stride`` must be coprime with ``n`` for the result to be a
+    permutation.
+    """
+    import math
+
+    if n <= 0:
+        raise PermutationError("n must be positive")
+    if math.gcd(stride % n if n else 1, n) != 1:
+        raise PermutationError(f"stride {stride} not coprime with {n}")
+    return Permutation(((offset + stride * t) % n) for t in range(n))

@@ -1,0 +1,152 @@
+"""Buffer and delay provisioning — the arithmetic of Section 4.1.
+
+Error spreading is paid for in buffering: the server and the client each
+hold ``N = W x GOP`` LDUs, which costs memory (``N x MaxFrameSize``, or
+equivalently ``W`` times the largest GOP) and start-up delay
+(``N / fps`` — "the start up delay increases to W / R_gop seconds, where
+R_gop is the number of GOPs displayed in 1 second").  The paper checks
+the numbers for its traces: the largest GOP (Star Wars) is 932 710 bits
+= ~113 KB, so a two-GOP buffer of ~226 KB "is quite viable".
+
+This module packages that arithmetic plus the planning helper a
+deployment would actually use: given a latency budget, how big a window
+can we afford, and what burst does that window tolerate at the user's
+CLF threshold?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.media.stream import VideoStream
+
+
+@dataclass(frozen=True)
+class BufferPlan:
+    """A provisioned sender/client buffer."""
+
+    gops_per_window: int
+    gop_size: int
+    fps: float
+    max_gop_bits: int
+
+    def __post_init__(self) -> None:
+        if self.gops_per_window <= 0:
+            raise ConfigurationError("gops_per_window must be positive")
+        if self.gop_size <= 0:
+            raise ConfigurationError("gop_size must be positive")
+        if self.fps <= 0:
+            raise ConfigurationError("fps must be positive")
+        if self.max_gop_bits <= 0:
+            raise ConfigurationError("max_gop_bits must be positive")
+
+    @property
+    def window_frames(self) -> int:
+        """N = W x GOP."""
+        return self.gops_per_window * self.gop_size
+
+    @property
+    def buffer_bytes(self) -> int:
+        """Memory per side: W times the largest GOP, in whole bytes."""
+        return self.gops_per_window * ((self.max_gop_bits + 7) // 8)
+
+    @property
+    def startup_delay_seconds(self) -> float:
+        """Client start-up delay: one window of playout time."""
+        return self.window_frames / self.fps
+
+    @property
+    def gops_per_second(self) -> float:
+        return self.fps / self.gop_size
+
+    def tolerable_burst_at_clf_one(self) -> int:
+        """Largest burst the window absorbs at CLF 1: ``floor(N / 2)``."""
+        return self.window_frames // 2
+
+
+def plan_for_stream(stream: VideoStream, gops_per_window: int) -> BufferPlan:
+    """Provision a buffer for a concrete stream."""
+    return BufferPlan(
+        gops_per_window=gops_per_window,
+        gop_size=stream.gop_size,
+        fps=stream.fps,
+        max_gop_bits=stream.max_gop_bits(),
+    )
+
+
+def max_window_for_delay(
+    delay_budget_seconds: float,
+    *,
+    gop_size: int,
+    fps: float,
+) -> int:
+    """Largest W whose start-up delay fits the budget (0 if none fits)."""
+    if delay_budget_seconds < 0:
+        raise ConfigurationError("delay budget must be non-negative")
+    if gop_size <= 0 or fps <= 0:
+        raise ConfigurationError("gop_size and fps must be positive")
+    per_gop_delay = gop_size / fps
+    return int(delay_budget_seconds / per_gop_delay)
+
+
+@dataclass(frozen=True)
+class DelayTradeoffPoint:
+    """One point of the delay-versus-robustness curve."""
+
+    gops_per_window: int
+    window_frames: int
+    startup_delay_seconds: float
+    buffer_bytes: int
+    burst_at_clf_one: int
+
+
+def delay_tradeoff(
+    stream: VideoStream,
+    *,
+    max_gops: int = 8,
+) -> List[DelayTradeoffPoint]:
+    """The buffering-vs-burst-tolerance curve behind Figure 12.
+
+    Doubling the window doubles delay and memory but also doubles the
+    burst absorbed at CLF 1 — the quantified version of "error spreading
+    scales well".
+    """
+    if max_gops <= 0:
+        raise ConfigurationError("max_gops must be positive")
+    points = []
+    for gops in range(1, max_gops + 1):
+        plan = plan_for_stream(stream, gops)
+        points.append(
+            DelayTradeoffPoint(
+                gops_per_window=gops,
+                window_frames=plan.window_frames,
+                startup_delay_seconds=plan.startup_delay_seconds,
+                buffer_bytes=plan.buffer_bytes,
+                burst_at_clf_one=plan.tolerable_burst_at_clf_one(),
+            )
+        )
+    return points
+
+
+def burst_for_threshold(
+    window_frames: int,
+    clf_threshold: int,
+    *,
+    exact_limit: int = 13,
+) -> int:
+    """Largest burst tolerable at a perceptual CLF threshold.
+
+    Uses the exact search for small windows and the constructive
+    certificate otherwise (see :mod:`repro.core.bounds`).
+    """
+    from repro.core.bounds import max_tolerable_burst
+
+    if window_frames <= 0:
+        raise ConfigurationError("window must be positive")
+    if clf_threshold <= 0:
+        raise ConfigurationError("threshold must be positive")
+    return max_tolerable_burst(
+        window_frames, clf_threshold, exact=window_frames <= exact_limit
+    )

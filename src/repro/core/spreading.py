@@ -1,0 +1,187 @@
+"""The error-spreading facade for streams *without* inter-frame dependency.
+
+This is the simplest way to consume the library: wrap each sender-buffer
+window with :class:`ErrorSpreader` to permute before transmission and
+un-permute on receipt.  For MJPEG video or audio this is the entire
+scheme of the paper's earlier work; dependent streams use
+:mod:`repro.core.layered` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generic, List, Sequence, TypeVar
+
+from repro.core.cpo import EFFORT_NORMAL, calculate_permutation
+from repro.core.evaluation import max_run, worst_case_clf
+from repro.errors import ConfigurationError
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class SpreadReport:
+    """What a burst would do to a window with and without spreading."""
+
+    window: int
+    burst: int
+    clf_unscrambled: int
+    clf_scrambled: int
+
+    @property
+    def improvement(self) -> int:
+        return self.clf_unscrambled - self.clf_scrambled
+
+
+class ErrorSpreader(Generic[T]):
+    """Permute windows of ``n`` items against bursts of up to ``b``.
+
+    >>> spreader = ErrorSpreader(10, 5)
+    >>> sent = spreader.scramble(list(range(10)))
+    >>> spreader.unscramble(sent) == list(range(10))
+    True
+    """
+
+    def __init__(self, n: int, b: int, *, effort: str = EFFORT_NORMAL) -> None:
+        if n <= 0:
+            raise ConfigurationError("window size must be positive")
+        if b < 0:
+            raise ConfigurationError("burst bound must be non-negative")
+        self.n = n
+        self.b = b
+        self.permutation = calculate_permutation(n, b, effort=effort)
+
+    @property
+    def guaranteed_clf(self) -> int:
+        """Certified worst-case CLF of this spreader's permutation."""
+        return worst_case_clf(self.permutation, self.b)
+
+    def scramble(self, window: Sequence[T]) -> List[T]:
+        """Reorder a window into transmission order."""
+        return self.permutation.apply(window)
+
+    def unscramble(self, transmitted: Sequence[T]) -> List[T]:
+        """Restore playback order at the receiver."""
+        return self.permutation.unapply(transmitted)
+
+    def playback_losses(self, lost_slots: Sequence[int]) -> List[int]:
+        """Map lost transmission slots to playback offsets (sorted)."""
+        return self.permutation.lost_frames(lost_slots)
+
+    def clf_for_lost_slots(self, lost_slots: Sequence[int]) -> int:
+        """CLF the playback stream suffers for the given lost slots."""
+        return max_run(self.playback_losses(lost_slots))
+
+    def report(self, burst_start: int, burst_length: int) -> SpreadReport:
+        """Compare this spreader against in-order transmission for one burst."""
+        if burst_start < 0 or burst_length < 0:
+            raise ConfigurationError("burst position and length must be non-negative")
+        end = min(burst_start + burst_length, self.n)
+        slots = list(range(burst_start, end))
+        scrambled = self.clf_for_lost_slots(slots)
+        unscrambled = len(slots)  # in-order: the burst IS the playback run
+        return SpreadReport(
+            window=self.n,
+            burst=burst_length,
+            clf_unscrambled=unscrambled,
+            clf_scrambled=scrambled,
+        )
+
+
+def spread_stream(
+    items: Sequence[T],
+    window: int,
+    burst: int,
+    *,
+    effort: str = EFFORT_NORMAL,
+) -> List[T]:
+    """Scramble an entire stream window by window.
+
+    The trailing partial window (if any) gets its own, smaller spreader.
+    ``unspread_stream`` inverts the operation.
+    """
+    if window <= 0:
+        raise ConfigurationError("window must be positive")
+    result: List[T] = []
+    for start in range(0, len(items), window):
+        chunk = items[start:start + window]
+        spreader: ErrorSpreader[T] = ErrorSpreader(
+            len(chunk), min(burst, len(chunk)), effort=effort
+        )
+        result.extend(spreader.scramble(chunk))
+    return result
+
+
+def spread_iter(
+    items,
+    window: int,
+    burst: int,
+    *,
+    effort: str = EFFORT_NORMAL,
+):
+    """Lazily scramble an iterable, window by window.
+
+    Buffers at most one window (plus the partial tail) — the natural fit
+    for a pipeline stage that cannot hold the whole stream:
+
+    >>> list(spread_iter(iter(range(6)), window=4, burst=2))
+    [1, 3, 0, 2, 5, 4]
+    """
+    if window <= 0:
+        raise ConfigurationError("window must be positive")
+    buffer: List = []
+    spreader = None
+    for item in items:
+        buffer.append(item)
+        if len(buffer) == window:
+            if spreader is None:
+                spreader = ErrorSpreader(window, min(burst, window), effort=effort)
+            yield from spreader.scramble(buffer)
+            buffer.clear()
+    if buffer:
+        tail = ErrorSpreader(len(buffer), min(burst, len(buffer)), effort=effort)
+        yield from tail.scramble(buffer)
+
+
+def unspread_iter(
+    items,
+    window: int,
+    burst: int,
+    *,
+    effort: str = EFFORT_NORMAL,
+):
+    """Lazily invert :func:`spread_iter` (same parameters)."""
+    if window <= 0:
+        raise ConfigurationError("window must be positive")
+    buffer: List = []
+    spreader = None
+    for item in items:
+        buffer.append(item)
+        if len(buffer) == window:
+            if spreader is None:
+                spreader = ErrorSpreader(window, min(burst, window), effort=effort)
+            yield from spreader.unscramble(buffer)
+            buffer.clear()
+    if buffer:
+        tail = ErrorSpreader(len(buffer), min(burst, len(buffer)), effort=effort)
+        yield from tail.unscramble(buffer)
+
+
+def unspread_stream(
+    items: Sequence[T],
+    window: int,
+    burst: int,
+    *,
+    effort: str = EFFORT_NORMAL,
+) -> List[T]:
+    """Invert :func:`spread_stream` (same window/burst parameters)."""
+    if window <= 0:
+        raise ConfigurationError("window must be positive")
+    result: List[T] = []
+    for start in range(0, len(items), window):
+        chunk = items[start:start + window]
+        spreader: ErrorSpreader[T] = ErrorSpreader(
+            len(chunk), min(burst, len(chunk)), effort=effort
+        )
+        result.extend(spreader.unscramble(chunk))
+    return result

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch one base class. Subclasses are grouped by the
+subsystem that raises them.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured with inconsistent or invalid parameters."""
+
+
+class PermutationError(ReproError):
+    """A sequence is not a valid permutation, or permutation domains differ."""
+
+
+class PosetError(ReproError):
+    """An operation on a partially ordered set was invalid."""
+
+
+class CycleError(PosetError):
+    """The dependency relation contains a cycle and is therefore not a poset."""
+
+
+class StreamError(ReproError):
+    """A media stream or GOP structure is malformed."""
+
+
+class GopPatternError(StreamError):
+    """A GOP pattern string could not be parsed."""
+
+
+class TraceError(ReproError):
+    """A media trace file or synthetic trace request is invalid."""
+
+
+class NetworkError(ReproError):
+    """The network simulator was driven into an invalid state."""
+
+
+class ProtocolError(ReproError):
+    """A transmission protocol engine received an out-of-contract input."""
+
+
+class CodingError(ReproError):
+    """Forward-error-correction encode/decode failed."""
+
+
+class PipelineError(ReproError):
+    """A CMT-style pipeline is mis-wired or an object misbehaved."""

@@ -1,0 +1,79 @@
+"""Experiment harness: one module per table/figure of the paper."""
+
+from repro.experiments.config import (
+    FIGURE8_BOTTOM,
+    FIGURE8_TOP,
+    FIGURE11_BANDWIDTHS_BPS,
+    FIGURE12_BUFFER_GOPS,
+    Figure8Config,
+)
+from repro.experiments.figure8 import (
+    Figure8Aggregate,
+    Figure8Result,
+    run_both_panels,
+    run_figure8,
+    run_figure8_multi,
+)
+from repro.experiments.figure11 import Figure11Result, run_figure11
+from repro.experiments.figure12 import Figure12Result, run_figure12
+from repro.experiments.gateways import GatewaysResult, run_gateways
+from repro.experiments.packetsize import PacketSizeResult, run_packetsize
+from repro.experiments.persist import (
+    load_session_summary,
+    save_session,
+    series_from_saved,
+    session_to_dict,
+)
+from repro.experiments.policies import PoliciesResult, run_policies
+from repro.experiments.robustness import RobustnessResult, run_robustness
+from repro.experiments.runner import available_experiments, run_all, run_experiment
+from repro.experiments.layering import LayeringResult, run_layering
+from repro.experiments.orthogonal import OrthogonalResult, run_orthogonal
+from repro.experiments.reporting import render_series, render_table
+from repro.experiments.table1 import Table1Result, run_table1
+from repro.experiments.table2 import Table2Result, run_table2
+from repro.experiments.theorem1 import Theorem1Result, run_theorem1
+
+__all__ = [
+    "FIGURE8_BOTTOM",
+    "FIGURE8_TOP",
+    "FIGURE11_BANDWIDTHS_BPS",
+    "FIGURE12_BUFFER_GOPS",
+    "Figure8Aggregate",
+    "Figure8Config",
+    "Figure8Result",
+    "run_figure8_multi",
+    "Figure11Result",
+    "Figure12Result",
+    "GatewaysResult",
+    "PacketSizeResult",
+    "PoliciesResult",
+    "run_policies",
+    "load_session_summary",
+    "save_session",
+    "series_from_saved",
+    "session_to_dict",
+    "RobustnessResult",
+    "run_packetsize",
+    "run_robustness",
+    "available_experiments",
+    "run_all",
+    "run_experiment",
+    "run_gateways",
+    "LayeringResult",
+    "OrthogonalResult",
+    "Table1Result",
+    "Table2Result",
+    "Theorem1Result",
+    "render_series",
+    "render_table",
+    "run_both_panels",
+    "run_figure8",
+    "run_figure11",
+    "run_figure12",
+    "run_layering",
+    "run_orthogonal",
+    "run_table1",
+    "run_table2",
+    "run_theorem1",
+]

@@ -1,0 +1,92 @@
+"""Parameter sets of the paper's evaluation (Section 5).
+
+Every experiment module reads its parameters from here, so the
+benchmarks, examples and EXPERIMENTS.md all describe the same runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.protocol import ProtocolConfig
+
+#: Paper-reported CLF statistics for Figure 8 (mean, deviation).
+FIGURE8_PAPER_UNSCRAMBLED = {0.6: (1.71, 0.92), 0.7: (1.63, 0.85)}
+FIGURE8_PAPER_SCRAMBLED = {0.6: (1.46, 0.56), 0.7: (1.56, 0.79)}
+
+#: The movie used in Section 5 ("the data was taken from the MPEG trace of
+#: Jurassic Park").  The corrected max-GOP variant keeps the stream rate
+#: comparable to the 1.2 Mbps channel, as the real trace was.
+FIGURE_MOVIE = "jurassic_park_corrected"
+
+#: Windows measured in the Figure 8 plots.
+FIGURE_WINDOWS = 100
+
+#: GOPs generated per stream (two per window for 100 windows, plus slack).
+FIGURE_GOPS = 2 * FIGURE_WINDOWS + 4
+
+
+@dataclass(frozen=True)
+class Figure8Config:
+    """One Figure 8 panel: fixed channel, scrambled vs unscrambled."""
+
+    p_bad: float
+    p_good: float = 0.92
+    bandwidth_bps: float = 1_200_000.0
+    rtt: float = 0.023
+    gops_per_window: int = 2
+    gop_size: int = 12
+    packet_size_bytes: int = 16384
+    windows: int = FIGURE_WINDOWS
+    seed: int = 2000
+    stream_seed: int = 7
+
+    def protocol(self) -> ProtocolConfig:
+        return ProtocolConfig(
+            gops_per_window=self.gops_per_window,
+            gop_size=self.gop_size,
+            bandwidth_bps=self.bandwidth_bps,
+            rtt=self.rtt,
+            packet_size_bytes=self.packet_size_bytes,
+            p_good=self.p_good,
+            p_bad=self.p_bad,
+            seed=self.seed,
+        )
+
+
+FIGURE8_TOP = Figure8Config(p_bad=0.6)
+FIGURE8_BOTTOM = Figure8Config(p_bad=0.7)
+
+#: Figure 11 (described in Section 5.2): bandwidth varied with buffer
+#: fixed at 2 GOPs and p_bad = 0.6.  The sweep brackets the stream rate
+#: so sender-side dropping kicks in at the low end.
+FIGURE11_BANDWIDTHS_BPS: Tuple[float, ...] = (
+    400_000.0,
+    500_000.0,
+    600_000.0,
+    800_000.0,
+    1_000_000.0,
+    1_200_000.0,
+    1_500_000.0,
+)
+FIGURE11_P_BAD = 0.6
+
+#: Figure 12 (described in Section 5.2): buffer size varied; W = 2 GOPs
+#: (1 s start-up delay at 24 fps) versus W = 8 GOPs (4 s).
+FIGURE12_BUFFER_GOPS: Tuple[int, ...] = (2, 4, 8)
+FIGURE12_P_BAD = 0.6
+FIGURE12_BANDWIDTH_BPS = 1_200_000.0
+
+#: Table 1: the paper's 17-frame example with a burst of 5.
+TABLE1_N = 17
+TABLE1_STRIDE = 5
+TABLE1_BURST = 5
+
+#: Table 2: 8 B-frames ordered by IBO versus k-CPO (stride 3).
+TABLE2_N = 8
+TABLE2_CPO_STRIDE = 3
+
+#: Theorem 1 verification grid.
+THEOREM1_SMALL_N = tuple(range(2, 13))       # exhaustive optimum
+THEOREM1_LARGE_N = (17, 24, 48, 96, 120)     # bound bracket only

@@ -1,0 +1,118 @@
+"""Figure 12 (Section 5.2): CLF versus sender buffer size.
+
+``p_bad`` = 0.6, bandwidth 1.2 Mbps, buffer swept over W GOPs (the paper
+uses W = 2 and W = 8, i.e. 1 s and 4 s start-up delay at 24 fps — "both
+these values are acceptable in most practical situations").  Larger
+buffers give the permutation more room: the same network burst is a
+smaller fraction of the window, so the achievable CLF drops — "error
+spreading scales well in various scenarios".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Tuple
+
+from repro.core.protocol import compare_schemes
+from repro.experiments.config import (
+    FIGURE12_BANDWIDTH_BPS,
+    FIGURE12_BUFFER_GOPS,
+    FIGURE12_P_BAD,
+    FIGURE_GOPS,
+    FIGURE_MOVIE,
+    FIGURE_WINDOWS,
+    FIGURE8_TOP,
+)
+from repro.experiments.reporting import render_table
+from repro.traces.synthetic import calibrated_stream
+
+
+@dataclass(frozen=True)
+class BufferPoint:
+    """Both arms at one buffer size."""
+
+    gops: int
+    window_frames: int
+    startup_delay_s: float
+    scrambled_mean: float
+    scrambled_dev: float
+    unscrambled_mean: float
+    unscrambled_dev: float
+
+
+@dataclass(frozen=True)
+class Figure12Result:
+    points: List[BufferPoint]
+
+    @property
+    def shape_holds(self) -> bool:
+        """Scrambling wins at every buffer size."""
+        return all(
+            p.scrambled_mean < p.unscrambled_mean for p in self.points
+        )
+
+    def rows(self) -> List[Tuple[int, int, float, float, float, float, float]]:
+        return [
+            (
+                p.gops,
+                p.window_frames,
+                p.startup_delay_s,
+                p.scrambled_mean,
+                p.scrambled_dev,
+                p.unscrambled_mean,
+                p.unscrambled_dev,
+            )
+            for p in self.points
+        ]
+
+    def render(self) -> str:
+        return render_table(
+            [
+                "W (GOPs)",
+                "frames",
+                "delay (s)",
+                "scr mean",
+                "scr dev",
+                "unscr mean",
+                "unscr dev",
+            ],
+            self.rows(),
+            title="Figure 12: CLF vs buffer size (p_bad=0.6, BW=1.2 Mbps)",
+        )
+
+
+def run_figure12(
+    buffer_gops: Tuple[int, ...] = FIGURE12_BUFFER_GOPS,
+    *,
+    windows: int = FIGURE_WINDOWS,
+    seed: int = 2012,
+) -> Figure12Result:
+    base = FIGURE8_TOP.protocol()
+    points: List[BufferPoint] = []
+    for gops in buffer_gops:
+        # Keep the *measured stream length* comparable: the same number of
+        # GOPs regardless of window size.
+        stream = calibrated_stream(FIGURE_MOVIE, gop_count=FIGURE_GOPS, seed=7)
+        config = replace(
+            base,
+            gops_per_window=gops,
+            p_bad=FIGURE12_P_BAD,
+            bandwidth_bps=FIGURE12_BANDWIDTH_BPS,
+            seed=seed,
+        )
+        measured_windows = min(windows, FIGURE_GOPS // gops)
+        scrambled, unscrambled = compare_schemes(
+            stream, config, max_windows=measured_windows
+        )
+        points.append(
+            BufferPoint(
+                gops=gops,
+                window_frames=config.window_frames,
+                startup_delay_s=config.window_frames / stream.fps,
+                scrambled_mean=scrambled.mean_clf,
+                scrambled_dev=scrambled.clf_deviation,
+                unscrambled_mean=unscrambled.mean_clf,
+                unscrambled_dev=unscrambled.clf_deviation,
+            )
+        )
+    return Figure12Result(points=points)

@@ -1,0 +1,174 @@
+"""Figure 8: CLF per buffer window, scrambled versus unscrambled.
+
+Parameters (from the figure captions): RTT 23 ms, bandwidth 1.2 Mbps,
+``p_good`` 0.92, ``p_bad`` 0.6 (top panel) / 0.7 (bottom), buffer of
+W = 2 GOPs, GOP size 12, packet size 16384 bytes, 100 buffer windows of
+the Jurassic Park trace.
+
+Paper-reported series statistics:
+
+========  ============  ==========
+p_bad     unscrambled   scrambled
+========  ============  ==========
+0.6       1.71 / 0.92   1.46 / 0.56
+0.7       1.63 / 0.85   1.56 / 0.79
+========  ============  ==========
+
+The reproduction target is the *shape*: the scrambled arm must beat the
+unscrambled arm on both mean and deviation, on identical channel
+realizations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.protocol import SessionResult, compare_schemes
+from repro.experiments.config import (
+    FIGURE8_BOTTOM,
+    FIGURE8_PAPER_SCRAMBLED,
+    FIGURE8_PAPER_UNSCRAMBLED,
+    FIGURE8_TOP,
+    FIGURE_GOPS,
+    FIGURE_MOVIE,
+    Figure8Config,
+)
+from repro.experiments.reporting import render_table
+from repro.traces.synthetic import calibrated_stream
+
+
+@dataclass(frozen=True)
+class Figure8Result:
+    """Both arms of one panel plus the paper's reference numbers."""
+
+    config: Figure8Config
+    scrambled: SessionResult
+    unscrambled: SessionResult
+
+    @property
+    def paper_scrambled(self) -> Tuple[float, float]:
+        return FIGURE8_PAPER_SCRAMBLED[self.config.p_bad]
+
+    @property
+    def paper_unscrambled(self) -> Tuple[float, float]:
+        return FIGURE8_PAPER_UNSCRAMBLED[self.config.p_bad]
+
+    @property
+    def shape_holds(self) -> bool:
+        """Scrambling improves both mean and deviation, as in the paper."""
+        return (
+            self.scrambled.mean_clf < self.unscrambled.mean_clf
+            and self.scrambled.clf_deviation < self.unscrambled.clf_deviation
+        )
+
+    def rows(self) -> List[Tuple[str, float, float, float, float]]:
+        """(arm, measured mean, measured dev, paper mean, paper dev)."""
+        return [
+            (
+                "unscrambled",
+                self.unscrambled.mean_clf,
+                self.unscrambled.clf_deviation,
+                *self.paper_unscrambled,
+            ),
+            (
+                "scrambled",
+                self.scrambled.mean_clf,
+                self.scrambled.clf_deviation,
+                *self.paper_scrambled,
+            ),
+        ]
+
+    def render(self) -> str:
+        return render_table(
+            ["arm", "mean CLF", "dev CLF", "paper mean", "paper dev"],
+            self.rows(),
+            title=(
+                f"Figure 8 (p_bad={self.config.p_bad}): CLF over "
+                f"{len(self.scrambled.windows)} buffer windows"
+            ),
+        )
+
+
+def run_figure8(config: Figure8Config) -> Figure8Result:
+    """Run one Figure 8 panel."""
+    stream = calibrated_stream(
+        FIGURE_MOVIE, gop_count=FIGURE_GOPS, seed=config.stream_seed
+    )
+    scrambled, unscrambled = compare_schemes(
+        stream, config.protocol(), max_windows=config.windows
+    )
+    return Figure8Result(
+        config=config, scrambled=scrambled, unscrambled=unscrambled
+    )
+
+
+def run_both_panels() -> Dict[float, Figure8Result]:
+    """Both panels of Figure 8, keyed by ``p_bad``."""
+    return {
+        FIGURE8_TOP.p_bad: run_figure8(FIGURE8_TOP),
+        FIGURE8_BOTTOM.p_bad: run_figure8(FIGURE8_BOTTOM),
+    }
+
+
+@dataclass(frozen=True)
+class Figure8Aggregate:
+    """Figure 8 repeated over several channel seeds.
+
+    The paper plots a single run; individual runs can draw a channel
+    realization where one catastrophic window inflates either arm's
+    deviation.  The pooled statistics make the claim robust: over all
+    windows of all seeds, scrambling improves the mean, the deviation
+    and the count of catastrophic (CLF >= 10) windows.
+    """
+
+    config: Figure8Config
+    runs: Tuple[Figure8Result, ...]
+
+    def _pooled(self, arm: str) -> Tuple[float, float, int]:
+        values: List[int] = []
+        for run in self.runs:
+            result = getattr(run, arm)
+            values.extend(result.series.clf_values)
+        from repro.metrics.windows import summarize
+
+        summary = summarize([float(v) for v in values])
+        catastrophic = sum(1 for v in values if v >= 10)
+        return (summary.mean, summary.deviation, catastrophic)
+
+    @property
+    def shape_holds(self) -> bool:
+        scrambled = self._pooled("scrambled")
+        unscrambled = self._pooled("unscrambled")
+        return (
+            scrambled[0] < unscrambled[0]
+            and scrambled[1] < unscrambled[1]
+            and scrambled[2] <= unscrambled[2]
+        )
+
+    def render(self) -> str:
+        rows = []
+        for arm in ("unscrambled", "scrambled"):
+            mean, dev, catastrophic = self._pooled(arm)
+            rows.append((arm, mean, dev, catastrophic))
+        return render_table(
+            ["arm", "pooled mean CLF", "pooled dev", "windows CLF>=10"],
+            rows,
+            title=(
+                f"Figure 8 (p_bad={self.config.p_bad}) pooled over "
+                f"{len(self.runs)} seeds x {self.config.windows} windows"
+            ),
+        )
+
+
+def run_figure8_multi(
+    config: Figure8Config, *, seeds: int = 5
+) -> Figure8Aggregate:
+    """Repeat one panel over ``seeds`` independent channel realizations."""
+    from dataclasses import replace
+
+    runs = tuple(
+        run_figure8(replace(config, seed=config.seed + offset))
+        for offset in range(seeds)
+    )
+    return Figure8Aggregate(config=config, runs=runs)

@@ -1,0 +1,86 @@
+"""Ablation: what does each ingredient of the layered order contribute?
+
+Section 3.2 stacks three ideas: (1) anchors first (layering), (2)
+retransmission of critical layers, (3) per-layer scrambling.  This
+experiment toggles them independently on the full protocol simulator so
+the contribution of each is visible — the design-choice ablation
+DESIGN.md calls out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Tuple
+
+from repro.core.protocol import SessionResult, run_session
+from repro.experiments.config import FIGURE_GOPS, FIGURE_MOVIE, FIGURE_WINDOWS, FIGURE8_TOP
+from repro.experiments.reporting import render_table
+from repro.traces.synthetic import calibrated_stream
+
+
+@dataclass(frozen=True)
+class AblationArm:
+    name: str
+    layered: bool
+    scramble: bool
+    retransmit: bool
+
+
+ARMS: Tuple[AblationArm, ...] = (
+    AblationArm("nothing", layered=False, scramble=False, retransmit=False),
+    AblationArm("retransmit only", layered=False, scramble=False, retransmit=True),
+    AblationArm("layering only", layered=True, scramble=False, retransmit=False),
+    AblationArm("layering+retransmit", layered=True, scramble=False, retransmit=True),
+    AblationArm("full scheme", layered=True, scramble=True, retransmit=True),
+)
+
+
+@dataclass(frozen=True)
+class LayeringResult:
+    arms: List[Tuple[AblationArm, SessionResult]]
+
+    @property
+    def shape_holds(self) -> bool:
+        """Each added ingredient should not hurt; full scheme is best."""
+        by_name = {arm.name: result for arm, result in self.arms}
+        return (
+            by_name["full scheme"].mean_clf
+            <= min(result.mean_clf for _, result in self.arms) + 1e-9
+        )
+
+    def rows(self) -> List[Tuple[str, float, float, float]]:
+        return [
+            (
+                arm.name,
+                result.mean_clf,
+                result.clf_deviation,
+                result.overall_report.alf_float,
+            )
+            for arm, result in self.arms
+        ]
+
+    def render(self) -> str:
+        return render_table(
+            ["arm", "mean CLF", "dev CLF", "ALF"],
+            self.rows(),
+            title="Layered-order ablation (p_bad=0.6, W=2 GOPs)",
+        )
+
+
+def run_layering(
+    *,
+    windows: int = FIGURE_WINDOWS,
+    seed: int = 4500,
+) -> LayeringResult:
+    stream = calibrated_stream(FIGURE_MOVIE, gop_count=FIGURE_GOPS, seed=7)
+    base = replace(FIGURE8_TOP.protocol(), seed=seed)
+    arms: List[Tuple[AblationArm, SessionResult]] = []
+    for arm in ARMS:
+        config = replace(
+            base,
+            layered=arm.layered,
+            scramble=arm.scramble,
+            retransmit_anchors=arm.retransmit,
+        )
+        arms.append((arm, run_session(stream, config, max_windows=windows)))
+    return LayeringResult(arms=arms)

@@ -1,0 +1,104 @@
+"""Persisting experiment results to JSON.
+
+Sessions and window series serialize to plain dictionaries so sweeps
+can be archived, diffed across library versions, and plotted by
+external tooling without re-running the simulator.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.core.protocol import SessionResult, WindowResult
+from repro.errors import ConfigurationError
+from repro.metrics.windows import WindowSeries
+
+PathLike = Union[str, Path]
+
+#: Bumped when the serialized layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+def window_to_dict(window: WindowResult) -> Dict[str, Any]:
+    """One window as plain JSON-ready data."""
+    return {
+        "index": window.index,
+        "frames": window.frames,
+        "transmission_order": list(window.transmission_order),
+        "sent": window.sent,
+        "dropped_at_sender": window.dropped_at_sender,
+        "lost_in_network": window.lost_in_network,
+        "retransmissions": window.retransmissions,
+        "recovered": window.recovered,
+        "late": window.late,
+        "received": sorted(window.received),
+        "decodable": sorted(window.decodable),
+        "layer_bursts": {str(k): v for k, v in window.layer_bursts.items()},
+        "layer_sizes": {str(k): v for k, v in window.layer_sizes.items()},
+        "clf": window.clf,
+        "unit_losses": window.unit_losses,
+        "ack_delivered": window.ack_delivered,
+        "first_attempt_stats": list(window.first_attempt_stats),
+    }
+
+
+def session_to_dict(result: SessionResult) -> Dict[str, Any]:
+    """A whole session as plain JSON-ready data."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "config": asdict(result.config),
+        "windows": [window_to_dict(w) for w in result.windows],
+        "clf_series": list(result.series.clf_values),
+        "alf_series": list(result.series.alf_values),
+        "acks": {
+            "sent": result.acks_sent,
+            "used": result.acks_used,
+            "lost": result.acks_lost,
+        },
+        "packets": {
+            "offered": result.packets_offered,
+            "lost": result.packets_lost,
+        },
+        "summary": {
+            "mean_clf": result.mean_clf,
+            "clf_deviation": result.clf_deviation,
+            "stream_clf": result.stream_clf,
+        },
+    }
+
+
+def save_session(result: SessionResult, path: PathLike) -> None:
+    """Write a session to a JSON file."""
+    Path(path).write_text(json.dumps(session_to_dict(result), indent=2))
+
+
+def load_session_summary(path: PathLike) -> Dict[str, Any]:
+    """Load a saved session's data (summary-level dict, not live objects).
+
+    Returns the raw dictionary; validates the schema version and the
+    internal consistency of the series against the windows.
+    """
+    data = json.loads(Path(path).read_text())
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"unsupported session schema {data.get('schema')!r}"
+        )
+    windows = data.get("windows", [])
+    series = data.get("clf_series", [])
+    if len(windows) != len(series):
+        raise ConfigurationError("corrupt session file: series/window mismatch")
+    for window, clf in zip(windows, series):
+        if window["clf"] != clf:
+            raise ConfigurationError("corrupt session file: CLF mismatch")
+    return data
+
+
+def series_from_saved(data: Dict[str, Any], *, label: str = "") -> WindowSeries:
+    """Rebuild a :class:`WindowSeries` from saved session data."""
+    series = WindowSeries(label=label)
+    for clf, alf in zip(data["clf_series"], data["alf_series"]):
+        series.add_clf(int(clf), float(alf))
+    return series

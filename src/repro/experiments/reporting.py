@@ -1,0 +1,80 @@
+"""Plain-text tables for experiment output.
+
+The benchmarks print the same rows the paper's tables and figure
+captions report; this module keeps the formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def format_cell(value: Cell) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    *,
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table."""
+    materialized: List[List[str]] = [[format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(list(headers)))
+    parts.append(line(["-" * w for w in widths]))
+    parts.extend(line(row) for row in materialized)
+    return "\n".join(parts)
+
+
+def render_loss_map(
+    windows: Iterable[object],
+    *,
+    label: str = "loss map",
+    max_windows: int = 40,
+) -> str:
+    """ASCII map of playout damage: one row per window, one char per frame.
+
+    ``.`` = played, ``x`` = unit loss (undecodable or missing).  Accepts
+    any objects with ``frames`` and ``decodable`` attributes
+    (:class:`repro.core.protocol.WindowResult` qualifies).
+    """
+    lines = [label]
+    for index, window in enumerate(windows):
+        if index >= max_windows:
+            lines.append(f"  ... ({index}+ windows not shown)")
+            break
+        frames = getattr(window, "frames")
+        decodable = getattr(window, "decodable")
+        row = "".join(
+            "." if offset in decodable else "x" for offset in range(frames)
+        )
+        lines.append(f"  w{index:03d} {row}")
+    return "\n".join(lines)
+
+
+def render_series(label: str, values: Sequence[int], *, per_line: int = 25) -> str:
+    """Render a CLF-per-window series compactly."""
+    lines = [label]
+    for start in range(0, len(values), per_line):
+        chunk = values[start:start + per_line]
+        lines.append(
+            f"  [{start:3d}..{start + len(chunk) - 1:3d}] "
+            + " ".join(f"{v:2d}" for v in chunk)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,146 @@
+"""Robustness sweep: the Figure-8 comparison across many channel seeds.
+
+A single published run (the paper's) can draw a lucky or unlucky channel
+realization.  This experiment repeats the scrambled-vs-unscrambled
+comparison over independent seeds and reports *win rates*: in what
+fraction of runs does scrambling improve the mean, the deviation, the
+fraction of perceptually-acceptable windows, and the count of
+catastrophic windows?  The headline reproduction claim is that the mean
+improves in essentially every run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Tuple
+
+from repro.core.protocol import compare_schemes
+from repro.experiments.config import FIGURE_GOPS, FIGURE_MOVIE, FIGURE8_TOP
+from repro.experiments.reporting import render_table
+from repro.metrics.perception import VIDEO_CLF_THRESHOLD
+from repro.traces.synthetic import calibrated_stream
+
+
+@dataclass(frozen=True)
+class SeedOutcome:
+    """One seed's head-to-head result."""
+
+    seed: int
+    scrambled_mean: float
+    unscrambled_mean: float
+    scrambled_dev: float
+    unscrambled_dev: float
+    scrambled_acceptable: float
+    unscrambled_acceptable: float
+    scrambled_catastrophic: int
+    unscrambled_catastrophic: int
+
+    @property
+    def mean_wins(self) -> bool:
+        return self.scrambled_mean < self.unscrambled_mean
+
+    @property
+    def dev_wins(self) -> bool:
+        return self.scrambled_dev < self.unscrambled_dev
+
+    @property
+    def acceptability_wins(self) -> bool:
+        return self.scrambled_acceptable >= self.unscrambled_acceptable
+
+
+@dataclass(frozen=True)
+class RobustnessResult:
+    outcomes: List[SeedOutcome]
+    windows_per_seed: int
+
+    def win_rate(self, attribute: str) -> float:
+        wins = sum(1 for outcome in self.outcomes if getattr(outcome, attribute))
+        return wins / len(self.outcomes)
+
+    @property
+    def shape_holds(self) -> bool:
+        """Mean improves in (essentially) every run; acceptability and
+        catastrophic counts improve in aggregate."""
+        total_catastrophic_scr = sum(o.scrambled_catastrophic for o in self.outcomes)
+        total_catastrophic_uns = sum(
+            o.unscrambled_catastrophic for o in self.outcomes
+        )
+        return (
+            self.win_rate("mean_wins") >= 0.9
+            and self.win_rate("acceptability_wins") >= 0.8
+            and total_catastrophic_scr <= total_catastrophic_uns
+        )
+
+    def rows(self) -> List[Tuple]:
+        rows: List[Tuple] = []
+        for outcome in self.outcomes:
+            rows.append(
+                (
+                    outcome.seed,
+                    outcome.scrambled_mean,
+                    outcome.unscrambled_mean,
+                    outcome.scrambled_dev,
+                    outcome.unscrambled_dev,
+                    "yes" if outcome.mean_wins else "NO",
+                )
+            )
+        return rows
+
+    def render(self) -> str:
+        table = render_table(
+            ["seed", "scr mean", "unscr mean", "scr dev", "unscr dev", "mean wins"],
+            self.rows(),
+            title=(
+                f"Scrambled vs unscrambled across {len(self.outcomes)} seeds "
+                f"({self.windows_per_seed} windows each)"
+            ),
+        )
+        from repro.metrics.windows import proportion_confidence_interval
+
+        trials = len(self.outcomes)
+        wins = sum(1 for o in self.outcomes if o.mean_wins)
+        low, high = proportion_confidence_interval(wins, trials)
+        summary = (
+            f"win rates: mean {self.win_rate('mean_wins'):.0%} "
+            f"(95% CI {low:.0%}..{high:.0%}), "
+            f"deviation {self.win_rate('dev_wins'):.0%}, "
+            f"acceptability {self.win_rate('acceptability_wins'):.0%}"
+        )
+        return f"{table}\n{summary}"
+
+
+def run_robustness(
+    *,
+    seeds: int = 12,
+    windows: int = 60,
+    p_bad: float = 0.6,
+    first_seed: int = 9000,
+) -> RobustnessResult:
+    stream = calibrated_stream(FIGURE_MOVIE, gop_count=FIGURE_GOPS, seed=7)
+    base = replace(FIGURE8_TOP.protocol(), p_bad=p_bad)
+    outcomes: List[SeedOutcome] = []
+    for offset in range(seeds):
+        config = replace(base, seed=first_seed + offset)
+        scrambled, unscrambled = compare_schemes(stream, config, max_windows=windows)
+        outcomes.append(
+            SeedOutcome(
+                seed=config.seed,
+                scrambled_mean=scrambled.mean_clf,
+                unscrambled_mean=unscrambled.mean_clf,
+                scrambled_dev=scrambled.clf_deviation,
+                unscrambled_dev=unscrambled.clf_deviation,
+                scrambled_acceptable=scrambled.series.windows_within(
+                    VIDEO_CLF_THRESHOLD
+                ),
+                unscrambled_acceptable=unscrambled.series.windows_within(
+                    VIDEO_CLF_THRESHOLD
+                ),
+                scrambled_catastrophic=sum(
+                    1 for w in scrambled.windows if w.clf >= 10
+                ),
+                unscrambled_catastrophic=sum(
+                    1 for w in unscrambled.windows if w.clf >= 10
+                ),
+            )
+        )
+    return RobustnessResult(outcomes=outcomes, windows_per_seed=windows)

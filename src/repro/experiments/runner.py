@@ -1,0 +1,148 @@
+"""Run experiments by name — the engine behind the CLI.
+
+Each entry maps an experiment name to a zero-argument callable returning
+an object with ``render()`` (and usually ``shape_holds``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+def _figure8():
+    from repro.experiments.config import FIGURE8_BOTTOM, FIGURE8_TOP
+    from repro.experiments.figure8 import run_figure8
+
+    top = run_figure8(FIGURE8_TOP)
+    bottom = run_figure8(FIGURE8_BOTTOM)
+
+    class _Both:
+        shape_holds = (
+            top.scrambled.mean_clf < top.unscrambled.mean_clf
+            and bottom.scrambled.mean_clf < bottom.unscrambled.mean_clf
+        )
+
+        @staticmethod
+        def render() -> str:
+            return top.render() + "\n\n" + bottom.render()
+
+    return _Both()
+
+
+def _figure8_pooled():
+    from repro.experiments.config import FIGURE8_TOP
+    from repro.experiments.figure8 import run_figure8_multi
+
+    return run_figure8_multi(FIGURE8_TOP, seeds=5)
+
+
+def _table1():
+    from repro.experiments.table1 import run_table1
+
+    return run_table1()
+
+
+def _table2():
+    from repro.experiments.table2 import run_table2
+
+    return run_table2()
+
+
+def _theorem1():
+    from repro.experiments.theorem1 import run_theorem1
+
+    return run_theorem1(small_n=(4, 6, 8, 10), large_n=(17, 24, 48))
+
+
+def _figure11():
+    from repro.experiments.figure11 import run_figure11
+
+    return run_figure11()
+
+
+def _figure12():
+    from repro.experiments.figure12 import run_figure12
+
+    return run_figure12()
+
+
+def _orthogonal():
+    from repro.experiments.orthogonal import run_orthogonal
+
+    return run_orthogonal()
+
+
+def _layering():
+    from repro.experiments.layering import run_layering
+
+    return run_layering()
+
+
+def _gateways():
+    from repro.experiments.gateways import run_gateways
+
+    return run_gateways()
+
+
+def _robustness():
+    from repro.experiments.robustness import run_robustness
+
+    return run_robustness(seeds=8, windows=50)
+
+
+def _packetsize():
+    from repro.experiments.packetsize import run_packetsize
+
+    return run_packetsize(windows=50)
+
+
+def _policies():
+    from repro.experiments.policies import run_policies
+
+    return run_policies()
+
+
+EXPERIMENTS: Dict[str, Callable[[], object]] = {
+    "table1": _table1,
+    "table2": _table2,
+    "theorem1": _theorem1,
+    "figure8": _figure8,
+    "figure8-pooled": _figure8_pooled,
+    "figure11": _figure11,
+    "figure12": _figure12,
+    "orthogonal": _orthogonal,
+    "layering": _layering,
+    "gateways": _gateways,
+    "robustness": _robustness,
+    "packetsize": _packetsize,
+    "policies": _policies,
+}
+
+
+def available_experiments() -> List[str]:
+    """Names accepted by :func:`run_experiment` (stable order)."""
+    return list(EXPERIMENTS)
+
+
+def run_experiment(name: str) -> Tuple[str, Optional[bool]]:
+    """Run one experiment; returns (rendered output, shape verdict)."""
+    try:
+        factory = EXPERIMENTS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; available: {available_experiments()}"
+        ) from None
+    result = factory()
+    rendered = result.render()  # type: ignore[attr-defined]
+    shape = getattr(result, "shape_holds", None)
+    if name == "theorem1":
+        shape = result.all_small_optimal and result.max_gap <= 1  # type: ignore[attr-defined]
+    return rendered, shape
+
+
+def run_all(names: Optional[List[str]] = None) -> Dict[str, Tuple[str, Optional[bool]]]:
+    """Run several experiments (all by default)."""
+    selected = names if names is not None else available_experiments()
+    return {name: run_experiment(name) for name in selected}

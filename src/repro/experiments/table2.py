@@ -1,0 +1,92 @@
+"""Table 2: CMT's Inverse Binary Order versus the k-CPO.
+
+Eight B frames; CMT loses the *tail* of the priority-ordered set when
+transmission lags.  While fewer than half the frames are lost, both
+orders keep CLF at 1; in the pathological regime (more than half lost)
+IBO degrades faster, while the k-CPO adheres to the Theorem 1 bound for
+contiguous bursts.
+
+We report both loss patterns:
+
+* tail losses (CMT's behaviour, the table's scenario);
+* sliding contiguous bursts (the network loss model), where the CPO's
+  optimality guarantee applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.cpo import cyclic_stride
+from repro.core.evaluation import worst_case_clf
+from repro.experiments.config import TABLE2_CPO_STRIDE, TABLE2_N
+from repro.experiments.reporting import render_table
+from repro.protocols.ibo import inverse_binary_order, tail_loss_clf
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    n: int
+    ibo_order: Tuple[int, ...]
+    cpo_order: Tuple[int, ...]
+    tail_rows: Tuple[Tuple[int, int, int], ...]   # (lost, IBO CLF, CPO CLF)
+    burst_rows: Tuple[Tuple[int, int, int], ...]  # (burst, IBO CLF, CPO CLF)
+
+    @property
+    def shape_holds(self) -> bool:
+        """The paper's three claims about this table.
+
+        (1) while at most half the frames are lost, both orders keep CLF
+        perceptually acceptable (<= 2); (2) in the pathological regime
+        some tail loss makes IBO strictly worse than the k-CPO; (3) for
+        contiguous network bursts — the model the k-CPO is optimal for —
+        it is never worse than IBO.
+        """
+        small_ok = all(
+            max(ibo, cpo) <= 2
+            for lost, ibo, cpo in self.tail_rows
+            if lost <= self.n // 2
+        )
+        ibo_degrades = any(
+            ibo > cpo for lost, ibo, cpo in self.tail_rows if lost > self.n // 2
+        )
+        bursts = all(cpo <= ibo for _, ibo, cpo in self.burst_rows)
+        return small_ok and ibo_degrades and bursts
+
+    def render(self) -> str:
+        tail = render_table(
+            ["tail frames lost", "IBO CLF", "k-CPO CLF"],
+            self.tail_rows,
+            title=f"Table 2 (n={self.n}): CMT tail-loss scenario",
+        )
+        burst = render_table(
+            ["burst size", "IBO worst CLF", "k-CPO worst CLF"],
+            self.burst_rows,
+            title="Sliding contiguous bursts (network loss)",
+        )
+        orders = (
+            "IBO order:   " + " ".join(f"{v + 1:02d}" for v in self.ibo_order)
+            + "\nk-CPO order: " + " ".join(f"{v + 1:02d}" for v in self.cpo_order)
+        )
+        return f"{tail}\n\n{burst}\n{orders}"
+
+
+def run_table2(n: int = TABLE2_N) -> Table2Result:
+    ibo = inverse_binary_order(n)
+    cpo = cyclic_stride(n, TABLE2_CPO_STRIDE)
+    tail_rows = tuple(
+        (lost, tail_loss_clf(ibo, lost), tail_loss_clf(cpo, lost))
+        for lost in range(1, n + 1)
+    )
+    burst_rows = tuple(
+        (burst, worst_case_clf(ibo, burst), worst_case_clf(cpo, burst))
+        for burst in range(1, n + 1)
+    )
+    return Table2Result(
+        n=n,
+        ibo_order=ibo.order,
+        cpo_order=cpo.order,
+        tail_rows=tail_rows,
+        burst_rows=burst_rows,
+    )

@@ -1,0 +1,109 @@
+"""Theorem 1: minimum achievable CLF, bound versus construction.
+
+For small windows the exhaustive search certifies the true optimum and
+``calculate_permutation`` must match it exactly.  For protocol-sized
+windows the experiment reports the provable bracket
+``[lower bound, CLF achieved by the construction]`` and its gap (<= 1
+across the tested range).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.bounds import clf_lower_bound, optimal_clf
+from repro.core.cpo import calculate_permutation
+from repro.core.evaluation import worst_case_clf
+from repro.errors import ConfigurationError
+from repro.experiments.config import THEOREM1_LARGE_N, THEOREM1_SMALL_N
+from repro.experiments.reporting import render_table
+
+
+@dataclass(frozen=True)
+class Theorem1Row:
+    n: int
+    b: int
+    lower_bound: int
+    achieved: int
+    optimal: Optional[int]  # None when exhaustive search is out of reach
+
+    @property
+    def certified_optimal(self) -> bool:
+        return self.optimal is not None and self.achieved == self.optimal
+
+    @property
+    def gap(self) -> int:
+        return self.achieved - self.lower_bound
+
+
+@dataclass(frozen=True)
+class Theorem1Result:
+    rows: Tuple[Theorem1Row, ...]
+
+    @property
+    def all_small_optimal(self) -> bool:
+        return all(
+            row.certified_optimal for row in self.rows if row.optimal is not None
+        )
+
+    @property
+    def max_gap(self) -> int:
+        return max(row.gap for row in self.rows)
+
+    def render(self) -> str:
+        return render_table(
+            ["n", "b", "lower bound", "achieved", "exhaustive optimum", "gap"],
+            [
+                (
+                    row.n,
+                    row.b,
+                    row.lower_bound,
+                    row.achieved,
+                    "-" if row.optimal is None else row.optimal,
+                    row.gap,
+                )
+                for row in self.rows
+            ],
+            title="Theorem 1: c(n, b) bound vs calculate_permutation",
+        )
+
+
+def run_theorem1(
+    *,
+    small_n: Tuple[int, ...] = THEOREM1_SMALL_N,
+    large_n: Tuple[int, ...] = THEOREM1_LARGE_N,
+    large_bursts_per_n: int = 4,
+) -> Theorem1Result:
+    rows: List[Theorem1Row] = []
+    for n in small_n:
+        for b in range(1, n + 1):
+            achieved = worst_case_clf(calculate_permutation(n, b), b)
+            try:
+                optimum: Optional[int] = optimal_clf(n, b)
+            except ConfigurationError:
+                optimum = None
+            rows.append(
+                Theorem1Row(
+                    n=n,
+                    b=b,
+                    lower_bound=clf_lower_bound(n, b),
+                    achieved=achieved,
+                    optimal=optimum,
+                )
+            )
+    for n in large_n:
+        step = max(1, (n - n // 2) // large_bursts_per_n)
+        bursts = sorted({n // 2, n // 2 + 1, *range(n // 2 + step, n, step), n - 1})
+        for b in bursts:
+            achieved = worst_case_clf(calculate_permutation(n, b), b)
+            rows.append(
+                Theorem1Row(
+                    n=n,
+                    b=b,
+                    lower_bound=clf_lower_bound(n, b),
+                    achieved=achieved,
+                    optimal=None,
+                )
+            )
+    return Theorem1Result(rows=tuple(rows))

@@ -1,0 +1,51 @@
+"""Media substrate: LDUs, GOP structure and stream containers."""
+
+from repro.media.audio import (
+    AudioConfig,
+    make_audio_stream,
+    talk_spurt_activity,
+    voice_activity_factor,
+)
+from repro.media.gop import GOP_12, GOP_15, Gop, GopPattern, group_into_gops
+from repro.media.h261 import H261Config, make_h261_stream
+from repro.media.mjpeg import MjpegConfig, make_mjpeg_stream
+from repro.media.ldu import (
+    AUDIO_SAMPLE_RATE_HZ,
+    AUDIO_SAMPLES_PER_LDU,
+    FrameType,
+    Ldu,
+    PlayoutRecord,
+    make_audio_ldus,
+)
+from repro.media.stream import (
+    MediaStream,
+    VideoStream,
+    make_independent_stream,
+    make_video_stream,
+)
+
+__all__ = [
+    "AUDIO_SAMPLE_RATE_HZ",
+    "AUDIO_SAMPLES_PER_LDU",
+    "AudioConfig",
+    "FrameType",
+    "H261Config",
+    "MjpegConfig",
+    "make_audio_stream",
+    "make_h261_stream",
+    "make_mjpeg_stream",
+    "talk_spurt_activity",
+    "voice_activity_factor",
+    "GOP_12",
+    "GOP_15",
+    "Gop",
+    "GopPattern",
+    "Ldu",
+    "MediaStream",
+    "PlayoutRecord",
+    "VideoStream",
+    "group_into_gops",
+    "make_audio_ldus",
+    "make_independent_stream",
+    "make_video_stream",
+]

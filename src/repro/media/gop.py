@@ -1,0 +1,160 @@
+"""Group-of-pictures (GOP) structure for MPEG-like streams.
+
+A GOP is the set of consecutive frames from one I-frame (inclusive) to the
+next (exclusive).  Although the MPEG standard does not require it, a fixed
+spacing between anchor frames is common, so GOPs usually all share one
+*pattern* such as ``IBBPBBPBBPBB`` (the paper's GOP-12 traces) or
+``IBBPBBPBBPBBPBB`` (GOP-15).
+
+An *open* GOP lets its leading B-frames reference the last P-frame of the
+previous GOP; a *closed* GOP does not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.errors import GopPatternError
+from repro.media.ldu import FrameType, Ldu
+
+
+@dataclass(frozen=True)
+class GopPattern:
+    """An immutable, validated GOP pattern.
+
+    Parameters
+    ----------
+    frame_types:
+        The per-position frame types; must begin with ``I`` and contain no
+        ``X`` entries.
+    closed:
+        Whether the GOP is closed (no dependency across the GOP boundary).
+    """
+
+    frame_types: Tuple[FrameType, ...]
+    closed: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.frame_types:
+            raise GopPatternError("GOP pattern must not be empty")
+        if self.frame_types[0] is not FrameType.I:
+            raise GopPatternError("GOP pattern must begin with an I frame")
+        if any(t is FrameType.I for t in self.frame_types[1:]):
+            raise GopPatternError("GOP pattern must contain exactly one I frame")
+        if any(t is FrameType.X for t in self.frame_types):
+            raise GopPatternError("GOP pattern must not contain X frames")
+
+    @classmethod
+    def parse(cls, pattern: str, *, closed: bool = False) -> "GopPattern":
+        """Parse a pattern string like ``"IBBPBBPBBPBB"``.
+
+        >>> GopPattern.parse("IBBPBB").size
+        6
+        """
+        try:
+            types = tuple(FrameType(ch.upper()) for ch in pattern.strip())
+        except ValueError as exc:
+            raise GopPatternError(f"invalid GOP pattern {pattern!r}: {exc}") from exc
+        return cls(frame_types=types, closed=closed)
+
+    @property
+    def size(self) -> int:
+        """Number of frames in one GOP."""
+        return len(self.frame_types)
+
+    @property
+    def anchor_positions(self) -> Tuple[int, ...]:
+        """Positions of I and P frames within the pattern."""
+        return tuple(
+            i for i, t in enumerate(self.frame_types) if t.is_anchor
+        )
+
+    @property
+    def b_positions(self) -> Tuple[int, ...]:
+        """Positions of B frames within the pattern."""
+        return tuple(
+            i for i, t in enumerate(self.frame_types) if t is FrameType.B
+        )
+
+    @property
+    def p_count(self) -> int:
+        return sum(1 for t in self.frame_types if t is FrameType.P)
+
+    @property
+    def b_count(self) -> int:
+        return sum(1 for t in self.frame_types if t is FrameType.B)
+
+    def type_at(self, position: int) -> FrameType:
+        """Frame type at ``position`` within the GOP (supports long streams).
+
+        The position is taken modulo the pattern size so that streams of any
+        length can be typed by one pattern.
+        """
+        return self.frame_types[position % self.size]
+
+    def __str__(self) -> str:
+        return "".join(t.value for t in self.frame_types)
+
+
+#: The paper's evaluation uses GOP-12 traces at 24 fps and GOP-15 at 30 fps.
+GOP_12 = GopPattern.parse("IBBPBBPBBPBB")
+GOP_15 = GopPattern.parse("IBBPBBPBBPBBPBB")
+
+
+@dataclass(frozen=True)
+class Gop:
+    """One realized group of pictures: a slice of typed, sized LDUs."""
+
+    index: int
+    ldus: Tuple[Ldu, ...]
+
+    def __post_init__(self) -> None:
+        if not self.ldus:
+            raise GopPatternError("a GOP must contain at least one frame")
+        if self.ldus[0].frame_type is not FrameType.I:
+            raise GopPatternError("a GOP must begin with an I frame")
+
+    @property
+    def size(self) -> int:
+        return len(self.ldus)
+
+    @property
+    def size_bits(self) -> int:
+        """Total encoded size of the GOP in bits."""
+        return sum(ldu.size_bits for ldu in self.ldus)
+
+    @property
+    def anchors(self) -> Tuple[Ldu, ...]:
+        return tuple(ldu for ldu in self.ldus if ldu.is_anchor)
+
+    @property
+    def b_frames(self) -> Tuple[Ldu, ...]:
+        return tuple(ldu for ldu in self.ldus if ldu.frame_type is FrameType.B)
+
+    def __iter__(self) -> Iterator[Ldu]:
+        return iter(self.ldus)
+
+    def __len__(self) -> int:
+        return len(self.ldus)
+
+
+def group_into_gops(ldus: Sequence[Ldu]) -> List[Gop]:
+    """Split a typed LDU sequence into GOPs at each I frame.
+
+    Frames before the first I frame are rejected: a well-formed MPEG
+    elementary stream starts with an I frame.
+    """
+    if not ldus:
+        return []
+    if ldus[0].frame_type is not FrameType.I:
+        raise GopPatternError("stream must start with an I frame")
+    gops: List[Gop] = []
+    current: List[Ldu] = []
+    for ldu in ldus:
+        if ldu.frame_type is FrameType.I and current:
+            gops.append(Gop(index=len(gops), ldus=tuple(current)))
+            current = []
+        current.append(ldu)
+    gops.append(Gop(index=len(gops), ldus=tuple(current)))
+    return gops

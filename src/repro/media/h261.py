@@ -1,0 +1,77 @@
+"""H.261 stream builder — the paper's other ranked dependent encoding.
+
+H.261 has no B frames: every inter (P-like) frame references its
+immediate predecessor, forming one dependency chain per intra period.
+The layered decomposition is therefore one layer per chain position —
+the degenerate-but-correct case of the paper's general solution
+(Section 3.3 explicitly lists H.261 next to MPEG as ranked posets).
+
+For the library this is the stress case: many small layers, every layer
+but the last critical, so the protocol leans almost entirely on anchor
+retransmission while scrambling works inside each (tiny) layer.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.errors import StreamError
+from repro.media.ldu import FrameType, Ldu
+from repro.media.stream import MediaStream
+
+
+@dataclass(frozen=True)
+class H261Config:
+    """Knobs of the H.261 generator.
+
+    ``intra_interval`` is the forced refresh period; the standard
+    requires one intra at least every 132 frames, but interactive
+    systems refresh much more often to bound error propagation.
+    """
+
+    frame_count: int = 300
+    fps: float = 30.0
+    intra_interval: int = 12
+    intra_bits: int = 64_000
+    inter_bits: int = 12_000
+    jitter_sigma: float = 0.3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.frame_count <= 0:
+            raise StreamError("frame count must be positive")
+        if self.fps <= 0:
+            raise StreamError("fps must be positive")
+        if self.intra_interval <= 0:
+            raise StreamError("intra interval must be positive")
+        if self.intra_interval > 132:
+            raise StreamError("H.261 requires an intra at least every 132 frames")
+        if self.intra_bits <= 0 or self.inter_bits <= 0:
+            raise StreamError("frame sizes must be positive")
+        if self.jitter_sigma < 0:
+            raise StreamError("jitter sigma must be non-negative")
+
+
+def make_h261_stream(config: H261Config | None = None) -> MediaStream:
+    """Build an H.261 stream: I at each refresh, P chains in between."""
+    cfg = config or H261Config()
+    rng = random.Random(cfg.seed)
+    ldus = []
+    for i in range(cfg.frame_count):
+        is_intra = i % cfg.intra_interval == 0
+        base = cfg.intra_bits if is_intra else cfg.inter_bits
+        if cfg.jitter_sigma:
+            mu = math.log(base) - cfg.jitter_sigma ** 2 / 2.0
+            size = max(256, int(round(rng.lognormvariate(mu, cfg.jitter_sigma))))
+        else:
+            size = base
+        ldus.append(
+            Ldu(
+                index=i,
+                frame_type=FrameType.I if is_intra else FrameType.P,
+                size_bits=size,
+            )
+        )
+    return MediaStream(ldus=tuple(ldus), fps=cfg.fps, name="h261")

@@ -1,0 +1,123 @@
+"""Logical data units (LDUs) — the atoms of a continuous-media stream.
+
+The paper follows the uniform framework of Steinmetz & Blakowski: a CM
+stream is a flow of *logical data units*.  A video LDU is one frame; an
+audio LDU is 266 samples of 8 kHz / 8-bit SunAudio, i.e. the play time of
+one video frame at 30 fps.  Each LDU has a *time slot* in which it should
+ideally be played out.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import StreamError
+
+#: Audio sample rate assumed by the paper (SunAudio, 8 kHz, 8-bit samples).
+AUDIO_SAMPLE_RATE_HZ = 8000
+
+#: Samples per audio LDU: 8000 / 30 ~= 266 samples, one video-frame time.
+AUDIO_SAMPLES_PER_LDU = 266
+
+
+class FrameType(enum.Enum):
+    """Type of a video frame (or generic LDU).
+
+    ``I``, ``P`` and ``B`` carry the MPEG meanings.  ``X`` is used for
+    streams with no inter-frame dependency (MJPEG frames, audio LDUs).
+    """
+
+    I = "I"  # noqa: E741 - the MPEG name
+    P = "P"
+    B = "B"
+    X = "X"
+
+    @property
+    def is_anchor(self) -> bool:
+        """Anchor frames are those other frames may depend on (I and P)."""
+        return self in (FrameType.I, FrameType.P)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class Ldu:
+    """One logical data unit of a continuous-media stream.
+
+    Parameters
+    ----------
+    index:
+        Position of the LDU in playback order, starting at zero.
+    frame_type:
+        ``FrameType.X`` for independent streams, I/P/B for MPEG-like ones.
+    size_bits:
+        Encoded size of the LDU in bits.  Drives packetization and
+        transmission time in the network simulator.
+    gop_index:
+        Which group of pictures the LDU belongs to (video only).
+    position_in_gop:
+        Offset of the LDU within its GOP (video only).
+    """
+
+    index: int
+    frame_type: FrameType = FrameType.X
+    size_bits: int = 0
+    gop_index: Optional[int] = None
+    position_in_gop: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise StreamError(f"LDU index must be non-negative, got {self.index}")
+        if self.size_bits < 0:
+            raise StreamError(f"LDU size must be non-negative, got {self.size_bits}")
+
+    @property
+    def is_anchor(self) -> bool:
+        """Whether other LDUs may depend on this one (MPEG I/P frames)."""
+        return self.frame_type.is_anchor
+
+    @property
+    def size_bytes(self) -> int:
+        """Size rounded up to whole bytes."""
+        return (self.size_bits + 7) // 8
+
+    def label(self) -> str:
+        """Short human-readable label, e.g. ``I0`` or ``B7``."""
+        return f"{self.frame_type.value}{self.index}"
+
+
+@dataclass
+class PlayoutRecord:
+    """What actually happened to one playback slot at the receiver.
+
+    The continuity metrics of the QoS paper count a *unit loss* whenever a
+    slot plays the wrong content: either nothing arrived in time (``lost``)
+    or a previous LDU was repeated to conceal the gap (``repeated``).
+    """
+
+    slot: int
+    ldu_index: Optional[int] = None
+    lost: bool = False
+    repeated: bool = False
+    arrival_time: Optional[float] = None
+
+    @property
+    def is_unit_loss(self) -> bool:
+        """A loss or a repetition both count as one unit loss."""
+        return self.lost or self.repeated
+
+
+def make_audio_ldus(count: int, *, bits_per_sample: int = 8) -> list:
+    """Build ``count`` audio LDUs of 266 samples each (one video-frame time).
+
+    >>> ldus = make_audio_ldus(3)
+    >>> [l.size_bits for l in ldus]
+    [2128, 2128, 2128]
+    """
+    if count < 0:
+        raise StreamError(f"count must be non-negative, got {count}")
+    size = AUDIO_SAMPLES_PER_LDU * bits_per_sample
+    return [Ldu(index=i, frame_type=FrameType.X, size_bits=size) for i in range(count)]

@@ -1,0 +1,88 @@
+"""MJPEG stream builder — the paper's canonical dependency-free video.
+
+Motion JPEG encodes every frame independently, so the error-spreading
+scheme applies in its simplest form (no layers, no anchors).  Frame
+sizes follow JPEG behaviour: roughly proportional to image entropy and
+inversely to the quantization implied by the quality factor, with
+scene-level correlation.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.errors import StreamError
+from repro.media.ldu import FrameType, Ldu
+from repro.media.stream import MediaStream
+
+
+@dataclass(frozen=True)
+class MjpegConfig:
+    """Knobs of the MJPEG generator."""
+
+    frame_count: int = 300
+    fps: float = 30.0
+    width: int = 352            # CIF, typical for late-90s streaming
+    height: int = 288
+    quality: int = 75           # JPEG quality factor, 1..100
+    bits_per_pixel_at_q50: float = 0.8
+    scene_length_frames: int = 90
+    jitter_sigma: float = 0.15
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.frame_count <= 0:
+            raise StreamError("frame count must be positive")
+        if self.fps <= 0:
+            raise StreamError("fps must be positive")
+        if self.width <= 0 or self.height <= 0:
+            raise StreamError("frame dimensions must be positive")
+        if not 1 <= self.quality <= 100:
+            raise StreamError("quality must be within 1..100")
+        if self.scene_length_frames <= 0:
+            raise StreamError("scene length must be positive")
+        if self.jitter_sigma < 0:
+            raise StreamError("jitter sigma must be non-negative")
+
+    @property
+    def quality_scale(self) -> float:
+        """The classic IJG quantization scale for a quality factor."""
+        if self.quality < 50:
+            return 50.0 / self.quality
+        return 2.0 - self.quality / 50.0
+
+    @property
+    def mean_frame_bits(self) -> int:
+        pixels = self.width * self.height
+        # Lower quantization scale (higher quality) => more bits.
+        scale = max(self.quality_scale, 0.02)
+        return max(1024, int(pixels * self.bits_per_pixel_at_q50 / scale))
+
+
+def make_mjpeg_stream(config: MjpegConfig | None = None) -> MediaStream:
+    """Build an MJPEG :class:`MediaStream`.
+
+    Sizes are lognormal around the quality-determined mean, with a
+    per-scene complexity multiplier redrawn every ``scene_length_frames``.
+    """
+    cfg = config or MjpegConfig()
+    rng = random.Random(cfg.seed)
+    sizes = []
+    scene_complexity = 1.0
+    for i in range(cfg.frame_count):
+        if i % cfg.scene_length_frames == 0:
+            scene_complexity = rng.uniform(0.7, 1.3)
+        mean = cfg.mean_frame_bits * scene_complexity
+        if cfg.jitter_sigma:
+            mu = math.log(mean) - cfg.jitter_sigma ** 2 / 2.0
+            size = int(round(rng.lognormvariate(mu, cfg.jitter_sigma)))
+        else:
+            size = int(round(mean))
+        sizes.append(max(size, 512))
+    ldus = tuple(
+        Ldu(index=i, frame_type=FrameType.X, size_bits=size)
+        for i, size in enumerate(sizes)
+    )
+    return MediaStream(ldus=ldus, fps=cfg.fps, name=f"mjpeg-q{cfg.quality}")

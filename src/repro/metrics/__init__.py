@@ -1,0 +1,54 @@
+"""QoS metrics substrate: content-based continuity (ALF / CLF)."""
+
+from repro.metrics.continuity import (
+    ContinuityReport,
+    aggregate_loss,
+    consecutive_loss,
+    loss_indicator,
+    measure,
+    measure_lost_set,
+)
+from repro.metrics.perception import (
+    AUDIO_CLF_THRESHOLD,
+    AUDIO_PROFILE,
+    VIDEO_CLF_THRESHOLD,
+    VIDEO_PROFILE,
+    PerceptionProfile,
+    profile_for,
+)
+from repro.metrics.rates import (
+    AppearanceTimeline,
+    DriftReport,
+    RateReport,
+    ideal_timeline,
+    measure_drift,
+    measure_rate,
+    rate_factors,
+)
+from repro.metrics.windows import SeriesSummary, WindowSeries, compare, summarize
+
+__all__ = [
+    "AUDIO_CLF_THRESHOLD",
+    "AUDIO_PROFILE",
+    "AppearanceTimeline",
+    "ContinuityReport",
+    "DriftReport",
+    "RateReport",
+    "ideal_timeline",
+    "measure_drift",
+    "measure_rate",
+    "rate_factors",
+    "PerceptionProfile",
+    "SeriesSummary",
+    "VIDEO_CLF_THRESHOLD",
+    "VIDEO_PROFILE",
+    "WindowSeries",
+    "aggregate_loss",
+    "compare",
+    "consecutive_loss",
+    "loss_indicator",
+    "measure",
+    "measure_lost_set",
+    "profile_for",
+    "summarize",
+]

@@ -1,0 +1,124 @@
+"""Content-based continuity metrics: aggregate and consecutive loss.
+
+From the QoS-metrics companion paper (Wijesekera & Srivastava): a CM
+stream is measured against its ideal contents per time slot.  A slot that
+plays nothing, or repeats a previous LDU, suffers one *unit loss*.
+
+* **ALF** (aggregate loss factor): the number of unit losses divided by
+  the number of slots measured — stream 1 and 2 of the paper's Figure 1
+  both have ALF 2/4.
+* **CLF** (consecutive loss factor): the largest number of consecutive
+  non-zero unit losses — 2 for stream 1, 1 for stream 2, because stream
+  2's losses are spread out.
+
+CLF is the perceptually dominant metric: the user study the paper cites
+puts the tolerable CLF at 2 frames for video and about 3 for audio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.media.ldu import PlayoutRecord
+
+
+@dataclass(frozen=True)
+class ContinuityReport:
+    """ALF and CLF of one measured stretch of stream playout."""
+
+    slots: int
+    unit_losses: int
+    clf: int
+
+    def __post_init__(self) -> None:
+        if self.slots < 0 or self.unit_losses < 0 or self.clf < 0:
+            raise ConfigurationError("continuity counts must be non-negative")
+        if self.unit_losses > self.slots:
+            raise ConfigurationError("more unit losses than slots")
+        if self.clf > self.unit_losses:
+            raise ConfigurationError("CLF cannot exceed the number of losses")
+
+    @property
+    def alf(self) -> Fraction:
+        """Aggregate loss factor as an exact fraction (0 for empty stretch)."""
+        if self.slots == 0:
+            return Fraction(0)
+        return Fraction(self.unit_losses, self.slots)
+
+    @property
+    def alf_float(self) -> float:
+        return float(self.alf)
+
+
+def loss_indicator(records: Sequence[PlayoutRecord]) -> List[int]:
+    """Per-slot unit-loss indicator (1 = lost or repeated, 0 = ideal)."""
+    return [1 if record.is_unit_loss else 0 for record in records]
+
+
+def consecutive_loss(indicator: Iterable[int]) -> int:
+    """Largest run of consecutive unit losses (the CLF).
+
+    >>> consecutive_loss([0, 1, 1, 0, 1])
+    2
+    """
+    best = 0
+    current = 0
+    for value in indicator:
+        if value not in (0, 1):
+            raise ConfigurationError(f"loss indicator must be 0/1, got {value}")
+        if value:
+            current += 1
+            if current > best:
+                best = current
+        else:
+            current = 0
+    return best
+
+
+def aggregate_loss(indicator: Iterable[int]) -> Tuple[int, int]:
+    """(unit losses, slots) over an indicator sequence."""
+    losses = 0
+    slots = 0
+    for value in indicator:
+        if value not in (0, 1):
+            raise ConfigurationError(f"loss indicator must be 0/1, got {value}")
+        slots += 1
+        losses += value
+    return losses, slots
+
+
+def measure(records: Sequence[PlayoutRecord]) -> ContinuityReport:
+    """Measure ALF and CLF of a playout stretch."""
+    indicator = loss_indicator(records)
+    losses, slots = aggregate_loss(indicator)
+    return ContinuityReport(
+        slots=slots,
+        unit_losses=losses,
+        clf=consecutive_loss(indicator),
+    )
+
+
+def measure_lost_set(lost_indices: Iterable[int], total_slots: int) -> ContinuityReport:
+    """Measure continuity when only the set of lost slot indices is known.
+
+    >>> r = measure_lost_set([2, 3, 7], 10)
+    >>> (r.unit_losses, r.clf)
+    (3, 2)
+    """
+    if total_slots < 0:
+        raise ConfigurationError("total_slots must be non-negative")
+    lost = set(lost_indices)
+    for index in lost:
+        if index < 0 or index >= total_slots:
+            raise ConfigurationError(
+                f"lost index {index} outside stream of {total_slots} slots"
+            )
+    indicator = [1 if i in lost else 0 for i in range(total_slots)]
+    return ContinuityReport(
+        slots=total_slots,
+        unit_losses=len(lost),
+        clf=consecutive_loss(indicator),
+    )

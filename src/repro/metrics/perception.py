@@ -1,0 +1,64 @@
+"""Perceptual thresholds from the user study the paper builds on.
+
+The loss-perception user study (Wijesekera, Srivastava, Nerode, Foresti)
+determined tolerable consecutive-loss levels beyond which viewer
+dissatisfaction rises dramatically: about two consecutive frames for
+video and about three for audio.  The paper's evaluation uses CLF <= 2 as
+"perceptually acceptable video".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.metrics.continuity import ContinuityReport
+
+#: Tolerable consecutive loss for video streams, in frames.
+VIDEO_CLF_THRESHOLD = 2
+
+#: Tolerable consecutive loss for audio streams, in LDUs.
+AUDIO_CLF_THRESHOLD = 3
+
+
+@dataclass(frozen=True)
+class PerceptionProfile:
+    """Acceptability thresholds for one media kind."""
+
+    name: str
+    clf_threshold: int
+    alf_threshold: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.clf_threshold < 0:
+            raise ConfigurationError("CLF threshold must be non-negative")
+        if self.alf_threshold is not None and not 0 <= self.alf_threshold <= 1:
+            raise ConfigurationError("ALF threshold must be within [0, 1]")
+
+    def acceptable(self, report: ContinuityReport) -> bool:
+        """Whether a measured stretch is perceptually acceptable."""
+        if report.clf > self.clf_threshold:
+            return False
+        if self.alf_threshold is not None and report.alf_float > self.alf_threshold:
+            return False
+        return True
+
+    def acceptable_clf(self, clf: int) -> bool:
+        return clf <= self.clf_threshold
+
+
+#: Default profiles per the user study.
+VIDEO_PROFILE = PerceptionProfile(name="video", clf_threshold=VIDEO_CLF_THRESHOLD)
+AUDIO_PROFILE = PerceptionProfile(name="audio", clf_threshold=AUDIO_CLF_THRESHOLD)
+
+
+def profile_for(kind: str) -> PerceptionProfile:
+    """Look up the default profile for ``"video"`` or ``"audio"``."""
+    profiles = {"video": VIDEO_PROFILE, "audio": AUDIO_PROFILE}
+    try:
+        return profiles[kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown media kind {kind!r}; expected one of {sorted(profiles)}"
+        ) from None

@@ -1,0 +1,214 @@
+"""Rate and drift continuity metrics.
+
+The ICDCS paper uses only the *content* metrics (ALF/CLF) and notes that
+"issues arising out of rates and drifts are not considered".  The
+underlying QoS-metrics paper defines them, and a complete toolkit needs
+them: a stream can deliver every LDU yet still stutter (rate varies) or
+slide (latency drifts).  This module implements both families over an
+:class:`AppearanceTimeline` of actual LDU appearance times.
+
+Definitions (following the metrics paper's structure):
+
+* **unit drift** — an LDU whose appearance deviates from the start of
+  its ideal slot by more than the synchronization tolerance;
+* **aggregate drift factor (ADF)** — the fraction of LDUs with unit
+  drift; **consecutive drift factor (CDF)** — the longest run of them;
+* **rate factor** — the observed playout rate over a sliding window of
+  ``window`` slots, relative to ideal; a window is *rate-violating* when
+  the factor leaves ``[1 - tolerance, 1 + tolerance]``;
+* **aggregate/consecutive rate variation (ARF/CRF)** — fraction of
+  rate-violating windows and the longest run of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.metrics.continuity import consecutive_loss
+
+#: Default synchronization tolerance: half a slot.
+DEFAULT_DRIFT_TOLERANCE_SLOTS = 0.5
+
+#: Default tolerated relative rate deviation (10%).
+DEFAULT_RATE_TOLERANCE = 0.1
+
+
+@dataclass(frozen=True)
+class AppearanceTimeline:
+    """Actual appearance times of a stream's LDUs.
+
+    Parameters
+    ----------
+    appearance_times:
+        Per-LDU appearance time in seconds; ``None`` marks an LDU that
+        never appeared (a content loss — measured by ALF/CLF, and also
+        counted as drifting here, since its slot renders wrong).
+    fps:
+        Ideal playout rate; LDU ``i``'s ideal appearance is ``i / fps``
+        past ``start_time``.
+    start_time:
+        Ideal appearance time of LDU 0.
+    """
+
+    appearance_times: Tuple[Optional[float], ...]
+    fps: float
+    start_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.fps <= 0:
+            raise ConfigurationError("fps must be positive")
+
+    def __len__(self) -> int:
+        return len(self.appearance_times)
+
+    @property
+    def slot_duration(self) -> float:
+        return 1.0 / self.fps
+
+    def ideal_time(self, index: int) -> float:
+        return self.start_time + index / self.fps
+
+    def drift(self, index: int) -> Optional[float]:
+        """Signed drift of one LDU in seconds (None if it never appeared)."""
+        actual = self.appearance_times[index]
+        if actual is None:
+            return None
+        return actual - self.ideal_time(index)
+
+    def drifts_in_slots(self) -> List[Optional[float]]:
+        """Per-LDU drift expressed in slot units."""
+        return [
+            None if d is None else d * self.fps
+            for d in (self.drift(i) for i in range(len(self)))
+        ]
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Aggregate and consecutive drift of one timeline."""
+
+    slots: int
+    drifting: int
+    consecutive_drift: int
+    max_abs_drift_slots: float
+    mean_abs_drift_slots: float
+
+    @property
+    def adf(self) -> float:
+        """Aggregate drift factor."""
+        return self.drifting / self.slots if self.slots else 0.0
+
+    @property
+    def cdf(self) -> int:
+        """Consecutive drift factor."""
+        return self.consecutive_drift
+
+
+def measure_drift(
+    timeline: AppearanceTimeline,
+    *,
+    tolerance_slots: float = DEFAULT_DRIFT_TOLERANCE_SLOTS,
+) -> DriftReport:
+    """Drift metrics of a timeline against the synchronization tolerance."""
+    if tolerance_slots < 0:
+        raise ConfigurationError("tolerance must be non-negative")
+    drifts = timeline.drifts_in_slots()
+    indicator = [
+        1 if (d is None or abs(d) > tolerance_slots) else 0 for d in drifts
+    ]
+    observed = [abs(d) for d in drifts if d is not None]
+    return DriftReport(
+        slots=len(drifts),
+        drifting=sum(indicator),
+        consecutive_drift=consecutive_loss(indicator),
+        max_abs_drift_slots=max(observed) if observed else 0.0,
+        mean_abs_drift_slots=(sum(observed) / len(observed)) if observed else 0.0,
+    )
+
+
+@dataclass(frozen=True)
+class RateReport:
+    """Rate-variation metrics of one timeline."""
+
+    windows: int
+    violating: int
+    consecutive_violations: int
+    min_rate_factor: float
+    max_rate_factor: float
+
+    @property
+    def arf(self) -> float:
+        """Aggregate rate-variation factor."""
+        return self.violating / self.windows if self.windows else 0.0
+
+    @property
+    def crf(self) -> int:
+        """Consecutive rate-variation factor."""
+        return self.consecutive_violations
+
+
+def rate_factors(
+    timeline: AppearanceTimeline, *, window: int = 8
+) -> List[Optional[float]]:
+    """Observed/ideal playout rate per sliding window of ``window`` slots.
+
+    The observed rate over LDUs ``[i, i + window)`` is the number of
+    appeared LDUs divided by the elapsed time between the first and last
+    appearance (``None`` when fewer than two LDUs of the window
+    appeared, or the elapsed time is zero).
+    """
+    if window < 2:
+        raise ConfigurationError("rate window must cover at least 2 slots")
+    times = timeline.appearance_times
+    factors: List[Optional[float]] = []
+    for start in range(0, len(times) - window + 1):
+        chunk = [t for t in times[start:start + window] if t is not None]
+        if len(chunk) < 2:
+            factors.append(None)
+            continue
+        elapsed = max(chunk) - min(chunk)
+        if elapsed <= 0:
+            factors.append(None)
+            continue
+        observed = (len(chunk) - 1) / elapsed
+        factors.append(observed / timeline.fps)
+    return factors
+
+
+def measure_rate(
+    timeline: AppearanceTimeline,
+    *,
+    window: int = 8,
+    tolerance: float = DEFAULT_RATE_TOLERANCE,
+) -> RateReport:
+    """Rate metrics: how often and how persistently playout speed deviates."""
+    if tolerance < 0:
+        raise ConfigurationError("tolerance must be non-negative")
+    factors = rate_factors(timeline, window=window)
+    indicator = [
+        1
+        if (f is None or f < 1.0 - tolerance or f > 1.0 + tolerance)
+        else 0
+        for f in factors
+    ]
+    observed = [f for f in factors if f is not None]
+    return RateReport(
+        windows=len(factors),
+        violating=sum(indicator),
+        consecutive_violations=consecutive_loss(indicator),
+        min_rate_factor=min(observed) if observed else 0.0,
+        max_rate_factor=max(observed) if observed else 0.0,
+    )
+
+
+def ideal_timeline(count: int, fps: float, *, start_time: float = 0.0) -> AppearanceTimeline:
+    """A perfectly-timed timeline (every metric comes out clean)."""
+    if count < 0:
+        raise ConfigurationError("count must be non-negative")
+    return AppearanceTimeline(
+        appearance_times=tuple(start_time + i / fps for i in range(count)),
+        fps=fps,
+        start_time=start_time,
+    )

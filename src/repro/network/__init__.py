@@ -1,0 +1,57 @@
+"""Network substrate: Gilbert loss model, packets, channels, feedback."""
+
+from repro.network.channel import ChannelStats, SimulatedChannel, Transmission, make_duplex
+from repro.network.estimation import GilbertEstimator, fit_gilbert, loss_runs
+from repro.network.feedback import Feedback, FeedbackCollector
+from repro.network.gateway import (
+    CrossTraffic,
+    DropTailGateway,
+    FifoQueue,
+    GatewayChannel,
+    GatewayStats,
+    RedGateway,
+)
+from repro.network.markov import (
+    BAD,
+    GOOD,
+    GilbertModel,
+    GilbertPhase,
+    SwitchingGilbertModel,
+)
+from repro.network.packet import (
+    DEFAULT_PACKET_SIZE_BYTES,
+    FrameAssembler,
+    Packet,
+    Packetizer,
+    fragments_needed,
+)
+from repro.network.simulator import EventLoop
+
+__all__ = [
+    "BAD",
+    "ChannelStats",
+    "CrossTraffic",
+    "DEFAULT_PACKET_SIZE_BYTES",
+    "DropTailGateway",
+    "EventLoop",
+    "FifoQueue",
+    "GatewayChannel",
+    "GatewayStats",
+    "GilbertEstimator",
+    "GilbertPhase",
+    "SwitchingGilbertModel",
+    "fit_gilbert",
+    "loss_runs",
+    "RedGateway",
+    "Feedback",
+    "FeedbackCollector",
+    "FrameAssembler",
+    "GOOD",
+    "GilbertModel",
+    "Packet",
+    "Packetizer",
+    "SimulatedChannel",
+    "Transmission",
+    "fragments_needed",
+    "make_duplex",
+]

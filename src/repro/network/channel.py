@@ -1,0 +1,164 @@
+"""Simulated UDP-like channel: fixed bandwidth, fixed delay, bursty loss.
+
+The paper's simulation model: fixed (peak) bandwidth, fixed propagation
+delay (round-trip 23 ms in Figure 8), and packet losses drawn from the
+two-state Markov model.  UDP semantics: no retransmission, no ordering
+guarantee from the channel itself (though a FIFO link preserves order),
+and lost packets vanish silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import NetworkError
+from repro.network.markov import GilbertModel
+from repro.network.packet import Packet
+
+
+@dataclass(frozen=True)
+class Transmission:
+    """The fate of one packet offered to the channel."""
+
+    packet: Packet
+    offered_at: float
+    sent_at: float          # serialization start (after queueing)
+    completed_at: float     # serialization end
+    arrives_at: Optional[float]  # None if lost
+
+    @property
+    def lost(self) -> bool:
+        return self.arrives_at is None
+
+
+@dataclass
+class ChannelStats:
+    """Aggregate counters for one channel direction."""
+
+    offered: int = 0
+    delivered: int = 0
+    lost: int = 0
+    bytes_offered: int = 0
+    bytes_delivered: int = 0
+
+    @property
+    def loss_rate(self) -> float:
+        return self.lost / self.offered if self.offered else 0.0
+
+
+class SimulatedChannel:
+    """One direction of a point-to-point link with bursty packet loss.
+
+    Parameters
+    ----------
+    bandwidth_bps:
+        Link (peak) bandwidth in bits per second; serialization of a
+        packet takes ``size * 8 / bandwidth_bps`` seconds and packets
+        queue FIFO behind each other.
+    propagation_delay:
+        One-way propagation delay in seconds (the paper's RTT of 23 ms
+        corresponds to 11.5 ms each way).
+    loss_model:
+        A :class:`GilbertModel` stepped once per packet.  ``None``
+        disables loss (useful for the feedback direction in ideal-ACK
+        experiments).
+    """
+
+    def __init__(
+        self,
+        bandwidth_bps: float,
+        propagation_delay: float,
+        loss_model: Optional[GilbertModel] = None,
+    ) -> None:
+        if bandwidth_bps <= 0:
+            raise NetworkError("bandwidth must be positive")
+        if propagation_delay < 0:
+            raise NetworkError("propagation delay must be non-negative")
+        self.bandwidth_bps = bandwidth_bps
+        self.propagation_delay = propagation_delay
+        self.loss_model = loss_model
+        self.stats = ChannelStats()
+        self._busy_until = 0.0
+
+    @property
+    def busy_until(self) -> float:
+        """Time at which the link finishes its current queue."""
+        return self._busy_until
+
+    def serialization_time(self, packet: Packet) -> float:
+        return packet.size_bytes * 8.0 / self.bandwidth_bps
+
+    def send(self, packet: Packet, at_time: float) -> Transmission:
+        """Offer a packet at ``at_time``; returns its complete fate.
+
+        Queueing is FIFO: a packet offered while the link is busy starts
+        serializing when the link frees up.
+        """
+        if at_time < 0:
+            raise NetworkError("time must be non-negative")
+        start = max(at_time, self._busy_until)
+        completed = start + self.serialization_time(packet)
+        self._busy_until = completed
+        lost = self.loss_model.step() if self.loss_model is not None else False
+        self.stats.offered += 1
+        self.stats.bytes_offered += packet.size_bytes
+        if lost:
+            self.stats.lost += 1
+            arrival: Optional[float] = None
+        else:
+            self.stats.delivered += 1
+            self.stats.bytes_delivered += packet.size_bytes
+            arrival = completed + self.propagation_delay
+        return Transmission(
+            packet=packet,
+            offered_at=at_time,
+            sent_at=start,
+            completed_at=completed,
+            arrives_at=arrival,
+        )
+
+    def send_all(self, packets: Sequence[Packet], at_time: float) -> List[Transmission]:
+        """Offer a burst of packets back-to-back starting at ``at_time``."""
+        return [self.send(packet, at_time) for packet in packets]
+
+    def reset_clock(self) -> None:
+        """Forget queue state (new experiment, same loss process)."""
+        self._busy_until = 0.0
+
+
+def make_duplex(
+    bandwidth_bps: float,
+    rtt: float,
+    *,
+    p_good: float,
+    p_bad: float,
+    seed: int = 0,
+    lossy_feedback: bool = True,
+    feedback_bandwidth_bps: Optional[float] = None,
+) -> "tuple[SimulatedChannel, SimulatedChannel]":
+    """(forward, feedback) channel pair with the paper's parameters.
+
+    The forward direction carries media packets through a Gilbert loss
+    process; the feedback direction carries ACKs, by default through an
+    independent Gilbert process with the same parameters (ACKs are UDP
+    packets and can be lost too — the protocol tolerates this).
+    """
+    if rtt < 0:
+        raise NetworkError("RTT must be non-negative")
+    forward = SimulatedChannel(
+        bandwidth_bps=bandwidth_bps,
+        propagation_delay=rtt / 2.0,
+        loss_model=GilbertModel(p_good=p_good, p_bad=p_bad, seed=seed),
+    )
+    feedback_loss = (
+        GilbertModel(p_good=p_good, p_bad=p_bad, seed=seed + 104729)
+        if lossy_feedback
+        else None
+    )
+    feedback = SimulatedChannel(
+        bandwidth_bps=feedback_bandwidth_bps or bandwidth_bps,
+        propagation_delay=rtt / 2.0,
+        loss_model=feedback_loss,
+    )
+    return forward, feedback

@@ -1,0 +1,139 @@
+"""Online estimation of the channel's Gilbert parameters.
+
+The protocol's Equation-1 estimator smooths the *observed worst burst*.
+A stronger adaptive policy fits the loss process itself: from per-window
+loss indicators, the two Gilbert parameters follow by the method of
+moments —
+
+* ``1 - p_bad``  = P(leave BAD)  = (number of loss runs) / (total losses),
+  i.e. the reciprocal of the mean loss-run length;
+* ``1 - p_good`` = P(enter BAD)  = (number of loss runs) / (total
+  non-lost packets observed before each run, ~ total good packets).
+
+The estimator is incremental (windows stream in), seeded with a prior so
+early windows do not produce degenerate parameters, and exposes the
+quantile the perception controller needs: the burst length that bounds
+all but an ``epsilon`` fraction of loss runs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def loss_runs(indicator: Sequence[int]) -> List[int]:
+    """Lengths of maximal loss runs in a 0/1 indicator sequence."""
+    runs: List[int] = []
+    current = 0
+    for value in indicator:
+        if value not in (0, 1):
+            raise ConfigurationError(f"indicator entries must be 0/1, got {value}")
+        if value:
+            current += 1
+        elif current:
+            runs.append(current)
+            current = 0
+    if current:
+        runs.append(current)
+    return runs
+
+
+@dataclass
+class GilbertEstimator:
+    """Incremental method-of-moments fit of (p_good, p_bad).
+
+    Parameters
+    ----------
+    prior_good, prior_bad:
+        Pseudo-counts establishing a weak prior (defaults correspond to
+        a mildly lossy channel so the first window's estimate is sane).
+    """
+
+    prior_good_packets: float = 20.0
+    prior_run_count: float = 1.0
+    prior_lost_packets: float = 2.0
+
+    def __post_init__(self) -> None:
+        if min(
+            self.prior_good_packets, self.prior_run_count, self.prior_lost_packets
+        ) <= 0:
+            raise ConfigurationError("priors must be positive")
+        self._good_packets = self.prior_good_packets
+        self._lost_packets = self.prior_lost_packets
+        self._run_count = self.prior_run_count
+        self.windows_observed = 0
+
+    def observe(self, indicator: Sequence[int]) -> None:
+        """Fold in one window's per-packet loss indicator."""
+        runs = loss_runs(indicator)
+        losses = sum(runs)
+        self.observe_counts(
+            lost=losses, total=len(indicator), runs=len(runs)
+        )
+
+    def observe_counts(self, *, lost: int, total: int, runs: int) -> None:
+        """Fold in a window's sufficient statistics.
+
+        ``(lost, total, runs)`` is all the method of moments needs, so a
+        feedback message can carry three integers instead of the full
+        indicator.
+        """
+        if lost < 0 or total < 0 or runs < 0:
+            raise ConfigurationError("counts must be non-negative")
+        if lost > total:
+            raise ConfigurationError("lost cannot exceed total")
+        if runs > lost:
+            raise ConfigurationError("runs cannot exceed lost packets")
+        if lost > 0 and runs == 0:
+            raise ConfigurationError("losses imply at least one run")
+        self._lost_packets += lost
+        self._good_packets += total - lost
+        self._run_count += runs
+        self.windows_observed += 1
+
+    @property
+    def p_bad(self) -> float:
+        """P(stay BAD): 1 - runs/losses (mean run = losses/runs)."""
+        return max(0.0, 1.0 - self._run_count / self._lost_packets)
+
+    @property
+    def p_good(self) -> float:
+        """P(stay GOOD): 1 - runs/good-packets (runs start from GOOD)."""
+        return max(0.0, 1.0 - self._run_count / self._good_packets)
+
+    @property
+    def mean_burst(self) -> float:
+        return self._lost_packets / self._run_count
+
+    @property
+    def loss_rate(self) -> float:
+        total = self._lost_packets + self._good_packets
+        return self._lost_packets / total if total else 0.0
+
+    def burst_quantile(self, epsilon: float) -> int:
+        """Burst bound covering all but ``epsilon`` of loss runs.
+
+        Run lengths under the Gilbert model are geometric with parameter
+        ``1 - p_bad``: P(run > b) = p_bad ** b, so the bound is
+        ``ceil(log(epsilon) / log(p_bad))``.
+        """
+        if not 0.0 < epsilon < 1.0:
+            raise ConfigurationError("epsilon must be within (0, 1)")
+        p_bad = self.p_bad
+        if p_bad <= 0.0:
+            return 1
+        if p_bad >= 1.0:
+            return 10**9  # degenerate absorbing chain
+        return max(1, math.ceil(math.log(epsilon) / math.log(p_bad)))
+
+
+def fit_gilbert(indicators: Iterable[Sequence[int]]) -> GilbertEstimator:
+    """Fit an estimator over a batch of window indicators."""
+    estimator = GilbertEstimator()
+    for indicator in indicators:
+        estimator.observe(indicator)
+    return estimator

@@ -1,0 +1,93 @@
+"""Sequence-numbered feedback (ACK) messages.
+
+Section 4.2: the client sends, once per buffer window, a UDP ACK packet
+carrying its estimated loss rate for every non-critical layer.  ACKs get
+sequence numbers so the server can ignore out-of-order feedback: the
+server acts only on the maximum sequence number seen so far.  A lost ACK
+simply means its window's feedback is never used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Tuple
+
+from repro.errors import ProtocolError
+
+
+@dataclass(frozen=True)
+class Feedback:
+    """One client->server ACK message.
+
+    Parameters
+    ----------
+    sequence:
+        ACK sequence number (monotone per client).
+    window_index:
+        The buffer window this feedback describes.
+    burst_estimates:
+        Per-layer observed worst burst length within the window (layer
+        index -> packets).  For streams with no dependency there is a
+        single layer 0.
+    loss_rates:
+        Per-layer aggregate loss fraction (layer index -> [0, 1]).
+    """
+
+    sequence: int
+    window_index: int
+    burst_estimates: Mapping[int, int] = field(default_factory=dict)
+    loss_rates: Mapping[int, float] = field(default_factory=dict)
+    #: (lost frames, loss runs, total frames) over the whole window's
+    #: transmission order — the sufficient statistics for fitting the
+    #: Gilbert parameters server-side (quantile burst policy).
+    loss_statistics: Optional[Tuple[int, int, int]] = None
+
+    def __post_init__(self) -> None:
+        if self.sequence < 0:
+            raise ProtocolError("ACK sequence must be non-negative")
+        if self.window_index < 0:
+            raise ProtocolError("window index must be non-negative")
+        for layer, burst in self.burst_estimates.items():
+            if burst < 0:
+                raise ProtocolError(f"burst estimate for layer {layer} negative")
+        for layer, rate in self.loss_rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ProtocolError(f"loss rate for layer {layer} outside [0, 1]")
+        if self.loss_statistics is not None:
+            lost, runs, total = self.loss_statistics
+            if not 0 <= runs <= lost <= total:
+                raise ProtocolError(
+                    f"inconsistent loss statistics {self.loss_statistics}"
+                )
+
+
+class FeedbackCollector:
+    """Server-side ACK bookkeeping: keep only the newest feedback.
+
+    "The server makes its decision based on the maximum sequence numbered
+    ACK" — out-of-order (stale) ACKs are counted but ignored.
+    """
+
+    def __init__(self) -> None:
+        self._latest: Optional[Feedback] = None
+        self.received = 0
+        self.ignored_stale = 0
+
+    def offer(self, feedback: Feedback) -> bool:
+        """Present one arrived ACK; returns True if it becomes current."""
+        self.received += 1
+        if self._latest is not None and feedback.sequence <= self._latest.sequence:
+            self.ignored_stale += 1
+            return False
+        self._latest = feedback
+        return True
+
+    @property
+    def latest(self) -> Optional[Feedback]:
+        return self._latest
+
+    def burst_for_layer(self, layer: int, default: int) -> int:
+        """Newest burst estimate for a layer, or ``default`` if unknown."""
+        if self._latest is None:
+            return default
+        return self._latest.burst_estimates.get(layer, default)

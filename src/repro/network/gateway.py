@@ -1,0 +1,297 @@
+"""Bottleneck gateways: drop-tail and RED queues.
+
+The paper's introduction attributes bursty loss to the **drop-tail**
+queueing discipline of Internet routers and notes that **RED** gateways
+(Floyd & Jacobson) would spread losses out — but that drop-tail was
+still everywhere, so bursty errors "have to still be reconciled with".
+This module turns that claim into a testable substrate: instead of the
+abstract two-state Markov model, packets flow through an actual
+bottleneck queue shared with bursty cross traffic, and losses *emerge*
+from queue overflow (drop-tail) or early random marking (RED).
+
+The gateway-based channel plugs into the same protocol engine as the
+Gilbert channel, so the `gateways` experiment can show where error
+spreading matters most.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+from repro.errors import NetworkError
+from repro.network.channel import Transmission
+from repro.network.packet import Packet
+
+
+@dataclass
+class GatewayStats:
+    """Counters for one gateway."""
+
+    offered: int = 0
+    dropped: int = 0
+    background_offered: int = 0
+    background_dropped: int = 0
+
+    @property
+    def media_loss_rate(self) -> float:
+        return self.dropped / self.offered if self.offered else 0.0
+
+
+class FifoQueue:
+    """A finite FIFO queue drained at a fixed service rate.
+
+    Occupancy is tracked by the departure times of queued packets:
+    offering a packet at time ``t`` first drains everything that has
+    left by ``t``.
+    """
+
+    def __init__(self, service_rate_bps: float, capacity_packets: int) -> None:
+        if service_rate_bps <= 0:
+            raise NetworkError("service rate must be positive")
+        if capacity_packets <= 0:
+            raise NetworkError("queue capacity must be positive")
+        self.service_rate_bps = service_rate_bps
+        self.capacity_packets = capacity_packets
+        self._departures: Deque[float] = deque()
+        self._last_departure = 0.0
+
+    def _drain(self, now: float) -> None:
+        while self._departures and self._departures[0] <= now:
+            self._departures.popleft()
+
+    def occupancy(self, now: float) -> int:
+        """Packets in the queue (including the one in service) at ``now``."""
+        self._drain(now)
+        return len(self._departures)
+
+    @property
+    def is_full_hint(self) -> bool:
+        return len(self._departures) >= self.capacity_packets
+
+    def enqueue(self, size_bytes: int, now: float) -> Optional[float]:
+        """Queue one packet; returns its departure time, or None if full."""
+        self._drain(now)
+        if len(self._departures) >= self.capacity_packets:
+            return None
+        start = max(now, self._last_departure)
+        departure = start + size_bytes * 8.0 / self.service_rate_bps
+        self._departures.append(departure)
+        self._last_departure = departure
+        return departure
+
+
+class CrossTraffic:
+    """Bursty on/off background traffic sharing the bottleneck.
+
+    During ON periods, background packets arrive back-to-back at
+    ``burst_rate_bps``; OFF periods are idle.  Period lengths are
+    exponential with the given means.  This is what makes the drop-tail
+    queue overflow in *runs*: an ON burst fills the queue, and every
+    media packet arriving during the overflow window is lost.
+    """
+
+    def __init__(
+        self,
+        *,
+        burst_rate_bps: float,
+        packet_size_bytes: int = 1500,
+        mean_on_seconds: float = 0.05,
+        mean_off_seconds: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if burst_rate_bps <= 0 or packet_size_bytes <= 0:
+            raise NetworkError("cross traffic rates must be positive")
+        if mean_on_seconds <= 0 or mean_off_seconds <= 0:
+            raise NetworkError("cross traffic periods must be positive")
+        self.burst_rate_bps = burst_rate_bps
+        self.packet_size_bytes = packet_size_bytes
+        self.mean_on_seconds = mean_on_seconds
+        self.mean_off_seconds = mean_off_seconds
+        self._rng = random.Random(seed)
+        self._clock = 0.0
+        self._on = False
+        self._phase_ends = self._rng.expovariate(1.0 / mean_off_seconds)
+        self._next_arrival = math.inf
+
+    def _packet_gap(self) -> float:
+        return self.packet_size_bytes * 8.0 / self.burst_rate_bps
+
+    def arrivals_until(self, now: float) -> List[float]:
+        """Background arrival times in ``(clock, now]``, advancing state."""
+        if now < self._clock:
+            raise NetworkError("cross traffic clock cannot go backwards")
+        arrivals: List[float] = []
+        while self._clock < now:
+            if self._on:
+                if self._next_arrival <= min(self._phase_ends, now):
+                    arrivals.append(self._next_arrival)
+                    self._clock = self._next_arrival
+                    self._next_arrival += self._packet_gap()
+                    continue
+            step_to = min(self._phase_ends, now)
+            self._clock = step_to
+            if step_to == self._phase_ends:
+                self._on = not self._on
+                mean = self.mean_on_seconds if self._on else self.mean_off_seconds
+                self._phase_ends = self._clock + self._rng.expovariate(1.0 / mean)
+                if self._on:
+                    self._next_arrival = self._clock
+                else:
+                    self._next_arrival = math.inf
+        return arrivals
+
+
+class DropTailGateway:
+    """A drop-tail bottleneck: packets are lost only on queue overflow."""
+
+    def __init__(
+        self,
+        queue: FifoQueue,
+        cross_traffic: Optional[CrossTraffic] = None,
+    ) -> None:
+        self.queue = queue
+        self.cross_traffic = cross_traffic
+        self.stats = GatewayStats()
+
+    def _inject_background(self, now: float) -> None:
+        if self.cross_traffic is None:
+            return
+        for arrival in self.cross_traffic.arrivals_until(now):
+            self.stats.background_offered += 1
+            admitted = self._admit(
+                self.cross_traffic.packet_size_bytes, arrival
+            )
+            if admitted is None:
+                self.stats.background_dropped += 1
+
+    def _admit(self, size_bytes: int, now: float) -> Optional[float]:
+        return self.queue.enqueue(size_bytes, now)
+
+    def offer(self, size_bytes: int, now: float) -> Optional[float]:
+        """Offer a media packet; returns its departure time or None (lost)."""
+        self._inject_background(now)
+        self.stats.offered += 1
+        departure = self._admit(size_bytes, now)
+        if departure is None:
+            self.stats.dropped += 1
+        return departure
+
+
+class RedGateway(DropTailGateway):
+    """Random Early Detection: probabilistic drops before overflow.
+
+    Maintains an EWMA of the queue occupancy; between ``min_threshold``
+    and ``max_threshold`` packets are dropped with probability ramping
+    up to ``max_drop_probability``; above ``max_threshold`` everything
+    is dropped.  Because drops are randomized per connection share, the
+    loss pattern is *spread*, not bursty — the property the paper's
+    introduction credits RED with.
+    """
+
+    def __init__(
+        self,
+        queue: FifoQueue,
+        cross_traffic: Optional[CrossTraffic] = None,
+        *,
+        min_threshold: Optional[int] = None,
+        max_threshold: Optional[int] = None,
+        max_drop_probability: float = 0.1,
+        ewma_weight: float = 0.2,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(queue, cross_traffic)
+        capacity = queue.capacity_packets
+        self.min_threshold = (
+            min_threshold if min_threshold is not None else capacity // 4
+        )
+        self.max_threshold = (
+            max_threshold if max_threshold is not None else (3 * capacity) // 4
+        )
+        if not 0 <= self.min_threshold < self.max_threshold <= capacity:
+            raise NetworkError("RED thresholds must satisfy 0 <= min < max <= capacity")
+        if not 0.0 < max_drop_probability <= 1.0:
+            raise NetworkError("max drop probability must be in (0, 1]")
+        if not 0.0 < ewma_weight <= 1.0:
+            raise NetworkError("EWMA weight must be in (0, 1]")
+        self.max_drop_probability = max_drop_probability
+        self.ewma_weight = ewma_weight
+        self._avg_queue = 0.0
+        self._rng = random.Random(seed)
+
+    def _admit(self, size_bytes: int, now: float) -> Optional[float]:
+        occupancy = self.queue.occupancy(now)
+        self._avg_queue = (
+            (1.0 - self.ewma_weight) * self._avg_queue
+            + self.ewma_weight * occupancy
+        )
+        if self._avg_queue >= self.max_threshold:
+            return None
+        if self._avg_queue > self.min_threshold:
+            ramp = (self._avg_queue - self.min_threshold) / (
+                self.max_threshold - self.min_threshold
+            )
+            if self._rng.random() < ramp * self.max_drop_probability:
+                return None
+        return self.queue.enqueue(size_bytes, now)
+
+
+class GatewayChannel:
+    """A channel whose loss process is an actual bottleneck gateway.
+
+    API-compatible with :class:`repro.network.channel.SimulatedChannel`
+    for the operations the protocol engine uses (``send``, ``send_all``,
+    ``busy_until``, ``serialization_time``, ``bandwidth_bps``), so a
+    session can run over emergent queue losses instead of the Markov
+    abstraction.
+    """
+
+    def __init__(
+        self,
+        gateway: DropTailGateway,
+        *,
+        access_bandwidth_bps: float,
+        propagation_delay: float,
+    ) -> None:
+        if access_bandwidth_bps <= 0:
+            raise NetworkError("bandwidth must be positive")
+        if propagation_delay < 0:
+            raise NetworkError("propagation delay must be non-negative")
+        self.gateway = gateway
+        self.bandwidth_bps = access_bandwidth_bps
+        self.propagation_delay = propagation_delay
+        self._busy_until = 0.0
+
+    @property
+    def busy_until(self) -> float:
+        return self._busy_until
+
+    def serialization_time(self, packet: Packet) -> float:
+        return packet.size_bytes * 8.0 / self.bandwidth_bps
+
+    def send(self, packet: Packet, at_time: float) -> Transmission:
+        if at_time < 0:
+            raise NetworkError("time must be non-negative")
+        start = max(at_time, self._busy_until)
+        completed = start + self.serialization_time(packet)
+        self._busy_until = completed
+        departure = self.gateway.offer(packet.size_bytes, completed)
+        arrival = (
+            None if departure is None else departure + self.propagation_delay
+        )
+        return Transmission(
+            packet=packet,
+            offered_at=at_time,
+            sent_at=start,
+            completed_at=completed,
+            arrives_at=arrival,
+        )
+
+    def send_all(self, packets, at_time: float) -> List[Transmission]:
+        return [self.send(packet, at_time) for packet in packets]
+
+    def reset_clock(self) -> None:
+        self._busy_until = 0.0

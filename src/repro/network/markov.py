@@ -1,0 +1,209 @@
+"""Two-state Markov (Gilbert) loss model — the paper's Figure 7.
+
+The channel alternates between a GOOD state (packets delivered) and a BAD
+state (packets lost).  From GOOD it stays good with probability
+``p_good``; from BAD it stays bad with probability ``p_bad``.  Sojourn
+times are geometric, so losses arrive in bursts — the behaviour drop-tail
+routers exhibit and the reason CLF explodes without error spreading.
+
+The paper's Figure 8 uses ``p_good = 0.92`` with ``p_bad`` 0.6 / 0.7, and
+the network starts in the GOOD state.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigurationError
+
+GOOD = "GOOD"
+BAD = "BAD"
+
+
+@dataclass
+class GilbertModel:
+    """Stateful two-state Markov loss process.
+
+    Parameters
+    ----------
+    p_good:
+        Probability of remaining in the GOOD state at each step.
+    p_bad:
+        Probability of remaining in the BAD state at each step.
+    seed:
+        Seed for the private random stream (reproducible experiments).
+        The paper models loss decisions as uniform random draws in
+        ``[0, 1)`` against the transition probabilities.
+    """
+
+    p_good: float
+    p_bad: float
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name, p in (("p_good", self.p_good), ("p_bad", self.p_bad)):
+            if not 0.0 <= p <= 1.0:
+                raise ConfigurationError(f"{name} must be within [0, 1], got {p}")
+        self._rng = random.Random(self.seed)
+        self._state = GOOD  # the paper: "The network is initially in the good state."
+
+    @property
+    def state(self) -> str:
+        """Current state, ``"GOOD"`` or ``"BAD"``."""
+        return self._state
+
+    def reset(self, *, seed: int | None = None) -> None:
+        """Return to the initial GOOD state (optionally reseeding)."""
+        if seed is not None:
+            self.seed = seed
+        self._rng = random.Random(self.seed)
+        self._state = GOOD
+
+    def step(self) -> bool:
+        """Advance one packet; return True if the packet is LOST.
+
+        The packet outcome is decided by the state *after* the transition,
+        so a GOOD->BAD flip loses the current packet, matching the
+        burst-onset behaviour of drop-tail queues.
+        """
+        draw = self._rng.random()
+        if self._state == GOOD:
+            if draw >= self.p_good:
+                self._state = BAD
+        else:
+            if draw >= self.p_bad:
+                self._state = GOOD
+        return self._state == BAD
+
+    def losses(self, count: int) -> List[bool]:
+        """Outcomes for the next ``count`` packets (True = lost)."""
+        if count < 0:
+            raise ConfigurationError("count must be non-negative")
+        return [self.step() for _ in range(count)]
+
+    # ------------------------------------------------------------------
+    # Analytical properties (used in tests and calibration)
+    # ------------------------------------------------------------------
+
+    @property
+    def stationary_loss_rate(self) -> float:
+        """Long-run fraction of packets lost.
+
+        Stationary probability of BAD:
+        ``(1 - p_good) / ((1 - p_good) + (1 - p_bad))``; degenerate cases
+        (both probabilities 1) return 0 since the chain never leaves GOOD.
+        """
+        leave_good = 1.0 - self.p_good
+        leave_bad = 1.0 - self.p_bad
+        denominator = leave_good + leave_bad
+        if denominator == 0.0:
+            return 0.0
+        return leave_good / denominator
+
+    @property
+    def mean_burst_length(self) -> float:
+        """Expected length of a loss burst: ``1 / (1 - p_bad)``."""
+        if self.p_bad >= 1.0:
+            return float("inf")
+        return 1.0 / (1.0 - self.p_bad)
+
+    @property
+    def mean_good_run(self) -> float:
+        """Expected run of delivered packets: ``1 / (1 - p_good)``."""
+        if self.p_good >= 1.0:
+            return float("inf")
+        return 1.0 / (1.0 - self.p_good)
+
+    def expected_burst_in_window(self, window: int) -> int:
+        """A practical estimate of the worst burst within ``window`` packets.
+
+        Used to seed the permutation calculation before any feedback
+        arrives: approximately the mean burst length scaled by the number
+        of burst onsets expected in the window, capped by the window.
+        """
+        if window <= 0:
+            return 0
+        bursts = max(1.0, window * (1.0 - self.p_good))
+        estimate = round(self.mean_burst_length * min(bursts, 3.0) / 1.0)
+        return max(1, min(window, int(estimate)))
+
+
+@dataclass(frozen=True)
+class GilbertPhase:
+    """One phase of a non-stationary channel: parameters for N packets."""
+
+    packets: int
+    p_good: float
+    p_bad: float
+
+    def __post_init__(self) -> None:
+        if self.packets <= 0:
+            raise ConfigurationError("phase length must be positive")
+        for name, p in (("p_good", self.p_good), ("p_bad", self.p_bad)):
+            if not 0.0 <= p <= 1.0:
+                raise ConfigurationError(f"{name} must be within [0, 1], got {p}")
+
+
+class SwitchingGilbertModel:
+    """A Gilbert channel whose parameters change over time.
+
+    The channel walks through ``phases`` packet by packet (the final
+    phase repeats forever), carrying its GOOD/BAD state across phase
+    boundaries.  Useful for studying how the adaptive policies track a
+    shifting network — something the paper's single-parameter evaluation
+    could not exercise.
+
+    API-compatible with :class:`GilbertModel` for ``step``/``losses``.
+    """
+
+    def __init__(self, phases: List[GilbertPhase], seed: int = 0) -> None:
+        if not phases:
+            raise ConfigurationError("need at least one phase")
+        self.phases = list(phases)
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._state = GOOD
+        self._phase_index = 0
+        self._packets_in_phase = 0
+
+    @property
+    def state(self) -> str:
+        return self._state
+
+    @property
+    def current_phase(self) -> GilbertPhase:
+        return self.phases[self._phase_index]
+
+    def reset(self, *, seed: int | None = None) -> None:
+        if seed is not None:
+            self.seed = seed
+        self._rng = random.Random(self.seed)
+        self._state = GOOD
+        self._phase_index = 0
+        self._packets_in_phase = 0
+
+    def step(self) -> bool:
+        """Advance one packet; returns True if it is lost."""
+        phase = self.current_phase
+        draw = self._rng.random()
+        if self._state == GOOD:
+            if draw >= phase.p_good:
+                self._state = BAD
+        else:
+            if draw >= phase.p_bad:
+                self._state = GOOD
+        self._packets_in_phase += 1
+        if (
+            self._packets_in_phase >= phase.packets
+            and self._phase_index < len(self.phases) - 1
+        ):
+            self._phase_index += 1
+            self._packets_in_phase = 0
+        return self._state == BAD
+
+    def losses(self, count: int) -> List[bool]:
+        if count < 0:
+            raise ConfigurationError("count must be non-negative")
+        return [self.step() for _ in range(count)]

@@ -1,0 +1,167 @@
+"""Packets and packetization of frames.
+
+Frames are broken into packets of a fixed maximum payload (the paper uses
+16 KB = 16384-byte packets, "packetSize=16384").  The loss model operates
+at packet granularity; a frame is lost if *any* of its packets is lost
+(no partial-frame decoding).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import NetworkError
+from repro.media.ldu import Ldu
+
+#: The paper's packet size, in bytes.
+DEFAULT_PACKET_SIZE_BYTES = 16384
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One network packet carrying (part of) a frame or control data.
+
+    Parameters
+    ----------
+    sequence:
+        Global transmission sequence number (per sender).
+    frame_index:
+        Playback index of the frame this packet belongs to; ``None`` for
+        control packets (ACKs, negotiation).
+    fragment:
+        Fragment number within the frame.
+    fragments:
+        Total fragments of the frame.
+    size_bytes:
+        Payload size.
+    window_index:
+        Sender buffer-window number the frame was sent under.
+    is_retransmission:
+        Whether this packet is a retransmission of an earlier one.
+    """
+
+    sequence: int
+    frame_index: Optional[int]
+    fragment: int = 0
+    fragments: int = 1
+    size_bytes: int = DEFAULT_PACKET_SIZE_BYTES
+    window_index: int = 0
+    is_retransmission: bool = False
+
+    def __post_init__(self) -> None:
+        if self.sequence < 0:
+            raise NetworkError("sequence must be non-negative")
+        if self.fragment < 0 or self.fragments <= 0 or self.fragment >= self.fragments:
+            raise NetworkError(
+                f"invalid fragment {self.fragment}/{self.fragments}"
+            )
+        if self.size_bytes < 0:
+            raise NetworkError("size must be non-negative")
+
+    @property
+    def is_control(self) -> bool:
+        return self.frame_index is None
+
+
+def fragments_needed(size_bits: int, packet_size_bytes: int = DEFAULT_PACKET_SIZE_BYTES) -> int:
+    """Number of packets needed for a frame of ``size_bits``.
+
+    Zero-size frames still occupy one packet (headers must travel).
+    """
+    if size_bits < 0:
+        raise NetworkError("size_bits must be non-negative")
+    if packet_size_bytes <= 0:
+        raise NetworkError("packet size must be positive")
+    size_bytes = (size_bits + 7) // 8
+    return max(1, math.ceil(size_bytes / packet_size_bytes))
+
+
+class Packetizer:
+    """Splits frames into packets with a monotone sequence counter."""
+
+    def __init__(self, packet_size_bytes: int = DEFAULT_PACKET_SIZE_BYTES) -> None:
+        if packet_size_bytes <= 0:
+            raise NetworkError("packet size must be positive")
+        self.packet_size_bytes = packet_size_bytes
+        self._next_sequence = 0
+
+    @property
+    def next_sequence(self) -> int:
+        return self._next_sequence
+
+    def packetize(
+        self,
+        ldu: Ldu,
+        *,
+        window_index: int = 0,
+        is_retransmission: bool = False,
+    ) -> List[Packet]:
+        """Split one frame into its packets, consuming sequence numbers."""
+        count = fragments_needed(ldu.size_bits, self.packet_size_bytes)
+        remaining = ldu.size_bytes
+        packets = []
+        for fragment in range(count):
+            payload = min(self.packet_size_bytes, max(remaining, 0))
+            if count == 1 and payload == 0:
+                payload = 0
+            packets.append(
+                Packet(
+                    sequence=self._next_sequence,
+                    frame_index=ldu.index,
+                    fragment=fragment,
+                    fragments=count,
+                    size_bytes=payload,
+                    window_index=window_index,
+                    is_retransmission=is_retransmission,
+                )
+            )
+            self._next_sequence += 1
+            remaining -= payload
+        return packets
+
+    def control_packet(self, *, size_bytes: int = 64) -> Packet:
+        """A control (ACK/negotiation) packet."""
+        packet = Packet(
+            sequence=self._next_sequence,
+            frame_index=None,
+            size_bytes=size_bytes,
+        )
+        self._next_sequence += 1
+        return packet
+
+
+class FrameAssembler:
+    """Receiver-side reassembly: a frame is complete when all fragments arrive."""
+
+    def __init__(self) -> None:
+        self._received: Dict[int, set] = {}
+        self._expected: Dict[int, int] = {}
+
+    def deliver(self, packet: Packet) -> Optional[int]:
+        """Record one arrived packet; return the frame index if now complete."""
+        if packet.is_control:
+            return None
+        frame = packet.frame_index
+        assert frame is not None
+        self._expected[frame] = packet.fragments
+        fragments = self._received.setdefault(frame, set())
+        fragments.add(packet.fragment)
+        if len(fragments) == self._expected[frame]:
+            return frame
+        return None
+
+    def complete_frames(self) -> List[int]:
+        """All frames fully received so far."""
+        return sorted(
+            frame
+            for frame, fragments in self._received.items()
+            if len(fragments) == self._expected.get(frame, -1)
+        )
+
+    def is_complete(self, frame: int) -> bool:
+        expected = self._expected.get(frame)
+        if expected is None:
+            return False
+        return len(self._received.get(frame, ())) == expected

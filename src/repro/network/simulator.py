@@ -1,0 +1,93 @@
+"""A tiny discrete-event simulation kernel.
+
+Most experiments in this reproduction are window-synchronous and drive
+the channel directly, but the CMT pipeline and the full adaptive protocol
+use this kernel to interleave sender transmissions, receiver arrivals and
+feedback ACKs in time order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.errors import NetworkError
+
+EventCallback = Callable[[], None]
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    tiebreak: int
+    callback: EventCallback = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventLoop:
+    """A heap-based event loop with a monotone clock."""
+
+    def __init__(self) -> None:
+        self._heap: List[_Event] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def schedule(self, time: float, callback: EventCallback) -> _Event:
+        """Schedule ``callback`` at absolute ``time`` (>= now)."""
+        if time < self._now - 1e-12:
+            raise NetworkError(
+                f"cannot schedule event at {time} before current time {self._now}"
+            )
+        event = _Event(time=max(time, self._now), tiebreak=next(self._counter), callback=callback)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_in(self, delay: float, callback: EventCallback) -> _Event:
+        """Schedule ``callback`` after ``delay`` seconds."""
+        if delay < 0:
+            raise NetworkError("delay must be non-negative")
+        return self.schedule(self._now + delay, callback)
+
+    def cancel(self, event: _Event) -> None:
+        """Cancel a scheduled event (no-op if already run)."""
+        event.cancelled = True
+
+    def run(self, *, until: Optional[float] = None, max_events: int = 10_000_000) -> int:
+        """Run events in time order; returns the number executed.
+
+        ``until`` bounds the clock (events after it stay queued);
+        ``max_events`` guards against runaway self-scheduling loops.
+        """
+        executed = 0
+        while self._heap:
+            if executed >= max_events:
+                raise NetworkError(f"event budget of {max_events} exhausted")
+            event = self._heap[0]
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            executed += 1
+        if until is not None and self._now < until:
+            self._now = until
+        return executed
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, skipping cancelled ones."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)

@@ -1,0 +1,45 @@
+"""Poset substrate: the combinatorial model of inter-frame dependency."""
+
+from repro.poset.antichain import (
+    critical_layers,
+    is_minimum_decomposition,
+    rank_decomposition,
+    transmission_layers,
+    verify_decomposition,
+)
+from repro.poset.builders import (
+    h261_poset,
+    independent_poset,
+    ldu_poset,
+    mpeg_dependencies,
+    mpeg_poset,
+    mpeg_poset_for_pattern,
+)
+from repro.poset.linear_extension import (
+    anchors_first_extension,
+    count_linear_extensions,
+    is_linear_extension,
+    linear_extension,
+)
+from repro.poset.poset import Poset, antichain, chain
+
+__all__ = [
+    "Poset",
+    "anchors_first_extension",
+    "antichain",
+    "chain",
+    "count_linear_extensions",
+    "critical_layers",
+    "h261_poset",
+    "independent_poset",
+    "is_linear_extension",
+    "is_minimum_decomposition",
+    "ldu_poset",
+    "linear_extension",
+    "mpeg_dependencies",
+    "mpeg_poset",
+    "mpeg_poset_for_pattern",
+    "rank_decomposition",
+    "transmission_layers",
+    "verify_decomposition",
+]

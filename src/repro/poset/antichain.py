@@ -1,0 +1,108 @@
+"""Antichain decompositions of dependency posets.
+
+Section 3.3: the permutable frame sets are exactly the antichains of the
+dependency poset, and the layers of the transmission scheme come from an
+antichain decomposition ``A_1, ..., A_r`` such that no element of ``A_i``
+lies below an element of ``A_j`` for ``i < j`` (higher layers may depend on
+lower ones, not vice versa).  By Mirsky's theorem, the minimum number of
+antichains equals the length of the longest chain, achieved by grouping
+elements of equal *height* (rank) together.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, TypeVar
+
+from repro.errors import PosetError
+from repro.poset.poset import Poset
+
+T = TypeVar("T", bound=Hashable)
+
+
+def rank_decomposition(poset: Poset[T]) -> List[List[T]]:
+    """The Mirsky decomposition: layer ``i`` holds the elements of rank ``i``.
+
+    Layer 0 contains the minimal elements.  In the streaming
+    interpretation (``x <= y`` = "x depends on y"), *maximal* elements are
+    the independent anchors, so callers that want anchors first should
+    decompose the :meth:`repro.poset.Poset.dual` or reverse the layers of
+    :func:`transmission_layers`.
+
+    The number of layers equals the longest chain length, which is the
+    minimum possible (Mirsky's theorem).
+    """
+    ranks = poset.ranks()
+    if not ranks:
+        return []
+    depth = max(ranks.values()) + 1
+    layers: List[List[T]] = [[] for _ in range(depth)]
+    for element in poset.elements:  # preserve insertion order inside layers
+        layers[ranks[element]].append(element)
+    return layers
+
+
+def transmission_layers(poset: Poset[T]) -> List[List[T]]:
+    """Layers in transmission order: dependencies (anchors) first.
+
+    This is the rank decomposition reversed: the highest-rank layer (MPEG
+    I frames) goes first and the rank-0 layer (the B frames, which nothing
+    depends on... which depend on everything) goes last.  If ``x`` depends
+    on ``y`` then ``rank(y) > rank(x)``, so every element's dependencies
+    appear in a strictly earlier layer.  For MPEG this reproduces the
+    paper's Figure 3 exactly: all I's, then the first P of each GOP, then
+    the second P, ..., then all B's.
+    """
+    layers = rank_decomposition(poset)
+    layers.reverse()
+    return layers
+
+
+def verify_decomposition(poset: Poset[T], layers: Sequence[Sequence[T]]) -> None:
+    """Validate a layered decomposition; raise :class:`PosetError` if broken.
+
+    Checks that the layers partition the ground set, that each layer is an
+    antichain, and that no element depends on an element of a *later*
+    layer (the paper's layer-priority condition).
+    """
+    seen: Dict[T, int] = {}
+    for layer_index, layer in enumerate(layers):
+        for element in layer:
+            if element in seen:
+                raise PosetError(f"{element!r} appears in two layers")
+            seen[element] = layer_index
+    if set(seen) != set(poset.elements):
+        missing = set(poset.elements) - set(seen)
+        extra = set(seen) - set(poset.elements)
+        raise PosetError(
+            f"layers do not partition the poset (missing {missing!r}, extra {extra!r})"
+        )
+    for layer in layers:
+        if not poset.is_antichain(layer):
+            raise PosetError(f"layer {list(layer)!r} is not an antichain")
+    for element in poset.elements:
+        for dependency in poset.above(element):
+            if seen[dependency] > seen[element]:
+                raise PosetError(
+                    f"{element!r} (layer {seen[element]}) depends on "
+                    f"{dependency!r} scheduled later (layer {seen[dependency]})"
+                )
+
+
+def is_minimum_decomposition(poset: Poset[T], layers: Sequence[Sequence[T]]) -> bool:
+    """Whether a decomposition uses the minimum number of antichains."""
+    return len([l for l in layers if l]) == poset.longest_chain_length()
+
+
+def critical_layers(poset: Poset[T], layers: Sequence[Sequence[T]]) -> List[int]:
+    """Indices of layers containing anchor frames (something depends on them).
+
+    Section 4.2: a layer is *critical* if it contains frames on which
+    other frames depend; critical layers are retransmitted (or FEC
+    protected), non-critical ones only permuted.
+    """
+    anchors = set(poset.anchors())
+    return [
+        index
+        for index, layer in enumerate(layers)
+        if any(element in anchors for element in layer)
+    ]

@@ -1,0 +1,152 @@
+"""Builders for the dependency posets of real encodings.
+
+The paper's Section 3.2 analyzes MPEG: within a GOP, each P frame depends
+on the previous anchor (I or P), and each B frame depends on the anchors
+on both sides.  In an *open* GOP the leading B frames also depend on the
+last P frame of the previous GOP (the dashed arrows of Figure 2); a
+*closed* GOP has no such cross-GOP dependency (the leading B frames then
+depend only on their following anchor).
+
+Elements are frame indices (ints) in playback order, matching
+:class:`repro.media.Ldu.index`, and the relation is
+``x <= y``  iff  ``x`` depends on ``y``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import GopPatternError, PosetError
+from repro.media.gop import GopPattern
+from repro.media.ldu import FrameType, Ldu
+from repro.poset.poset import Poset
+
+
+def mpeg_dependencies(
+    frame_types: Sequence[FrameType],
+    *,
+    closed_gops: bool = False,
+) -> List[Tuple[int, int]]:
+    """Direct dependency pairs ``(dependent, dependency)`` for an MPEG stream.
+
+    Rules (classic MPEG-1/2 semantics, as in the paper's Figure 2):
+
+    * every P frame depends on the nearest preceding anchor (I or P);
+    * every P and B frame depends (transitively) on its GOP's I frame;
+    * every B frame depends on the nearest preceding anchor and the
+      nearest following anchor;
+    * with open GOPs, B frames before the first anchor that follows the
+      GOP's I frame may reference backwards across the GOP boundary — the
+      nearest preceding anchor may live in the previous GOP;
+    * with ``closed_gops=True`` no dependency crosses an I frame backwards:
+      leading B frames depend only on their following anchor (and their
+      own I frame).
+    """
+    pairs: List[Tuple[int, int]] = []
+    n = len(frame_types)
+    for i, ftype in enumerate(frame_types):
+        if ftype is FrameType.X:
+            continue
+        if ftype is FrameType.I:
+            continue
+        previous_anchor = _previous_anchor(frame_types, i)
+        if ftype is FrameType.P:
+            if previous_anchor is None:
+                raise GopPatternError(f"P frame {i} has no preceding anchor")
+            pairs.append((i, previous_anchor))
+            continue
+        # B frame: backward and forward references.
+        next_anchor = _next_anchor(frame_types, i)
+        if next_anchor is not None:
+            pairs.append((i, next_anchor))
+        if previous_anchor is not None:
+            # A B frame whose next anchor is an I frame displays before
+            # that I but belongs to the new GOP in the bitstream; its
+            # backward reference (the paper's dashed arrows in Figure 2)
+            # is exactly the open-GOP cross-boundary dependency.
+            crosses_gop = (
+                next_anchor is not None
+                and frame_types[next_anchor] is FrameType.I
+            )
+            if not (closed_gops and crosses_gop):
+                pairs.append((i, previous_anchor))
+    return pairs
+
+
+def _previous_anchor(frame_types: Sequence[FrameType], i: int) -> int | None:
+    for j in range(i - 1, -1, -1):
+        if frame_types[j].is_anchor:
+            return j
+    return None
+
+
+def _next_anchor(frame_types: Sequence[FrameType], i: int) -> int | None:
+    for j in range(i + 1, len(frame_types)):
+        if frame_types[j].is_anchor:
+            return j
+    return None
+
+
+def mpeg_poset(
+    frame_types: Sequence[FrameType],
+    *,
+    closed_gops: bool = False,
+) -> Poset[int]:
+    """The dependency poset of an MPEG frame-type sequence.
+
+    >>> from repro.media.gop import GopPattern
+    >>> types = GopPattern.parse("IBBPBB").frame_types * 2
+    >>> poset = mpeg_poset(types)
+    >>> sorted(poset.above(1))   # first B depends on I0 and P3
+    [0, 3]
+    """
+    return Poset(
+        range(len(frame_types)),
+        mpeg_dependencies(frame_types, closed_gops=closed_gops),
+    )
+
+
+def mpeg_poset_for_pattern(
+    pattern: GopPattern,
+    gop_count: int,
+    *,
+    closed_gops: bool | None = None,
+) -> Poset[int]:
+    """Dependency poset for ``gop_count`` GOPs of a fixed pattern."""
+    if gop_count < 0:
+        raise PosetError("gop_count must be non-negative")
+    closed = pattern.closed if closed_gops is None else closed_gops
+    types = list(pattern.frame_types) * gop_count
+    return mpeg_poset(types, closed_gops=closed)
+
+
+def ldu_poset(ldus: Sequence[Ldu], *, closed_gops: bool = False) -> Poset[int]:
+    """Dependency poset of typed LDUs (frames with X type are independent)."""
+    return mpeg_poset([ldu.frame_type for ldu in ldus], closed_gops=closed_gops)
+
+
+def h261_poset(frame_count: int, *, intra_interval: int = 132) -> Poset[int]:
+    """The dependency poset of an H.261 stream.
+
+    H.261 has only intra (I-like) and inter (P-like) frames: every inter
+    frame depends on its immediate predecessor, forming a chain per
+    intra period.  ``intra_interval`` is the forced-intra refresh period
+    (the standard requires one at least every 132 frames).
+    """
+    if frame_count < 0:
+        raise PosetError("frame_count must be non-negative")
+    if intra_interval <= 0:
+        raise PosetError("intra_interval must be positive")
+    pairs = [
+        (i, i - 1)
+        for i in range(1, frame_count)
+        if i % intra_interval != 0
+    ]
+    return Poset(range(frame_count), pairs)
+
+
+def independent_poset(frame_count: int) -> Poset[int]:
+    """The antichain poset of an MJPEG/audio stream (no dependencies)."""
+    if frame_count < 0:
+        raise PosetError("frame_count must be non-negative")
+    return Poset(range(frame_count), [])

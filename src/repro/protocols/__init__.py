@@ -1,0 +1,71 @@
+"""Baselines and orthogonal error-handling schemes (Figure 4)."""
+
+from repro.protocols.base import (
+    ALL_BLOCKS,
+    BLOCK_A,
+    BLOCK_B,
+    BLOCK_C,
+    BLOCK_D,
+    BLOCK_E,
+    BLOCK_F,
+    Ordering,
+    Redundancy,
+    SchemeSpec,
+)
+from repro.protocols.composed import (
+    BlockStudyResult,
+    BlockWindowResult,
+    compare_blocks,
+    run_block_study,
+)
+from repro.protocols.concealment import ConcealmentReport, conceal, freeze_lengths, report
+from repro.protocols.cyclic_udp import (
+    Chunk,
+    CycleResult,
+    CyclicUdpSender,
+    chunks_from_priorities,
+    priority_delivery_curve,
+)
+from repro.protocols.fec import FecPolicy, ReedSolomonErasure, XorParity
+from repro.protocols.ibo import (
+    bit_reverse,
+    ibo_priority,
+    inverse_binary_order,
+    tail_loss_clf,
+)
+from repro.protocols.priority import farthest_point_order, prefix_quality
+
+__all__ = [
+    "ALL_BLOCKS",
+    "BLOCK_A",
+    "BLOCK_B",
+    "BLOCK_C",
+    "BLOCK_D",
+    "BLOCK_E",
+    "BLOCK_F",
+    "BlockStudyResult",
+    "BlockWindowResult",
+    "Chunk",
+    "ConcealmentReport",
+    "CycleResult",
+    "CyclicUdpSender",
+    "chunks_from_priorities",
+    "priority_delivery_curve",
+    "FecPolicy",
+    "Ordering",
+    "Redundancy",
+    "ReedSolomonErasure",
+    "SchemeSpec",
+    "XorParity",
+    "bit_reverse",
+    "compare_blocks",
+    "conceal",
+    "farthest_point_order",
+    "freeze_lengths",
+    "ibo_priority",
+    "inverse_binary_order",
+    "prefix_quality",
+    "report",
+    "run_block_study",
+    "tail_loss_clf",
+]

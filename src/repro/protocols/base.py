@@ -1,0 +1,78 @@
+"""The two orthogonal dimensions of error handling (Figure 4).
+
+The paper classifies error-handling schemes along two axes:
+
+* **redundancy**: none / feedback-retransmission / forward error
+  correction — blocks A, B, C of Figure 4;
+* **ordering**: naive in-order transmission versus error spreading —
+  giving blocks D (spreading alone), E (spreading + retransmission) and
+  F (spreading + FEC).
+
+:class:`SchemeSpec` names a point in that grid; the window-level study
+harness in :mod:`repro.protocols.composed` simulates any of them over
+the same channel realizations, which is how the orthogonality claim is
+validated experimentally.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.protocols.fec import FecPolicy
+
+
+class Ordering(enum.Enum):
+    """How a window's frames are ordered for transmission."""
+
+    IN_ORDER = "in-order"
+    IBO = "ibo"
+    SPREAD = "spread"          # k-CPO via calculate_permutation
+
+
+class Redundancy(enum.Enum):
+    """What redundancy (if any) protects the window."""
+
+    NONE = "none"
+    RETRANSMIT = "retransmit"
+    FEC = "fec"
+
+
+@dataclass(frozen=True)
+class SchemeSpec:
+    """One error-handling scheme: an ordering plus a redundancy choice."""
+
+    ordering: Ordering
+    redundancy: Redundancy
+    fec: Optional[FecPolicy] = None
+    max_retransmissions: int = 2
+
+    def __post_init__(self) -> None:
+        if self.redundancy is Redundancy.FEC and self.fec is None:
+            object.__setattr__(self, "fec", FecPolicy())
+        if self.max_retransmissions < 0:
+            raise ConfigurationError("max_retransmissions must be non-negative")
+
+    @property
+    def label(self) -> str:
+        return f"{self.ordering.value}+{self.redundancy.value}"
+
+
+# The six blocks of Figure 4.
+BLOCK_A = SchemeSpec(Ordering.IN_ORDER, Redundancy.NONE)
+BLOCK_B = SchemeSpec(Ordering.IN_ORDER, Redundancy.RETRANSMIT)
+BLOCK_C = SchemeSpec(Ordering.IN_ORDER, Redundancy.FEC)
+BLOCK_D = SchemeSpec(Ordering.SPREAD, Redundancy.NONE)
+BLOCK_E = SchemeSpec(Ordering.SPREAD, Redundancy.RETRANSMIT)
+BLOCK_F = SchemeSpec(Ordering.SPREAD, Redundancy.FEC)
+
+ALL_BLOCKS = {
+    "A": BLOCK_A,
+    "B": BLOCK_B,
+    "C": BLOCK_C,
+    "D": BLOCK_D,
+    "E": BLOCK_E,
+    "F": BLOCK_F,
+}

@@ -1,0 +1,91 @@
+"""Receiver-side error concealment: repeat the last decodable frame.
+
+Concealment does not change the content-based continuity metrics — a
+repeated frame is still a unit loss — but it changes what the viewer
+sees (a frozen picture instead of a blank slot) and it interacts with
+error spreading: spread losses are concealed by *different* neighbours,
+so the frozen stretches stay short, while bursty losses freeze the
+display for the whole run.  ``freeze_lengths`` quantifies that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.errors import ConfigurationError
+from repro.media.ldu import PlayoutRecord
+
+
+@dataclass(frozen=True)
+class ConcealmentReport:
+    """What concealment produced for one playout stretch."""
+
+    slots: int
+    concealed: int
+    unconcealable: int
+    max_freeze: int
+
+    @property
+    def concealment_rate(self) -> float:
+        losses = self.concealed + self.unconcealable
+        return self.concealed / losses if losses else 1.0
+
+
+def conceal(
+    received_frames: Iterable[int],
+    total_slots: int,
+) -> List[PlayoutRecord]:
+    """Build playout records with repeat-last-frame concealment.
+
+    A slot whose frame is missing replays the most recent received frame;
+    slots before the first received frame cannot be concealed and stay
+    empty (``lost=True``).
+    """
+    if total_slots < 0:
+        raise ConfigurationError("total_slots must be non-negative")
+    received: Set[int] = set(received_frames)
+    for frame in received:
+        if frame < 0 or frame >= total_slots:
+            raise ConfigurationError(f"frame {frame} outside stream")
+    records: List[PlayoutRecord] = []
+    last_good: Optional[int] = None
+    for slot in range(total_slots):
+        if slot in received:
+            last_good = slot
+            records.append(PlayoutRecord(slot=slot, ldu_index=slot))
+        elif last_good is not None:
+            records.append(
+                PlayoutRecord(slot=slot, ldu_index=last_good, repeated=True)
+            )
+        else:
+            records.append(PlayoutRecord(slot=slot, lost=True))
+    return records
+
+
+def freeze_lengths(records: Sequence[PlayoutRecord]) -> List[int]:
+    """Lengths of maximal frozen/blank stretches (consecutive unit losses)."""
+    lengths: List[int] = []
+    current = 0
+    for record in records:
+        if record.is_unit_loss:
+            current += 1
+        elif current:
+            lengths.append(current)
+            current = 0
+    if current:
+        lengths.append(current)
+    return lengths
+
+
+def report(records: Sequence[PlayoutRecord]) -> ConcealmentReport:
+    """Summarize a concealed playout stretch."""
+    concealed = sum(1 for r in records if r.repeated)
+    unconcealable = sum(1 for r in records if r.lost)
+    freezes = freeze_lengths(records)
+    return ConcealmentReport(
+        slots=len(records),
+        concealed=concealed,
+        unconcealable=unconcealable,
+        max_freeze=max(freezes) if freezes else 0,
+    )

@@ -1,0 +1,198 @@
+"""Forward error correction — the proactive block C of Figure 4.
+
+Two erasure codes over data blocks:
+
+* :class:`XorParity` — one parity block per group; recovers any single
+  erasure (the classic audio-FEC of Bolot & Garcia).
+* :class:`ReedSolomonErasure` — a systematic ``(k + r, k)`` code built
+  from a Vandermonde matrix over GF(256); recovers any ``r`` erasures.
+
+Both operate on real byte blocks (``bytes`` of equal length) and are
+exact: tests encode, erase, decode and compare.  The streaming simulator
+uses their recoverability rule (``lost parity-group members <= r``) at
+frame granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import CodingError
+from repro.protocols.gf256 import gf_mul, mat_inv, mat_mul, mat_vec, solve, vandermonde
+
+
+def _validate_blocks(blocks: Sequence[bytes]) -> int:
+    if not blocks:
+        raise CodingError("need at least one data block")
+    length = len(blocks[0])
+    if any(len(block) != length for block in blocks):
+        raise CodingError("all blocks must have equal length")
+    return length
+
+
+class XorParity:
+    """One XOR parity block per group of ``k`` data blocks."""
+
+    def __init__(self, k: int) -> None:
+        if k <= 0:
+            raise CodingError("group size must be positive")
+        self.k = k
+
+    @property
+    def overhead(self) -> float:
+        """Redundancy fraction: parity blocks / data blocks."""
+        return 1.0 / self.k
+
+    def encode(self, blocks: Sequence[bytes]) -> bytes:
+        """The parity block of one group."""
+        if len(blocks) != self.k:
+            raise CodingError(f"expected {self.k} blocks, got {len(blocks)}")
+        length = _validate_blocks(blocks)
+        parity = bytearray(length)
+        for block in blocks:
+            for i, byte in enumerate(block):
+                parity[i] ^= byte
+        return bytes(parity)
+
+    def decode(
+        self,
+        blocks: Sequence[Optional[bytes]],
+        parity: Optional[bytes],
+    ) -> List[bytes]:
+        """Recover the group; at most one block (or the parity) may be None."""
+        if len(blocks) != self.k:
+            raise CodingError(f"expected {self.k} blocks, got {len(blocks)}")
+        missing = [i for i, block in enumerate(blocks) if block is None]
+        if not missing:
+            return [block for block in blocks if block is not None]
+        if len(missing) > 1:
+            raise CodingError(f"{len(missing)} erasures exceed XOR capacity of 1")
+        if parity is None:
+            raise CodingError("cannot recover: parity block was also lost")
+        present = [block for block in blocks if block is not None]
+        length = _validate_blocks(present + [parity])
+        restored = bytearray(parity)
+        for block in present:
+            for i, byte in enumerate(block):
+                restored[i] ^= byte
+        result = list(blocks)
+        result[missing[0]] = bytes(restored)
+        return [block for block in result if block is not None]  # type: ignore[misc]
+
+
+class ReedSolomonErasure:
+    """Systematic ``(k + r, k)`` erasure code over GF(256).
+
+    The generator is ``G = V . inv(V_top)`` for a ``(k+r) x k`` Vandermonde
+    matrix ``V``: its top ``k`` rows are the identity (systematic) and any
+    ``k`` rows are linearly independent, so *any* ``k`` surviving blocks
+    (data or parity) reconstruct the group.
+    """
+
+    def __init__(self, k: int, r: int) -> None:
+        if k <= 0 or r < 0:
+            raise CodingError("k must be positive and r non-negative")
+        if k + r > 255:
+            raise CodingError("k + r must not exceed 255")
+        self.k = k
+        self.r = r
+        if r:
+            full = vandermonde(k + r, k)
+            top_inverse = mat_inv(full[:k])
+            generator = mat_mul(full, top_inverse)
+            self._parity_matrix = generator[k:]
+        else:
+            self._parity_matrix = []
+
+    @property
+    def overhead(self) -> float:
+        return self.r / self.k
+
+    def encode(self, blocks: Sequence[bytes]) -> List[bytes]:
+        """The ``r`` parity blocks of one group of ``k`` data blocks."""
+        if len(blocks) != self.k:
+            raise CodingError(f"expected {self.k} blocks, got {len(blocks)}")
+        if self.r == 0:
+            return []
+        length = _validate_blocks(blocks)
+        parities = [bytearray(length) for _ in range(self.r)]
+        for byte_index in range(length):
+            column = [block[byte_index] for block in blocks]
+            encoded = mat_vec(self._parity_matrix, column)
+            for parity_index, value in enumerate(encoded):
+                parities[parity_index][byte_index] = value
+        return [bytes(parity) for parity in parities]
+
+    def decode(
+        self,
+        blocks: Sequence[Optional[bytes]],
+        parities: Sequence[Optional[bytes]],
+    ) -> List[bytes]:
+        """Recover all ``k`` data blocks from any ``k`` surviving blocks."""
+        if len(blocks) != self.k:
+            raise CodingError(f"expected {self.k} data slots, got {len(blocks)}")
+        if len(parities) != self.r:
+            raise CodingError(f"expected {self.r} parity slots, got {len(parities)}")
+        missing = [i for i, block in enumerate(blocks) if block is None]
+        if not missing:
+            return [block for block in blocks if block is not None]
+        surviving_parities = [
+            (index, parity) for index, parity in enumerate(parities) if parity is not None
+        ]
+        if len(missing) > len(surviving_parities):
+            raise CodingError(
+                f"{len(missing)} erasures exceed capacity "
+                f"{len(surviving_parities)} of surviving parity"
+            )
+        present = [block for block in blocks if block is not None]
+        length = _validate_blocks(present + [p for _, p in surviving_parities])
+
+        # For each missing data index, each surviving parity row gives one
+        # linear equation in the missing bytes.
+        use_parities = surviving_parities[: len(missing)]
+        system = [
+            [self._parity_matrix[row][col] for col in missing]
+            for row, _ in use_parities
+        ]
+        restored = [bytearray(length) for _ in missing]
+        for byte_index in range(length):
+            rhs = []
+            for row, parity in use_parities:
+                acc = parity[byte_index]
+                for col, block in enumerate(blocks):
+                    if block is not None:
+                        acc ^= gf_mul(self._parity_matrix[row][col], block[byte_index])
+                rhs.append(acc)
+            solution = solve(system, rhs)
+            for slot, value in enumerate(solution):
+                restored[slot][byte_index] = value
+        result: List[Optional[bytes]] = list(blocks)
+        for slot, index in enumerate(missing):
+            result[index] = bytes(restored[slot])
+        return [block for block in result if block is not None]  # type: ignore[misc]
+
+
+@dataclass(frozen=True)
+class FecPolicy:
+    """Frame-level FEC policy for the streaming simulator.
+
+    Every group of ``group_size`` frames gets ``parity_count`` parity
+    frames appended (sized like the group's average frame).  A group
+    survives if at most ``parity_count`` of its ``group_size +
+    parity_count`` transmissions are lost.
+    """
+
+    group_size: int = 8
+    parity_count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.group_size <= 0 or self.parity_count < 0:
+            raise CodingError("invalid FEC policy")
+
+    @property
+    def overhead(self) -> float:
+        return self.parity_count / self.group_size
+
+    def recoverable(self, lost_in_group: int) -> bool:
+        return lost_in_group <= self.parity_count

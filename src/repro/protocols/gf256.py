@@ -1,0 +1,182 @@
+"""Arithmetic over GF(2^8) — the substrate for Reed–Solomon erasure codes.
+
+Implements the field with the AES polynomial ``x^8 + x^4 + x^3 + x + 1``
+(0x11B) using log/antilog tables built at import time.  Pure Python, no
+dependencies; fast enough for the packet sizes the FEC scheme encodes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import CodingError
+
+#: The AES reduction polynomial.
+PRIMITIVE_POLY = 0x11B
+
+#: Generator element of the multiplicative group.
+GENERATOR = 0x03
+
+_EXP: List[int] = [0] * 512
+_LOG: List[int] = [0] * 256
+
+
+def _build_tables() -> None:
+    value = 1
+    for power in range(255):
+        _EXP[power] = value
+        _LOG[value] = power
+        # Multiply by the generator (x + 1): value*2 ^ value, reduced.
+        value ^= (value << 1) ^ (PRIMITIVE_POLY if value & 0x80 else 0)
+        value &= 0xFF
+    for power in range(255, 512):
+        _EXP[power] = _EXP[power - 255]
+
+
+_build_tables()
+
+
+def gf_add(a: int, b: int) -> int:
+    """Addition (= subtraction) in GF(256): XOR."""
+    _check(a)
+    _check(b)
+    return a ^ b
+
+
+def gf_mul(a: int, b: int) -> int:
+    """Multiplication in GF(256)."""
+    _check(a)
+    _check(b)
+    if a == 0 or b == 0:
+        return 0
+    return _EXP[_LOG[a] + _LOG[b]]
+
+
+def gf_inv(a: int) -> int:
+    """Multiplicative inverse; raises on zero."""
+    _check(a)
+    if a == 0:
+        raise CodingError("zero has no inverse in GF(256)")
+    return _EXP[255 - _LOG[a]]
+
+
+def gf_div(a: int, b: int) -> int:
+    """Division ``a / b`` in GF(256)."""
+    return gf_mul(a, gf_inv(b))
+
+
+def gf_pow(a: int, exponent: int) -> int:
+    """Exponentiation ``a ** exponent`` (exponent may be any integer)."""
+    _check(a)
+    if a == 0:
+        if exponent <= 0:
+            raise CodingError("0 cannot be raised to a non-positive power")
+        return 0
+    return _EXP[(_LOG[a] * exponent) % 255]
+
+
+def _check(a: int) -> None:
+    if not 0 <= a <= 255:
+        raise CodingError(f"{a} is not a GF(256) element")
+
+
+# ----------------------------------------------------------------------
+# Linear algebra over GF(256), used by the erasure decoder.
+# ----------------------------------------------------------------------
+
+
+def vandermonde(rows: int, cols: int) -> List[List[int]]:
+    """The ``rows x cols`` Vandermonde matrix ``V[i][j] = (i+1)^j``.
+
+    Using distinct non-zero evaluation points ``1..rows`` makes every
+    square submatrix built from distinct rows invertible, the property
+    erasure decoding needs.
+    """
+    if rows <= 0 or cols <= 0:
+        raise CodingError("matrix dimensions must be positive")
+    if rows > 255:
+        raise CodingError("at most 255 distinct evaluation points exist")
+    return [[gf_pow(i + 1, j) for j in range(cols)] for i in range(rows)]
+
+
+def mat_vec(matrix: Sequence[Sequence[int]], vector: Sequence[int]) -> List[int]:
+    """Matrix-vector product over GF(256)."""
+    result = []
+    for row in matrix:
+        if len(row) != len(vector):
+            raise CodingError("dimension mismatch")
+        acc = 0
+        for coefficient, value in zip(row, vector):
+            acc ^= gf_mul(coefficient, value)
+        result.append(acc)
+    return result
+
+
+def mat_inv(matrix: Sequence[Sequence[int]]) -> List[List[int]]:
+    """Invert a square matrix over GF(256) by Gauss–Jordan elimination."""
+    n = len(matrix)
+    if any(len(row) != n for row in matrix):
+        raise CodingError("matrix must be square")
+    a = [list(row) for row in matrix]
+    inv = [[1 if i == j else 0 for j in range(n)] for i in range(n)]
+    for col in range(n):
+        pivot = next((r for r in range(col, n) if a[r][col] != 0), None)
+        if pivot is None:
+            raise CodingError("singular matrix")
+        a[col], a[pivot] = a[pivot], a[col]
+        inv[col], inv[pivot] = inv[pivot], inv[col]
+        scale = gf_inv(a[col][col])
+        a[col] = [gf_mul(x, scale) for x in a[col]]
+        inv[col] = [gf_mul(x, scale) for x in inv[col]]
+        for row in range(n):
+            if row != col and a[row][col] != 0:
+                factor = a[row][col]
+                a[row] = [x ^ gf_mul(factor, y) for x, y in zip(a[row], a[col])]
+                inv[row] = [x ^ gf_mul(factor, y) for x, y in zip(inv[row], inv[col])]
+    return inv
+
+
+def mat_mul(a: Sequence[Sequence[int]], b: Sequence[Sequence[int]]) -> List[List[int]]:
+    """Matrix product over GF(256)."""
+    if not a or not b or any(len(row) != len(b) for row in a):
+        raise CodingError("dimension mismatch")
+    cols = len(b[0])
+    if any(len(row) != cols for row in b):
+        raise CodingError("ragged matrix")
+    result = [[0] * cols for _ in range(len(a))]
+    for i, row in enumerate(a):
+        for k, coefficient in enumerate(row):
+            if coefficient == 0:
+                continue
+            b_row = b[k]
+            target = result[i]
+            for j in range(cols):
+                target[j] ^= gf_mul(coefficient, b_row[j])
+    return result
+
+
+def solve(matrix: Sequence[Sequence[int]], rhs: Sequence[int]) -> List[int]:
+    """Solve a square linear system by Gaussian elimination over GF(256).
+
+    Raises :class:`CodingError` when the matrix is singular.
+    """
+    n = len(matrix)
+    if any(len(row) != n for row in matrix) or len(rhs) != n:
+        raise CodingError("system must be square with a matching RHS")
+    a = [list(row) for row in matrix]
+    b = list(rhs)
+    for col in range(n):
+        pivot = next((r for r in range(col, n) if a[r][col] != 0), None)
+        if pivot is None:
+            raise CodingError("singular matrix")
+        a[col], a[pivot] = a[pivot], a[col]
+        b[col], b[pivot] = b[pivot], b[col]
+        inv = gf_inv(a[col][col])
+        a[col] = [gf_mul(x, inv) for x in a[col]]
+        b[col] = gf_mul(b[col], inv)
+        for row in range(n):
+            if row != col and a[row][col] != 0:
+                factor = a[row][col]
+                a[row] = [x ^ gf_mul(factor, y) for x, y in zip(a[row], a[col])]
+                b[row] ^= gf_mul(factor, b[col])
+    return b

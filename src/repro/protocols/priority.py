@@ -1,0 +1,87 @@
+"""Priority orders for graceful degradation under sender-side dropping.
+
+CMT drops the *tail* of its priority-ordered frame list when it runs out
+of time.  A good priority order keeps the surviving prefix of frames
+evenly spread over playback time for *every* prefix length.  No order is
+optimal for all prefix lengths simultaneously (the per-length optima
+conflict), so we provide the classic compromise: *farthest-point
+insertion*, which greedily bisects the largest uncovered playback gap.
+For powers of two it coincides with CMT's Inverse Binary Order; for
+other sizes it degrades more gracefully.
+
+This module is an extension beyond the paper (its Section 4.4 hints at
+the problem); the ``layered`` ablation benchmark quantifies it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.permutation import Permutation
+from repro.errors import ConfigurationError
+
+
+def farthest_point_order(n: int) -> Permutation:
+    """Greedy gap-bisection priority order of ``n`` frames.
+
+    Frame 0 goes first (an anchor for concealment), then the frame
+    farthest from everything already chosen, ties broken toward the
+    middle of the largest gap.
+
+    >>> list(farthest_point_order(8).order)[:2]
+    [0, 4]
+    """
+    if n < 0:
+        raise ConfigurationError("n must be non-negative")
+    if n == 0:
+        return Permutation(())
+    chosen: List[int] = [0]
+    chosen_sorted: List[int] = [0]
+    while len(chosen) < n:
+        best_frame = None
+        best_distance = -1
+        # Gaps between consecutive chosen frames (and after the last one).
+        boundaries = chosen_sorted + [n]
+        for left_index in range(len(boundaries) - 1):
+            left = boundaries[left_index]
+            right = boundaries[left_index + 1]
+            if right - left <= 1:
+                continue
+            midpoint = (left + right) // 2
+            distance = min(midpoint - left, right - midpoint)
+            if distance > best_distance:
+                best_distance = distance
+                best_frame = midpoint
+        if best_frame is None:
+            # Only adjacent slots remain; take the smallest unchosen.
+            taken = set(chosen)
+            best_frame = next(i for i in range(n) if i not in taken)
+        chosen.append(best_frame)
+        _insort(chosen_sorted, best_frame)
+    return Permutation(chosen)
+
+
+def _insort(values: List[int], value: int) -> None:
+    import bisect
+
+    bisect.insort(values, value)
+
+
+def prefix_quality(perm: Permutation) -> List[int]:
+    """Max playback gap when only the first ``j`` frames survive, per ``j``.
+
+    ``result[j]`` is the longest run of missing frames when exactly the
+    first ``j + 1`` transmission slots are kept (CMT dropping the rest).
+    Lower is better; the last entry is always 0.
+    """
+    from repro.core.evaluation import max_run
+
+    n = len(perm)
+    result = []
+    kept: List[int] = []
+    kept_set = set()
+    for j in range(n):
+        kept_set.add(perm.order[j])
+        missing = [i for i in range(n) if i not in kept_set]
+        result.append(max_run(missing))
+    return result

@@ -1,0 +1,43 @@
+"""Trace substrate: the paper's MPEG movie traces, synthesized offline."""
+
+from repro.traces.catalog import (
+    BEAUTY_AND_THE_BEAST,
+    CATALOG,
+    JURASSIC_PARK,
+    SILENCE_OF_THE_LAMBS,
+    STAR_WARS,
+    TERMINATOR,
+    TraceSpec,
+    buffer_bytes,
+    largest_gop_bits,
+    spec_for,
+)
+from repro.traces.io import read_trace, round_trip_equal, write_trace
+from repro.traces.synthetic import (
+    SyntheticTraceConfig,
+    calibrated_stream,
+    calibrated_stream_for_spec,
+    generate_frame_sizes,
+    synthetic_stream,
+)
+
+__all__ = [
+    "BEAUTY_AND_THE_BEAST",
+    "CATALOG",
+    "JURASSIC_PARK",
+    "SILENCE_OF_THE_LAMBS",
+    "STAR_WARS",
+    "SyntheticTraceConfig",
+    "TERMINATOR",
+    "TraceSpec",
+    "buffer_bytes",
+    "calibrated_stream",
+    "calibrated_stream_for_spec",
+    "generate_frame_sizes",
+    "largest_gop_bits",
+    "read_trace",
+    "round_trip_equal",
+    "spec_for",
+    "synthetic_stream",
+    "write_trace",
+]

@@ -1,0 +1,117 @@
+"""Reading and writing frame-size traces in the classic ASCII format.
+
+The university MPEG traces are plain text: one frame per line with the
+frame type and its size.  We read/write a compatible two-column format
+(``TYPE SIZE_BITS``) with ``#`` comments, plus an optional header line
+``# fps=24 gop=IBBPBBPBBPBB`` that restores stream metadata.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import List, Optional, Sequence, TextIO, Tuple, Union
+
+from repro.errors import TraceError
+from repro.media.gop import GopPattern
+from repro.media.ldu import FrameType, Ldu
+from repro.media.stream import VideoStream
+
+PathLike = Union[str, Path]
+
+
+def write_trace(stream: VideoStream, destination: Union[PathLike, TextIO]) -> None:
+    """Write a stream as an ASCII trace file."""
+    own = isinstance(destination, (str, Path))
+    handle: TextIO = open(destination, "w") if own else destination  # type: ignore[arg-type]
+    try:
+        pattern = str(stream.pattern) if stream.pattern is not None else ""
+        handle.write(f"# fps={stream.fps:g} gop={pattern} name={stream.name}\n")
+        for ldu in stream:
+            handle.write(f"{ldu.frame_type.value} {ldu.size_bits}\n")
+    finally:
+        if own:
+            handle.close()
+
+
+def read_trace(source: Union[PathLike, TextIO]) -> VideoStream:
+    """Read an ASCII trace file back into a :class:`VideoStream`."""
+    own = isinstance(source, (str, Path))
+    handle: TextIO = open(source, "r") if own else source  # type: ignore[arg-type]
+    try:
+        fps = 24.0
+        pattern: Optional[GopPattern] = None
+        name = ""
+        rows: List[Tuple[FrameType, int]] = []
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                fps, pattern, name = _parse_header(line, fps, pattern, name)
+                continue
+            parts = line.split()
+            if len(parts) == 2:
+                type_token, size_token = parts
+            elif len(parts) == 3:
+                # The classic university-trace layout: "NUMBER TYPE SIZE".
+                _, type_token, size_token = parts
+            else:
+                raise TraceError(
+                    f"line {line_number}: expected 'TYPE SIZE' or "
+                    f"'NUMBER TYPE SIZE', got {line!r}"
+                )
+            try:
+                ftype = FrameType(type_token.upper())
+                size = int(size_token)
+            except ValueError as exc:
+                raise TraceError(f"line {line_number}: {exc}") from exc
+            if size < 0:
+                raise TraceError(f"line {line_number}: negative size")
+            rows.append((ftype, size))
+    finally:
+        if own:
+            handle.close()
+    if not rows:
+        raise TraceError("trace file contains no frames")
+    gop_size = pattern.size if pattern is not None else None
+    ldus = tuple(
+        Ldu(
+            index=i,
+            frame_type=ftype,
+            size_bits=size,
+            gop_index=(i // gop_size) if gop_size else None,
+            position_in_gop=(i % gop_size) if gop_size else None,
+        )
+        for i, (ftype, size) in enumerate(rows)
+    )
+    return VideoStream(ldus=ldus, fps=fps, name=name, pattern=pattern)
+
+
+def _parse_header(
+    line: str, fps: float, pattern: Optional[GopPattern], name: str
+) -> Tuple[float, Optional[GopPattern], str]:
+    for token in line.lstrip("#").split():
+        if token.startswith("fps="):
+            try:
+                fps = float(token[4:])
+            except ValueError as exc:
+                raise TraceError(f"bad fps in header: {token!r}") from exc
+        elif token.startswith("gop="):
+            value = token[4:]
+            pattern = GopPattern.parse(value) if value else None
+        elif token.startswith("name="):
+            name = token[5:]
+    return fps, pattern, name
+
+
+def round_trip_equal(a: VideoStream, b: VideoStream) -> bool:
+    """Whether two streams carry identical trace content."""
+    return (
+        len(a) == len(b)
+        and a.fps == b.fps
+        and all(
+            x.frame_type is y.frame_type and x.size_bits == y.size_bits
+            for x, y in zip(a, b)
+        )
+    )

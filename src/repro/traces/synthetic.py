@@ -1,0 +1,192 @@
+"""Calibrated synthetic MPEG traces.
+
+Generates (frame type, frame size) sequences with the statistical shape
+of the classic MPEG-1 university traces: fixed GOP pattern, lognormal
+per-type size variation, I > P > B mean sizes (roughly 5 : 2.5 : 1), and
+mild scene-level correlation (a slowly-varying activity multiplier).  The
+whole trace is then scaled so its maximum GOP size matches the published
+value for the movie being imitated, making buffer arithmetic identical to
+the paper's.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import TraceError
+from repro.media.gop import GOP_12, GopPattern
+from repro.media.ldu import FrameType, Ldu
+from repro.media.stream import VideoStream
+from repro.traces.catalog import TraceSpec, spec_for
+
+#: Classic mean-size ratios for MPEG-1 movie content.
+TYPE_RATIOS = {FrameType.I: 5.0, FrameType.P: 2.5, FrameType.B: 1.0}
+
+#: Lognormal sigma per frame type (I frames vary least, B frames most).
+TYPE_SIGMAS = {FrameType.I: 0.25, FrameType.P: 0.45, FrameType.B: 0.55}
+
+
+@dataclass(frozen=True)
+class SyntheticTraceConfig:
+    """Knobs of the synthetic generator."""
+
+    pattern: GopPattern = GOP_12
+    gop_count: int = 100
+    fps: float = 24.0
+    base_b_frame_bits: int = 12_000
+    activity_period_gops: int = 8
+    activity_amplitude: float = 0.35
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.gop_count <= 0:
+            raise TraceError("gop_count must be positive")
+        if self.fps <= 0:
+            raise TraceError("fps must be positive")
+        if self.base_b_frame_bits <= 0:
+            raise TraceError("base_b_frame_bits must be positive")
+        if self.activity_period_gops <= 0:
+            raise TraceError("activity_period_gops must be positive")
+        if not 0.0 <= self.activity_amplitude < 1.0:
+            raise TraceError("activity_amplitude must be within [0, 1)")
+
+
+def generate_frame_sizes(config: SyntheticTraceConfig) -> List[int]:
+    """Per-frame sizes in bits for ``gop_count`` GOPs of the pattern."""
+    rng = random.Random(config.seed)
+    sizes: List[int] = []
+    total = config.pattern.size * config.gop_count
+    for i in range(total):
+        ftype = config.pattern.type_at(i)
+        gop_index = i // config.pattern.size
+        # Scene activity: a slow sinusoid plus per-GOP jitter.
+        phase = 2.0 * math.pi * gop_index / config.activity_period_gops
+        activity = 1.0 + config.activity_amplitude * math.sin(phase)
+        mean = config.base_b_frame_bits * TYPE_RATIOS[ftype] * activity
+        sigma = TYPE_SIGMAS[ftype]
+        # Lognormal with the requested mean: mu = ln(mean) - sigma^2/2.
+        mu = math.log(mean) - sigma * sigma / 2.0
+        size = int(round(rng.lognormvariate(mu, sigma)))
+        sizes.append(max(size, 256))
+    return sizes
+
+
+def synthetic_stream(
+    config: Optional[SyntheticTraceConfig] = None,
+    *,
+    name: str = "synthetic",
+) -> VideoStream:
+    """A synthetic MPEG stream with uncalibrated sizes."""
+    cfg = config or SyntheticTraceConfig()
+    sizes = generate_frame_sizes(cfg)
+    return _stream_from_sizes(cfg, sizes, name)
+
+
+def calibrated_stream(
+    movie: str,
+    *,
+    gop_count: int = 100,
+    seed: int = 0,
+) -> VideoStream:
+    """A synthetic stream scaled to a movie's published max GOP size.
+
+    >>> stream = calibrated_stream("star_wars", gop_count=20)
+    >>> stream.max_gop_bits() == 932710
+    True
+    """
+    spec = spec_for(movie)
+    return calibrated_stream_for_spec(spec, gop_count=gop_count, seed=seed)
+
+
+def calibrated_stream_for_spec(
+    spec: TraceSpec,
+    *,
+    gop_count: int = 100,
+    seed: int = 0,
+) -> VideoStream:
+    """As :func:`calibrated_stream`, from an explicit :class:`TraceSpec`."""
+    pattern = GOP_12 if spec.gop_size == 12 else _pattern_of_size(spec.gop_size)
+    config = SyntheticTraceConfig(
+        pattern=pattern,
+        gop_count=gop_count,
+        fps=spec.fps,
+        seed=seed,
+    )
+    sizes = generate_frame_sizes(config)
+    scaled = _scale_to_max_gop(sizes, pattern.size, spec.max_gop_bits)
+    return _stream_from_sizes(config, scaled, spec.name)
+
+
+def _pattern_of_size(gop_size: int) -> GopPattern:
+    """An ``IBB(PBB)*`` pattern of the requested size."""
+    if gop_size < 1:
+        raise TraceError("GOP size must be positive")
+    if (gop_size - 1) % 3 == 0:
+        body = "BB" + "PBB" * ((gop_size - 3) // 3) if gop_size >= 3 else ""
+        return GopPattern.parse("I" + body) if gop_size > 1 else GopPattern.parse("I")
+    # Fall back to I followed by alternating PBB as far as fits, padding with B.
+    types = ["I"]
+    while len(types) < gop_size:
+        for t in ("B", "B", "P"):
+            if len(types) < gop_size:
+                types.append(t)
+    return GopPattern.parse("".join(types))
+
+
+def _scale_to_max_gop(sizes: Sequence[int], gop_size: int, target_bits: int) -> List[int]:
+    """Scale all frame sizes so the largest GOP totals ``target_bits``."""
+    gop_totals = [
+        sum(sizes[start:start + gop_size])
+        for start in range(0, len(sizes), gop_size)
+    ]
+    current_max = max(gop_totals)
+    factor = target_bits / current_max
+    scaled = [max(1, int(round(size * factor))) for size in sizes]
+
+    def totals() -> List[int]:
+        return [
+            sum(scaled[start:start + gop_size])
+            for start in range(0, len(scaled), gop_size)
+        ]
+
+    # Rounding can leave GOPs a few bits off target; cap any GOP above the
+    # target, then raise the biggest one to hit it exactly.
+    for index, total in enumerate(totals()):
+        if total > target_bits:
+            start = index * gop_size
+            frame = max(
+                range(start, min(start + gop_size, len(scaled))),
+                key=scaled.__getitem__,
+            )
+            scaled[frame] = max(1, scaled[frame] - (total - target_bits))
+    gop_totals = totals()
+    biggest = max(range(len(gop_totals)), key=gop_totals.__getitem__)
+    start = biggest * gop_size
+    frame = max(
+        range(start, min(start + gop_size, len(scaled))),
+        key=scaled.__getitem__,
+    )
+    scaled[frame] += target_bits - gop_totals[biggest]
+    return scaled
+
+
+def _stream_from_sizes(
+    config: SyntheticTraceConfig, sizes: Sequence[int], name: str
+) -> VideoStream:
+    ldus = []
+    for i, size in enumerate(sizes):
+        ldus.append(
+            Ldu(
+                index=i,
+                frame_type=config.pattern.type_at(i),
+                size_bits=size,
+                gop_index=i // config.pattern.size,
+                position_in_gop=i % config.pattern.size,
+            )
+        )
+    return VideoStream(
+        ldus=tuple(ldus), fps=config.fps, name=name, pattern=config.pattern
+    )

@@ -1,0 +1,78 @@
+"""Tests for the Logical Time System (repro.cmt.lts)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cmt.lts import LogicalTimeSystem
+from repro.errors import PipelineError
+
+
+class TestClock:
+    def test_starts_paused_at_zero(self):
+        lts = LogicalTimeSystem()
+        assert not lts.running
+        assert lts.logical(100.0) == 0.0
+
+    def test_start_and_advance(self):
+        lts = LogicalTimeSystem()
+        lts.start(10.0)
+        assert lts.logical(12.5) == pytest.approx(2.5)
+
+    def test_double_start_rejected(self):
+        lts = LogicalTimeSystem()
+        lts.start(0.0)
+        with pytest.raises(PipelineError):
+            lts.start(1.0)
+
+    def test_pause_freezes(self):
+        lts = LogicalTimeSystem()
+        lts.start(0.0)
+        lts.pause(3.0)
+        assert lts.logical(100.0) == pytest.approx(3.0)
+
+    def test_pause_requires_running(self):
+        with pytest.raises(PipelineError):
+            LogicalTimeSystem().pause(0.0)
+
+    def test_resume_continues(self):
+        lts = LogicalTimeSystem()
+        lts.start(0.0)
+        lts.pause(3.0)
+        lts.start(10.0)
+        assert lts.logical(12.0) == pytest.approx(5.0)
+
+    def test_speed(self):
+        lts = LogicalTimeSystem(speed=2.0)
+        lts.start(0.0)
+        assert lts.logical(3.0) == pytest.approx(6.0)
+
+    def test_set_speed_continuous(self):
+        lts = LogicalTimeSystem()
+        lts.start(0.0)
+        lts.set_speed(2.0, 5.0)
+        assert lts.logical(5.0) == pytest.approx(5.0)  # no jump
+        assert lts.logical(6.0) == pytest.approx(7.0)
+
+    def test_invalid_speed(self):
+        with pytest.raises(PipelineError):
+            LogicalTimeSystem(speed=0)
+        lts = LogicalTimeSystem()
+        lts.start(0.0)
+        with pytest.raises(PipelineError):
+            lts.set_speed(-1.0, 1.0)
+
+    def test_seek(self):
+        lts = LogicalTimeSystem()
+        lts.start(0.0)
+        lts.seek(100.0, 50.0)
+        assert lts.logical(51.0) == pytest.approx(101.0)
+
+    def test_real_for(self):
+        lts = LogicalTimeSystem(speed=2.0)
+        lts.start(10.0)
+        assert lts.real_for(4.0, real_now=0.0) == pytest.approx(12.0)
+
+    def test_real_for_requires_running(self):
+        with pytest.raises(PipelineError):
+            LogicalTimeSystem().real_for(1.0, 0.0)

@@ -1,0 +1,141 @@
+"""Tests for CMT pipeline objects (repro.cmt.objects)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cmt.objects import (
+    ClientBuffer,
+    FileSegmentSource,
+    OrderingPolicy,
+    PacketSource,
+)
+from repro.errors import PipelineError
+from repro.media.gop import GOP_12
+from repro.media.stream import make_independent_stream, make_video_stream
+from repro.network.channel import SimulatedChannel
+from repro.network.markov import GilbertModel
+
+
+@pytest.fixture
+def stream():
+    return make_video_stream(GOP_12, gop_count=4)
+
+
+class TestFileSegmentSource:
+    def test_windows_consumed_in_order(self, stream):
+        source = FileSegmentSource(stream, 24, OrderingPolicy.PLAYBACK)
+        index0, buffered0 = source.next_window()
+        index1, buffered1 = source.next_window()
+        assert (index0, index1) == (0, 1)
+        assert source.exhausted
+        with pytest.raises(PipelineError):
+            source.next_window()
+
+    def test_playback_policy_in_order(self, stream):
+        source = FileSegmentSource(stream, 24, OrderingPolicy.PLAYBACK)
+        _, buffered = source.next_window()
+        offsets = [f.offset for f in sorted(buffered, key=lambda f: f.priority)]
+        assert offsets == list(range(24))
+
+    def test_ibo_policy_anchors_first(self, stream):
+        source = FileSegmentSource(stream, 24, OrderingPolicy.IBO)
+        _, buffered = source.next_window()
+        ordered = [f.offset for f in sorted(buffered, key=lambda f: f.priority)]
+        anchors = [o for o in range(24) if o % 12 in (0, 3, 6, 9)]
+        assert ordered[: len(anchors)] == anchors
+
+    def test_layered_policy_covers_all(self, stream):
+        source = FileSegmentSource(stream, 24, OrderingPolicy.LAYERED_CPO)
+        _, buffered = source.next_window()
+        assert sorted(f.offset for f in buffered) == list(range(24))
+
+    def test_layered_policy_i_frames_first(self, stream):
+        source = FileSegmentSource(stream, 24, OrderingPolicy.LAYERED_CPO)
+        _, buffered = source.next_window()
+        ordered = [f.offset for f in sorted(buffered, key=lambda f: f.priority)]
+        assert set(ordered[:2]) == {0, 12}
+
+    def test_independent_stream_supported(self):
+        stream = make_independent_stream(20)
+        source = FileSegmentSource(stream, 10, OrderingPolicy.LAYERED_CPO)
+        _, buffered = source.next_window()
+        assert len(buffered) == 10
+
+    def test_invalid_window(self, stream):
+        with pytest.raises(PipelineError):
+            FileSegmentSource(stream, 0)
+
+
+class TestPacketSource:
+    def _channel(self, lossy=False, seed=0):
+        model = GilbertModel(p_good=0.5, p_bad=0.5, seed=seed) if lossy else None
+        return SimulatedChannel(
+            bandwidth_bps=10_000_000, propagation_delay=0.01, loss_model=model
+        )
+
+    def test_lossless_delivers_all(self, stream):
+        source = FileSegmentSource(stream, 24, OrderingPolicy.PLAYBACK)
+        _, buffered = source.next_window()
+        pkt_src = PacketSource(self._channel())
+        outcome = pkt_src.transmit_window(0, buffered, 0.0, 1.0)
+        assert all(outcome.values())
+        assert pkt_src.frames_sent == 24
+        assert pkt_src.frames_dropped == 0
+
+    def test_deadline_drops_tail(self, stream):
+        source = FileSegmentSource(stream, 24, OrderingPolicy.PLAYBACK)
+        _, buffered = source.next_window()
+        slow = SimulatedChannel(bandwidth_bps=500_000, propagation_delay=0.01)
+        pkt_src = PacketSource(slow)
+        outcome = pkt_src.transmit_window(0, buffered, 0.0, 1.0)
+        assert pkt_src.frames_dropped > 0
+        assert not all(outcome.values())
+
+    def test_invalid_deadline(self, stream):
+        source = FileSegmentSource(stream, 24, OrderingPolicy.PLAYBACK)
+        _, buffered = source.next_window()
+        pkt_src = PacketSource(self._channel())
+        with pytest.raises(PipelineError):
+            pkt_src.transmit_window(0, buffered, 1.0, 1.0)
+
+    def test_retransmission_recovers_anchors(self, stream):
+        source = FileSegmentSource(stream, 24, OrderingPolicy.LAYERED_CPO)
+        _, buffered = source.next_window()
+        pkt_src = PacketSource(self._channel(lossy=True, seed=4), nack_delay=0.001)
+        outcome = pkt_src.transmit_window(0, buffered, 0.0, 1.0)
+        anchors = [o for o in range(24) if o % 12 in (0, 3, 6, 9)]
+        assert all(outcome[a] for a in anchors)
+        assert pkt_src.retransmissions > 0
+
+    def test_no_retransmission_mode(self, stream):
+        source = FileSegmentSource(stream, 24, OrderingPolicy.LAYERED_CPO)
+        _, buffered = source.next_window()
+        pkt_src = PacketSource(
+            self._channel(lossy=True, seed=4), retransmit_anchors=False
+        )
+        pkt_src.transmit_window(0, buffered, 0.0, 1.0)
+        assert pkt_src.retransmissions == 0
+
+
+class TestClientBuffer:
+    def test_all_received_no_loss(self, stream):
+        client = ClientBuffer()
+        window = stream.window(0, 24)
+        playout = client.complete_window(0, window, {o: True for o in range(24)})
+        assert playout.clf == 0
+        assert playout.unit_losses == 0
+
+    def test_dependency_amplification(self, stream):
+        client = ClientBuffer()
+        window = stream.window(0, 24)
+        outcome = {o: o != 0 for o in range(24)}  # lose I0 only
+        playout = client.complete_window(0, window, outcome)
+        assert playout.unit_losses >= 12  # whole first GOP undecodable
+
+    def test_playouts_accumulate(self, stream):
+        client = ClientBuffer()
+        window = stream.window(0, 24)
+        client.complete_window(0, window, {o: True for o in range(24)})
+        client.complete_window(1, window, {o: True for o in range(24)})
+        assert len(client.playouts) == 2

@@ -1,0 +1,127 @@
+"""Tests for the CMT pipeline (repro.cmt.pipeline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cmt import OrderingPolicy, Pipeline
+from repro.errors import PipelineError
+from repro.media.gop import GOP_12
+from repro.media.stream import make_video_stream
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return make_video_stream(GOP_12, gop_count=8)
+
+
+class TestPipeline:
+    def test_lossless_run_is_clean(self, stream):
+        pipeline = Pipeline(
+            stream,
+            window_size=24,
+            policy=OrderingPolicy.LAYERED_CPO,
+            bandwidth_bps=50_000_000,
+            p_good=1.0,
+            p_bad=0.0,
+        )
+        result = pipeline.run()
+        assert result.mean_clf == 0.0
+        assert result.frames_dropped == 0
+        assert len(result.playouts) == 4
+
+    def test_max_windows(self, stream):
+        pipeline = Pipeline(stream, window_size=24, p_good=1.0, p_bad=0.0,
+                            bandwidth_bps=50_000_000)
+        result = pipeline.run(max_windows=2)
+        assert len(result.playouts) == 2
+
+    def test_cycle_time_default(self, stream):
+        pipeline = Pipeline(stream, window_size=24)
+        assert pipeline.cycle_time == pytest.approx(1.0)
+
+    def test_cycle_time_override(self, stream):
+        pipeline = Pipeline(stream, window_size=24, cycle_time=0.5)
+        assert pipeline.cycle_time == 0.5
+
+    def test_invalid_cycle_time(self, stream):
+        with pytest.raises(PipelineError):
+            Pipeline(stream, window_size=24, cycle_time=-1)
+
+    def test_invalid_window(self, stream):
+        with pytest.raises(PipelineError):
+            Pipeline(stream, window_size=0)
+
+    def test_describe(self, stream):
+        pipeline = Pipeline(stream, window_size=24, p_good=1.0, p_bad=0.0,
+                            bandwidth_bps=50_000_000)
+        assert "layered-cpo" in pipeline.run().describe()
+
+    def test_deterministic(self, stream):
+        a = Pipeline(stream, window_size=24, seed=5, p_bad=0.6).run()
+        b = Pipeline(stream, window_size=24, seed=5, p_bad=0.6).run()
+        assert a.series.clf_values == b.series.clf_values
+
+    def test_policies_comparable_on_same_seed(self, stream):
+        results = {}
+        for policy in OrderingPolicy:
+            pipeline = Pipeline(
+                stream, window_size=24, policy=policy, seed=5, p_bad=0.6
+            )
+            results[policy] = pipeline.run()
+        # the layered CPO policy should not be worse than naive playback
+        assert (
+            results[OrderingPolicy.LAYERED_CPO].mean_clf
+            <= results[OrderingPolicy.PLAYBACK].mean_clf + 0.75
+        )
+
+
+class TestPipelineWithOtherMedia:
+    def test_independent_stream_pipeline(self):
+        from repro.media.mjpeg import MjpegConfig, make_mjpeg_stream
+
+        stream = make_mjpeg_stream(MjpegConfig(frame_count=120, seed=3))
+        pipeline = Pipeline(
+            stream,
+            window_size=30,
+            policy=OrderingPolicy.LAYERED_CPO,
+            bandwidth_bps=20_000_000,
+            p_bad=0.6,
+            seed=4,
+        )
+        result = pipeline.run()
+        assert len(result.playouts) == 4
+        # MJPEG: no anchors, so no retransmissions ever
+        assert pipeline.packet_source.retransmissions == 0
+
+    def test_audio_stream_pipeline(self):
+        from repro.media.audio import AudioConfig, make_audio_stream
+
+        stream = make_audio_stream(AudioConfig(duration_seconds=8))
+        pipeline = Pipeline(
+            stream,
+            window_size=30,
+            policy=OrderingPolicy.LAYERED_CPO,
+            bandwidth_bps=2_000_000,
+            p_bad=0.5,
+            seed=5,
+        )
+        result = pipeline.run()
+        assert len(result.playouts) == 8
+
+    def test_h261_pipeline_retransmits_chain(self):
+        from repro.media.h261 import H261Config, make_h261_stream
+
+        stream = make_h261_stream(H261Config(frame_count=120, seed=2))
+        pipeline = Pipeline(
+            stream,
+            window_size=24,
+            policy=OrderingPolicy.LAYERED_CPO,
+            bandwidth_bps=4_000_000,
+            p_bad=0.6,
+            seed=6,
+        )
+        result = pipeline.run()
+        assert len(result.playouts) == 5
+        # chains make nearly every frame an anchor: retransmission happens
+        assert pipeline.packet_source.retransmissions > 0

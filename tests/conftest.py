@@ -1,0 +1,21 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.media.gop import GOP_12, GopPattern
+from repro.media.stream import make_video_stream
+from repro.traces.synthetic import calibrated_stream
+
+
+@pytest.fixture(scope="session")
+def small_mpeg_stream():
+    """Six GOPs of GOP-12 video with constant per-type sizes."""
+    return make_video_stream(GOP_12, gop_count=6)
+
+
+@pytest.fixture(scope="session")
+def jurassic_stream():
+    """A calibrated Jurassic Park-like stream, 30 GOPs."""
+    return calibrated_stream("jurassic_park_corrected", gop_count=30, seed=7)

@@ -1,0 +1,110 @@
+"""Tests for Equation 1 loss estimation (repro.core.adaptation)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adaptation import AdaptiveController, LossEstimator
+from repro.errors import ConfigurationError
+
+
+class TestLossEstimator:
+    def test_initial_default_is_half_window(self):
+        estimator = LossEstimator(window=24)
+        assert estimator.estimate == 12.0
+        assert estimator.burst_bound == 12
+
+    def test_initial_override(self):
+        estimator = LossEstimator(window=24, initial=3)
+        assert estimator.estimate == 3.0
+
+    def test_initial_clamped_to_window(self):
+        estimator = LossEstimator(window=10, initial=99)
+        assert estimator.estimate == 10.0
+
+    def test_equation_one(self):
+        estimator = LossEstimator(window=24, initial=4)
+        estimator.update(8)
+        assert estimator.estimate == pytest.approx(0.5 * 8 + 0.5 * 4)
+
+    def test_alpha_weighting(self):
+        estimator = LossEstimator(window=100, alpha=0.25, initial=0)
+        estimator.update(8)
+        assert estimator.estimate == pytest.approx(2.0)
+
+    def test_observation_clamped(self):
+        estimator = LossEstimator(window=10, initial=0)
+        estimator.update(50)
+        assert estimator.estimate == pytest.approx(5.0)
+
+    def test_burst_bound_at_least_one(self):
+        estimator = LossEstimator(window=10, initial=0)
+        assert estimator.burst_bound == 1
+
+    def test_burst_bound_ceil(self):
+        estimator = LossEstimator(window=10, initial=2.5)
+        assert estimator.burst_bound == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LossEstimator(window=0)
+        with pytest.raises(ConfigurationError):
+            LossEstimator(window=5, alpha=1.5)
+        with pytest.raises(ConfigurationError):
+            LossEstimator(window=5, initial=-1)
+        with pytest.raises(ConfigurationError):
+            LossEstimator(window=5).update(-2)
+
+    def test_counts_observations(self):
+        estimator = LossEstimator(window=5)
+        estimator.update(1)
+        estimator.update(2)
+        assert estimator.observations == 2
+
+    @given(
+        st.integers(min_value=2, max_value=100),
+        st.lists(st.integers(min_value=0, max_value=100), max_size=30),
+    )
+    @settings(max_examples=60)
+    def test_estimate_stays_in_range(self, window, observations):
+        estimator = LossEstimator(window=window)
+        for value in observations:
+            estimator.update(value)
+        assert 0.0 <= estimator.estimate <= window
+        assert 1 <= estimator.burst_bound <= window
+
+    def test_converges_to_constant_observation(self):
+        estimator = LossEstimator(window=50, initial=25)
+        for _ in range(30):
+            estimator.update(4)
+        assert estimator.estimate == pytest.approx(4.0, abs=1e-4)
+
+
+class TestAdaptiveController:
+    def test_creates_estimators_lazily(self):
+        controller = AdaptiveController()
+        assert controller.burst_bound(0, 16) == 8  # half-window default
+        controller.observe(0, 16, 2)
+        assert controller.burst_bound(0, 16) == 5  # ceil(0.5*2 + 0.5*8)
+
+    def test_layers_independent(self):
+        controller = AdaptiveController()
+        controller.observe(0, 16, 0)
+        controller.observe(1, 16, 16)
+        assert controller.burst_bound(0, 16) < controller.burst_bound(1, 16)
+
+    def test_window_change_resets(self):
+        controller = AdaptiveController()
+        controller.observe(0, 16, 0)
+        assert controller.burst_bound(0, 8) == 4  # fresh estimator, new window
+
+    def test_alpha_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveController(alpha=-0.1)
+
+    def test_layers_snapshot(self):
+        controller = AdaptiveController()
+        controller.observe(2, 10, 3)
+        assert 2 in controller.layers

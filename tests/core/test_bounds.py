@@ -1,0 +1,156 @@
+"""Tests for Theorem 1 bounds (repro.core.bounds)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    clf_feasible,
+    clf_lower_bound,
+    max_burst_for_clf_one,
+    max_tolerable_burst,
+    optimal_clf,
+    optimal_permutation,
+    single_burst_lower_bound,
+    theorem1_bracket,
+)
+from repro.core.evaluation import worst_case_clf
+from repro.core.permutation import Permutation
+from repro.errors import ConfigurationError
+
+
+def brute_force_optimum(n: int, b: int) -> int:
+    """Reference optimum over all n! permutations (tiny n only)."""
+    best = n
+    for order in itertools.permutations(range(n)):
+        best = min(best, worst_case_clf(Permutation(order), b))
+    return best
+
+
+class TestLowerBound:
+    def test_extremes(self):
+        assert clf_lower_bound(10, 0) == 0
+        assert clf_lower_bound(10, 10) == 10
+        assert clf_lower_bound(10, 15) == 10
+        assert clf_lower_bound(0, 3) == 0
+
+    def test_clf_one_region(self):
+        for n in range(2, 30):
+            assert clf_lower_bound(n, n // 2) == 1
+
+    def test_above_half_forces_two(self):
+        for n in range(4, 30):
+            assert clf_lower_bound(n, n // 2 + 1) >= 2
+
+    def test_single_burst_bound_formula(self):
+        assert single_burst_lower_bound(10, 8) == 3  # ceil(8/3)
+        assert single_burst_lower_bound(17, 5) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            clf_lower_bound(-1, 2)
+        with pytest.raises(ConfigurationError):
+            clf_lower_bound(5, -2)
+
+    @given(st.integers(min_value=1, max_value=60), st.integers(min_value=1, max_value=60))
+    def test_bound_within_range(self, n, b):
+        bound = clf_lower_bound(n, b)
+        assert 0 <= bound <= n
+        if 0 < b < n:
+            assert bound >= 1
+
+
+class TestAntibandwidth:
+    def test_max_burst_for_clf_one(self):
+        assert max_burst_for_clf_one(17) == 8
+        assert max_burst_for_clf_one(24) == 12
+        assert max_burst_for_clf_one(1) == 0
+
+    def test_matches_brute_force_tiny(self):
+        for n in range(2, 8):
+            threshold = max_burst_for_clf_one(n)
+            assert brute_force_optimum(n, threshold) == 1
+            if threshold + 1 < n:
+                assert brute_force_optimum(n, threshold + 1) >= 2
+
+
+class TestOptimal:
+    def test_matches_brute_force(self):
+        for n in range(2, 8):
+            for b in range(1, n + 1):
+                assert optimal_clf(n, b) == brute_force_optimum(n, b), (n, b)
+
+    def test_b_equals_n_minus_one_closed_form(self):
+        for n in range(3, 14):
+            assert optimal_clf(n, n - 1) == (n + 1) // 2
+
+    def test_extremes(self):
+        assert optimal_clf(5, 0) == 0
+        assert optimal_clf(5, 5) == 5
+        assert optimal_clf(0, 1) == 0
+
+    def test_witness_achieves_reported_optimum(self):
+        for n, b in [(9, 6), (10, 7), (11, 8), (12, 9)]:
+            clf, order = optimal_permutation(n, b)
+            assert worst_case_clf(Permutation(order), b) == clf
+            assert clf == optimal_clf(n, b)
+
+    def test_witness_extremes(self):
+        assert optimal_permutation(0, 1) == (0, ())
+        clf, order = optimal_permutation(4, 0)
+        assert clf == 0 and sorted(order) == [0, 1, 2, 3]
+        clf, order = optimal_permutation(3, 5)
+        assert clf == 3
+
+
+class TestFeasible:
+    def test_trivial_cases(self):
+        assert clf_feasible(5, 0, 1)
+        assert clf_feasible(5, 3, 5)
+        assert not clf_feasible(5, 5, 4)
+        assert not clf_feasible(5, 3, 0)
+
+    def test_clf_one_shortcut(self):
+        assert clf_feasible(20, 10, 1)
+        assert not clf_feasible(20, 11, 1)
+
+    def test_monotone_in_c(self):
+        for n in (6, 9):
+            for b in range(1, n):
+                feasible = [clf_feasible(n, b, c) for c in range(1, n + 1)]
+                # Once feasible, stays feasible.
+                assert feasible == sorted(feasible)
+
+
+class TestBracketAndDual:
+    def test_bracket_ordering(self):
+        for n, b in [(17, 9), (24, 16), (48, 30)]:
+            lower, upper = theorem1_bracket(n, b)
+            assert lower <= upper
+
+    def test_bracket_collapses_small(self):
+        lower, upper = theorem1_bracket(10, 5)
+        assert lower == upper == 1
+
+    def test_max_tolerable_burst_exact(self):
+        assert max_tolerable_burst(10, 1, exact=True) == 5
+        b2 = max_tolerable_burst(10, 2, exact=True)
+        assert optimal_clf(10, b2) <= 2
+        assert optimal_clf(10, b2 + 1) > 2
+
+    def test_max_tolerable_burst_constructive(self):
+        b = max_tolerable_burst(24, 2)
+        perm_ok = worst_case_clf(
+            __import__("repro.core.cpo", fromlist=["calculate_permutation"]).calculate_permutation(24, b),
+            b,
+        )
+        assert perm_ok <= 2
+
+    def test_max_tolerable_trivia(self):
+        assert max_tolerable_burst(10, 10) == 10
+        assert max_tolerable_burst(10, 0) == 0
+        assert max_tolerable_burst(0, 2) == 0

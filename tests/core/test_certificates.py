@@ -1,0 +1,58 @@
+"""Property tests of the certification contract across random (n, b)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import clf_lower_bound, max_burst_for_clf_one
+from repro.core.cpo import EFFORT_FAST, calculate_permutation
+from repro.core.evaluation import group_spread, worst_case_clf
+
+
+@st.composite
+def window_and_burst(draw):
+    n = draw(st.integers(min_value=2, max_value=40))
+    b = draw(st.integers(min_value=1, max_value=n))
+    return n, b
+
+
+class TestCertificationContract:
+    @given(window_and_burst())
+    @settings(max_examples=60, deadline=None)
+    def test_certified_at_least_lower_bound(self, case):
+        n, b = case
+        perm = calculate_permutation(n, b, effort=EFFORT_FAST)
+        achieved = worst_case_clf(perm, b)
+        assert achieved >= clf_lower_bound(n, b)
+
+    @given(window_and_burst())
+    @settings(max_examples=60, deadline=None)
+    def test_clf_one_exactly_when_guaranteed(self, case):
+        n, b = case
+        perm = calculate_permutation(n, b, effort=EFFORT_FAST)
+        if b <= max_burst_for_clf_one(n):
+            assert worst_case_clf(perm, b) == 1
+
+    @given(window_and_burst())
+    @settings(max_examples=60, deadline=None)
+    def test_result_is_permutation(self, case):
+        n, b = case
+        perm = calculate_permutation(n, b, effort=EFFORT_FAST)
+        assert sorted(perm.order) == list(range(n))
+
+    @given(window_and_burst())
+    @settings(max_examples=40, deadline=None)
+    def test_lemma1_consistency(self, case):
+        """wc <= c iff every (c+1)-window spreads >= b (THEORY.md Lemma 1),
+        checked on the construction's own certificate."""
+        n, b = case
+        if b >= n:
+            return
+        perm = calculate_permutation(n, b, effort=EFFORT_FAST)
+        achieved = worst_case_clf(perm, b)
+        if achieved < n:
+            assert group_spread(perm, achieved + 1) >= b
+        if achieved >= 1:
+            # achieving `achieved` means some window of that size fits a burst
+            assert group_spread(perm, achieved) <= b - 1 or achieved == 1

@@ -1,0 +1,111 @@
+"""Tests for the perception-driven controller (repro.core.controller)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.controller import PerceptionController
+from repro.core.evaluation import worst_case_clf
+from repro.errors import ConfigurationError
+from repro.metrics.perception import AUDIO_PROFILE, PerceptionProfile, VIDEO_PROFILE
+from repro.network.markov import GilbertModel
+
+
+def train(controller: PerceptionController, p_good: float, p_bad: float, windows=100):
+    model = GilbertModel(p_good=p_good, p_bad=p_bad, seed=7)
+    for _ in range(windows):
+        controller.observe_window([1 if lost else 0 for lost in model.losses(100)])
+
+
+class TestConstruction:
+    def test_epsilon_validation(self):
+        with pytest.raises(ConfigurationError):
+            PerceptionController(epsilon=0.0)
+        with pytest.raises(ConfigurationError):
+            PerceptionController(epsilon=1.0)
+
+    def test_window_validation(self):
+        with pytest.raises(ConfigurationError):
+            PerceptionController().decide(0)
+
+
+class TestDecisions:
+    def test_mild_channel_small_bound(self):
+        controller = PerceptionController()
+        train(controller, p_good=0.98, p_bad=0.3)
+        decision = controller.decide(24)
+        assert decision.burst_bound <= 4
+        assert decision.meets_threshold
+        assert decision.certified_clf <= VIDEO_PROFILE.clf_threshold
+        assert decision.recommended_window is None
+
+    def test_harsh_channel_bigger_bound(self):
+        mild = PerceptionController()
+        train(mild, p_good=0.98, p_bad=0.3)
+        harsh = PerceptionController()
+        train(harsh, p_good=0.9, p_bad=0.8)
+        assert harsh.design_burst() > mild.design_burst()
+
+    def test_decision_certificate_is_exact(self):
+        controller = PerceptionController()
+        train(controller, p_good=0.92, p_bad=0.6)
+        decision = controller.decide(24)
+        assert decision.certified_clf == worst_case_clf(
+            decision.permutation, decision.burst_bound
+        )
+
+    def test_tiny_window_triggers_recommendation(self):
+        controller = PerceptionController(
+            profile=PerceptionProfile(name="strict", clf_threshold=1)
+        )
+        train(controller, p_good=0.85, p_bad=0.8)  # long bursts
+        decision = controller.decide(6)
+        if not decision.meets_threshold:
+            assert decision.needs_bigger_buffer
+            assert decision.recommended_window > 6
+
+    def test_recommended_window_meets_threshold(self):
+        controller = PerceptionController()
+        burst = 9
+        window = controller.recommend_window(burst)
+        from repro.core.cpo import calculate_permutation
+
+        perm = calculate_permutation(window, burst)
+        assert worst_case_clf(perm, burst) <= VIDEO_PROFILE.clf_threshold
+        # tighter than the CLF-1 safe point when the threshold allows
+        assert window <= 2 * burst
+
+    def test_recommend_window_validation(self):
+        with pytest.raises(ConfigurationError):
+            PerceptionController().recommend_window(0)
+
+    def test_audio_profile_tolerates_more(self):
+        video = PerceptionController(profile=VIDEO_PROFILE)
+        audio = PerceptionController(profile=AUDIO_PROFILE)
+        assert audio.recommend_window(9) <= video.recommend_window(9)
+
+
+class TestAgainstEquationOne:
+    def test_quantile_bound_is_more_stable(self):
+        """Equation 1 chases the last observation; the quantile policy
+        converges.  Under a stationary channel the quantile bound should
+        settle to a constant while Eq. 1 keeps oscillating."""
+        from repro.core.adaptation import LossEstimator
+        from repro.network.estimation import loss_runs
+
+        model = GilbertModel(p_good=0.92, p_bad=0.6, seed=21)
+        controller = PerceptionController()
+        equation_one = LossEstimator(window=24, initial=6)
+        quantile_bounds = []
+        eq1_bounds = []
+        for _ in range(200):
+            indicator = [1 if lost else 0 for lost in model.losses(100)]
+            controller.observe_window(indicator)
+            runs = loss_runs(indicator)
+            equation_one.update(max(runs) if runs else 0)
+            quantile_bounds.append(controller.design_burst())
+            eq1_bounds.append(equation_one.burst_bound)
+        tail_q = quantile_bounds[-50:]
+        tail_e = eq1_bounds[-50:]
+        assert len(set(tail_q)) <= 2          # converged
+        assert len(set(tail_e)) >= len(set(tail_q))

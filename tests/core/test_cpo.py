@@ -1,0 +1,182 @@
+"""Tests for the k-CPO constructions (repro.core.cpo)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import clf_lower_bound, optimal_clf
+from repro.core.cpo import (
+    EFFORT_FAST,
+    EFFORT_NORMAL,
+    block_interleaver,
+    calculate_permutation,
+    candidate_permutations,
+    cpo_table_1_example,
+    cyclic_stride,
+    edge_ladder,
+    even_odd_split,
+)
+from repro.core.evaluation import spread_table, worst_case_clf
+from repro.core.permutation import Permutation
+from repro.errors import ConfigurationError
+
+
+class TestEvenOddSplit:
+    @given(st.integers(min_value=2, max_value=200))
+    def test_antibandwidth_optimal(self, n):
+        perm = even_odd_split(n)
+        assert min(spread_table(perm)) >= n // 2
+
+    @given(st.integers(min_value=1, max_value=100))
+    def test_is_permutation(self, n):
+        perm = even_odd_split(n)
+        assert sorted(perm.order) == list(range(n))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            even_odd_split(-1)
+
+    def test_clf_one_up_to_half(self):
+        for n in (7, 8, 17, 24):
+            perm = even_odd_split(n)
+            assert worst_case_clf(perm, n // 2) == 1
+
+
+class TestBlockInterleaver:
+    @given(
+        st.integers(min_value=1, max_value=60),
+        st.integers(min_value=1, max_value=60),
+        st.booleans(),
+    )
+    def test_is_permutation(self, n, groups, alternate):
+        groups = min(groups, n)
+        perm = block_interleaver(n, groups, alternate=alternate)
+        assert sorted(perm.order) == list(range(n))
+
+    def test_groups_of_one_is_identity(self):
+        assert block_interleaver(6, 1).is_identity
+
+    def test_invalid_groups(self):
+        with pytest.raises(ConfigurationError):
+            block_interleaver(5, 6)
+        with pytest.raises(ConfigurationError):
+            block_interleaver(5, 0)
+
+    def test_alternate_reverses_odd_groups(self):
+        perm = block_interleaver(6, 2, alternate=True)
+        # group 0 = evens ascending, group 1 = odds descending
+        assert perm.order == (0, 2, 4, 5, 3, 1)
+
+
+class TestEdgeLadder:
+    def test_none_in_small_burst_regime(self):
+        assert edge_ladder(10, 4) is None
+        assert edge_ladder(10, 10) is None
+        assert edge_ladder(0, 1) is None
+
+    def test_b_equals_n_minus_1_is_optimal(self):
+        for n in range(6, 40):
+            perm = edge_ladder(n, n - 1)
+            assert perm is not None
+            assert worst_case_clf(perm, n - 1) == (n + 1) // 2
+
+    @given(st.integers(min_value=8, max_value=80))
+    @settings(max_examples=40)
+    def test_within_one_of_pigeonhole(self, n):
+        b = 3 * n // 4 + 1
+        perm = edge_ladder(n, b)
+        if perm is None:
+            return
+        survivors = n - b
+        assert worst_case_clf(perm, b) <= -(-n // (survivors + 1))  # ceil
+
+    @given(st.integers(min_value=4, max_value=80), st.integers(min_value=1, max_value=80))
+    @settings(max_examples=60)
+    def test_is_permutation_when_defined(self, n, b):
+        perm = edge_ladder(n, min(b, n))
+        if perm is not None:
+            assert sorted(perm.order) == list(range(n))
+
+
+class TestCalculatePermutation:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            calculate_permutation(-1, 2)
+        with pytest.raises(ConfigurationError):
+            calculate_permutation(5, -2)
+        with pytest.raises(ConfigurationError):
+            calculate_permutation(5, 2, effort="bogus")
+
+    def test_empty_window(self):
+        assert len(calculate_permutation(0, 3)) == 0
+
+    def test_no_burst_identity(self):
+        assert calculate_permutation(8, 0).is_identity
+
+    def test_clf_one_guarantee(self):
+        for n in (4, 9, 17, 24, 48):
+            for b in (1, n // 4, n // 2):
+                if b >= 1:
+                    perm = calculate_permutation(n, b)
+                    assert worst_case_clf(perm, b) == 1, (n, b)
+
+    def test_matches_exhaustive_optimum_small(self):
+        for n in range(2, 11):
+            for b in range(1, n + 1):
+                achieved = worst_case_clf(calculate_permutation(n, b), b)
+                assert achieved == optimal_clf(n, b), (n, b)
+
+    def test_within_one_of_lower_bound_medium(self):
+        for n in (17, 24, 36):
+            for b in range(n // 2 + 1, n):
+                achieved = worst_case_clf(calculate_permutation(n, b, effort=EFFORT_FAST), b)
+                assert achieved <= clf_lower_bound(n, b) + 2, (n, b)
+
+    def test_deterministic(self):
+        assert calculate_permutation(20, 13) == calculate_permutation(20, 13)
+
+    def test_fast_effort_still_valid(self):
+        perm = calculate_permutation(30, 20, effort=EFFORT_FAST)
+        assert sorted(perm.order) == list(range(30))
+
+    def test_burst_ge_n_still_spreads(self):
+        perm = calculate_permutation(10, 12)
+        assert worst_case_clf(perm, 5) == 1  # smaller real bursts benefit
+
+
+class TestTable1:
+    def test_paper_order(self):
+        perm = cpo_table_1_example()
+        one_based = [f + 1 for f in perm.order]
+        assert one_based == [1, 6, 11, 16, 4, 9, 14, 2, 7, 12, 17, 5, 10, 15, 3, 8, 13]
+
+    def test_paper_clf(self):
+        assert worst_case_clf(cpo_table_1_example(), 5) == 1
+
+
+class TestCandidates:
+    def test_all_are_permutations(self):
+        for perm in candidate_permutations(12, 7, effort=EFFORT_NORMAL):
+            assert sorted(perm.order) == list(range(12))
+
+    def test_fast_subset_small(self):
+        fast = list(candidate_permutations(12, 7, effort=EFFORT_FAST))
+        normal = list(candidate_permutations(12, 7, effort=EFFORT_NORMAL))
+        assert len(fast) <= len(normal)
+
+    def test_empty(self):
+        assert list(candidate_permutations(0, 0)) == []
+
+    def test_single(self):
+        assert list(candidate_permutations(1, 1)) == [Permutation([0])]
+
+
+class TestCyclicStride:
+    def test_stride_requires_coprime(self):
+        with pytest.raises(Exception):
+            cyclic_stride(9, 3)
+
+    def test_stride_order(self):
+        assert cyclic_stride(5, 2).order == (0, 2, 4, 1, 3)

@@ -1,0 +1,49 @@
+"""Tests for the cyclic (straddling-burst) permutation variant."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cpo import calculate_permutation, calculate_permutation_cyclic
+from repro.core.evaluation import cyclic_worst_case_clf, worst_case_clf
+from repro.errors import ConfigurationError
+
+
+class TestCyclicSelection:
+    def test_is_permutation(self):
+        for n, b in [(10, 5), (17, 9), (24, 12), (24, 18)]:
+            perm = calculate_permutation_cyclic(n, b)
+            assert sorted(perm.order) == list(range(n))
+
+    def test_never_worse_than_window_variant_cyclically(self):
+        for n, b in [(12, 6), (17, 8), (24, 12), (24, 16), (30, 20)]:
+            cyclic = calculate_permutation_cyclic(n, b)
+            window = calculate_permutation(n, b)
+            assert cyclic_worst_case_clf(cyclic, b) <= cyclic_worst_case_clf(
+                window, b
+            ), (n, b)
+
+    def test_cyclic_at_least_window_wc(self):
+        perm = calculate_permutation_cyclic(20, 10)
+        assert cyclic_worst_case_clf(perm, 10) >= worst_case_clf(perm, 10)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            calculate_permutation_cyclic(-1, 3)
+        with pytest.raises(ConfigurationError):
+            calculate_permutation_cyclic(5, 2, effort="bogus")
+
+    def test_edge_cases(self):
+        assert len(calculate_permutation_cyclic(0, 3)) == 0
+        assert calculate_permutation_cyclic(6, 0).is_identity
+
+    def test_deterministic(self):
+        assert calculate_permutation_cyclic(18, 9) == calculate_permutation_cyclic(18, 9)
+
+    def test_straddling_guarantee_reasonable(self):
+        """For b <= n/2, the cyclic variant should keep straddling CLF
+        small (<= 2: a boundary can join at most two length-1 runs)."""
+        for n in (12, 20, 24):
+            b = n // 2
+            perm = calculate_permutation_cyclic(n, b)
+            assert cyclic_worst_case_clf(perm, b) <= 2

@@ -1,0 +1,167 @@
+"""Unit and property tests for repro.core.evaluation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.evaluation import (
+    burst_loss_run,
+    burst_profile,
+    clf_of_lost_frames,
+    cyclic_worst_case_clf,
+    group_spread,
+    max_run,
+    spread_table,
+    worst_case_clf,
+)
+from repro.core.permutation import Permutation, stride_permutation
+from repro.errors import PermutationError
+
+permutations = st.integers(min_value=1, max_value=24).flatmap(
+    lambda n: st.permutations(list(range(n)))
+)
+
+
+class TestMaxRun:
+    def test_empty(self):
+        assert max_run([]) == 0
+
+    def test_single(self):
+        assert max_run([7]) == 1
+
+    def test_docstring_example(self):
+        assert max_run([3, 5, 6, 7, 10]) == 3
+
+    def test_full_range(self):
+        assert max_run(range(10)) == 10
+
+    def test_two_runs(self):
+        assert max_run([0, 1, 5, 6, 7]) == 3
+
+    def test_duplicates_ignored(self):
+        assert max_run([1, 1, 2, 2]) == 2
+
+    @given(st.sets(st.integers(min_value=0, max_value=100)))
+    def test_matches_naive(self, values):
+        naive = 0
+        current = 0
+        for i in range(102):
+            if i in values:
+                current += 1
+                naive = max(naive, current)
+            else:
+                current = 0
+        assert max_run(values) == naive
+
+
+class TestWorstCase:
+    def test_identity_burst_is_run(self):
+        perm = Permutation.identity(10)
+        for b in range(1, 11):
+            assert worst_case_clf(perm, b) == b
+
+    def test_zero_burst(self):
+        assert worst_case_clf(Permutation.identity(5), 0) == 0
+
+    def test_burst_beyond_window(self):
+        assert worst_case_clf(Permutation.identity(5), 9) == 5
+
+    def test_table1_case(self):
+        perm = stride_permutation(17, 5)
+        assert worst_case_clf(perm, 5) == 1
+
+    def test_burst_loss_run_bounds(self):
+        perm = Permutation.identity(5)
+        with pytest.raises(PermutationError):
+            burst_loss_run(perm, -1, 2)
+        with pytest.raises(PermutationError):
+            burst_loss_run(perm, 6, 2)
+
+    def test_burst_loss_run_clipped_at_end(self):
+        perm = Permutation.identity(5)
+        assert burst_loss_run(perm, 3, 10) == 2
+
+    @given(permutations, st.integers(min_value=1, max_value=24))
+    @settings(max_examples=60)
+    def test_monotone_in_burst(self, order, b):
+        perm = Permutation(order)
+        b = min(b, len(order))
+        if b < len(order):
+            assert worst_case_clf(perm, b) <= worst_case_clf(perm, b + 1)
+
+    @given(permutations, st.integers(min_value=1, max_value=24))
+    @settings(max_examples=60)
+    def test_bounded_by_burst_and_window(self, order, b):
+        perm = Permutation(order)
+        wc = worst_case_clf(perm, b)
+        assert 0 < wc <= min(b, len(order))
+
+
+class TestCyclic:
+    def test_cyclic_at_least_plain(self):
+        perm = stride_permutation(17, 5)
+        for b in (2, 5, 8):
+            assert cyclic_worst_case_clf(perm, b) >= worst_case_clf(perm, b)
+
+    def test_identity_cyclic_equals_burst(self):
+        perm = Permutation.identity(6)
+        assert cyclic_worst_case_clf(perm, 4) == 4
+
+    def test_straddle_found(self):
+        # Permutation ending with frame n-1 and starting with frame 0:
+        # a 2-slot straddling burst joins them across the boundary.
+        perm = Permutation([0, 2, 4, 1, 3, 5])
+        assert worst_case_clf(perm, 2) == 1
+        assert cyclic_worst_case_clf(perm, 2) >= 2
+
+    def test_burst_larger_than_window(self):
+        perm = Permutation.identity(4)
+        assert cyclic_worst_case_clf(perm, 6) == 6
+
+    def test_zero_burst(self):
+        assert cyclic_worst_case_clf(Permutation.identity(4), 0) == 0
+
+
+class TestProfile:
+    def test_profile_length(self):
+        perm = Permutation.identity(10)
+        profile = burst_profile(perm, 4)
+        assert len(profile.runs) == 7
+        assert profile.worst == 4
+        assert profile.mean == 4.0
+
+    def test_profile_worst_matches(self):
+        perm = stride_permutation(17, 5)
+        profile = burst_profile(perm, 5)
+        assert profile.worst == worst_case_clf(perm, 5)
+
+    def test_profile_empty(self):
+        assert burst_profile(Permutation.identity(5), 0).runs == ()
+
+
+class TestSpreads:
+    def test_spread_table_identity(self):
+        assert spread_table(Permutation.identity(5)) == [1, 1, 1, 1]
+
+    def test_clf_of_lost_frames(self):
+        assert clf_of_lost_frames([2, 3, 4, 8]) == 3
+
+    def test_group_spread_vacuous(self):
+        perm = Permutation.identity(5)
+        assert group_spread(perm, 1) == 5
+        assert group_spread(perm, 6) == 5
+
+    @given(permutations, st.integers(min_value=1, max_value=12), st.integers(min_value=1, max_value=12))
+    @settings(max_examples=80)
+    def test_group_spread_characterizes_clf(self, order, b, c):
+        """wc(perm, b) <= c  iff  every (c+1)-frame window spreads >= b."""
+        perm = Permutation(order)
+        n = len(order)
+        b = min(b, n)
+        c = min(c, n)
+        wc = worst_case_clf(perm, b)
+        if c >= n or b >= n:
+            return  # characterization applies to interior cases
+        assert (wc <= c) == (group_spread(perm, c + 1) >= b)

@@ -1,0 +1,124 @@
+"""Tests for the Layered Permutation Transmission Order (repro.core.layered)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.layered import LayeredScheduler
+from repro.errors import ConfigurationError, PosetError
+from repro.media.gop import GOP_12, GopPattern
+from repro.poset.builders import independent_poset, mpeg_poset_for_pattern
+
+
+@pytest.fixture(scope="module")
+def two_gop_scheduler() -> LayeredScheduler:
+    return LayeredScheduler(mpeg_poset_for_pattern(GOP_12, 2))
+
+
+class TestLayers:
+    def test_figure3_layering(self, two_gop_scheduler):
+        layers = two_gop_scheduler.layers
+        assert [layer.members for layer in layers] == [
+            (0, 12),          # I frames of both GOPs
+            (3, 15),          # first P of each GOP
+            (6, 18),          # second P
+            (9, 21),          # third P
+            tuple(
+                i for i in range(24) if i % 12 not in (0, 3, 6, 9)
+            ),                # all B frames
+        ]
+
+    def test_critical_layers_are_anchor_layers(self, two_gop_scheduler):
+        assert two_gop_scheduler.critical_indices() == [0, 1, 2, 3]
+        assert not two_gop_scheduler.layers[4].critical
+
+    def test_layer_count_is_longest_chain(self, two_gop_scheduler):
+        assert two_gop_scheduler.layer_count == 5
+
+    def test_independent_stream_single_layer(self):
+        scheduler = LayeredScheduler(independent_poset(10))
+        assert scheduler.layer_count == 1
+        assert not scheduler.layers[0].critical
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LayeredScheduler(independent_poset(0))
+
+
+class TestPlan:
+    def test_plan_covers_every_frame_once(self, two_gop_scheduler):
+        plan = two_gop_scheduler.plan()
+        assert sorted(plan.order) == list(range(24))
+
+    def test_critical_layers_transmitted_first(self, two_gop_scheduler):
+        plan = two_gop_scheduler.plan()
+        critical_frames = {
+            offset for layer in plan.critical for offset in layer.members
+        }
+        head = plan.order[: len(critical_frames)]
+        assert set(head) == critical_frames
+
+    def test_unscrambled_plan_is_layered_identity(self, two_gop_scheduler):
+        plan = two_gop_scheduler.plan(scramble=False)
+        expected = []
+        for layer in two_gop_scheduler.layers:
+            expected.extend(layer.members)
+        assert list(plan.order) == expected
+
+    def test_scrambled_b_layer_spreads(self, two_gop_scheduler):
+        plan = two_gop_scheduler.plan({4: 8})
+        b_layer = plan.layers[4]
+        perm = plan.permutations[4]
+        from repro.core.evaluation import worst_case_clf
+
+        assert worst_case_clf(perm, 8) == 1
+
+    def test_layer_of(self, two_gop_scheduler):
+        plan = two_gop_scheduler.plan()
+        assert plan.layer_of(0) == 0
+        assert plan.layer_of(3) == 1
+        assert plan.layer_of(1) == 4
+        with pytest.raises(ConfigurationError):
+            plan.layer_of(99)
+
+    def test_prefix_budget(self, two_gop_scheduler):
+        plan = two_gop_scheduler.plan()
+        assert plan.prefix(8) == plan.order[:8]
+        with pytest.raises(ConfigurationError):
+            plan.prefix(-1)
+
+    def test_bounds_clamped(self, two_gop_scheduler):
+        plan = two_gop_scheduler.plan({4: 999})
+        assert sorted(plan.order) == list(range(24))
+
+
+class TestDecodable:
+    def test_everything_received(self, two_gop_scheduler):
+        assert two_gop_scheduler.decodable(range(24)) == list(range(24))
+
+    def test_lost_I_wipes_gop(self, two_gop_scheduler):
+        received = [i for i in range(24) if i != 0]
+        decodable = two_gop_scheduler.decodable(received)
+        # Frames of GOP 0 depend (transitively) on frame 0 — all dead
+        # except those in GOP 1 and the B frames 10, 11 that bridge into
+        # I12... which also need P9 (dead) so they die too.
+        assert all(frame >= 12 for frame in decodable)
+
+    def test_lost_B_hurts_only_itself(self, two_gop_scheduler):
+        received = [i for i in range(24) if i != 1]
+        decodable = two_gop_scheduler.decodable(received)
+        assert decodable == [i for i in range(24) if i != 1]
+
+    def test_lost_last_P_kills_dependents(self, two_gop_scheduler):
+        received = [i for i in range(24) if i != 9]
+        decodable = two_gop_scheduler.decodable(received)
+        # P9's dependents: B7, B8 (between P6 and P9) and B10, B11
+        # (between P9 and I12) — all four die with it.
+        for dead in (7, 8, 9, 10, 11):
+            assert dead not in decodable
+        assert 6 in decodable  # P6 itself survives
+        assert all(frame in decodable for frame in range(12, 24))
+
+    def test_unknown_frame_rejected(self, two_gop_scheduler):
+        with pytest.raises(PosetError):
+            two_gop_scheduler.decodable([99])

@@ -1,0 +1,154 @@
+"""Unit and property tests for repro.core.permutation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.permutation import Permutation, stride_permutation
+from repro.errors import PermutationError
+
+permutations = st.integers(min_value=1, max_value=40).flatmap(
+    lambda n: st.permutations(list(range(n)))
+)
+
+
+class TestConstruction:
+    def test_identity(self):
+        perm = Permutation.identity(5)
+        assert perm.order == (0, 1, 2, 3, 4)
+        assert perm.is_identity
+
+    def test_identity_empty(self):
+        assert len(Permutation.identity(0)) == 0
+
+    def test_identity_negative_rejected(self):
+        with pytest.raises(PermutationError):
+            Permutation.identity(-1)
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(PermutationError):
+            Permutation([0, 0, 1])
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(PermutationError):
+            Permutation([0, 3, 1])
+
+    def test_negative_rejected(self):
+        with pytest.raises(PermutationError):
+            Permutation([0, -1, 2])
+
+    def test_non_int_rejected(self):
+        with pytest.raises(PermutationError):
+            Permutation([0, "1", 2])  # type: ignore[list-item]
+
+    def test_from_slots_inverts(self):
+        # slot_of view: frame 0 -> slot 2, frame 1 -> slot 0, frame 2 -> slot 1
+        perm = Permutation.from_slots([2, 0, 1])
+        assert perm.order == (1, 2, 0)
+        assert perm.slot_of(0) == 2
+
+    def test_equality_and_hash(self):
+        assert Permutation([1, 0]) == Permutation([1, 0])
+        assert Permutation([1, 0]) != Permutation([0, 1])
+        assert hash(Permutation([1, 0])) == hash(Permutation([1, 0]))
+
+
+class TestViews:
+    def test_slot_of_matches_order(self):
+        perm = Permutation([2, 0, 3, 1])
+        for slot, frame in enumerate(perm.order):
+            assert perm.slot_of(frame) == slot
+
+    def test_slot_of_out_of_range(self):
+        with pytest.raises(PermutationError):
+            Permutation([0, 1]).slot_of(5)
+
+    def test_inverse_twice_is_identity_map(self):
+        perm = Permutation([3, 1, 0, 2])
+        assert perm.inverse().inverse() == perm
+
+    def test_getitem_and_iter(self):
+        perm = Permutation([2, 0, 1])
+        assert perm[0] == 2
+        assert list(perm) == [2, 0, 1]
+
+
+class TestApply:
+    def test_apply_example(self):
+        assert Permutation([2, 0, 1]).apply(["a", "b", "c"]) == ["c", "a", "b"]
+
+    def test_unapply_restores(self):
+        perm = Permutation([2, 0, 1])
+        assert perm.unapply(perm.apply(["a", "b", "c"])) == ["a", "b", "c"]
+
+    def test_apply_size_mismatch(self):
+        with pytest.raises(PermutationError):
+            Permutation([0, 1]).apply([1, 2, 3])
+
+    def test_unapply_size_mismatch(self):
+        with pytest.raises(PermutationError):
+            Permutation([0, 1]).unapply([1])
+
+    def test_lost_frames_sorted(self):
+        perm = Permutation([3, 1, 0, 2])
+        assert perm.lost_frames([0, 2]) == [0, 3]
+
+    def test_lost_frames_out_of_range(self):
+        with pytest.raises(PermutationError):
+            Permutation([0, 1]).lost_frames([7])
+
+    def test_compose(self):
+        a = Permutation([1, 2, 0])
+        b = Permutation([2, 0, 1])
+        composed = a.compose(b)
+        assert composed.order == tuple(a.order[t] for t in b.order)
+
+    def test_compose_size_mismatch(self):
+        with pytest.raises(PermutationError):
+            Permutation([0, 1]).compose(Permutation([0]))
+
+
+class TestStride:
+    def test_table1_stride(self):
+        perm = stride_permutation(17, 5, offset=0)
+        assert perm.order[:4] == (0, 5, 10, 15)
+
+    def test_stride_not_coprime_rejected(self):
+        with pytest.raises(PermutationError):
+            stride_permutation(8, 2)
+
+    def test_stride_offset(self):
+        perm = stride_permutation(5, 2, offset=1)
+        assert perm.order == (1, 3, 0, 2, 4)
+
+    def test_stride_zero_size_rejected(self):
+        with pytest.raises(PermutationError):
+            stride_permutation(0, 1)
+
+
+class TestProperties:
+    @given(permutations)
+    @settings(max_examples=60)
+    def test_roundtrip(self, order):
+        perm = Permutation(order)
+        window = [f"item{i}" for i in range(len(order))]
+        assert perm.unapply(perm.apply(window)) == window
+
+    @given(permutations)
+    @settings(max_examples=60)
+    def test_inverse_relationship(self, order):
+        perm = Permutation(order)
+        inverse = perm.inverse()
+        for frame in range(len(order)):
+            # inverse.order maps frame -> slot
+            assert inverse[frame] == perm.slot_of(frame)
+            assert perm.order[inverse[frame]] == frame
+
+    @given(permutations)
+    @settings(max_examples=60)
+    def test_apply_is_bijection(self, order):
+        perm = Permutation(order)
+        window = list(range(len(order)))
+        assert sorted(perm.apply(window)) == window

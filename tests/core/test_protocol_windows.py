@@ -1,0 +1,80 @@
+"""Deeper semantics of WindowResult (repro.core.protocol)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocol import ProtocolConfig, run_session
+from repro.media.gop import GOP_12
+from repro.media.stream import make_video_stream
+
+
+@pytest.fixture(scope="module")
+def lossy_result():
+    stream = make_video_stream(GOP_12, gop_count=12)
+    return run_session(stream, ProtocolConfig(p_bad=0.6, seed=19))
+
+
+class TestWindowSemantics:
+    def test_arrival_times_only_for_received(self, lossy_result):
+        for window in lossy_result.windows:
+            assert set(window.arrival_times) == window.received
+
+    def test_arrivals_before_playback_slots(self, lossy_result):
+        fps = 24.0
+        for window in lossy_result.windows:
+            for offset, arrival in window.arrival_times.items():
+                slot = window.playback_start + offset / fps
+                assert arrival <= slot + 1e-9
+
+    def test_anchors_lead_transmission_in_layered_mode(self, lossy_result):
+        for window in lossy_result.windows:
+            anchors = {
+                offset
+                for offset in range(window.frames)
+                if offset % 12 in (0, 3, 6, 9)
+            }
+            head = set(window.transmission_order[: len(anchors)])
+            assert head == anchors
+
+    def test_recovered_bounded_by_retransmissions(self, lossy_result):
+        for window in lossy_result.windows:
+            assert window.recovered <= window.retransmissions
+
+    def test_first_attempt_stats_match_network_losses(self, lossy_result):
+        for window in lossy_result.windows:
+            lost, runs, total = window.first_attempt_stats
+            assert lost == window.lost_in_network
+            assert total == window.sent
+
+    def test_layer_bursts_cover_all_layers(self, lossy_result):
+        for window in lossy_result.windows:
+            assert set(window.layer_bursts) == set(window.layer_sizes)
+
+    def test_late_frames_not_in_received(self, lossy_result):
+        for window in lossy_result.windows:
+            # received + late + never-delivered partition the sent set
+            assert len(window.received) + window.late <= window.sent
+
+
+class TestInOrderMode:
+    def test_baseline_transmission_is_playback_order(self):
+        stream = make_video_stream(GOP_12, gop_count=4)
+        config = ProtocolConfig(
+            layered=False, scramble=False, p_good=1.0, p_bad=0.0,
+            lossy_feedback=False,
+        )
+        result = run_session(stream, config)
+        for window in result.windows:
+            assert list(window.transmission_order) == list(range(window.frames))
+
+    def test_scramble_without_layering_permutes_flat(self):
+        stream = make_video_stream(GOP_12, gop_count=4)
+        config = ProtocolConfig(
+            layered=False, scramble=True, p_good=1.0, p_bad=0.0,
+            lossy_feedback=False,
+        )
+        result = run_session(stream, config)
+        window = result.windows[0]
+        assert list(window.transmission_order) != list(range(window.frames))
+        assert window.layer_sizes == {0: window.frames}

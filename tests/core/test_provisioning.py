@@ -1,0 +1,106 @@
+"""Tests for buffer provisioning (repro.core.provisioning)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.provisioning import (
+    BufferPlan,
+    burst_for_threshold,
+    delay_tradeoff,
+    max_window_for_delay,
+    plan_for_stream,
+)
+from repro.errors import ConfigurationError
+from repro.traces.synthetic import calibrated_stream
+
+
+class TestBufferPlan:
+    def test_paper_star_wars_numbers(self):
+        """§4.1: largest GOP 932710 bits ~ 113 KB; 2-GOP buffer ~226 KB."""
+        plan = BufferPlan(
+            gops_per_window=2, gop_size=12, fps=24.0, max_gop_bits=932710
+        )
+        assert plan.window_frames == 24
+        assert 113_000 < plan.buffer_bytes / 2 < 117_000
+        assert 226_000 < plan.buffer_bytes < 234_000
+        assert plan.startup_delay_seconds == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BufferPlan(0, 12, 24.0, 1000)
+        with pytest.raises(ConfigurationError):
+            BufferPlan(2, 0, 24.0, 1000)
+        with pytest.raises(ConfigurationError):
+            BufferPlan(2, 12, 0, 1000)
+        with pytest.raises(ConfigurationError):
+            BufferPlan(2, 12, 24.0, 0)
+
+    def test_burst_tolerance(self):
+        plan = BufferPlan(2, 12, 24.0, 1000)
+        assert plan.tolerable_burst_at_clf_one() == 12
+
+    def test_gops_per_second(self):
+        plan = BufferPlan(2, 12, 24.0, 1000)
+        assert plan.gops_per_second == pytest.approx(2.0)
+
+
+class TestPlanForStream:
+    def test_from_calibrated_stream(self):
+        stream = calibrated_stream("star_wars", gop_count=10, seed=1)
+        plan = plan_for_stream(stream, 2)
+        assert plan.max_gop_bits == 932710
+        assert plan.buffer_bytes == 2 * ((932710 + 7) // 8)
+
+
+class TestDelayHelpers:
+    def test_max_window_for_delay(self):
+        # GOP 12 at 24 fps = 0.5 s per GOP
+        assert max_window_for_delay(1.0, gop_size=12, fps=24.0) == 2
+        assert max_window_for_delay(4.0, gop_size=12, fps=24.0) == 8
+        assert max_window_for_delay(0.4, gop_size=12, fps=24.0) == 0
+
+    def test_max_window_validation(self):
+        with pytest.raises(ConfigurationError):
+            max_window_for_delay(-1, gop_size=12, fps=24)
+        with pytest.raises(ConfigurationError):
+            max_window_for_delay(1, gop_size=0, fps=24)
+
+    def test_delay_tradeoff_monotone(self):
+        stream = calibrated_stream("star_wars", gop_count=10, seed=1)
+        points = delay_tradeoff(stream, max_gops=6)
+        assert len(points) == 6
+        for a, b in zip(points, points[1:]):
+            assert b.startup_delay_seconds > a.startup_delay_seconds
+            assert b.buffer_bytes > a.buffer_bytes
+            assert b.burst_at_clf_one >= a.burst_at_clf_one
+
+    def test_doubling_window_doubles_tolerance(self):
+        stream = calibrated_stream("star_wars", gop_count=10, seed=1)
+        points = {p.gops_per_window: p for p in delay_tradeoff(stream, max_gops=8)}
+        assert points[8].burst_at_clf_one == 4 * points[2].burst_at_clf_one
+
+    def test_delay_tradeoff_validation(self):
+        stream = calibrated_stream("star_wars", gop_count=4, seed=1)
+        with pytest.raises(ConfigurationError):
+            delay_tradeoff(stream, max_gops=0)
+
+
+class TestBurstForThreshold:
+    def test_small_window_exact(self):
+        # n=10: CLF <= 2 tolerates b=7 (from the exhaustive table)
+        assert burst_for_threshold(10, 2) == 7
+
+    def test_threshold_one_is_antibandwidth(self):
+        assert burst_for_threshold(24, 1) == 12
+
+    def test_video_threshold_on_protocol_window(self):
+        burst = burst_for_threshold(24, 2)
+        # must be at least the CLF-1 point and below the window
+        assert 12 <= burst < 24
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            burst_for_threshold(0, 2)
+        with pytest.raises(ConfigurationError):
+            burst_for_threshold(10, 0)

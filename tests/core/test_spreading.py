@@ -1,0 +1,86 @@
+"""Tests for the ErrorSpreader facade (repro.core.spreading)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.spreading import ErrorSpreader, spread_stream, unspread_stream
+from repro.errors import ConfigurationError
+
+
+class TestErrorSpreader:
+    def test_roundtrip(self):
+        spreader = ErrorSpreader(10, 5)
+        window = list(range(10))
+        assert spreader.unscramble(spreader.scramble(window)) == window
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            ErrorSpreader(0, 1)
+        with pytest.raises(ConfigurationError):
+            ErrorSpreader(5, -1)
+
+    def test_guaranteed_clf_one_for_half(self):
+        assert ErrorSpreader(24, 12).guaranteed_clf == 1
+
+    def test_clf_for_lost_slots(self):
+        spreader = ErrorSpreader(10, 5)
+        # a burst of 5 transmission slots never hits adjacent frames
+        for start in range(6):
+            assert spreader.clf_for_lost_slots(range(start, start + 5)) == 1
+
+    def test_playback_losses_sorted(self):
+        spreader = ErrorSpreader(10, 5)
+        losses = spreader.playback_losses([0, 3, 1])
+        assert losses == sorted(losses)
+
+    def test_report_improvement(self):
+        spreader = ErrorSpreader(17, 5)
+        report = spreader.report(4, 5)
+        assert report.clf_unscrambled == 5
+        assert report.clf_scrambled == 1
+        assert report.improvement == 4
+
+    def test_report_clipped_burst(self):
+        spreader = ErrorSpreader(10, 5)
+        report = spreader.report(8, 5)
+        assert report.clf_unscrambled == 2  # only two slots remain
+
+    def test_report_invalid(self):
+        with pytest.raises(ConfigurationError):
+            ErrorSpreader(10, 5).report(-1, 2)
+
+    @given(
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=0, max_value=40),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, n, b):
+        spreader = ErrorSpreader(n, min(b, n))
+        window = [f"f{i}" for i in range(n)]
+        assert spreader.unscramble(spreader.scramble(window)) == window
+
+
+class TestStreamHelpers:
+    def test_roundtrip_exact_windows(self):
+        items = list(range(40))
+        assert unspread_stream(spread_stream(items, 10, 4), 10, 4) == items
+
+    def test_roundtrip_partial_window(self):
+        items = list(range(37))
+        assert unspread_stream(spread_stream(items, 10, 4), 10, 4) == items
+
+    def test_empty_stream(self):
+        assert spread_stream([], 5, 2) == []
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            spread_stream([1, 2], 0, 1)
+        with pytest.raises(ConfigurationError):
+            unspread_stream([1, 2], 0, 1)
+
+    def test_spread_actually_permutes(self):
+        items = list(range(20))
+        assert spread_stream(items, 20, 10) != items

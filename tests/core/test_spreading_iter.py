@@ -1,0 +1,59 @@
+"""Tests for the lazy spreading iterators (repro.core.spreading)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.spreading import spread_iter, spread_stream, unspread_iter
+from repro.errors import ConfigurationError
+
+
+class TestSpreadIter:
+    def test_matches_batch_version(self):
+        items = list(range(37))
+        lazy = list(spread_iter(iter(items), window=10, burst=4))
+        batch = spread_stream(items, 10, 4)
+        assert lazy == batch
+
+    def test_roundtrip(self):
+        items = [f"f{i}" for i in range(23)]
+        sent = spread_iter(iter(items), window=8, burst=3)
+        back = list(unspread_iter(sent, window=8, burst=3))
+        assert back == items
+
+    def test_truly_lazy(self):
+        """The generator must not consume beyond the finished windows."""
+
+        def counting():
+            for i in range(100):
+                consumed.append(i)
+                yield i
+
+        consumed = []
+        gen = spread_iter(counting(), window=10, burst=4)
+        first_window = [next(gen) for _ in range(10)]
+        assert sorted(first_window) == list(range(10))
+        assert len(consumed) <= 11  # one window plus at most one lookahead
+
+    def test_empty(self):
+        assert list(spread_iter(iter([]), window=5, burst=2)) == []
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            list(spread_iter(iter([1]), window=0, burst=1))
+        with pytest.raises(ConfigurationError):
+            list(unspread_iter(iter([1]), window=0, burst=1))
+
+    @given(
+        st.integers(min_value=0, max_value=60),
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, count, window, burst):
+        items = list(range(count))
+        sent = spread_iter(iter(items), window=window, burst=burst)
+        back = list(unspread_iter(sent, window=window, burst=burst))
+        assert back == items

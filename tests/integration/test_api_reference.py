@@ -1,0 +1,41 @@
+"""API.md must stay in sync with the public surface."""
+
+from __future__ import annotations
+
+import importlib
+import importlib.util
+import pathlib
+
+
+def test_api_md_is_current():
+    repo = pathlib.Path(__file__).resolve().parents[2]
+    generator_path = repo / "tools" / "generate_api.py"
+    spec = importlib.util.spec_from_file_location("generate_api", generator_path)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    expected = module.render()
+    actual = (repo / "API.md").read_text()
+    assert actual == expected, (
+        "API.md is stale; run `python tools/generate_api.py`"
+    )
+
+
+def test_every_export_resolves():
+    import repro
+
+    for package in (
+        "repro.core",
+        "repro.poset",
+        "repro.media",
+        "repro.traces",
+        "repro.network",
+        "repro.metrics",
+        "repro.protocols",
+        "repro.cmt",
+        "repro.experiments",
+    ):
+        module = importlib.import_module(package)
+        for name in getattr(module, "__all__", []):
+            assert getattr(module, name) is not None, f"{package}.{name}"
+

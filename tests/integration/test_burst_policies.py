@@ -1,0 +1,77 @@
+"""Integration: Equation-1 versus quantile burst policies in sessions."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.protocol import ProtocolConfig, ProtocolSession, run_session
+from repro.errors import ConfigurationError
+from repro.traces.synthetic import calibrated_stream
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return calibrated_stream("jurassic_park_corrected", gop_count=60, seed=7)
+
+
+class TestConfigValidation:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolConfig(burst_policy="vibes")
+
+    def test_bad_epsilon_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProtocolConfig(quantile_epsilon=0.0)
+
+
+class TestQuantilePolicy:
+    def test_session_runs(self, stream):
+        config = ProtocolConfig(burst_policy="quantile", p_bad=0.6, seed=4)
+        result = run_session(stream, config, max_windows=20)
+        assert len(result.windows) == 20
+
+    def test_estimator_learns_from_acks(self, stream):
+        config = ProtocolConfig(
+            burst_policy="quantile", p_bad=0.6, seed=4, lossy_feedback=False
+        )
+        session = ProtocolSession(stream, config)
+        session.run(max_windows=25)
+        estimator = session.channel_estimator
+        assert estimator.windows_observed > 15
+        # The fitted p_bad should resemble the configured channel.
+        assert 0.3 < estimator.p_bad < 0.8
+
+    def test_ack_carries_statistics(self, stream):
+        config = ProtocolConfig(p_bad=0.6, seed=4)
+        result = run_session(stream, config, max_windows=5)
+        for window in result.windows:
+            lost, runs, total = window.first_attempt_stats
+            assert 0 <= runs <= lost <= total
+            assert total == window.sent
+
+    def test_policies_comparable_quality(self, stream):
+        base = ProtocolConfig(p_bad=0.6, seed=9)
+        eq1 = run_session(stream, base, max_windows=25)
+        quant = run_session(
+            stream, replace(base, burst_policy="quantile"), max_windows=25
+        )
+        # Both adaptive policies keep CLF in the same healthy band.
+        assert abs(eq1.mean_clf - quant.mean_clf) < 1.0
+
+    def test_quantile_designs_tighter_bounds_on_mild_channels(self, stream):
+        """On a mild channel the quantile policy converges to a small
+        bound, while Equation 1 (seeded at half-window) stays higher for
+        the B layer early on."""
+        config = ProtocolConfig(
+            burst_policy="quantile",
+            p_good=0.99,
+            p_bad=0.3,
+            seed=2,
+            lossy_feedback=False,
+        )
+        session = ProtocolSession(stream, config)
+        session.run(max_windows=30)
+        bound = session.channel_estimator.burst_quantile(config.quantile_epsilon)
+        assert bound <= 4

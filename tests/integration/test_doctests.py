@@ -1,0 +1,45 @@
+"""Run the usage examples embedded in docstrings."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.core.cpo
+import repro.core.evaluation
+import repro.core.permutation
+import repro.core.spreading
+import repro.media.gop
+import repro.media.ldu
+import repro.metrics.continuity
+import repro.poset.builders
+import repro.protocols.cyclic_udp
+import repro.protocols.ibo
+import repro.protocols.priority
+import repro.traces.catalog
+import repro.traces.synthetic
+
+MODULES = [
+    repro.core.cpo,
+    repro.core.evaluation,
+    repro.core.permutation,
+    repro.core.spreading,
+    repro.media.gop,
+    repro.media.ldu,
+    repro.metrics.continuity,
+    repro.poset.builders,
+    repro.protocols.cyclic_udp,
+    repro.protocols.ibo,
+    repro.protocols.priority,
+    repro.traces.catalog,
+    repro.traces.synthetic,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0, f"{result.failed} doctest(s) failed in {module.__name__}"
+    # every listed module should actually contain at least one example
+    assert result.attempted > 0, f"no doctests found in {module.__name__}"

@@ -1,0 +1,99 @@
+"""Integration: cross-module invariants of full streaming sessions."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core.protocol import ProtocolConfig, run_session
+from repro.metrics.continuity import consecutive_loss
+from repro.metrics.perception import VIDEO_PROFILE
+from repro.protocols.concealment import conceal, report
+from repro.traces.synthetic import calibrated_stream
+
+
+@pytest.fixture(scope="module")
+def session_result(jurassic_stream):
+    config = ProtocolConfig(p_bad=0.6, seed=33)
+    return run_session(jurassic_stream, config)
+
+
+class TestSessionInvariants:
+    def test_window_clf_consistent_with_decodable(self, session_result):
+        for window in session_result.windows:
+            indicator = [
+                0 if offset in window.decodable else 1
+                for offset in range(window.frames)
+            ]
+            assert window.clf == consecutive_loss(indicator)
+            assert window.unit_losses == sum(indicator)
+
+    def test_series_matches_windows(self, session_result):
+        assert session_result.series.clf_values == [
+            w.clf for w in session_result.windows
+        ]
+
+    def test_overall_report_aggregates(self, session_result):
+        overall = session_result.overall_report
+        assert overall.slots == sum(w.frames for w in session_result.windows)
+        # stream CLF counts window-straddling runs, so it can exceed —
+        # but never undercut — the worst per-window CLF.
+        assert overall.clf >= max(w.clf for w in session_result.windows)
+        assert session_result.stream_clf == overall.clf
+
+    def test_stream_clf_straddling_construction(self, jurassic_stream):
+        """A blackout spanning a window boundary shows up as one run."""
+        from repro.core.protocol import ProtocolConfig, run_session
+
+        config = ProtocolConfig(p_good=0.0, p_bad=1.0, seed=1)
+        result = run_session(jurassic_stream, config, max_windows=3)
+        assert result.stream_clf == sum(w.frames for w in result.windows)
+        assert max(w.clf for w in result.windows) == result.windows[0].frames
+
+    def test_packet_accounting(self, session_result):
+        assert 0 < session_result.packets_lost < session_result.packets_offered
+
+    def test_perceptual_assessment_runs(self, session_result):
+        acceptable = sum(
+            1
+            for w in session_result.windows
+            if VIDEO_PROFILE.acceptable_clf(w.clf)
+        )
+        assert acceptable > len(session_result.windows) // 2
+
+
+class TestConcealmentOnSessions:
+    def test_concealment_improves_with_scrambling(self, jurassic_stream):
+        base = ProtocolConfig(p_bad=0.7, seed=12, retransmit_anchors=False)
+        scrambled = run_session(jurassic_stream, base)
+        unscrambled = run_session(
+            jurassic_stream, replace(base, layered=False, scramble=False)
+        )
+
+        def worst_freeze(result):
+            worst = 0
+            for window in result.windows:
+                records = conceal(sorted(window.decodable), window.frames)
+                worst = max(worst, report(records).max_freeze)
+            return worst
+
+        assert worst_freeze(scrambled) <= worst_freeze(unscrambled)
+
+
+class TestClosedGops:
+    def test_closed_gops_session_runs(self, jurassic_stream):
+        config = ProtocolConfig(p_bad=0.6, seed=9, closed_gops=True)
+        result = run_session(jurassic_stream, config, max_windows=8)
+        assert len(result.windows) == 8
+
+    def test_closed_gops_weakly_easier(self, jurassic_stream):
+        """Closed GOPs remove cross-GOP edges; losing the previous GOP's
+        last P then hurts fewer frames."""
+        open_cfg = ProtocolConfig(p_bad=0.7, seed=2, closed_gops=False)
+        closed_cfg = ProtocolConfig(p_bad=0.7, seed=2, closed_gops=True)
+        open_result = run_session(jurassic_stream, open_cfg, max_windows=10)
+        closed_result = run_session(jurassic_stream, closed_cfg, max_windows=10)
+        open_losses = sum(w.unit_losses for w in open_result.windows)
+        closed_losses = sum(w.unit_losses for w in closed_result.windows)
+        assert closed_losses <= open_losses + 5

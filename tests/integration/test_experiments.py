@@ -1,0 +1,80 @@
+"""Integration: the experiment harness reproduces the paper's shapes.
+
+These run the real experiment code at reduced scale (fewer windows) so
+the full suite stays fast; the benchmarks run the full-size versions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.config import FIGURE8_TOP, Figure8Config
+from repro.experiments.figure8 import run_figure8, run_figure8_multi
+from repro.experiments.figure11 import run_figure11
+from repro.experiments.figure12 import run_figure12
+from repro.experiments.layering import run_layering
+from repro.experiments.orthogonal import run_orthogonal
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.theorem1 import run_theorem1
+
+
+class TestTables:
+    def test_table1_shape(self):
+        result = run_table1()
+        assert result.shape_holds
+        assert result.transmission_order_1based() == [
+            1, 6, 11, 16, 4, 9, 14, 2, 7, 12, 17, 5, 10, 15, 3, 8, 13
+        ]
+        # every burst position keeps CLF at 1
+        assert all(clf == 1 for _, clf in result.per_position)
+
+    def test_table2_shape(self):
+        result = run_table2()
+        assert result.shape_holds
+        assert "IBO" in result.render()
+
+
+class TestTheorem1:
+    def test_small_grid_certified(self):
+        result = run_theorem1(small_n=(4, 6, 8, 10), large_n=(17, 24))
+        assert result.all_small_optimal
+        assert result.max_gap <= 1
+
+
+class TestFigures:
+    def test_figure8_single_run(self):
+        config = replace(FIGURE8_TOP, windows=40)
+        result = run_figure8(config)
+        # Mean improvement is robust per run; deviation needs pooling.
+        assert result.scrambled.mean_clf < result.unscrambled.mean_clf
+        assert len(result.scrambled.windows) == 40
+
+    def test_figure8_pooled_shape(self):
+        config = replace(FIGURE8_TOP, windows=40)
+        aggregate = run_figure8_multi(config, seeds=4)
+        assert aggregate.shape_holds
+
+    def test_figure11_reduced(self):
+        result = run_figure11(bandwidths=(600_000.0, 1_200_000.0), windows=40)
+        assert result.shape_holds
+        assert len(result.points) == 2
+
+    def test_figure12_reduced(self):
+        result = run_figure12(buffer_gops=(2, 4), windows=40)
+        assert len(result.points) == 2
+        for point in result.points:
+            assert point.scrambled_mean <= point.unscrambled_mean
+
+    def test_orthogonal_reduced(self):
+        result = run_orthogonal(windows=80)
+        assert result.shape_holds
+
+    def test_layering_reduced(self):
+        result = run_layering(windows=40)
+        assert result.shape_holds
+        rows = {name: mean for name, mean, _, _ in result.rows()}
+        # layering alone cannot beat retransmission; the full scheme wins.
+        assert rows["full scheme"] <= rows["retransmit only"]

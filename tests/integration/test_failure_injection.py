@@ -1,0 +1,132 @@
+"""Failure injection: pathological inputs the engine must survive."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocol import ProtocolConfig, run_session
+from repro.media.gop import GOP_12, GopPattern
+from repro.media.ldu import FrameType, Ldu
+from repro.media.stream import MediaStream, VideoStream, make_video_stream
+
+
+class TestOversizedFrames:
+    def test_frame_larger_than_cycle_budget(self):
+        """A frame that can never serialize within a cycle is dropped at
+        the sender every window — no hang, accounting stays closed."""
+        # One-second windows at 100 kbps = 100 kbit budget; make the I
+        # frame 1 Mbit.
+        sizes = []
+        for i in range(48):
+            sizes.append(1_000_000 if i % 12 == 0 else 1_000)
+        stream = make_video_stream(GOP_12, gop_count=4, sizes_bits=sizes)
+        config = ProtocolConfig(
+            bandwidth_bps=100_000.0,
+            p_good=1.0,
+            p_bad=0.0,
+            lossy_feedback=False,
+        )
+        result = run_session(stream, config)
+        for window in result.windows:
+            assert window.sent + window.dropped_at_sender == window.frames
+            assert window.dropped_at_sender >= 2  # both I frames
+            # losing every I kills all decodability
+            assert window.clf == window.frames
+
+    def test_zero_size_frames(self):
+        """Zero-bit frames still occupy a packet and flow through."""
+        ldus = tuple(
+            Ldu(index=i, frame_type=GOP_12.type_at(i), size_bits=0)
+            for i in range(24)
+        )
+        stream = VideoStream(ldus=ldus, fps=24.0, pattern=GOP_12)
+        config = ProtocolConfig(p_good=1.0, p_bad=0.0, lossy_feedback=False)
+        result = run_session(stream, config)
+        assert result.mean_clf == 0.0
+
+
+class TestPathologicalChannels:
+    def test_total_blackout(self):
+        stream = make_video_stream(GOP_12, gop_count=4)
+        config = ProtocolConfig(p_good=0.0, p_bad=1.0, seed=1)
+        result = run_session(stream, config)
+        for window in result.windows:
+            assert window.clf == window.frames
+            assert len(window.decodable) == 0
+
+    def test_blackout_then_recovery_behaviour(self):
+        """The estimator saturates during a blackout but the session
+        keeps running and the permutation stays valid."""
+        stream = make_video_stream(GOP_12, gop_count=8)
+        config = ProtocolConfig(
+            p_good=0.5, p_bad=0.95, seed=3, burst_policy="quantile"
+        )
+        result = run_session(stream, config)
+        for window in result.windows:
+            assert sorted(window.transmission_order) == list(range(window.frames))
+
+    def test_rtt_longer_than_cycle(self):
+        """Feedback arrives too late to ever be used; the protocol keeps
+        its initial estimates and still works."""
+        stream = make_video_stream(GOP_12, gop_count=6)
+        config = ProtocolConfig(rtt=5.0, p_bad=0.5, seed=2)
+        result = run_session(stream, config)
+        assert len(result.windows) == 3
+        # ACKs were sent but none could influence a later window in time
+        assert result.acks_sent == 3
+
+    def test_ack_channel_dead(self):
+        stream = make_video_stream(GOP_12, gop_count=6)
+        config = ProtocolConfig(p_bad=0.6, seed=2)
+        from repro.core.protocol import ProtocolSession
+        from repro.network.channel import SimulatedChannel
+        from repro.network.markov import GilbertModel
+
+        forward = SimulatedChannel(
+            bandwidth_bps=config.bandwidth_bps,
+            propagation_delay=config.rtt / 2,
+            loss_model=GilbertModel(p_good=0.92, p_bad=0.6, seed=2),
+        )
+        dead_feedback = SimulatedChannel(
+            bandwidth_bps=config.bandwidth_bps,
+            propagation_delay=config.rtt / 2,
+            loss_model=GilbertModel(p_good=0.0, p_bad=1.0),
+        )
+        session = ProtocolSession(stream, config, channels=(forward, dead_feedback))
+        result = session.run()
+        assert result.acks_lost == result.acks_sent
+        assert result.acks_used == 0
+
+
+class TestDegenerateStreams:
+    def test_single_frame_windows(self):
+        ldus = tuple(Ldu(index=i, frame_type=FrameType.X, size_bits=1000) for i in range(5))
+        stream = MediaStream(ldus=ldus, fps=30.0)
+        config = ProtocolConfig(
+            gops_per_window=1, gop_size=1, p_bad=0.5, seed=1
+        )
+        result = run_session(stream, config)
+        assert len(result.windows) == 5
+        for window in result.windows:
+            assert window.frames == 1
+            assert window.clf in (0, 1)
+
+    def test_partial_final_window(self):
+        stream = make_video_stream(GopPattern.parse("IBB"), gop_count=3)  # 9 frames
+        config = ProtocolConfig(
+            gops_per_window=2, gop_size=3, p_good=1.0, p_bad=0.0,
+            lossy_feedback=False, bandwidth_bps=20_000_000.0,
+        )
+        result = run_session(stream, config)
+        assert [w.frames for w in result.windows] == [6, 3]
+        assert result.mean_clf == 0.0
+
+    def test_i_only_stream(self):
+        stream = make_video_stream(GopPattern.parse("I"), gop_count=20)
+        config = ProtocolConfig(
+            gops_per_window=10, gop_size=1, p_bad=0.6, seed=4
+        )
+        result = run_session(stream, config)
+        # no frame depends on any other: losses never amplify
+        for window in result.windows:
+            assert window.unit_losses == window.frames - len(window.received)

@@ -1,0 +1,42 @@
+"""Integration: GOP-15 / 30 fps streams (the trace set's other format)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocol import ProtocolConfig, compare_schemes, run_session
+from repro.media.gop import GOP_15
+from repro.traces.catalog import TraceSpec
+from repro.traces.synthetic import calibrated_stream_for_spec
+
+
+@pytest.fixture(scope="module")
+def gop15_stream():
+    spec = TraceSpec("star_wars_gop15", max_gop_bits=932710, gop_size=15, fps=30.0)
+    return calibrated_stream_for_spec(spec, gop_count=40, seed=7)
+
+
+class TestGop15Streams:
+    def test_pattern_synthesized_correctly(self, gop15_stream):
+        assert gop15_stream.fps == 30.0
+        assert gop15_stream.gop_size == 15
+        assert str(gop15_stream.pattern) == str(GOP_15)
+        assert gop15_stream.max_gop_bits() == 932710
+
+    def test_session_runs(self, gop15_stream):
+        config = ProtocolConfig(
+            gops_per_window=2, gop_size=15, p_bad=0.6, seed=3
+        )
+        result = run_session(gop15_stream, config)
+        assert len(result.windows) == 20
+        for window in result.windows:
+            assert window.frames == 30
+            # GOP-15 layering: I, P1..P4, B => 6 layers
+            assert len(window.layer_sizes) == 6
+
+    def test_spreading_wins_at_gop15(self, gop15_stream):
+        config = ProtocolConfig(
+            gops_per_window=2, gop_size=15, p_bad=0.6, seed=9
+        )
+        scrambled, unscrambled = compare_schemes(gop15_stream, config)
+        assert scrambled.mean_clf < unscrambled.mean_clf

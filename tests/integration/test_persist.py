@@ -1,0 +1,78 @@
+"""Tests for session persistence (repro.experiments.persist)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.protocol import ProtocolConfig, run_session
+from repro.errors import ConfigurationError
+from repro.experiments.persist import (
+    SCHEMA_VERSION,
+    load_session_summary,
+    save_session,
+    series_from_saved,
+    session_to_dict,
+)
+from repro.media.gop import GOP_12
+from repro.media.stream import make_video_stream
+
+
+@pytest.fixture(scope="module")
+def session_result():
+    stream = make_video_stream(GOP_12, gop_count=6)
+    return run_session(stream, ProtocolConfig(p_bad=0.6, seed=13))
+
+
+class TestSerialization:
+    def test_dict_shape(self, session_result):
+        data = session_to_dict(session_result)
+        assert data["schema"] == SCHEMA_VERSION
+        assert len(data["windows"]) == len(session_result.windows)
+        assert data["summary"]["mean_clf"] == session_result.mean_clf
+        assert data["config"]["p_bad"] == 0.6
+
+    def test_json_round_trip(self, session_result, tmp_path):
+        path = tmp_path / "session.json"
+        save_session(session_result, path)
+        data = load_session_summary(path)
+        assert data["clf_series"] == list(session_result.series.clf_values)
+        assert data["packets"]["offered"] == session_result.packets_offered
+
+    def test_series_rebuild(self, session_result, tmp_path):
+        path = tmp_path / "session.json"
+        save_session(session_result, path)
+        data = load_session_summary(path)
+        series = series_from_saved(data, label="restored")
+        assert series.clf_summary.mean == pytest.approx(session_result.mean_clf)
+
+    def test_windows_fully_described(self, session_result):
+        data = session_to_dict(session_result)
+        window = data["windows"][0]
+        assert sorted(window["transmission_order"]) == list(range(window["frames"]))
+        assert set(window["decodable"]) <= set(window["received"])
+
+
+class TestValidation:
+    def test_schema_mismatch(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": 999}))
+        with pytest.raises(ConfigurationError):
+            load_session_summary(path)
+
+    def test_series_window_mismatch(self, session_result, tmp_path):
+        data = session_to_dict(session_result)
+        data["clf_series"] = data["clf_series"][:-1]
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(data))
+        with pytest.raises(ConfigurationError):
+            load_session_summary(path)
+
+    def test_clf_mismatch(self, session_result, tmp_path):
+        data = session_to_dict(session_result)
+        data["clf_series"][0] = data["clf_series"][0] + 1
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(data))
+        with pytest.raises(ConfigurationError):
+            load_session_summary(path)

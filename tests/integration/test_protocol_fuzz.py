@@ -1,0 +1,117 @@
+"""Property-based fuzzing of the protocol engine over random configs.
+
+Every generated session must satisfy the engine's structural invariants
+regardless of channel behaviour, window size or stream shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.protocol import ProtocolConfig, run_session
+from repro.media.gop import GopPattern
+from repro.media.stream import make_independent_stream, make_video_stream
+
+patterns = st.sampled_from(
+    [
+        GopPattern.parse("IBBPBB"),
+        GopPattern.parse("IBBPBBPBBPBB"),
+        GopPattern.parse("IPPP"),
+        GopPattern.parse("IB"),
+    ]
+)
+
+
+@st.composite
+def video_sessions(draw):
+    pattern = draw(patterns)
+    gops = draw(st.integers(min_value=2, max_value=6))
+    stream = make_video_stream(pattern, gop_count=gops)
+    config = ProtocolConfig(
+        gops_per_window=draw(st.integers(min_value=1, max_value=2)),
+        gop_size=pattern.size,
+        bandwidth_bps=draw(st.sampled_from([400_000.0, 1_200_000.0, 8_000_000.0])),
+        rtt=draw(st.sampled_from([0.0, 0.023, 0.2])),
+        p_good=draw(st.sampled_from([1.0, 0.95, 0.9, 0.8])),
+        p_bad=draw(st.sampled_from([0.0, 0.5, 0.8])),
+        layered=draw(st.booleans()),
+        scramble=draw(st.booleans()),
+        retransmit_anchors=draw(st.booleans()),
+        lossy_feedback=draw(st.booleans()),
+        seed=draw(st.integers(min_value=0, max_value=10_000)),
+    )
+    return stream, config
+
+
+@given(video_sessions())
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_session_invariants(case):
+    stream, config = case
+    result = run_session(stream, config)
+    assert len(result.windows) >= 1
+    for window in result.windows:
+        # transmission order is a permutation of the window
+        assert sorted(window.transmission_order) == list(range(window.frames))
+        # accounting closes
+        assert window.sent + window.dropped_at_sender == window.frames
+        assert window.lost_in_network <= window.sent
+        # playout consistency
+        assert window.decodable <= window.received
+        assert 0 <= window.clf <= window.unit_losses <= window.frames
+        assert 0.0 <= window.alf <= 1.0
+        # layer bookkeeping covers the window exactly once
+        assert sum(window.layer_sizes.values()) == window.frames
+        for layer, burst in window.layer_bursts.items():
+            assert 0 <= burst <= window.layer_sizes[layer]
+    assert result.acks_sent == len(result.windows)
+    assert result.acks_used + result.acks_lost <= result.acks_sent
+    assert result.packets_lost <= result.packets_offered
+
+
+@given(
+    st.integers(min_value=10, max_value=80),
+    st.integers(min_value=2, max_value=40),
+    st.sampled_from([0.0, 0.5, 0.9]),
+    st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=30, deadline=None)
+def test_independent_stream_invariants(count, window, p_bad, seed):
+    stream = make_independent_stream(count, fps=30.0)
+    config = ProtocolConfig(
+        gops_per_window=1,
+        gop_size=window,
+        p_good=0.9,
+        p_bad=p_bad,
+        bandwidth_bps=4_000_000.0,
+        seed=seed,
+    )
+    result = run_session(stream, config)
+    for result_window in result.windows:
+        # independent streams: single flat layer, nothing retransmitted
+        assert result_window.retransmissions == 0
+        assert list(result_window.layer_sizes) == [0]
+
+
+def test_lossless_channel_is_invariant_under_everything():
+    """With no loss and ample bandwidth, every mode plays out cleanly."""
+    stream = make_video_stream(GopPattern.parse("IBBPBB"), gop_count=4)
+    for layered in (False, True):
+        for scramble in (False, True):
+            config = ProtocolConfig(
+                gops_per_window=2,
+                gop_size=6,
+                p_good=1.0,
+                p_bad=0.0,
+                bandwidth_bps=50_000_000.0,
+                layered=layered,
+                scramble=scramble,
+                lossy_feedback=False,
+            )
+            result = run_session(stream, config)
+            assert result.mean_clf == 0.0

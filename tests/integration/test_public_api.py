@@ -1,0 +1,84 @@
+"""Integration: the public API flows a downstream user would write."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import (
+    ErrorSpreader,
+    GilbertModel,
+    ProtocolConfig,
+    calculate_permutation,
+    calibrated_stream,
+    compare_schemes,
+    consecutive_loss,
+    measure_lost_set,
+    run_session,
+    worst_case_clf,
+)
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+
+class TestQuickstartFlow:
+    """The README quickstart, executed."""
+
+    def test_quickstart(self):
+        spreader = ErrorSpreader(n=24, b=8)
+        sent = spreader.scramble(list(range(24)))
+        assert sorted(sent) == list(range(24))
+        back = spreader.unscramble(sent)
+        assert back == list(range(24))
+        clf = spreader.clf_for_lost_slots(range(4, 12))
+        assert clf == 1  # burst of 8 <= 24/2 -> CLF 1 guaranteed
+
+    def test_permutation_certificate(self):
+        perm = calculate_permutation(24, 8)
+        assert worst_case_clf(perm, 8) == 1
+
+
+class TestStreamingFlow:
+    def test_mpeg_session_end_to_end(self):
+        stream = calibrated_stream("jurassic_park_corrected", gop_count=20, seed=3)
+        config = ProtocolConfig(p_bad=0.6, seed=17)
+        scrambled, unscrambled = compare_schemes(stream, config, max_windows=10)
+        assert len(scrambled.windows) == 10
+        assert scrambled.mean_clf <= unscrambled.mean_clf + 0.5
+
+    def test_measurement_pipeline(self):
+        """Channel -> lost slots -> permutation -> playback CLF."""
+        model = GilbertModel(p_good=0.9, p_bad=0.6, seed=5)
+        outcomes = model.losses(24)
+        lost_slots = [i for i, lost in enumerate(outcomes) if lost]
+        spreader = ErrorSpreader(24, 12)
+        scrambled_clf = spreader.clf_for_lost_slots(lost_slots)
+        in_order_clf = measure_lost_set(lost_slots, 24).clf
+        assert scrambled_clf <= in_order_clf
+
+
+class TestAudioFlow:
+    def test_audio_stream_session(self):
+        from repro.media import make_audio_ldus
+        from repro.media.stream import MediaStream
+
+        ldus = tuple(make_audio_ldus(240))
+        stream = MediaStream(ldus=ldus, fps=30.0, name="phone")
+        config = ProtocolConfig(
+            gops_per_window=1,
+            gop_size=30,
+            p_bad=0.6,
+            seed=4,
+            bandwidth_bps=256_000,
+        )
+        result = run_session(stream, config)
+        assert len(result.windows) == 8
+        # Audio LDUs are independent: a single layer, no retransmissions.
+        assert all(w.retransmissions == 0 for w in result.windows)

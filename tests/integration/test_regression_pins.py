@@ -1,0 +1,62 @@
+"""Regression pins: exact seeded outputs of key pipelines.
+
+These tests freeze the numeric behaviour of the main deterministic
+pipelines (seeded channels, seeded traces, seeded permutation search).
+A failure here means behaviour changed — which may be fine, but must be
+a conscious decision: re-pin after verifying EXPERIMENTS.md still holds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cpo import calculate_permutation
+from repro.core.evaluation import worst_case_clf
+from repro.network.markov import GilbertModel
+from repro.traces.synthetic import calibrated_stream
+
+
+class TestPermutationPins:
+    def test_table1_permutation(self):
+        perm = calculate_permutation(17, 5)
+        # the parity split is chosen for b <= n/2
+        assert perm.order == (
+            0, 2, 4, 6, 8, 10, 12, 14, 16, 1, 3, 5, 7, 9, 11, 13, 15
+        )
+
+    def test_protocol_window_permutation(self):
+        perm = calculate_permutation(16, 9)
+        assert worst_case_clf(perm, 9) == 2
+        assert sorted(perm.order) == list(range(16))
+
+    def test_large_burst_permutation_certificate(self):
+        perm = calculate_permutation(24, 20)
+        assert worst_case_clf(perm, 20) == 5
+
+
+class TestChannelPins:
+    def test_gilbert_prefix(self):
+        model = GilbertModel(p_good=0.92, p_bad=0.6, seed=42)
+        assert model.losses(20) == [False] * 20
+        follow_up = model.losses(60)
+        assert sum(follow_up) == 10
+        assert follow_up.index(True) == 4
+
+
+class TestTracePins:
+    def test_calibrated_stream_head(self):
+        stream = calibrated_stream("jurassic_park_corrected", gop_count=4, seed=7)
+        sizes = [ldu.size_bits for ldu in stream][:6]
+        assert sizes == [104741, 23678, 21421, 26697, 9399, 13460]
+        assert stream.max_gop_bits() == 627760
+
+
+class TestSessionPins:
+    def test_figure8_top_panel_numbers(self):
+        """The exact single-run numbers recorded in EXPERIMENTS.md."""
+        from repro.experiments.config import FIGURE8_TOP
+        from repro.experiments.figure8 import run_figure8
+
+        result = run_figure8(FIGURE8_TOP)
+        assert result.scrambled.mean_clf == pytest.approx(1.22, abs=0.005)
+        assert result.unscrambled.mean_clf == pytest.approx(1.78, abs=0.005)

@@ -1,0 +1,101 @@
+"""Tests for the reporting helpers (repro.experiments.reporting)."""
+
+from __future__ import annotations
+
+from repro.experiments.reporting import (
+    format_cell,
+    render_loss_map,
+    render_series,
+    render_table,
+)
+
+
+class TestFormatCell:
+    def test_float_two_decimals(self):
+        assert format_cell(1.23456) == "1.23"
+
+    def test_int_plain(self):
+        assert format_cell(42) == "42"
+
+    def test_string_passthrough(self):
+        assert format_cell("x") == "x"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        table = render_table(
+            ["name", "value"],
+            [("a", 1), ("long-name", 22)],
+            title="demo",
+        )
+        lines = table.splitlines()
+        assert lines[0] == "demo"
+        assert lines[1].startswith("name")
+        assert set(lines[2]) <= {"-", " "}
+        # columns align: 'value' header starts where values start
+        header_col = lines[1].index("value")
+        assert lines[3][header_col:].startswith("1")
+
+    def test_no_title(self):
+        table = render_table(["a"], [(1,)])
+        assert table.splitlines()[0] == "a"
+
+    def test_wide_cells_stretch_columns(self):
+        table = render_table(["h"], [("wider-than-header",)])
+        lines = table.splitlines()
+        assert len(lines[1]) >= len("wider-than-header")
+
+    def test_empty_rows(self):
+        table = render_table(["a", "b"], [])
+        assert len(table.splitlines()) == 2
+
+
+class TestRenderLossMap:
+    class _Window:
+        def __init__(self, frames, decodable):
+            self.frames = frames
+            self.decodable = decodable
+
+    def test_map_rows(self):
+        windows = [
+            self._Window(4, {0, 2, 3}),
+            self._Window(4, set()),
+        ]
+        text = render_loss_map(windows, label="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert lines[1].endswith(".x..")
+        assert lines[2].endswith("xxxx")
+
+    def test_truncation(self):
+        windows = [self._Window(2, {0, 1})] * 5
+        text = render_loss_map(windows, max_windows=3)
+        assert "not shown" in text
+        assert text.count("w0") == 3
+
+    def test_protocol_windows_accepted(self):
+        from repro.core.protocol import ProtocolConfig, run_session
+        from repro.media.gop import GOP_12
+        from repro.media.stream import make_video_stream
+
+        stream = make_video_stream(GOP_12, gop_count=2)
+        result = run_session(
+            stream,
+            ProtocolConfig(p_good=1.0, p_bad=0.0, lossy_feedback=False,
+                           bandwidth_bps=50_000_000.0),
+        )
+        text = render_loss_map(result.windows)
+        assert "x" not in text.splitlines()[1]
+
+
+class TestRenderSeries:
+    def test_chunks(self):
+        text = render_series("label", list(range(60)), per_line=25)
+        lines = text.splitlines()
+        assert lines[0] == "label"
+        assert len(lines) == 4  # 25 + 25 + 10
+        assert "[  0.. 24]" in lines[1]
+        assert "[ 50.. 59]" in lines[3]
+
+    def test_empty_series(self):
+        assert render_series("empty", []) == "empty"

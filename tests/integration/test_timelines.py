@@ -1,0 +1,60 @@
+"""Integration: rate/drift metrics applied to protocol sessions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocol import ProtocolConfig, run_session
+from repro.media.gop import GOP_12
+from repro.media.stream import make_video_stream
+from repro.metrics.rates import measure_drift, measure_rate
+
+
+@pytest.fixture(scope="module")
+def stream():
+    return make_video_stream(GOP_12, gop_count=8)
+
+
+class TestArrivalTimelines:
+    def test_lossless_everything_arrives_early(self, stream):
+        config = ProtocolConfig(
+            p_good=1.0, p_bad=0.0, lossy_feedback=False,
+            bandwidth_bps=20_000_000.0,
+        )
+        result = run_session(stream, config)
+        for window in result.windows:
+            timeline = window.arrival_timeline(stream.fps)
+            drifts = timeline.drifts_in_slots()
+            assert all(d is not None for d in drifts)
+            # data arrives before playback: drift is never positive
+            assert all(d <= 0 for d in drifts if d is not None)
+
+    def test_drift_report_counts_losses(self, stream):
+        config = ProtocolConfig(p_bad=0.7, seed=3)
+        result = run_session(stream, config)
+        lossy_windows = [w for w in result.windows if w.unit_losses]
+        assert lossy_windows
+        for window in lossy_windows:
+            timeline = window.arrival_timeline(stream.fps)
+            # tolerance is irrelevant for missing frames: they always drift
+            report = measure_drift(timeline, tolerance_slots=10_000)
+            assert report.drifting == window.unit_losses
+
+    def test_arrival_rate_tracks_transmission(self, stream):
+        """With a generous window, arrivals pace at the channel rate, so
+        the arrival-rate factor exceeds 1 (frames arrive faster than
+        playback consumes them)."""
+        config = ProtocolConfig(
+            p_good=1.0, p_bad=0.0, lossy_feedback=False,
+            bandwidth_bps=20_000_000.0,
+        )
+        result = run_session(stream, config)
+        timeline = result.windows[0].arrival_timeline(stream.fps)
+        report = measure_rate(timeline, window=6)
+        assert report.max_rate_factor > 1.0
+
+    def test_timeline_lengths(self, stream):
+        config = ProtocolConfig(seed=1)
+        result = run_session(stream, config)
+        for window in result.windows:
+            assert len(window.arrival_timeline(stream.fps)) == window.frames

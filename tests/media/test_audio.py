@@ -1,0 +1,76 @@
+"""Tests for the audio stream builder (repro.media.audio)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StreamError
+from repro.media.audio import (
+    AudioConfig,
+    make_audio_stream,
+    talk_spurt_activity,
+    voice_activity_factor,
+)
+from repro.media.ldu import AUDIO_SAMPLES_PER_LDU
+
+
+class TestAudioConfig:
+    def test_defaults(self):
+        config = AudioConfig()
+        assert config.ldu_count == 1800
+        assert config.active_ldu_bits == AUDIO_SAMPLES_PER_LDU * 8
+
+    def test_validation(self):
+        with pytest.raises(StreamError):
+            AudioConfig(duration_seconds=0)
+        with pytest.raises(StreamError):
+            AudioConfig(ldu_rate=0)
+        with pytest.raises(StreamError):
+            AudioConfig(bits_per_sample=0)
+        with pytest.raises(StreamError):
+            AudioConfig(mean_talk_spurt_seconds=0)
+
+
+class TestBuilder:
+    def test_constant_sizes_without_suppression(self):
+        stream = make_audio_stream(AudioConfig(duration_seconds=2))
+        assert len(stream) == 60
+        assert len({ldu.size_bits for ldu in stream}) == 1
+
+    def test_no_dependencies(self):
+        stream = make_audio_stream(AudioConfig(duration_seconds=1))
+        assert not stream.has_dependencies
+
+    def test_suppression_shrinks_silent_ldus(self):
+        config = AudioConfig(duration_seconds=30, silence_suppression=True, seed=1)
+        stream = make_audio_stream(config)
+        sizes = {ldu.size_bits for ldu in stream}
+        assert config.comfort_noise_bits in sizes
+        assert config.active_ldu_bits in sizes
+
+    def test_activity_factor_reasonable(self):
+        config = AudioConfig(
+            duration_seconds=300, silence_suppression=True, seed=2
+        )
+        stream = make_audio_stream(config)
+        factor = voice_activity_factor(stream, config)
+        # mean talk 1.2s / (1.2 + 1.8) = 40% expected activity
+        assert 0.25 < factor < 0.55
+
+    def test_deterministic(self):
+        config = AudioConfig(duration_seconds=10, silence_suppression=True, seed=5)
+        a = make_audio_stream(config)
+        b = make_audio_stream(config)
+        assert [l.size_bits for l in a] == [l.size_bits for l in b]
+
+
+class TestTalkSpurts:
+    def test_length(self):
+        config = AudioConfig(duration_seconds=10, seed=1)
+        assert len(talk_spurt_activity(config)) == config.ldu_count
+
+    def test_alternates(self):
+        config = AudioConfig(duration_seconds=120, seed=3)
+        activity = talk_spurt_activity(config)
+        transitions = sum(1 for a, b in zip(activity, activity[1:]) if a != b)
+        assert transitions > 10  # spurts and silences both occur

@@ -1,0 +1,94 @@
+"""Tests for GOP structures (repro.media.gop)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GopPatternError
+from repro.media.gop import GOP_12, GOP_15, Gop, GopPattern, group_into_gops
+from repro.media.ldu import FrameType, Ldu
+
+
+class TestGopPattern:
+    def test_parse(self):
+        pattern = GopPattern.parse("IBBPBB")
+        assert pattern.size == 6
+        assert str(pattern) == "IBBPBB"
+
+    def test_standard_patterns(self):
+        assert GOP_12.size == 12
+        assert GOP_15.size == 15
+        assert GOP_12.b_count == 8
+        assert GOP_12.p_count == 3
+
+    def test_must_start_with_i(self):
+        with pytest.raises(GopPatternError):
+            GopPattern.parse("BIP")
+
+    def test_single_i_only(self):
+        with pytest.raises(GopPatternError):
+            GopPattern.parse("IPPI")
+
+    def test_no_x_frames(self):
+        with pytest.raises(GopPatternError):
+            GopPattern.parse("IX")
+
+    def test_empty_rejected(self):
+        with pytest.raises(GopPatternError):
+            GopPattern.parse("")
+
+    def test_invalid_char(self):
+        with pytest.raises(GopPatternError):
+            GopPattern.parse("IQZ")
+
+    def test_positions(self):
+        assert GOP_12.anchor_positions == (0, 3, 6, 9)
+        assert GOP_12.b_positions == (1, 2, 4, 5, 7, 8, 10, 11)
+
+    def test_type_at_wraps(self):
+        assert GOP_12.type_at(12) is FrameType.I
+        assert GOP_12.type_at(13) is FrameType.B
+        assert GOP_12.type_at(15) is FrameType.P
+
+    def test_lowercase_accepted(self):
+        assert GopPattern.parse("ibbp").size == 4
+
+
+class TestGop:
+    def _ldus(self, types, start=0):
+        return tuple(
+            Ldu(index=start + i, frame_type=t, size_bits=100)
+            for i, t in enumerate(types)
+        )
+
+    def test_properties(self):
+        gop = Gop(index=0, ldus=self._ldus([FrameType.I, FrameType.B, FrameType.P]))
+        assert gop.size == 3
+        assert gop.size_bits == 300
+        assert len(gop.anchors) == 2
+        assert len(gop.b_frames) == 1
+        assert len(list(gop)) == 3
+
+    def test_must_start_with_i(self):
+        with pytest.raises(GopPatternError):
+            Gop(index=0, ldus=self._ldus([FrameType.B]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(GopPatternError):
+            Gop(index=0, ldus=())
+
+
+class TestGrouping:
+    def test_group_into_gops(self, small_mpeg_stream):
+        gops = group_into_gops(small_mpeg_stream.ldus)
+        assert len(gops) == 6
+        assert all(g.size == 12 for g in gops)
+        assert [g.index for g in gops] == list(range(6))
+
+    def test_empty(self):
+        assert group_into_gops([]) == []
+
+    def test_must_start_with_i(self):
+        ldus = [Ldu(index=0, frame_type=FrameType.B)]
+        with pytest.raises(GopPatternError):
+            group_into_gops(ldus)

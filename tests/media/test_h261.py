@@ -1,0 +1,109 @@
+"""Tests for the H.261 builder and its end-to-end behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StreamError
+from repro.media.h261 import H261Config, make_h261_stream
+from repro.media.ldu import FrameType
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(StreamError):
+            H261Config(frame_count=0)
+        with pytest.raises(StreamError):
+            H261Config(intra_interval=0)
+        with pytest.raises(StreamError):
+            H261Config(intra_interval=200)  # standard forbids > 132
+        with pytest.raises(StreamError):
+            H261Config(intra_bits=0)
+
+
+class TestBuilder:
+    def test_intra_placement(self):
+        stream = make_h261_stream(H261Config(frame_count=36, intra_interval=12))
+        for i, ldu in enumerate(stream):
+            expected = FrameType.I if i % 12 == 0 else FrameType.P
+            assert ldu.frame_type is expected
+
+    def test_intra_frames_bigger_on_average(self):
+        stream = make_h261_stream(H261Config(frame_count=300, seed=2))
+        intra = [l.size_bits for l in stream if l.frame_type is FrameType.I]
+        inter = [l.size_bits for l in stream if l.frame_type is FrameType.P]
+        assert sum(intra) / len(intra) > 2 * sum(inter) / len(inter)
+
+    def test_deterministic(self):
+        config = H261Config(frame_count=60, seed=9)
+        assert [l.size_bits for l in make_h261_stream(config)] == [
+            l.size_bits for l in make_h261_stream(config)
+        ]
+
+    def test_no_jitter_exact_sizes(self):
+        config = H261Config(frame_count=24, jitter_sigma=0.0)
+        stream = make_h261_stream(config)
+        assert stream[0].size_bits == config.intra_bits
+        assert stream[1].size_bits == config.inter_bits
+
+
+class TestLayering:
+    def test_chain_decomposition(self):
+        """A window of two intra periods decomposes into one layer per
+        chain position: interval many layers, two frames each."""
+        from repro.core.layered import LayeredScheduler
+        from repro.poset.builders import ldu_poset
+
+        stream = make_h261_stream(H261Config(frame_count=24, intra_interval=12))
+        window = stream.window(0, 24)
+        scheduler = LayeredScheduler(ldu_poset(window))
+        assert scheduler.layer_count == 12
+        assert all(layer.size == 2 for layer in scheduler.layers)
+        # every layer except the chain tails is critical
+        assert scheduler.critical_indices() == list(range(11))
+
+    def test_mpeg_poset_builder_handles_ip_only(self):
+        """The MPEG dependency rules degenerate correctly to H.261:
+        each P depends on its predecessor (chain)."""
+        from repro.poset.builders import ldu_poset
+
+        stream = make_h261_stream(H261Config(frame_count=12, intra_interval=12))
+        poset = ldu_poset(stream.window(0, 12))
+        assert poset.le(5, 0)      # P5 transitively needs I0
+        assert poset.covers(5, 4)  # direct predecessor reference
+
+
+class TestEndToEnd:
+    def test_protocol_session(self):
+        from repro.core.protocol import ProtocolConfig, run_session
+
+        stream = make_h261_stream(
+            H261Config(frame_count=240, intra_interval=12, seed=3)
+        )
+        config = ProtocolConfig(
+            gops_per_window=2,
+            gop_size=12,
+            p_bad=0.6,
+            seed=5,
+            bandwidth_bps=2_000_000,
+        )
+        result = run_session(stream, config)
+        assert len(result.windows) == 10
+        # chains amplify losses: a lost P kills the chain suffix, so
+        # retransmission traffic must exist on a bursty channel
+        assert sum(w.retransmissions for w in result.windows) > 0
+
+    def test_scrambling_not_harmful_for_chains(self):
+        """H.261 is the adversarial case for spreading (almost nothing is
+        permutable); the scheme must not do worse than in-order."""
+        from repro.core.protocol import ProtocolConfig, compare_schemes
+
+        stream = make_h261_stream(
+            H261Config(frame_count=480, intra_interval=12, seed=3)
+        )
+        config = ProtocolConfig(
+            gops_per_window=2, gop_size=12, p_bad=0.6, seed=11,
+            bandwidth_bps=2_000_000,
+        )
+        scrambled, unscrambled = compare_schemes(stream, config)
+        assert scrambled.mean_clf <= unscrambled.mean_clf + 0.5

@@ -1,0 +1,86 @@
+"""Tests for LDU primitives (repro.media.ldu)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StreamError
+from repro.media.ldu import (
+    AUDIO_SAMPLES_PER_LDU,
+    FrameType,
+    Ldu,
+    PlayoutRecord,
+    make_audio_ldus,
+)
+
+
+class TestFrameType:
+    def test_anchor_property(self):
+        assert FrameType.I.is_anchor
+        assert FrameType.P.is_anchor
+        assert not FrameType.B.is_anchor
+        assert not FrameType.X.is_anchor
+
+    def test_parse_from_value(self):
+        assert FrameType("I") is FrameType.I
+        assert FrameType("B") is FrameType.B
+
+    def test_str(self):
+        assert str(FrameType.P) == "P"
+
+
+class TestLdu:
+    def test_defaults(self):
+        ldu = Ldu(index=0)
+        assert ldu.frame_type is FrameType.X
+        assert ldu.size_bits == 0
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(StreamError):
+            Ldu(index=-1)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(StreamError):
+            Ldu(index=0, size_bits=-5)
+
+    def test_size_bytes_rounds_up(self):
+        assert Ldu(index=0, size_bits=9).size_bytes == 2
+        assert Ldu(index=0, size_bits=8).size_bytes == 1
+        assert Ldu(index=0, size_bits=0).size_bytes == 0
+
+    def test_is_anchor(self):
+        assert Ldu(index=0, frame_type=FrameType.I).is_anchor
+        assert not Ldu(index=0, frame_type=FrameType.B).is_anchor
+
+    def test_label(self):
+        assert Ldu(index=7, frame_type=FrameType.B).label() == "B7"
+
+    def test_frozen(self):
+        ldu = Ldu(index=0)
+        with pytest.raises(AttributeError):
+            ldu.index = 3  # type: ignore[misc]
+
+
+class TestPlayoutRecord:
+    def test_unit_loss_cases(self):
+        assert PlayoutRecord(slot=0, lost=True).is_unit_loss
+        assert PlayoutRecord(slot=0, repeated=True).is_unit_loss
+        assert not PlayoutRecord(slot=0, ldu_index=0).is_unit_loss
+
+
+class TestAudio:
+    def test_sizes(self):
+        ldus = make_audio_ldus(3)
+        assert [l.size_bits for l in ldus] == [AUDIO_SAMPLES_PER_LDU * 8] * 3
+
+    def test_indices_consecutive(self):
+        ldus = make_audio_ldus(5)
+        assert [l.index for l in ldus] == [0, 1, 2, 3, 4]
+
+    def test_negative_rejected(self):
+        with pytest.raises(StreamError):
+            make_audio_ldus(-1)
+
+    def test_sixteen_bit(self):
+        ldus = make_audio_ldus(1, bits_per_sample=16)
+        assert ldus[0].size_bits == AUDIO_SAMPLES_PER_LDU * 16

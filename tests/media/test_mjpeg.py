@@ -1,0 +1,82 @@
+"""Tests for the MJPEG stream builder (repro.media.mjpeg)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StreamError
+from repro.media.mjpeg import MjpegConfig, make_mjpeg_stream
+
+
+class TestMjpegConfig:
+    def test_validation(self):
+        with pytest.raises(StreamError):
+            MjpegConfig(frame_count=0)
+        with pytest.raises(StreamError):
+            MjpegConfig(quality=0)
+        with pytest.raises(StreamError):
+            MjpegConfig(quality=101)
+        with pytest.raises(StreamError):
+            MjpegConfig(width=0)
+        with pytest.raises(StreamError):
+            MjpegConfig(jitter_sigma=-1)
+
+    def test_quality_scale_ijg(self):
+        assert MjpegConfig(quality=50).quality_scale == pytest.approx(1.0)
+        assert MjpegConfig(quality=25).quality_scale == pytest.approx(2.0)
+        assert MjpegConfig(quality=100).quality_scale == pytest.approx(0.0, abs=1e-9)
+
+    def test_higher_quality_bigger_frames(self):
+        low = MjpegConfig(quality=30).mean_frame_bits
+        mid = MjpegConfig(quality=60).mean_frame_bits
+        high = MjpegConfig(quality=90).mean_frame_bits
+        assert low < mid < high
+
+
+class TestBuilder:
+    def test_basic_properties(self):
+        stream = make_mjpeg_stream(MjpegConfig(frame_count=120, seed=1))
+        assert len(stream) == 120
+        assert not stream.has_dependencies
+        assert "mjpeg" in stream.name
+
+    def test_deterministic(self):
+        config = MjpegConfig(frame_count=60, seed=4)
+        a = make_mjpeg_stream(config)
+        b = make_mjpeg_stream(config)
+        assert [l.size_bits for l in a] == [l.size_bits for l in b]
+
+    def test_no_jitter_constant_within_scene(self):
+        config = MjpegConfig(
+            frame_count=30, scene_length_frames=30, jitter_sigma=0.0, seed=2
+        )
+        stream = make_mjpeg_stream(config)
+        assert len({l.size_bits for l in stream}) == 1
+
+    def test_scene_changes_change_sizes(self):
+        config = MjpegConfig(
+            frame_count=90, scene_length_frames=30, jitter_sigma=0.0, seed=2
+        )
+        stream = make_mjpeg_stream(config)
+        assert len({l.size_bits for l in stream}) > 1
+
+    def test_mean_rate_scales_with_quality(self):
+        low = make_mjpeg_stream(MjpegConfig(frame_count=100, quality=30, seed=3))
+        high = make_mjpeg_stream(MjpegConfig(frame_count=100, quality=90, seed=3))
+        assert high.mean_bitrate_bps > low.mean_bitrate_bps
+
+    def test_streams_through_protocol(self):
+        """An MJPEG stream runs through the full protocol engine."""
+        from repro.core.protocol import ProtocolConfig, run_session
+
+        stream = make_mjpeg_stream(MjpegConfig(frame_count=120, seed=5))
+        config = ProtocolConfig(
+            gops_per_window=1,
+            gop_size=30,
+            bandwidth_bps=5_000_000,
+            p_bad=0.6,
+            seed=6,
+        )
+        result = run_session(stream, config)
+        assert len(result.windows) == 4
+        assert all(w.retransmissions == 0 for w in result.windows)

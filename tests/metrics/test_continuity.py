@@ -1,0 +1,133 @@
+"""Tests for ALF / CLF continuity metrics (repro.metrics.continuity)."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.media.ldu import PlayoutRecord
+from repro.metrics.continuity import (
+    ContinuityReport,
+    aggregate_loss,
+    consecutive_loss,
+    loss_indicator,
+    measure,
+    measure_lost_set,
+)
+
+
+class TestFigure1Examples:
+    """The two example streams of the metrics paper's Figure 1."""
+
+    def test_stream1(self):
+        # four slots, unit losses at slots 1 and 2 (consecutive)
+        report = measure_lost_set([1, 2], 4)
+        assert report.alf == Fraction(2, 4)
+        assert report.clf == 2
+
+    def test_stream2(self):
+        # same aggregate loss, spread out: slots 1 and 3
+        report = measure_lost_set([1, 3], 4)
+        assert report.alf == Fraction(2, 4)
+        assert report.clf == 1
+
+
+class TestConsecutiveLoss:
+    def test_basic(self):
+        assert consecutive_loss([0, 1, 1, 0, 1]) == 2
+
+    def test_empty(self):
+        assert consecutive_loss([]) == 0
+
+    def test_all_lost(self):
+        assert consecutive_loss([1] * 5) == 5
+
+    def test_none_lost(self):
+        assert consecutive_loss([0] * 5) == 0
+
+    def test_invalid_value(self):
+        with pytest.raises(ConfigurationError):
+            consecutive_loss([0, 2])
+
+    @given(st.lists(st.integers(min_value=0, max_value=1)))
+    def test_bounded_by_total(self, indicator):
+        assert consecutive_loss(indicator) <= sum(indicator)
+
+
+class TestAggregateLoss:
+    def test_counts(self):
+        assert aggregate_loss([1, 0, 1, 1]) == (3, 4)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            aggregate_loss([3])
+
+
+class TestMeasure:
+    def test_with_records(self):
+        records = [
+            PlayoutRecord(slot=0, ldu_index=0),
+            PlayoutRecord(slot=1, lost=True),
+            PlayoutRecord(slot=2, ldu_index=1, repeated=True),
+            PlayoutRecord(slot=3, ldu_index=3),
+        ]
+        report = measure(records)
+        assert report.unit_losses == 2
+        assert report.clf == 2
+        assert report.alf_float == pytest.approx(0.5)
+
+    def test_loss_indicator(self):
+        records = [PlayoutRecord(slot=0, lost=True), PlayoutRecord(slot=1, ldu_index=1)]
+        assert loss_indicator(records) == [1, 0]
+
+    def test_empty_alf(self):
+        report = ContinuityReport(slots=0, unit_losses=0, clf=0)
+        assert report.alf == Fraction(0)
+
+
+class TestMeasureLostSet:
+    def test_docstring_case(self):
+        report = measure_lost_set([2, 3, 7], 10)
+        assert (report.unit_losses, report.clf) == (3, 2)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            measure_lost_set([10], 10)
+        with pytest.raises(ConfigurationError):
+            measure_lost_set([-1], 10)
+
+    def test_negative_slots_rejected(self):
+        with pytest.raises(ConfigurationError):
+            measure_lost_set([], -1)
+
+    @given(
+        st.integers(min_value=1, max_value=60).flatmap(
+            lambda n: st.tuples(
+                st.just(n), st.sets(st.integers(min_value=0, max_value=n - 1))
+            )
+        )
+    )
+    @settings(max_examples=60)
+    def test_alf_matches_set_size(self, case):
+        n, lost = case
+        report = measure_lost_set(lost, n)
+        assert report.unit_losses == len(lost)
+        assert report.clf <= len(lost)
+
+
+class TestReportValidation:
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ContinuityReport(slots=-1, unit_losses=0, clf=0)
+
+    def test_losses_bounded_by_slots(self):
+        with pytest.raises(ConfigurationError):
+            ContinuityReport(slots=2, unit_losses=3, clf=1)
+
+    def test_clf_bounded_by_losses(self):
+        with pytest.raises(ConfigurationError):
+            ContinuityReport(slots=5, unit_losses=1, clf=2)

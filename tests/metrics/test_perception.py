@@ -1,0 +1,63 @@
+"""Tests for perceptual thresholds (repro.metrics.perception)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.continuity import ContinuityReport
+from repro.metrics.perception import (
+    AUDIO_CLF_THRESHOLD,
+    AUDIO_PROFILE,
+    VIDEO_CLF_THRESHOLD,
+    VIDEO_PROFILE,
+    PerceptionProfile,
+    profile_for,
+)
+
+
+class TestThresholds:
+    def test_paper_values(self):
+        assert VIDEO_CLF_THRESHOLD == 2
+        assert AUDIO_CLF_THRESHOLD == 3
+
+    def test_video_profile(self):
+        assert VIDEO_PROFILE.acceptable_clf(2)
+        assert not VIDEO_PROFILE.acceptable_clf(3)
+
+    def test_audio_profile(self):
+        assert AUDIO_PROFILE.acceptable_clf(3)
+        assert not AUDIO_PROFILE.acceptable_clf(4)
+
+
+class TestProfile:
+    def test_acceptable_report(self):
+        report = ContinuityReport(slots=10, unit_losses=2, clf=1)
+        assert VIDEO_PROFILE.acceptable(report)
+
+    def test_unacceptable_clf(self):
+        report = ContinuityReport(slots=10, unit_losses=5, clf=5)
+        assert not VIDEO_PROFILE.acceptable(report)
+
+    def test_alf_threshold(self):
+        profile = PerceptionProfile(name="strict", clf_threshold=3, alf_threshold=0.1)
+        good = ContinuityReport(slots=100, unit_losses=5, clf=2)
+        bad = ContinuityReport(slots=100, unit_losses=20, clf=2)
+        assert profile.acceptable(good)
+        assert not profile.acceptable(bad)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PerceptionProfile(name="x", clf_threshold=-1)
+        with pytest.raises(ConfigurationError):
+            PerceptionProfile(name="x", clf_threshold=1, alf_threshold=2.0)
+
+
+class TestLookup:
+    def test_known_kinds(self):
+        assert profile_for("video") is VIDEO_PROFILE
+        assert profile_for("audio") is AUDIO_PROFILE
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            profile_for("smellovision")

@@ -1,0 +1,140 @@
+"""Tests for rate and drift metrics (repro.metrics.rates)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.metrics.rates import (
+    AppearanceTimeline,
+    ideal_timeline,
+    measure_drift,
+    measure_rate,
+    rate_factors,
+)
+
+
+class TestTimeline:
+    def test_ideal_timeline_clean(self):
+        timeline = ideal_timeline(30, fps=30.0)
+        drift = measure_drift(timeline)
+        assert drift.adf == 0.0
+        assert drift.cdf == 0
+        rate = measure_rate(timeline)
+        assert rate.arf == 0.0
+        assert rate.min_rate_factor == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AppearanceTimeline(appearance_times=(), fps=0)
+        with pytest.raises(ConfigurationError):
+            ideal_timeline(-1, fps=30)
+
+    def test_drift_values(self):
+        timeline = AppearanceTimeline(
+            appearance_times=(0.0, 0.1, None), fps=10.0
+        )
+        assert timeline.drift(0) == pytest.approx(0.0)
+        assert timeline.drift(1) == pytest.approx(0.0)
+        assert timeline.drift(2) is None
+
+    def test_start_time_offset(self):
+        timeline = AppearanceTimeline(
+            appearance_times=(5.0, 5.1), fps=10.0, start_time=5.0
+        )
+        assert measure_drift(timeline).adf == 0.0
+
+
+class TestDrift:
+    def test_late_ldus_drift(self):
+        # every LDU late by a full slot
+        timeline = AppearanceTimeline(
+            appearance_times=tuple(0.1 + i / 10.0 for i in range(10)),
+            fps=10.0,
+        )
+        report = measure_drift(timeline)
+        assert report.adf == 1.0
+        assert report.cdf == 10
+        assert report.max_abs_drift_slots == pytest.approx(1.0)
+
+    def test_tolerance_respected(self):
+        timeline = AppearanceTimeline(
+            appearance_times=tuple(0.02 + i / 10.0 for i in range(10)),
+            fps=10.0,
+        )
+        # drift of 0.2 slots is within the default 0.5-slot tolerance
+        assert measure_drift(timeline).adf == 0.0
+        strict = measure_drift(timeline, tolerance_slots=0.1)
+        assert strict.adf == 1.0
+
+    def test_missing_ldus_count_as_drift(self):
+        timeline = AppearanceTimeline(
+            appearance_times=(0.0, None, None, 0.3), fps=10.0
+        )
+        report = measure_drift(timeline)
+        assert report.drifting == 2
+        assert report.cdf == 2
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            measure_drift(ideal_timeline(5, 10.0), tolerance_slots=-1)
+
+    @given(st.floats(min_value=0.0, max_value=0.049))
+    @settings(max_examples=20)
+    def test_small_jitter_always_ok(self, jitter):
+        timeline = AppearanceTimeline(
+            appearance_times=tuple(jitter + i / 10.0 for i in range(10)),
+            fps=10.0,
+        )
+        assert measure_drift(timeline).adf == 0.0
+
+
+class TestRate:
+    def test_slow_playout_detected(self):
+        # played at half speed: appearance gap = 2 slots
+        timeline = AppearanceTimeline(
+            appearance_times=tuple(i * 0.2 for i in range(20)), fps=10.0
+        )
+        report = measure_rate(timeline)
+        assert report.arf == 1.0
+        assert report.min_rate_factor == pytest.approx(0.5)
+
+    def test_fast_playout_detected(self):
+        timeline = AppearanceTimeline(
+            appearance_times=tuple(i * 0.05 for i in range(20)), fps=10.0
+        )
+        report = measure_rate(timeline)
+        assert report.arf == 1.0
+        assert report.max_rate_factor == pytest.approx(2.0)
+
+    def test_rate_factors_window_too_small(self):
+        with pytest.raises(ConfigurationError):
+            rate_factors(ideal_timeline(10, 10.0), window=1)
+
+    def test_sparse_window_is_violation(self):
+        times = [None] * 10
+        times[0] = 0.0
+        timeline = AppearanceTimeline(appearance_times=tuple(times), fps=10.0)
+        report = measure_rate(timeline, window=8)
+        assert report.arf == 1.0  # unmeasurable windows count as violations
+
+    def test_stall_then_catchup(self):
+        # first half ideal, then a 1-second stall, then ideal again
+        times = [i / 10.0 for i in range(10)] + [
+            1.0 + 1.0 + i / 10.0 for i in range(10)
+        ]
+        timeline = AppearanceTimeline(appearance_times=tuple(times), fps=10.0)
+        report = measure_rate(timeline, window=6)
+        assert 0.0 < report.arf < 1.0  # only windows spanning the stall
+        assert report.consecutive_violations >= 1
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ConfigurationError):
+            measure_rate(ideal_timeline(10, 10.0), tolerance=-0.1)
+
+    def test_empty_rate_report(self):
+        report = measure_rate(ideal_timeline(4, 10.0), window=8)
+        assert report.windows == 0
+        assert report.arf == 0.0

@@ -1,0 +1,145 @@
+"""Tests for per-window series summaries (repro.metrics.windows)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.metrics.continuity import ContinuityReport
+from repro.metrics.windows import SeriesSummary, WindowSeries, compare, summarize
+
+
+class TestSummarize:
+    def test_constant_series(self):
+        summary = summarize([2.0, 2.0, 2.0])
+        assert summary.mean == 2.0
+        assert summary.deviation == 0.0
+        assert summary.minimum == summary.maximum == 2.0
+
+    def test_known_values(self):
+        summary = summarize([1.0, 3.0])
+        assert summary.mean == 2.0
+        assert summary.deviation == 1.0  # population deviation
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            summarize([])
+
+    def test_str(self):
+        assert "mean=" in str(summarize([1.0, 2.0]))
+
+    @given(st.lists(st.floats(min_value=0, max_value=100), min_size=1, max_size=50))
+    @settings(max_examples=50)
+    def test_bounds(self, values):
+        summary = summarize(values)
+        ulp = 1e-9  # summation error can push the mean a few ulps out
+        assert summary.minimum - ulp <= summary.mean <= summary.maximum + ulp
+        assert summary.deviation >= 0
+
+
+class TestWindowSeries:
+    def test_add_reports(self):
+        series = WindowSeries(label="x")
+        series.add(ContinuityReport(slots=10, unit_losses=2, clf=2))
+        series.add(ContinuityReport(slots=10, unit_losses=0, clf=0))
+        assert len(series) == 2
+        assert series.clf_summary.mean == 1.0
+        assert series.alf_summary.mean == pytest.approx(0.1)
+
+    def test_add_clf(self):
+        series = WindowSeries()
+        series.add_clf(3)
+        assert list(series) == [3]
+
+    def test_negative_clf_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WindowSeries().add_clf(-1)
+
+    def test_windows_within(self):
+        series = WindowSeries()
+        for clf in (0, 1, 2, 3, 4):
+            series.add_clf(clf)
+        assert series.windows_within(2) == pytest.approx(3 / 5)
+
+    def test_windows_within_empty(self):
+        with pytest.raises(ConfigurationError):
+            WindowSeries().windows_within(2)
+
+    def test_describe(self):
+        series = WindowSeries(label="demo")
+        series.add_clf(1)
+        assert "demo" in series.describe()
+
+
+class TestConfidenceIntervals:
+    def test_mean_interval_contains_mean(self):
+        from repro.metrics.windows import mean_confidence_interval
+
+        low, high = mean_confidence_interval([1.0, 2.0, 3.0, 4.0])
+        assert low <= 2.5 <= high
+
+    def test_mean_interval_single_value(self):
+        from repro.metrics.windows import mean_confidence_interval
+
+        assert mean_confidence_interval([5.0]) == (5.0, 5.0)
+
+    def test_mean_interval_empty_rejected(self):
+        from repro.metrics.windows import mean_confidence_interval
+
+        with pytest.raises(ConfigurationError):
+            mean_confidence_interval([])
+
+    def test_mean_interval_narrows_with_n(self):
+        from repro.metrics.windows import mean_confidence_interval
+
+        small = mean_confidence_interval([1.0, 2.0] * 5)
+        large = mean_confidence_interval([1.0, 2.0] * 500)
+        assert (large[1] - large[0]) < (small[1] - small[0])
+
+    def test_wilson_interval_bounds(self):
+        from repro.metrics.windows import proportion_confidence_interval
+
+        low, high = proportion_confidence_interval(12, 12)
+        assert 0.7 < low < 1.0
+        assert high == 1.0
+        low0, high0 = proportion_confidence_interval(0, 12)
+        assert low0 == 0.0 and high0 < 0.3
+
+    def test_wilson_validation(self):
+        from repro.metrics.windows import proportion_confidence_interval
+
+        with pytest.raises(ConfigurationError):
+            proportion_confidence_interval(1, 0)
+        with pytest.raises(ConfigurationError):
+            proportion_confidence_interval(5, 3)
+
+    @given(
+        st.integers(min_value=1, max_value=200).flatmap(
+            lambda n: st.tuples(st.integers(min_value=0, max_value=n), st.just(n))
+        )
+    )
+    @settings(max_examples=50)
+    def test_wilson_contains_point_estimate(self, case):
+        from repro.metrics.windows import proportion_confidence_interval
+
+        successes, trials = case
+        low, high = proportion_confidence_interval(successes, trials)
+        p = successes / trials
+        eps = 1e-9  # floating-point slack at the p = 0 / p = 1 corners
+        assert 0.0 <= low <= p + eps
+        assert p - eps <= high <= 1.0
+
+
+class TestCompare:
+    def test_improvements(self):
+        scrambled = WindowSeries()
+        unscrambled = WindowSeries()
+        for a, b in [(1, 2), (1, 3), (0, 1)]:
+            scrambled.add_clf(a)
+            unscrambled.add_clf(b)
+        mean_gain, dev_gain = compare(scrambled, unscrambled)
+        assert mean_gain > 0

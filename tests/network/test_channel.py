@@ -1,0 +1,120 @@
+"""Tests for the simulated channel (repro.network.channel)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network.channel import SimulatedChannel, make_duplex
+from repro.network.markov import GilbertModel
+from repro.network.packet import Packet
+
+
+def packet(seq=0, size=1000):
+    return Packet(sequence=seq, frame_index=0, size_bytes=size)
+
+
+class TestTiming:
+    def test_serialization_time(self):
+        channel = SimulatedChannel(bandwidth_bps=8000, propagation_delay=0.1)
+        assert channel.serialization_time(packet(size=1000)) == pytest.approx(1.0)
+
+    def test_arrival_time(self):
+        channel = SimulatedChannel(bandwidth_bps=8000, propagation_delay=0.1)
+        t = channel.send(packet(size=1000), at_time=0.0)
+        assert t.sent_at == 0.0
+        assert t.completed_at == pytest.approx(1.0)
+        assert t.arrives_at == pytest.approx(1.1)
+        assert not t.lost
+
+    def test_fifo_queueing(self):
+        channel = SimulatedChannel(bandwidth_bps=8000, propagation_delay=0.0)
+        first = channel.send(packet(0), 0.0)
+        second = channel.send(packet(1), 0.0)
+        assert second.sent_at == pytest.approx(first.completed_at)
+
+    def test_idle_gap_respected(self):
+        channel = SimulatedChannel(bandwidth_bps=8000, propagation_delay=0.0)
+        channel.send(packet(0), 0.0)
+        late = channel.send(packet(1), 10.0)
+        assert late.sent_at == pytest.approx(10.0)
+
+    def test_negative_time_rejected(self):
+        channel = SimulatedChannel(bandwidth_bps=8000, propagation_delay=0.0)
+        with pytest.raises(NetworkError):
+            channel.send(packet(), -1.0)
+
+    def test_reset_clock(self):
+        channel = SimulatedChannel(bandwidth_bps=8000, propagation_delay=0.0)
+        channel.send(packet(), 0.0)
+        channel.reset_clock()
+        assert channel.busy_until == 0.0
+
+    def test_validation(self):
+        with pytest.raises(NetworkError):
+            SimulatedChannel(bandwidth_bps=0, propagation_delay=0.1)
+        with pytest.raises(NetworkError):
+            SimulatedChannel(bandwidth_bps=10, propagation_delay=-1)
+
+
+class TestLoss:
+    def test_lossless_without_model(self):
+        channel = SimulatedChannel(bandwidth_bps=1e6, propagation_delay=0.0)
+        results = channel.send_all([packet(i) for i in range(50)], 0.0)
+        assert not any(r.lost for r in results)
+        assert channel.stats.loss_rate == 0.0
+
+    def test_lossy_with_model(self):
+        channel = SimulatedChannel(
+            bandwidth_bps=1e6,
+            propagation_delay=0.0,
+            loss_model=GilbertModel(p_good=0.5, p_bad=0.5, seed=1),
+        )
+        results = channel.send_all([packet(i) for i in range(200)], 0.0)
+        lost = sum(1 for r in results if r.lost)
+        assert 0 < lost < 200
+        assert channel.stats.lost == lost
+        assert channel.stats.offered == 200
+
+    def test_lost_packet_has_no_arrival(self):
+        channel = SimulatedChannel(
+            bandwidth_bps=1e6,
+            propagation_delay=0.0,
+            loss_model=GilbertModel(p_good=0.0, p_bad=1.0),
+        )
+        result = channel.send(packet(), 0.0)
+        assert result.lost
+        assert result.arrives_at is None
+
+    def test_byte_accounting(self):
+        channel = SimulatedChannel(bandwidth_bps=1e6, propagation_delay=0.0)
+        channel.send(packet(size=100), 0.0)
+        assert channel.stats.bytes_offered == 100
+        assert channel.stats.bytes_delivered == 100
+
+
+class TestDuplex:
+    def test_make_duplex(self):
+        forward, feedback = make_duplex(
+            1_200_000, 0.023, p_good=0.92, p_bad=0.6, seed=1
+        )
+        assert forward.propagation_delay == pytest.approx(0.0115)
+        assert feedback.propagation_delay == pytest.approx(0.0115)
+        assert forward.loss_model is not None
+        assert feedback.loss_model is not None
+
+    def test_ideal_feedback(self):
+        _, feedback = make_duplex(
+            1_200_000, 0.023, p_good=0.92, p_bad=0.6, lossy_feedback=False
+        )
+        assert feedback.loss_model is None
+
+    def test_independent_loss_streams(self):
+        forward, feedback = make_duplex(1e6, 0.02, p_good=0.5, p_bad=0.5, seed=3)
+        f_losses = forward.loss_model.losses(100)
+        b_losses = feedback.loss_model.losses(100)
+        assert f_losses != b_losses
+
+    def test_negative_rtt(self):
+        with pytest.raises(NetworkError):
+            make_duplex(1e6, -1, p_good=0.9, p_bad=0.5)

@@ -1,0 +1,106 @@
+"""Tests for Gilbert parameter estimation (repro.network.estimation)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.network.estimation import GilbertEstimator, fit_gilbert, loss_runs
+from repro.network.markov import GilbertModel
+
+
+class TestLossRuns:
+    def test_basic(self):
+        assert loss_runs([0, 1, 1, 0, 1]) == [2, 1]
+
+    def test_trailing_run(self):
+        assert loss_runs([1, 1]) == [2]
+
+    def test_empty(self):
+        assert loss_runs([]) == []
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            loss_runs([2])
+
+    @given(st.lists(st.integers(min_value=0, max_value=1)))
+    def test_runs_sum_to_losses(self, indicator):
+        assert sum(loss_runs(indicator)) == sum(indicator)
+
+
+class TestEstimator:
+    def test_prior_validation(self):
+        with pytest.raises(ConfigurationError):
+            GilbertEstimator(prior_run_count=0)
+
+    def test_recovers_parameters(self):
+        """Feed genuine Gilbert output; the fit lands near the truth."""
+        true = GilbertModel(p_good=0.92, p_bad=0.6, seed=5)
+        estimator = GilbertEstimator()
+        for _ in range(400):
+            window = [1 if lost else 0 for lost in true.losses(100)]
+            estimator.observe(window)
+        assert estimator.p_bad == pytest.approx(0.6, abs=0.05)
+        assert estimator.p_good == pytest.approx(0.92, abs=0.02)
+        assert estimator.mean_burst == pytest.approx(2.5, abs=0.3)
+        assert estimator.loss_rate == pytest.approx(
+            true.stationary_loss_rate, abs=0.03
+        )
+
+    def test_clean_channel_degenerates_gracefully(self):
+        estimator = GilbertEstimator()
+        for _ in range(20):
+            estimator.observe([0] * 50)
+        assert estimator.p_good > 0.99
+        assert estimator.burst_quantile(0.05) >= 1
+
+    def test_windows_counter(self):
+        estimator = GilbertEstimator()
+        estimator.observe([0, 1])
+        estimator.observe([0, 0])
+        assert estimator.windows_observed == 2
+
+    def test_fit_batch(self):
+        estimator = fit_gilbert([[0, 1, 1, 0], [1, 0, 0, 0]])
+        assert estimator.windows_observed == 2
+
+
+class TestBurstQuantile:
+    def test_epsilon_validation(self):
+        estimator = GilbertEstimator()
+        with pytest.raises(ConfigurationError):
+            estimator.burst_quantile(0.0)
+        with pytest.raises(ConfigurationError):
+            estimator.burst_quantile(1.0)
+
+    def test_geometric_quantile(self):
+        """With p_bad = 0.6, P(run > b) = 0.6^b; 0.6^6 ~ 0.047 < 0.05."""
+        true = GilbertModel(p_good=0.92, p_bad=0.6, seed=9)
+        estimator = GilbertEstimator()
+        for _ in range(400):
+            estimator.observe([1 if lost else 0 for lost in true.losses(100)])
+        assert estimator.burst_quantile(0.05) in (5, 6, 7)
+
+    def test_smaller_epsilon_bigger_bound(self):
+        true = GilbertModel(p_good=0.9, p_bad=0.7, seed=3)
+        estimator = GilbertEstimator()
+        for _ in range(100):
+            estimator.observe([1 if lost else 0 for lost in true.losses(100)])
+        assert estimator.burst_quantile(0.01) > estimator.burst_quantile(0.2)
+
+    def test_quantile_actually_covers(self):
+        """Empirically, at most ~epsilon of runs exceed the bound."""
+        from repro.network.estimation import loss_runs as runs_of
+
+        true = GilbertModel(p_good=0.92, p_bad=0.6, seed=11)
+        estimator = GilbertEstimator()
+        all_runs = []
+        for _ in range(300):
+            indicator = [1 if lost else 0 for lost in true.losses(100)]
+            estimator.observe(indicator)
+            all_runs.extend(runs_of(indicator))
+        bound = estimator.burst_quantile(0.05)
+        exceeding = sum(1 for run in all_runs if run > bound)
+        assert exceeding / len(all_runs) <= 0.08

@@ -1,0 +1,51 @@
+"""Tests for ACK feedback (repro.network.feedback)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.network.feedback import Feedback, FeedbackCollector
+
+
+class TestFeedback:
+    def test_validation(self):
+        with pytest.raises(ProtocolError):
+            Feedback(sequence=-1, window_index=0)
+        with pytest.raises(ProtocolError):
+            Feedback(sequence=0, window_index=-1)
+        with pytest.raises(ProtocolError):
+            Feedback(sequence=0, window_index=0, burst_estimates={0: -1})
+        with pytest.raises(ProtocolError):
+            Feedback(sequence=0, window_index=0, loss_rates={0: 1.5})
+
+    def test_valid(self):
+        feedback = Feedback(
+            sequence=3, window_index=2, burst_estimates={0: 4}, loss_rates={0: 0.2}
+        )
+        assert feedback.burst_estimates[0] == 4
+
+
+class TestCollector:
+    def test_newest_wins(self):
+        collector = FeedbackCollector()
+        assert collector.offer(Feedback(sequence=0, window_index=0))
+        assert collector.offer(Feedback(sequence=2, window_index=2))
+        assert not collector.offer(Feedback(sequence=1, window_index=1))
+        assert collector.latest.sequence == 2
+        assert collector.received == 3
+        assert collector.ignored_stale == 1
+
+    def test_equal_sequence_ignored(self):
+        collector = FeedbackCollector()
+        collector.offer(Feedback(sequence=1, window_index=1))
+        assert not collector.offer(Feedback(sequence=1, window_index=1))
+
+    def test_burst_for_layer_defaults(self):
+        collector = FeedbackCollector()
+        assert collector.burst_for_layer(0, default=7) == 7
+        collector.offer(
+            Feedback(sequence=0, window_index=0, burst_estimates={1: 3})
+        )
+        assert collector.burst_for_layer(1, default=7) == 3
+        assert collector.burst_for_layer(9, default=7) == 7

@@ -1,0 +1,209 @@
+"""Tests for bottleneck gateways (repro.network.gateway)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network.gateway import (
+    CrossTraffic,
+    DropTailGateway,
+    FifoQueue,
+    GatewayChannel,
+    RedGateway,
+)
+from repro.network.packet import Packet
+
+
+def packet(seq=0, size=1000):
+    return Packet(sequence=seq, frame_index=0, size_bytes=size)
+
+
+class TestFifoQueue:
+    def test_validation(self):
+        with pytest.raises(NetworkError):
+            FifoQueue(0, 5)
+        with pytest.raises(NetworkError):
+            FifoQueue(1000, 0)
+
+    def test_departure_timing(self):
+        queue = FifoQueue(service_rate_bps=8000, capacity_packets=4)
+        d1 = queue.enqueue(1000, 0.0)   # 1 s of service
+        d2 = queue.enqueue(1000, 0.0)
+        assert d1 == pytest.approx(1.0)
+        assert d2 == pytest.approx(2.0)
+
+    def test_overflow_returns_none(self):
+        queue = FifoQueue(service_rate_bps=8000, capacity_packets=2)
+        assert queue.enqueue(1000, 0.0) is not None
+        assert queue.enqueue(1000, 0.0) is not None
+        assert queue.enqueue(1000, 0.0) is None
+
+    def test_drain_frees_capacity(self):
+        queue = FifoQueue(service_rate_bps=8000, capacity_packets=1)
+        assert queue.enqueue(1000, 0.0) is not None  # departs at 1.0
+        assert queue.enqueue(1000, 0.5) is None
+        assert queue.enqueue(1000, 1.5) is not None
+
+    def test_occupancy(self):
+        queue = FifoQueue(service_rate_bps=8000, capacity_packets=4)
+        queue.enqueue(1000, 0.0)
+        queue.enqueue(1000, 0.0)
+        assert queue.occupancy(0.5) == 2
+        assert queue.occupancy(1.5) == 1
+        assert queue.occupancy(5.0) == 0
+
+    def test_idle_gap_resets_start(self):
+        queue = FifoQueue(service_rate_bps=8000, capacity_packets=4)
+        queue.enqueue(1000, 0.0)
+        late = queue.enqueue(1000, 10.0)
+        assert late == pytest.approx(11.0)
+
+
+class TestCrossTraffic:
+    def test_validation(self):
+        with pytest.raises(NetworkError):
+            CrossTraffic(burst_rate_bps=0)
+        with pytest.raises(NetworkError):
+            CrossTraffic(burst_rate_bps=1e6, mean_on_seconds=0)
+
+    def test_deterministic(self):
+        a = CrossTraffic(burst_rate_bps=1e6, seed=3)
+        b = CrossTraffic(burst_rate_bps=1e6, seed=3)
+        assert a.arrivals_until(5.0) == b.arrivals_until(5.0)
+
+    def test_arrivals_monotone_and_bounded(self):
+        traffic = CrossTraffic(burst_rate_bps=1e6, seed=1)
+        arrivals = traffic.arrivals_until(10.0)
+        assert arrivals == sorted(arrivals)
+        assert all(0.0 <= t <= 10.0 for t in arrivals)
+
+    def test_incremental_queries(self):
+        traffic = CrossTraffic(burst_rate_bps=1e6, seed=1)
+        first = traffic.arrivals_until(5.0)
+        second = traffic.arrivals_until(10.0)
+        combined = CrossTraffic(burst_rate_bps=1e6, seed=1).arrivals_until(10.0)
+        assert first + second == combined
+
+    def test_clock_cannot_rewind(self):
+        traffic = CrossTraffic(burst_rate_bps=1e6, seed=1)
+        traffic.arrivals_until(5.0)
+        with pytest.raises(NetworkError):
+            traffic.arrivals_until(4.0)
+
+    def test_burst_structure(self):
+        """Arrivals cluster into ON periods with back-to-back spacing."""
+        traffic = CrossTraffic(
+            burst_rate_bps=1.2e6, packet_size_bytes=1500, seed=2
+        )
+        arrivals = traffic.arrivals_until(30.0)
+        assert len(arrivals) > 10
+        gap = 1500 * 8 / 1.2e6
+        tight = sum(
+            1 for a, b in zip(arrivals, arrivals[1:]) if b - a <= gap * 1.01
+        )
+        assert tight / len(arrivals) > 0.5
+
+
+class TestDropTailGateway:
+    def test_no_cross_traffic_no_loss_when_underloaded(self):
+        gateway = DropTailGateway(FifoQueue(1e6, 10))
+        for i in range(20):
+            assert gateway.offer(1000, i * 0.1) is not None
+        assert gateway.stats.dropped == 0
+
+    def test_overload_drops(self):
+        gateway = DropTailGateway(FifoQueue(8000, 2))
+        outcomes = [gateway.offer(1000, 0.0) for _ in range(10)]
+        assert outcomes.count(None) == 8
+        assert gateway.stats.media_loss_rate == pytest.approx(0.8)
+
+    def test_cross_traffic_causes_media_loss(self):
+        cross = CrossTraffic(
+            burst_rate_bps=4e6, mean_on_seconds=1.0, mean_off_seconds=0.2, seed=4
+        )
+        gateway = DropTailGateway(FifoQueue(1e6, 5), cross)
+        drops = 0
+        for i in range(200):
+            if gateway.offer(2000, i * 0.05) is None:
+                drops += 1
+        assert drops > 0
+        assert gateway.stats.background_offered > 0
+
+
+class TestRedGateway:
+    def test_threshold_validation(self):
+        queue = FifoQueue(1e6, 10)
+        with pytest.raises(NetworkError):
+            RedGateway(queue, min_threshold=8, max_threshold=4)
+        with pytest.raises(NetworkError):
+            RedGateway(queue, max_drop_probability=0.0)
+        with pytest.raises(NetworkError):
+            RedGateway(queue, ewma_weight=0.0)
+
+    def test_empty_queue_no_drops(self):
+        gateway = RedGateway(FifoQueue(1e6, 10), seed=1)
+        for i in range(20):
+            assert gateway.offer(500, i * 0.1) is not None
+
+    def test_early_drops_before_overflow(self):
+        """RED drops some packets while the queue still has room."""
+        gateway = RedGateway(
+            FifoQueue(8000, 20), min_threshold=2, max_threshold=18, seed=3,
+            max_drop_probability=0.5,
+        )
+        outcomes = [gateway.offer(1000, 0.0) for _ in range(18)]
+        assert None in outcomes          # dropped early...
+        assert gateway.queue.occupancy(0.0) < 18  # ...before filling up
+
+
+class TestGatewayChannel:
+    def test_transmission_interface(self):
+        gateway = DropTailGateway(FifoQueue(1e6, 10))
+        channel = GatewayChannel(
+            gateway, access_bandwidth_bps=1e6, propagation_delay=0.01
+        )
+        result = channel.send(packet(size=1000), 0.0)
+        assert not result.lost
+        assert result.arrives_at is not None
+        assert result.arrives_at > result.completed_at
+
+    def test_lost_packet_marked(self):
+        gateway = DropTailGateway(FifoQueue(8000, 1))
+        channel = GatewayChannel(
+            gateway, access_bandwidth_bps=1e9, propagation_delay=0.0
+        )
+        results = channel.send_all([packet(i) for i in range(5)], 0.0)
+        assert any(r.lost for r in results)
+
+    def test_validation(self):
+        gateway = DropTailGateway(FifoQueue(1e6, 10))
+        with pytest.raises(NetworkError):
+            GatewayChannel(gateway, access_bandwidth_bps=0, propagation_delay=0.0)
+        channel = GatewayChannel(
+            gateway, access_bandwidth_bps=1e6, propagation_delay=0.0
+        )
+        with pytest.raises(NetworkError):
+            channel.send(packet(), -1.0)
+
+    def test_protocol_session_integration(self):
+        """A full protocol session runs over a gateway channel."""
+        from repro.core.protocol import ProtocolConfig, ProtocolSession
+        from repro.media.gop import GOP_12
+        from repro.media.stream import make_video_stream
+        from repro.network.channel import SimulatedChannel
+
+        stream = make_video_stream(GOP_12, gop_count=6)
+        config = ProtocolConfig(seed=1, lossy_feedback=False)
+        forward = GatewayChannel(
+            DropTailGateway(FifoQueue(2e6, 20)),
+            access_bandwidth_bps=config.bandwidth_bps,
+            propagation_delay=config.rtt / 2,
+        )
+        feedback = SimulatedChannel(
+            bandwidth_bps=config.bandwidth_bps,
+            propagation_delay=config.rtt / 2,
+        )
+        session = ProtocolSession(stream, config, channels=(forward, feedback))
+        result = session.run()
+        assert len(result.windows) == 3

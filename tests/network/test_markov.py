@@ -1,0 +1,108 @@
+"""Tests for the Gilbert loss model (repro.network.markov)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.network.markov import BAD, GOOD, GilbertModel
+
+
+class TestConstruction:
+    def test_starts_good(self):
+        model = GilbertModel(p_good=0.9, p_bad=0.5)
+        assert model.state == GOOD
+
+    def test_probability_validation(self):
+        with pytest.raises(ConfigurationError):
+            GilbertModel(p_good=1.5, p_bad=0.5)
+        with pytest.raises(ConfigurationError):
+            GilbertModel(p_good=0.5, p_bad=-0.1)
+
+    def test_negative_count(self):
+        with pytest.raises(ConfigurationError):
+            GilbertModel(p_good=0.9, p_bad=0.5).losses(-1)
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a = GilbertModel(p_good=0.92, p_bad=0.6, seed=5)
+        b = GilbertModel(p_good=0.92, p_bad=0.6, seed=5)
+        assert a.losses(500) == b.losses(500)
+
+    def test_different_seeds_differ(self):
+        a = GilbertModel(p_good=0.92, p_bad=0.6, seed=5)
+        b = GilbertModel(p_good=0.92, p_bad=0.6, seed=6)
+        assert a.losses(500) != b.losses(500)
+
+    def test_reset_replays(self):
+        model = GilbertModel(p_good=0.92, p_bad=0.6, seed=5)
+        first = model.losses(100)
+        model.reset()
+        assert model.losses(100) == first
+        assert model.state in (GOOD, BAD)
+
+    def test_reset_with_new_seed(self):
+        model = GilbertModel(p_good=0.92, p_bad=0.6, seed=5)
+        first = model.losses(100)
+        model.reset(seed=9)
+        assert model.losses(100) != first
+
+
+class TestExtremes:
+    def test_never_lossy(self):
+        model = GilbertModel(p_good=1.0, p_bad=0.0)
+        assert not any(model.losses(200))
+        assert model.stationary_loss_rate == 0.0
+
+    def test_absorbing_bad_state(self):
+        model = GilbertModel(p_good=0.0, p_bad=1.0)
+        losses = model.losses(50)
+        assert all(losses)
+        assert model.mean_burst_length == float("inf")
+
+    def test_mean_good_run_infinite(self):
+        assert GilbertModel(p_good=1.0, p_bad=0.5).mean_good_run == float("inf")
+
+
+class TestStatistics:
+    def test_stationary_rate_formula(self):
+        model = GilbertModel(p_good=0.92, p_bad=0.6)
+        assert model.stationary_loss_rate == pytest.approx(0.08 / (0.08 + 0.4))
+
+    def test_empirical_loss_rate(self):
+        model = GilbertModel(p_good=0.92, p_bad=0.6, seed=11)
+        losses = model.losses(60_000)
+        rate = sum(losses) / len(losses)
+        assert rate == pytest.approx(model.stationary_loss_rate, abs=0.02)
+
+    def test_empirical_burst_length(self):
+        model = GilbertModel(p_good=0.92, p_bad=0.7, seed=13)
+        losses = model.losses(60_000)
+        runs, current = [], 0
+        for lost in losses:
+            if lost:
+                current += 1
+            elif current:
+                runs.append(current)
+                current = 0
+        mean = sum(runs) / len(runs)
+        assert mean == pytest.approx(model.mean_burst_length, rel=0.1)
+
+    def test_expected_burst_in_window_bounds(self):
+        model = GilbertModel(p_good=0.92, p_bad=0.6)
+        for window in (1, 10, 100):
+            estimate = model.expected_burst_in_window(window)
+            assert 1 <= estimate <= window
+        assert model.expected_burst_in_window(0) == 0
+
+    @given(
+        st.floats(min_value=0, max_value=1),
+        st.floats(min_value=0, max_value=1),
+    )
+    @settings(max_examples=40)
+    def test_stationary_rate_in_unit_interval(self, p_good, p_bad):
+        model = GilbertModel(p_good=p_good, p_bad=p_bad)
+        assert 0.0 <= model.stationary_loss_rate <= 1.0

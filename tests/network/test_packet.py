@@ -1,0 +1,123 @@
+"""Tests for packetization (repro.network.packet)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.media.ldu import FrameType, Ldu
+from repro.network.packet import (
+    DEFAULT_PACKET_SIZE_BYTES,
+    FrameAssembler,
+    Packet,
+    Packetizer,
+    fragments_needed,
+)
+
+
+class TestPacket:
+    def test_control_packet(self):
+        packet = Packet(sequence=0, frame_index=None)
+        assert packet.is_control
+
+    def test_validation(self):
+        with pytest.raises(NetworkError):
+            Packet(sequence=-1, frame_index=0)
+        with pytest.raises(NetworkError):
+            Packet(sequence=0, frame_index=0, fragment=2, fragments=2)
+        with pytest.raises(NetworkError):
+            Packet(sequence=0, frame_index=0, size_bytes=-1)
+
+
+class TestFragmentsNeeded:
+    def test_zero_size_frame_still_one_packet(self):
+        assert fragments_needed(0) == 1
+
+    def test_exact_fit(self):
+        assert fragments_needed(DEFAULT_PACKET_SIZE_BYTES * 8) == 1
+
+    def test_one_byte_over(self):
+        assert fragments_needed(DEFAULT_PACKET_SIZE_BYTES * 8 + 8) == 2
+
+    def test_paper_gop_example(self):
+        # Star Wars max GOP: 932710 bits ~ 113 KB -> 8 packets of 16 KB
+        assert fragments_needed(932710) == 8
+
+    def test_validation(self):
+        with pytest.raises(NetworkError):
+            fragments_needed(-1)
+        with pytest.raises(NetworkError):
+            fragments_needed(100, packet_size_bytes=0)
+
+
+class TestPacketizer:
+    def test_sequences_monotone(self):
+        packetizer = Packetizer()
+        a = packetizer.packetize(Ldu(index=0, size_bits=8))
+        b = packetizer.packetize(Ldu(index=1, size_bits=8))
+        assert a[0].sequence == 0
+        assert b[0].sequence == 1
+
+    def test_multi_fragment_frame(self):
+        packetizer = Packetizer(packet_size_bytes=10)
+        packets = packetizer.packetize(Ldu(index=0, size_bits=200))  # 25 bytes
+        assert len(packets) == 3
+        assert [p.fragment for p in packets] == [0, 1, 2]
+        assert all(p.fragments == 3 for p in packets)
+        assert sum(p.size_bytes for p in packets) == 25
+
+    def test_retransmission_flag(self):
+        packetizer = Packetizer()
+        packets = packetizer.packetize(
+            Ldu(index=0, size_bits=8), is_retransmission=True
+        )
+        assert packets[0].is_retransmission
+
+    def test_window_index_carried(self):
+        packetizer = Packetizer()
+        packets = packetizer.packetize(Ldu(index=0, size_bits=8), window_index=7)
+        assert packets[0].window_index == 7
+
+    def test_control_packet_consumes_sequence(self):
+        packetizer = Packetizer()
+        control = packetizer.control_packet()
+        assert control.is_control
+        assert packetizer.next_sequence == 1
+
+    def test_invalid_packet_size(self):
+        with pytest.raises(NetworkError):
+            Packetizer(packet_size_bytes=0)
+
+
+class TestFrameAssembler:
+    def test_single_fragment_completes(self):
+        assembler = FrameAssembler()
+        packetizer = Packetizer()
+        (packet,) = packetizer.packetize(Ldu(index=4, size_bits=8))
+        assert assembler.deliver(packet) == 4
+        assert assembler.is_complete(4)
+
+    def test_partial_frame_incomplete(self):
+        assembler = FrameAssembler()
+        packetizer = Packetizer(packet_size_bytes=10)
+        packets = packetizer.packetize(Ldu(index=2, size_bits=200))
+        assert assembler.deliver(packets[0]) is None
+        assert not assembler.is_complete(2)
+        assert assembler.deliver(packets[1]) is None
+        assert assembler.deliver(packets[2]) == 2
+        assert assembler.complete_frames() == [2]
+
+    def test_duplicate_delivery_idempotent(self):
+        assembler = FrameAssembler()
+        packetizer = Packetizer()
+        (packet,) = packetizer.packetize(Ldu(index=0, size_bits=8))
+        assembler.deliver(packet)
+        assert assembler.deliver(packet) == 0  # still complete
+
+    def test_control_packets_ignored(self):
+        assembler = FrameAssembler()
+        control = Packetizer().control_packet()
+        assert assembler.deliver(control) is None
+
+    def test_unknown_frame_incomplete(self):
+        assert not FrameAssembler().is_complete(9)

@@ -1,0 +1,107 @@
+"""Tests for the event loop (repro.network.simulator)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network.simulator import EventLoop
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(2.0, lambda: seen.append("b"))
+        loop.schedule(1.0, lambda: seen.append("a"))
+        loop.schedule(3.0, lambda: seen.append("c"))
+        assert loop.run() == 3
+        assert seen == ["a", "b", "c"]
+        assert loop.now == 3.0
+
+    def test_ties_run_fifo(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(1.0, lambda: seen.append(1))
+        loop.schedule(1.0, lambda: seen.append(2))
+        loop.run()
+        assert seen == [1, 2]
+
+    def test_schedule_in(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule_in(0.5, lambda: seen.append(loop.now))
+        loop.run()
+        assert seen == [0.5]
+
+    def test_past_rejected(self):
+        loop = EventLoop()
+        loop.schedule(5.0, lambda: None)
+        loop.run()
+        with pytest.raises(NetworkError):
+            loop.schedule(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(NetworkError):
+            EventLoop().schedule_in(-1, lambda: None)
+
+
+class TestControl:
+    def test_cancel(self):
+        loop = EventLoop()
+        seen = []
+        event = loop.schedule(1.0, lambda: seen.append("x"))
+        loop.cancel(event)
+        assert loop.run() == 0
+        assert seen == []
+
+    def test_until_bound(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(1.0, lambda: seen.append(1))
+        loop.schedule(5.0, lambda: seen.append(5))
+        loop.run(until=2.0)
+        assert seen == [1]
+        assert loop.now == 2.0
+        loop.run()
+        assert seen == [1, 5]
+
+    def test_self_scheduling(self):
+        loop = EventLoop()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 5:
+                loop.schedule_in(1.0, tick)
+
+        loop.schedule(0.0, tick)
+        loop.run()
+        assert count[0] == 5
+        assert loop.now == 4.0
+
+    def test_event_budget(self):
+        loop = EventLoop()
+
+        def forever():
+            loop.schedule_in(0.1, forever)
+
+        loop.schedule(0.0, forever)
+        with pytest.raises(NetworkError):
+            loop.run(max_events=100)
+
+    def test_peek_time(self):
+        loop = EventLoop()
+        assert loop.peek_time() is None
+        event = loop.schedule(3.0, lambda: None)
+        assert loop.peek_time() == 3.0
+        loop.cancel(event)
+        assert loop.peek_time() is None
+
+    def test_pending_count(self):
+        loop = EventLoop()
+        a = loop.schedule(1.0, lambda: None)
+        loop.schedule(2.0, lambda: None)
+        assert loop.pending == 2
+        loop.cancel(a)
+        assert loop.pending == 1

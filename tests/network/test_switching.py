@@ -1,0 +1,82 @@
+"""Tests for the non-stationary channel (SwitchingGilbertModel)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.network.markov import GilbertModel, GilbertPhase, SwitchingGilbertModel
+
+
+class TestPhase:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GilbertPhase(packets=0, p_good=0.9, p_bad=0.5)
+        with pytest.raises(ConfigurationError):
+            GilbertPhase(packets=10, p_good=1.5, p_bad=0.5)
+
+
+class TestSwitchingModel:
+    def test_needs_phases(self):
+        with pytest.raises(ConfigurationError):
+            SwitchingGilbertModel([])
+
+    def test_single_phase_matches_plain_model(self):
+        switching = SwitchingGilbertModel(
+            [GilbertPhase(packets=10_000, p_good=0.9, p_bad=0.6)], seed=3
+        )
+        plain = GilbertModel(p_good=0.9, p_bad=0.6, seed=3)
+        assert switching.losses(500) == plain.losses(500)
+
+    def test_phase_transition_changes_rate(self):
+        model = SwitchingGilbertModel(
+            [
+                GilbertPhase(packets=2000, p_good=0.999, p_bad=0.1),
+                GilbertPhase(packets=2000, p_good=0.7, p_bad=0.8),
+            ],
+            seed=5,
+        )
+        losses = model.losses(4000)
+        mild = sum(losses[:2000]) / 2000
+        harsh = sum(losses[2000:]) / 2000
+        assert mild < 0.05
+        assert harsh > 0.3
+
+    def test_last_phase_repeats(self):
+        model = SwitchingGilbertModel(
+            [GilbertPhase(packets=10, p_good=1.0, p_bad=0.0)], seed=1
+        )
+        assert not any(model.losses(100))
+        assert model.current_phase.packets == 10
+
+    def test_reset(self):
+        model = SwitchingGilbertModel(
+            [
+                GilbertPhase(packets=50, p_good=0.9, p_bad=0.5),
+                GilbertPhase(packets=50, p_good=0.5, p_bad=0.9),
+            ],
+            seed=2,
+        )
+        first = model.losses(150)
+        model.reset()
+        assert model.losses(150) == first
+
+    def test_negative_count(self):
+        model = SwitchingGilbertModel(
+            [GilbertPhase(packets=5, p_good=0.9, p_bad=0.5)]
+        )
+        with pytest.raises(ConfigurationError):
+            model.losses(-1)
+
+    def test_state_carries_across_phases(self):
+        """An absorbing BAD phase keeps the chain BAD as the next phase
+        begins (state is continuous across boundaries)."""
+        model = SwitchingGilbertModel(
+            [
+                GilbertPhase(packets=5, p_good=0.0, p_bad=1.0),
+                GilbertPhase(packets=5, p_good=1.0, p_bad=1.0),
+            ],
+            seed=1,
+        )
+        losses = model.losses(10)
+        assert all(losses)  # BAD is absorbing in both phases once entered

@@ -1,0 +1,112 @@
+"""Tests for antichain decompositions (repro.poset.antichain)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PosetError
+from repro.media.gop import GOP_12
+from repro.poset.antichain import (
+    critical_layers,
+    is_minimum_decomposition,
+    rank_decomposition,
+    transmission_layers,
+    verify_decomposition,
+)
+from repro.poset.builders import mpeg_poset_for_pattern
+from repro.poset.poset import Poset, antichain, chain
+
+
+@st.composite
+def random_dags(draw):
+    n = draw(st.integers(min_value=1, max_value=9))
+    pool = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    edges = draw(st.lists(st.sampled_from(pool), max_size=15)) if pool else []
+    return Poset(range(n), edges)
+
+
+class TestRankDecomposition:
+    @given(random_dags())
+    @settings(max_examples=60)
+    def test_mirsky_minimality(self, poset):
+        layers = rank_decomposition(poset)
+        assert len(layers) == poset.longest_chain_length()
+        assert is_minimum_decomposition(poset, layers)
+
+    @given(random_dags())
+    @settings(max_examples=60)
+    def test_layers_are_antichains_partitioning(self, poset):
+        layers = rank_decomposition(poset)
+        seen = [e for layer in layers for e in layer]
+        assert sorted(seen) == sorted(poset.elements)
+        for layer in layers:
+            assert poset.is_antichain(layer)
+
+    def test_empty_poset(self):
+        assert rank_decomposition(Poset([])) == []
+
+
+class TestTransmissionLayers:
+    @given(random_dags())
+    @settings(max_examples=60)
+    def test_valid_decomposition(self, poset):
+        verify_decomposition(poset, transmission_layers(poset))
+
+    def test_mpeg_figure3(self):
+        poset = mpeg_poset_for_pattern(GOP_12, 3)
+        layers = transmission_layers(poset)
+        assert len(layers) == 5
+        assert layers[0] == [0, 12, 24]  # the I frames
+        assert layers[1] == [3, 15, 27]
+        # every B frame in the final layer
+        b_layer = set(layers[-1])
+        assert all(i % 12 not in (0, 3, 6, 9) for i in b_layer)
+
+    def test_chain_gives_singletons_reversed(self):
+        layers = transmission_layers(chain(3))
+        # 0 < 1 < 2 (0 depends on 1 depends on 2): send 2 first.
+        assert layers == [[2], [1], [0]]
+
+    def test_antichain_single_layer(self):
+        layers = transmission_layers(antichain(5))
+        assert layers == [[0, 1, 2, 3, 4]]
+
+
+class TestVerify:
+    def test_detects_duplicate(self):
+        poset = antichain(3)
+        with pytest.raises(PosetError):
+            verify_decomposition(poset, [[0, 1], [1, 2]])
+
+    def test_detects_missing(self):
+        poset = antichain(3)
+        with pytest.raises(PosetError):
+            verify_decomposition(poset, [[0, 1]])
+
+    def test_detects_non_antichain(self):
+        poset = chain(3)
+        with pytest.raises(PosetError):
+            verify_decomposition(poset, [[0, 1], [2]])
+
+    def test_detects_priority_violation(self):
+        poset = chain(2)  # 0 depends on 1
+        with pytest.raises(PosetError):
+            verify_decomposition(poset, [[0], [1]])  # dependency sent later
+
+    def test_accepts_valid(self):
+        poset = chain(2)
+        verify_decomposition(poset, [[1], [0]])
+
+
+class TestCriticalLayers:
+    def test_mpeg_critical(self):
+        poset = mpeg_poset_for_pattern(GOP_12, 2)
+        layers = transmission_layers(poset)
+        assert critical_layers(poset, layers) == [0, 1, 2, 3]
+
+    def test_independent_no_critical(self):
+        poset = antichain(6)
+        layers = transmission_layers(poset)
+        assert critical_layers(poset, layers) == []

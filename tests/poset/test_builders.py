@@ -1,0 +1,123 @@
+"""Tests for encoding-specific poset builders (repro.poset.builders)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GopPatternError, PosetError
+from repro.media.gop import GOP_12, GopPattern
+from repro.media.ldu import FrameType
+from repro.poset.builders import (
+    h261_poset,
+    independent_poset,
+    ldu_poset,
+    mpeg_dependencies,
+    mpeg_poset,
+    mpeg_poset_for_pattern,
+)
+
+I, P, B = FrameType.I, FrameType.P, FrameType.B
+
+
+class TestMpegDependencies:
+    def test_p_depends_on_previous_anchor(self):
+        deps = set(mpeg_dependencies([I, B, B, P, B, B]))
+        assert (3, 0) in deps  # P3 -> I0
+
+    def test_p_chain(self):
+        types = GOP_12.frame_types
+        deps = set(mpeg_dependencies(types))
+        assert (3, 0) in deps
+        assert (6, 3) in deps
+        assert (9, 6) in deps
+
+    def test_b_depends_both_sides(self):
+        deps = set(mpeg_dependencies([I, B, B, P]))
+        assert (1, 0) in deps and (1, 3) in deps
+        assert (2, 0) in deps and (2, 3) in deps
+
+    def test_open_gop_cross_dependency(self):
+        # Two GOPs of IBBP: the trailing... B frames before the next I
+        types = [I, B, B, P, B, B, I, B, B, P, B, B]
+        deps = set(mpeg_dependencies(types))
+        # B4, B5 sit between P3 and I6: open GOP keeps the (4, 3) edge.
+        assert (4, 3) in deps and (4, 6) in deps
+
+    def test_closed_gop_drops_cross_dependency(self):
+        types = [I, B, B, P, B, B, I, B, B, P, B, B]
+        deps = set(mpeg_dependencies(types, closed_gops=True))
+        assert (4, 3) not in deps  # backward ref across the I6 boundary
+        assert (4, 6) in deps      # forward ref to I6 stays
+
+    def test_orphan_p_rejected(self):
+        with pytest.raises(GopPatternError):
+            mpeg_dependencies([B, P])
+
+    def test_trailing_b_keeps_backward_only(self):
+        types = [I, P, B]
+        deps = set(mpeg_dependencies(types))
+        assert (2, 1) in deps
+        assert all(dep[0] != 2 or dep[1] in (1,) for dep in deps)
+
+    def test_x_frames_ignored(self):
+        deps = mpeg_dependencies([FrameType.X, FrameType.X])
+        assert deps == []
+
+
+class TestPosets:
+    def test_doctest_case(self):
+        types = GopPattern.parse("IBBPBB").frame_types * 2
+        poset = mpeg_poset(types)
+        assert sorted(poset.above(1)) == [0, 3]
+
+    def test_longest_chain_matches_layering(self):
+        poset = mpeg_poset_for_pattern(GOP_12, 2)
+        assert poset.longest_chain_length() == 5  # B < P3 < P2 < P1 < I
+
+    def test_anchors_are_i_and_p(self):
+        poset = mpeg_poset_for_pattern(GOP_12, 1)
+        anchors = set(poset.anchors())
+        assert anchors == {0, 3, 6, 9}
+
+    def test_gop_count_zero(self):
+        assert len(mpeg_poset_for_pattern(GOP_12, 0)) == 0
+
+    def test_gop_count_negative(self):
+        with pytest.raises(PosetError):
+            mpeg_poset_for_pattern(GOP_12, -1)
+
+    def test_ldu_poset(self, small_mpeg_stream):
+        window = small_mpeg_stream.window(0, 24)
+        poset = ldu_poset(window)
+        assert len(poset) == 24
+        assert poset.le(1, 0)  # B1 depends on I0
+
+
+class TestH261:
+    def test_chain_between_intras(self):
+        poset = h261_poset(6, intra_interval=3)
+        # frames 0,3 are intra; 1 depends on 0; 2 on 1; 4 on 3; 5 on 4
+        assert poset.le(2, 0)
+        assert not poset.comparable(2, 3)
+        assert poset.le(5, 3)
+
+    def test_default_interval(self):
+        poset = h261_poset(10)
+        assert poset.longest_chain_length() == 10
+
+    def test_invalid(self):
+        with pytest.raises(PosetError):
+            h261_poset(-1)
+        with pytest.raises(PosetError):
+            h261_poset(5, intra_interval=0)
+
+
+class TestIndependent:
+    def test_no_relations(self):
+        poset = independent_poset(5)
+        assert poset.longest_chain_length() == 1
+        assert poset.anchors() == []
+
+    def test_negative(self):
+        with pytest.raises(PosetError):
+            independent_poset(-1)

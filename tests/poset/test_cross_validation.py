@@ -1,0 +1,85 @@
+"""Cross-validation of the poset substrate against networkx.
+
+Independent implementations of transitive closure, longest path and
+topological orderings catch systematic bugs the in-module tests share.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.poset.antichain import rank_decomposition
+from repro.poset.linear_extension import count_linear_extensions, linear_extension
+from repro.poset.poset import Poset
+
+
+@st.composite
+def random_dags(draw):
+    n = draw(st.integers(min_value=1, max_value=10))
+    pool = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    edges = draw(st.lists(st.sampled_from(pool), max_size=25)) if pool else []
+    return n, sorted(set(edges))
+
+
+def as_networkx(n, edges) -> nx.DiGraph:
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(n))
+    graph.add_edges_from(edges)
+    return graph
+
+
+class TestAgainstNetworkx:
+    @given(random_dags())
+    @settings(max_examples=80, deadline=None)
+    def test_transitive_closure(self, dag):
+        n, edges = dag
+        poset = Poset(range(n), edges)
+        closure = nx.transitive_closure(as_networkx(n, edges))
+        for x in range(n):
+            for y in range(n):
+                if x == y:
+                    continue
+                assert poset.lt(x, y) == closure.has_edge(x, y)
+
+    @given(random_dags())
+    @settings(max_examples=80, deadline=None)
+    def test_longest_chain(self, dag):
+        n, edges = dag
+        poset = Poset(range(n), edges)
+        graph = as_networkx(n, edges)
+        expected = nx.dag_longest_path_length(graph) + 1
+        assert poset.longest_chain_length() == expected
+
+    @given(random_dags())
+    @settings(max_examples=60, deadline=None)
+    def test_mirsky_layer_count(self, dag):
+        n, edges = dag
+        poset = Poset(range(n), edges)
+        layers = rank_decomposition(poset)
+        graph = as_networkx(n, edges)
+        assert len(layers) == nx.dag_longest_path_length(graph) + 1
+
+    @given(random_dags())
+    @settings(max_examples=60, deadline=None)
+    def test_linear_extension_is_topological(self, dag):
+        n, edges = dag
+        poset = Poset(range(n), edges)
+        # Our relation (x, y) means "x depends on y" -> y precedes x.
+        order = linear_extension(poset)
+        position = {node: i for i, node in enumerate(order)}
+        for x, y in edges:
+            assert position[y] < position[x]
+
+    @given(random_dags())
+    @settings(max_examples=25, deadline=None)
+    def test_extension_count_matches_enumeration(self, dag):
+        n, edges = dag
+        if n > 7:
+            return  # enumeration too large
+        poset = Poset(range(n), edges)
+        graph = as_networkx(n, [(y, x) for x, y in edges])  # precedence edges
+        expected = sum(1 for _ in nx.all_topological_sorts(graph))
+        assert count_linear_extensions(poset) == expected

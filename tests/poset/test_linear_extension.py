@@ -1,0 +1,97 @@
+"""Tests for linear extensions (repro.poset.linear_extension)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.media.gop import GOP_12
+from repro.poset.builders import mpeg_poset_for_pattern
+from repro.poset.linear_extension import (
+    anchors_first_extension,
+    count_linear_extensions,
+    is_linear_extension,
+    linear_extension,
+)
+from repro.poset.poset import Poset, antichain, chain
+
+
+@st.composite
+def random_dags(draw):
+    n = draw(st.integers(min_value=1, max_value=9))
+    pool = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    edges = draw(st.lists(st.sampled_from(pool), max_size=15)) if pool else []
+    return Poset(range(n), edges)
+
+
+class TestLinearExtension:
+    @given(random_dags())
+    @settings(max_examples=80)
+    def test_always_valid(self, poset):
+        assert is_linear_extension(poset, linear_extension(poset))
+
+    @given(random_dags())
+    @settings(max_examples=40)
+    def test_anchors_first_valid(self, poset):
+        assert is_linear_extension(poset, anchors_first_extension(poset))
+
+    def test_deterministic(self):
+        poset = mpeg_poset_for_pattern(GOP_12, 2)
+        assert linear_extension(poset) == linear_extension(poset)
+
+    def test_anchors_lead_for_mpeg(self):
+        poset = mpeg_poset_for_pattern(GOP_12, 2)
+        ext = anchors_first_extension(poset)
+        anchor_count = len(poset.anchors())
+        assert set(ext[:anchor_count]) == set(poset.anchors())
+
+    def test_chain_unique_extension(self):
+        # 0 depends on 1 depends on 2 -> must transmit 2, 1, 0
+        assert linear_extension(chain(3)) == [2, 1, 0]
+
+    def test_key_override(self):
+        poset = antichain(4)
+        ext = linear_extension(poset, key=lambda e: -e)
+        assert ext == [3, 2, 1, 0]
+
+
+class TestIsLinearExtension:
+    def test_rejects_wrong_length(self):
+        assert not is_linear_extension(antichain(3), [0, 1])
+
+    def test_rejects_wrong_elements(self):
+        assert not is_linear_extension(antichain(3), [0, 1, 5])
+
+    def test_rejects_duplicates(self):
+        assert not is_linear_extension(antichain(3), [0, 1, 1])
+
+    def test_rejects_order_violation(self):
+        assert not is_linear_extension(chain(2), [0, 1])
+        assert is_linear_extension(chain(2), [1, 0])
+
+
+class TestCounting:
+    def test_chain_has_one(self):
+        assert count_linear_extensions(chain(5)) == 1
+
+    def test_antichain_has_factorial(self):
+        for n in range(1, 6):
+            assert count_linear_extensions(antichain(n)) == math.factorial(n)
+
+    def test_v_poset(self):
+        # two incomparable elements above a common dependency
+        poset = Poset("abc", [("a", "c"), ("b", "c")])
+        # c must come first; a and b in either order
+        assert count_linear_extensions(poset) == 2
+
+    def test_empty(self):
+        assert count_linear_extensions(Poset([])) == 1
+
+    @given(random_dags())
+    @settings(max_examples=30, deadline=None)
+    def test_count_positive_and_bounded(self, poset):
+        count = count_linear_extensions(poset)
+        assert 1 <= count <= math.factorial(len(poset))

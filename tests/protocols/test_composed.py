@@ -1,0 +1,101 @@
+"""Tests for the Figure-4 block study (repro.protocols.composed, .base)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.protocols.base import (
+    ALL_BLOCKS,
+    BLOCK_A,
+    BLOCK_B,
+    BLOCK_C,
+    BLOCK_D,
+    Ordering,
+    Redundancy,
+    SchemeSpec,
+)
+from repro.protocols.composed import compare_blocks, run_block_study
+from repro.protocols.fec import FecPolicy
+
+
+class TestSchemeSpec:
+    def test_fec_default_policy(self):
+        assert BLOCK_C.fec is not None
+
+    def test_labels(self):
+        assert BLOCK_A.label == "in-order+none"
+        assert BLOCK_D.label == "spread+none"
+
+    def test_all_blocks_complete(self):
+        assert set(ALL_BLOCKS) == set("ABCDEF")
+
+    def test_negative_retransmissions(self):
+        with pytest.raises(ConfigurationError):
+            SchemeSpec(Ordering.IN_ORDER, Redundancy.RETRANSMIT, max_retransmissions=-1)
+
+
+class TestRunBlockStudy:
+    def test_lossless_channel_perfect(self):
+        result = run_block_study(
+            BLOCK_A, window=12, windows=10, p_good=1.0, p_bad=0.0
+        )
+        assert result.mean_clf == 0.0
+        assert result.mean_overhead == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_block_study(BLOCK_A, window=0)
+        with pytest.raises(ConfigurationError):
+            run_block_study(BLOCK_A, windows=0)
+
+    def test_no_redundancy_zero_overhead(self):
+        for spec in (BLOCK_A, BLOCK_D):
+            result = run_block_study(spec, window=16, windows=20, p_bad=0.6, seed=2)
+            assert result.mean_overhead == 0.0
+
+    def test_retransmission_recovers(self):
+        naive = run_block_study(BLOCK_A, window=16, windows=50, p_bad=0.6, seed=2)
+        retx = run_block_study(BLOCK_B, window=16, windows=50, p_bad=0.6, seed=2)
+        assert retx.mean_clf < naive.mean_clf
+        assert retx.mean_overhead > 0.0
+
+    def test_fec_policy_respected(self):
+        spec = SchemeSpec(
+            Ordering.IN_ORDER,
+            Redundancy.FEC,
+            fec=FecPolicy(group_size=4, parity_count=2),
+        )
+        result = run_block_study(spec, window=16, windows=20, p_bad=0.6, seed=2)
+        assert result.mean_overhead == pytest.approx(0.5)
+
+    def test_spreading_beats_naive_same_loss(self):
+        naive = run_block_study(BLOCK_A, window=24, windows=150, p_bad=0.6, seed=7)
+        spread = run_block_study(BLOCK_D, window=24, windows=150, p_bad=0.6, seed=7)
+        assert spread.mean_clf < naive.mean_clf
+        # Identical channel and no redundancy: same slots, same losses.
+        assert [w.lost_slots for w in spread.windows] == [
+            w.lost_slots for w in naive.windows
+        ]
+
+    def test_window_accounting(self):
+        result = run_block_study(BLOCK_B, window=12, windows=10, p_bad=0.5, seed=1)
+        for w in result.windows:
+            assert w.slots_used >= w.frames
+            assert 0 <= w.unit_losses <= w.frames
+            assert w.clf <= w.unit_losses
+
+    def test_describe(self):
+        result = run_block_study(BLOCK_A, window=8, windows=5, seed=1)
+        assert "in-order+none" in result.describe()
+
+
+class TestCompareBlocks:
+    def test_returns_all(self):
+        results = compare_blocks(ALL_BLOCKS, window=12, windows=20, seed=3)
+        assert set(results) == set(ALL_BLOCKS)
+
+    def test_ibo_ordering_runs(self):
+        spec = SchemeSpec(Ordering.IBO, Redundancy.NONE)
+        result = run_block_study(spec, window=16, windows=10, seed=1)
+        assert len(result.windows) == 10

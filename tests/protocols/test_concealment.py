@@ -1,0 +1,67 @@
+"""Tests for receiver concealment (repro.protocols.concealment)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.protocols.concealment import conceal, freeze_lengths, report
+
+
+class TestConceal:
+    def test_all_received(self):
+        records = conceal(range(5), 5)
+        assert all(not r.is_unit_loss for r in records)
+
+    def test_gap_repeats_last_frame(self):
+        records = conceal([0, 3, 4], 5)
+        assert records[1].repeated and records[1].ldu_index == 0
+        assert records[2].repeated and records[2].ldu_index == 0
+        assert records[3].ldu_index == 3
+
+    def test_leading_gap_unconcealable(self):
+        records = conceal([2], 4)
+        assert records[0].lost and not records[0].repeated
+        assert records[1].lost
+        assert records[3].repeated
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            conceal([5], 3)
+        with pytest.raises(ConfigurationError):
+            conceal([], -1)
+
+    def test_empty(self):
+        assert conceal([], 0) == []
+
+
+class TestFreezeLengths:
+    def test_runs(self):
+        records = conceal([0, 3, 4, 7], 9)
+        assert freeze_lengths(records) == [2, 2, 1]
+
+    def test_trailing_run_counted(self):
+        records = conceal([0], 4)
+        assert freeze_lengths(records) == [3]
+
+    def test_no_losses(self):
+        assert freeze_lengths(conceal(range(3), 3)) == []
+
+
+class TestReport:
+    def test_counts(self):
+        records = conceal([2, 3], 5)
+        result = report(records)
+        assert result.concealed == 1        # slot 4 repeats frame 3
+        assert result.unconcealable == 2    # slots 0, 1 before first arrival
+        assert result.max_freeze == 2
+        assert result.slots == 5
+
+    def test_perfect_rate(self):
+        result = report(conceal(range(4), 4))
+        assert result.concealment_rate == 1.0
+
+    def test_spread_losses_freeze_less_than_burst(self):
+        burst = report(conceal([0, 1, 2, 6, 7], 8))
+        spread = report(conceal([0, 2, 4, 5, 7], 8))
+        assert spread.max_freeze < burst.max_freeze

@@ -1,0 +1,145 @@
+"""Tests for Cyclic-UDP (repro.protocols.cyclic_udp)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.network.markov import GilbertModel
+from repro.protocols.cyclic_udp import (
+    Chunk,
+    CyclicUdpSender,
+    chunks_from_priorities,
+    priority_delivery_curve,
+)
+
+
+def lossless() -> GilbertModel:
+    return GilbertModel(p_good=1.0, p_bad=0.0)
+
+
+def lossy(seed=1, p_bad=0.6) -> GilbertModel:
+    return GilbertModel(p_good=0.8, p_bad=p_bad, seed=seed)
+
+
+class TestChunk:
+    def test_validation(self):
+        with pytest.raises(ProtocolError):
+            Chunk(identifier=0, priority=-1)
+        with pytest.raises(ProtocolError):
+            Chunk(identifier=0, priority=0, size_bytes=0)
+
+    def test_chunks_from_priorities(self):
+        chunks = chunks_from_priorities([2, 0, 1])
+        assert [c.priority for c in chunks] == [2, 0, 1]
+        assert [c.identifier for c in chunks] == [0, 1, 2]
+
+
+class TestSender:
+    def test_validation(self):
+        with pytest.raises(ProtocolError):
+            CyclicUdpSender(lossless(), budget_bytes=0)
+        with pytest.raises(ProtocolError):
+            CyclicUdpSender(lossless(), max_passes=0)
+
+    def test_duplicate_ids_rejected(self):
+        sender = CyclicUdpSender(lossless())
+        with pytest.raises(ProtocolError):
+            sender.run_cycle([Chunk(0, 0), Chunk(0, 1)])
+
+    def test_lossless_single_pass(self):
+        sender = CyclicUdpSender(lossless())
+        chunks = chunks_from_priorities(range(10))
+        result = sender.run_cycle(chunks)
+        assert result.delivered == set(range(10))
+        assert result.passes == 1
+        assert result.transmissions == 10
+
+    def test_lossy_converges_with_retransmission(self):
+        sender = CyclicUdpSender(lossy(seed=3))
+        chunks = chunks_from_priorities(range(20))
+        result = sender.run_cycle(chunks)
+        assert result.delivered == set(range(20))
+        assert result.passes > 1
+        assert result.transmissions > 20
+
+    def test_budget_cuts_low_priority_first(self):
+        # budget for exactly 6 of 10 equal-sized chunks, no losses
+        sender = CyclicUdpSender(lossless(), budget_bytes=6 * 1024)
+        chunks = chunks_from_priorities(range(10))
+        result = sender.run_cycle(chunks)
+        curve = priority_delivery_curve(chunks, result)
+        delivered = [p for p, ok in curve if ok]
+        assert delivered == list(range(6))
+        assert result.budget_exhausted
+
+    def test_priority_prefix_property_under_loss(self):
+        """With reliable feedback, retransmission repairs high priority
+        first, so the delivered set is a priority prefix when the budget
+        runs out."""
+        sender = CyclicUdpSender(
+            lossy(seed=5), budget_bytes=26 * 1024, max_passes=50
+        )
+        chunks = chunks_from_priorities(range(20))
+        result = sender.run_cycle(chunks)
+        curve = priority_delivery_curve(chunks, result)
+        statuses = [ok for _, ok in curve]
+        # once a priority is missing, everything after may be missing too;
+        # but every delivered=False at priority p with delivered=True at
+        # q > p can only come from in-flight losses on the last pass.
+        first_missing = statuses.index(False) if False in statuses else len(statuses)
+        assert all(statuses[:first_missing])
+
+    def test_lost_feedback_wastes_a_pass(self):
+        always_lost_feedback = GilbertModel(p_good=0.0, p_bad=1.0)
+        sender = CyclicUdpSender(
+            lossy(seed=7), always_lost_feedback, max_passes=4
+        )
+        chunks = chunks_from_priorities(range(10))
+        result = sender.run_cycle(chunks)
+        assert result.feedback_lost == result.feedback_messages
+        # sender never learns; it retransmits everything each pass
+        assert result.transmissions == 4 * 10
+
+    def test_max_passes_bounds_work(self):
+        dead_channel = GilbertModel(p_good=0.0, p_bad=1.0)
+        sender = CyclicUdpSender(dead_channel, max_passes=3)
+        chunks = chunks_from_priorities(range(5))
+        result = sender.run_cycle(chunks)
+        assert result.delivered == set()
+        assert result.passes == 3
+
+    def test_empty_cycle(self):
+        sender = CyclicUdpSender(lossless())
+        result = sender.run_cycle([])
+        assert result.delivered == set()
+        assert result.passes == 0
+
+
+class TestComposition:
+    def test_cpo_priorities_spread_budget_cuts(self):
+        """Priorities from the k-CPO: when the budget cuts the tail, the
+        missing frames are spread in playback order instead of being one
+        consecutive block."""
+        from repro.core.cpo import calculate_permutation
+        from repro.core.evaluation import max_run
+
+        n = 16
+        perm = calculate_permutation(n, 8)
+        # chunk i = frame i; priority = its transmission slot
+        priorities = [perm.slot_of(i) for i in range(n)]
+        chunks = chunks_from_priorities(priorities)
+        sender = CyclicUdpSender(lossless(), budget_bytes=10 * 1024)
+        result = sender.run_cycle(chunks)
+        missing = [i for i in range(n) if i not in result.delivered]
+        assert len(missing) == 6
+        assert max_run(missing) == 1  # spread, not a block
+
+    def test_in_order_priorities_cut_a_block(self):
+        chunks = chunks_from_priorities(range(16))
+        sender = CyclicUdpSender(lossless(), budget_bytes=10 * 1024)
+        result = sender.run_cycle(chunks)
+        from repro.core.evaluation import max_run
+
+        missing = [i for i in range(16) if i not in result.delivered]
+        assert max_run(missing) == 6  # one consecutive block lost

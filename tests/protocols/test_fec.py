@@ -1,0 +1,159 @@
+"""Tests for FEC erasure codes (repro.protocols.fec)."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CodingError
+from repro.protocols.fec import FecPolicy, ReedSolomonErasure, XorParity
+
+
+def random_blocks(count: int, length: int, seed: int = 0):
+    rng = random.Random(seed)
+    return [bytes(rng.randrange(256) for _ in range(length)) for _ in range(count)]
+
+
+class TestXorParity:
+    def test_recovers_any_single_loss(self):
+        xor = XorParity(5)
+        blocks = random_blocks(5, 40)
+        parity = xor.encode(blocks)
+        for missing in range(5):
+            damaged = list(blocks)
+            damaged[missing] = None
+            assert xor.decode(damaged, parity) == blocks
+
+    def test_no_loss_passthrough(self):
+        xor = XorParity(3)
+        blocks = random_blocks(3, 10)
+        assert xor.decode(blocks, xor.encode(blocks)) == blocks
+
+    def test_two_losses_rejected(self):
+        xor = XorParity(3)
+        blocks = random_blocks(3, 10)
+        parity = xor.encode(blocks)
+        damaged = [None, None, blocks[2]]
+        with pytest.raises(CodingError):
+            xor.decode(damaged, parity)
+
+    def test_lost_parity_with_lost_block_rejected(self):
+        xor = XorParity(3)
+        blocks = random_blocks(3, 10)
+        damaged = [None, blocks[1], blocks[2]]
+        with pytest.raises(CodingError):
+            xor.decode(damaged, None)
+
+    def test_wrong_group_size(self):
+        with pytest.raises(CodingError):
+            XorParity(3).encode(random_blocks(2, 10))
+
+    def test_unequal_lengths(self):
+        with pytest.raises(CodingError):
+            XorParity(2).encode([b"aa", b"a"])
+
+    def test_overhead(self):
+        assert XorParity(4).overhead == 0.25
+
+    def test_invalid_k(self):
+        with pytest.raises(CodingError):
+            XorParity(0)
+
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=32))
+    @settings(max_examples=30)
+    def test_parity_of_identical_blocks(self, k, length):
+        xor = XorParity(k)
+        blocks = [bytes(length)] * k
+        assert xor.encode(blocks) == bytes(length)
+
+
+class TestReedSolomon:
+    def test_exhaustive_small(self):
+        rs = ReedSolomonErasure(4, 2)
+        blocks = random_blocks(4, 24, seed=2)
+        parities = rs.encode(blocks)
+        for lost in itertools.combinations(range(6), 2):
+            damaged = [b if i not in lost else None for i, b in enumerate(blocks)]
+            damaged_parity = [
+                p if (i + 4) not in lost else None for i, p in enumerate(parities)
+            ]
+            assert rs.decode(damaged, damaged_parity) == blocks
+
+    def test_capacity_exceeded(self):
+        rs = ReedSolomonErasure(4, 1)
+        blocks = random_blocks(4, 8)
+        parities = rs.encode(blocks)
+        damaged = [None, None, blocks[2], blocks[3]]
+        with pytest.raises(CodingError):
+            rs.decode(damaged, parities)
+
+    def test_parity_loss_consumes_capacity(self):
+        rs = ReedSolomonErasure(3, 2)
+        blocks = random_blocks(3, 8)
+        parities = rs.encode(blocks)
+        # two data losses + one parity loss = 3 erasures > r = 2
+        damaged = [None, None, blocks[2]]
+        damaged_parity = [None, parities[1]]
+        with pytest.raises(CodingError):
+            rs.decode(damaged, damaged_parity)
+
+    def test_r_zero(self):
+        rs = ReedSolomonErasure(3, 0)
+        blocks = random_blocks(3, 8)
+        assert rs.encode(blocks) == []
+        assert rs.decode(blocks, []) == blocks
+
+    def test_validation(self):
+        with pytest.raises(CodingError):
+            ReedSolomonErasure(0, 1)
+        with pytest.raises(CodingError):
+            ReedSolomonErasure(200, 100)
+        rs = ReedSolomonErasure(2, 1)
+        with pytest.raises(CodingError):
+            rs.encode(random_blocks(3, 4))
+        with pytest.raises(CodingError):
+            rs.decode([None, None, None], [b"x"])  # wrong slot counts
+
+    def test_overhead(self):
+        assert ReedSolomonErasure(8, 2).overhead == 0.25
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=1, max_value=16),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_random_erasures_recover(self, k, r, length, rng):
+        rs = ReedSolomonErasure(k, r)
+        blocks = [
+            bytes(rng.randrange(256) for _ in range(length)) for _ in range(k)
+        ]
+        parities = rs.encode(blocks)
+        erasures = rng.sample(range(k + r), min(r, k + r))
+        damaged = [b if i not in erasures else None for i, b in enumerate(blocks)]
+        damaged_parity = [
+            p if (i + k) not in erasures else None for i, p in enumerate(parities)
+        ]
+        assert rs.decode(damaged, damaged_parity) == blocks
+
+
+class TestFecPolicy:
+    def test_recoverable_rule(self):
+        policy = FecPolicy(group_size=8, parity_count=2)
+        assert policy.recoverable(0)
+        assert policy.recoverable(2)
+        assert not policy.recoverable(3)
+
+    def test_overhead(self):
+        assert FecPolicy(group_size=8, parity_count=1).overhead == 0.125
+
+    def test_validation(self):
+        with pytest.raises(CodingError):
+            FecPolicy(group_size=0)
+        with pytest.raises(CodingError):
+            FecPolicy(parity_count=-1)

@@ -1,0 +1,148 @@
+"""Property tests for GF(256) arithmetic (repro.protocols.gf256)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CodingError
+from repro.protocols.gf256 import (
+    gf_add,
+    gf_div,
+    gf_inv,
+    gf_mul,
+    gf_pow,
+    mat_inv,
+    mat_mul,
+    mat_vec,
+    solve,
+    vandermonde,
+)
+
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+class TestFieldAxioms:
+    @given(elements, elements)
+    def test_addition_is_xor_and_commutative(self, a, b):
+        assert gf_add(a, b) == (a ^ b) == gf_add(b, a)
+
+    @given(elements)
+    def test_additive_inverse_is_self(self, a):
+        assert gf_add(a, a) == 0
+
+    @given(elements, elements)
+    def test_multiplication_commutative(self, a, b):
+        assert gf_mul(a, b) == gf_mul(b, a)
+
+    @given(elements, elements, elements)
+    @settings(max_examples=200)
+    def test_multiplication_associative(self, a, b, c):
+        assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+    @given(elements, elements, elements)
+    @settings(max_examples=200)
+    def test_distributive(self, a, b, c):
+        assert gf_mul(a, gf_add(b, c)) == gf_add(gf_mul(a, b), gf_mul(a, c))
+
+    @given(elements)
+    def test_one_is_identity(self, a):
+        assert gf_mul(a, 1) == a
+
+    @given(elements)
+    def test_zero_annihilates(self, a):
+        assert gf_mul(a, 0) == 0
+
+    @given(nonzero)
+    def test_inverse(self, a):
+        assert gf_mul(a, gf_inv(a)) == 1
+
+    @given(nonzero, nonzero)
+    def test_division(self, a, b):
+        assert gf_mul(gf_div(a, b), b) == a
+
+    def test_zero_inverse_rejected(self):
+        with pytest.raises(CodingError):
+            gf_inv(0)
+        with pytest.raises(CodingError):
+            gf_div(1, 0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(CodingError):
+            gf_mul(256, 1)
+        with pytest.raises(CodingError):
+            gf_add(-1, 0)
+
+
+class TestPow:
+    @given(nonzero, st.integers(min_value=0, max_value=20))
+    def test_matches_repeated_multiplication(self, a, k):
+        expected = 1
+        for _ in range(k):
+            expected = gf_mul(expected, a)
+        assert gf_pow(a, k) == expected
+
+    @given(nonzero)
+    def test_negative_exponent(self, a):
+        assert gf_mul(gf_pow(a, -1), a) == 1
+
+    def test_zero_cases(self):
+        assert gf_pow(0, 3) == 0
+        with pytest.raises(CodingError):
+            gf_pow(0, 0)
+
+
+class TestLinearAlgebra:
+    def test_vandermonde_shape(self):
+        v = vandermonde(3, 2)
+        assert v == [[1, 1], [1, 2], [1, 3]]
+
+    def test_vandermonde_validation(self):
+        with pytest.raises(CodingError):
+            vandermonde(0, 2)
+        with pytest.raises(CodingError):
+            vandermonde(300, 2)
+
+    def test_mat_vec(self):
+        assert mat_vec([[1, 0], [0, 1]], [5, 9]) == [5, 9]
+
+    def test_mat_vec_mismatch(self):
+        with pytest.raises(CodingError):
+            mat_vec([[1, 2]], [1])
+
+    def test_solve_identity(self):
+        assert solve([[1, 0], [0, 1]], [7, 9]) == [7, 9]
+
+    def test_solve_singular(self):
+        with pytest.raises(CodingError):
+            solve([[1, 1], [1, 1]], [1, 2])
+
+    def test_mat_inv_roundtrip(self):
+        import random
+
+        rng = random.Random(0)
+        for _ in range(10):
+            n = rng.randrange(1, 6)
+            matrix = vandermonde(n + 2, n)[:n]
+            inverse = mat_inv(matrix)
+            product = mat_mul(matrix, inverse)
+            identity = [[1 if i == j else 0 for j in range(n)] for i in range(n)]
+            assert product == identity
+
+    def test_mat_inv_singular(self):
+        with pytest.raises(CodingError):
+            mat_inv([[1, 1], [1, 1]])
+
+    def test_mat_mul_validation(self):
+        with pytest.raises(CodingError):
+            mat_mul([[1, 2]], [[1, 2]])
+
+    @given(st.integers(min_value=1, max_value=6), st.data())
+    @settings(max_examples=30)
+    def test_solve_random_systems(self, n, data):
+        matrix = vandermonde(n + 1, n)[:n]
+        x = [data.draw(elements) for _ in range(n)]
+        rhs = mat_vec(matrix, x)
+        assert solve(matrix, rhs) == x

@@ -1,0 +1,94 @@
+"""Tests for Inverse Binary Order (repro.protocols.ibo)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.permutation import Permutation
+from repro.errors import ConfigurationError
+from repro.protocols.ibo import (
+    bit_reverse,
+    ibo_priority,
+    inverse_binary_order,
+    tail_loss_clf,
+)
+
+
+class TestBitReverse:
+    def test_examples(self):
+        assert bit_reverse(0b001, 3) == 0b100
+        assert bit_reverse(0b110, 3) == 0b011
+        assert bit_reverse(0, 4) == 0
+
+    def test_involution(self):
+        for bits in range(1, 8):
+            for value in range(1 << bits):
+                assert bit_reverse(bit_reverse(value, bits), bits) == value
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bit_reverse(8, 3)
+        with pytest.raises(ConfigurationError):
+            bit_reverse(-1, 3)
+
+
+class TestInverseBinaryOrder:
+    def test_paper_table2_order(self):
+        # Paper (1-based): 01 05 03 07 02 06 04 08
+        assert list(inverse_binary_order(8).order) == [0, 4, 2, 6, 1, 5, 3, 7]
+
+    def test_power_of_two_16(self):
+        order = inverse_binary_order(16).order
+        assert order[:4] == (0, 8, 4, 12)
+
+    @given(st.integers(min_value=1, max_value=100))
+    def test_is_permutation(self, n):
+        assert sorted(inverse_binary_order(n).order) == list(range(n))
+
+    def test_empty(self):
+        assert len(inverse_binary_order(0)) == 0
+
+    def test_negative(self):
+        with pytest.raises(ConfigurationError):
+            inverse_binary_order(-1)
+
+    def test_non_power_of_two(self):
+        order = inverse_binary_order(6).order
+        assert sorted(order) == list(range(6))
+        assert order[0] == 0
+
+    def test_priority_ranks(self):
+        ranks = ibo_priority(8)
+        assert ranks[0] == 0   # frame 0 sent first
+        assert ranks[4] == 1   # frame 4 second
+
+
+class TestTailLoss:
+    def test_zero_losses(self):
+        assert tail_loss_clf(inverse_binary_order(8), 0) == 0
+
+    def test_all_lost(self):
+        assert tail_loss_clf(inverse_binary_order(8), 8) == 8
+
+    def test_clamps(self):
+        assert tail_loss_clf(inverse_binary_order(8), 99) == 8
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tail_loss_clf(inverse_binary_order(8), -1)
+
+    def test_ibo_good_below_half(self):
+        perm = inverse_binary_order(16)
+        for lost in range(1, 8):
+            assert tail_loss_clf(perm, lost) <= 2
+
+    def test_ibo_degrades_above_half(self):
+        perm = inverse_binary_order(8)
+        assert tail_loss_clf(perm, 5) >= 3
+
+    def test_in_order_worst_case(self):
+        perm = Permutation.identity(8)
+        # tail of the identity = last frames: one consecutive run
+        assert tail_loss_clf(perm, 5) == 5

@@ -1,0 +1,55 @@
+"""Tests for graceful-degradation priority orders (repro.protocols.priority)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.permutation import Permutation
+from repro.errors import ConfigurationError
+from repro.protocols.priority import farthest_point_order, prefix_quality
+
+
+class TestFarthestPointOrder:
+    @given(st.integers(min_value=1, max_value=80))
+    def test_is_permutation(self, n):
+        assert sorted(farthest_point_order(n).order) == list(range(n))
+
+    def test_empty(self):
+        assert len(farthest_point_order(0)) == 0
+
+    def test_negative(self):
+        with pytest.raises(ConfigurationError):
+            farthest_point_order(-1)
+
+    def test_doctest_head(self):
+        assert list(farthest_point_order(8).order)[:2] == [0, 4]
+
+    def test_prefixes_spread(self):
+        perm = farthest_point_order(16)
+        quality = prefix_quality(perm)
+        # Keeping 4 frames must leave gaps no worse than ~2x ideal.
+        # ideal with 4 survivors of 16: runs of (16-4)/5 ~ 3
+        assert quality[3] <= 7
+
+    def test_better_than_identity(self):
+        n = 16
+        fpo = prefix_quality(farthest_point_order(n))
+        identity = prefix_quality(Permutation.identity(n))
+        # midway through, farthest-point is much better
+        assert fpo[n // 2] < identity[n // 2]
+
+
+class TestPrefixQuality:
+    def test_monotone_non_increasing(self):
+        perm = farthest_point_order(20)
+        quality = prefix_quality(perm)
+        assert all(a >= b for a, b in zip(quality, quality[1:]))
+
+    def test_last_entry_zero(self):
+        assert prefix_quality(farthest_point_order(10))[-1] == 0
+
+    def test_identity_quality(self):
+        quality = prefix_quality(Permutation.identity(5))
+        assert quality == [4, 3, 2, 1, 0]

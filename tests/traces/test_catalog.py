@@ -1,0 +1,64 @@
+"""Tests for the trace catalog (repro.traces.catalog)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.catalog import (
+    CATALOG,
+    JURASSIC_PARK,
+    STAR_WARS,
+    TraceSpec,
+    buffer_bytes,
+    largest_gop_bits,
+    spec_for,
+)
+
+
+class TestCatalog:
+    def test_paper_numbers(self):
+        assert spec_for("jurassic_park").max_gop_bits == 62776
+        assert spec_for("silence_of_the_lambs").max_gop_bits == 462056
+        assert spec_for("star_wars").max_gop_bits == 932710
+        assert spec_for("terminator").max_gop_bits == 407512
+        assert spec_for("beauty_and_the_beast").max_gop_bits == 769376
+
+    def test_largest_is_star_wars(self):
+        assert largest_gop_bits() == STAR_WARS.max_gop_bits
+
+    def test_unknown_movie(self):
+        with pytest.raises(TraceError):
+            spec_for("plan_9_from_outer_space")
+
+    def test_corrected_variant_present(self):
+        assert spec_for("jurassic_park_corrected").max_gop_bits == 627760
+
+    def test_gop12_at_24fps(self):
+        assert JURASSIC_PARK.gop_size == 12
+        assert JURASSIC_PARK.fps == 24.0
+
+
+class TestBufferSizing:
+    def test_paper_two_gop_buffer(self):
+        # "the largest GOP size is 932710 bits or 113 Kbytes" -> two-GOP
+        # buffer around 226 KB.
+        assert buffer_bytes(2) == 2 * ((932710 + 7) // 8)
+        assert 220_000 < buffer_bytes(2) < 240_000
+
+    def test_explicit_max(self):
+        assert buffer_bytes(1, max_gop_bits=800) == 100
+
+    def test_invalid(self):
+        with pytest.raises(TraceError):
+            buffer_bytes(0)
+
+
+class TestSpecValidation:
+    def test_bad_values(self):
+        with pytest.raises(TraceError):
+            TraceSpec("x", max_gop_bits=0, gop_size=12, fps=24.0)
+        with pytest.raises(TraceError):
+            TraceSpec("x", max_gop_bits=10, gop_size=0, fps=24.0)
+        with pytest.raises(TraceError):
+            TraceSpec("x", max_gop_bits=10, gop_size=12, fps=0)

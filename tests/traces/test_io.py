@@ -1,0 +1,82 @@
+"""Tests for trace file I/O (repro.traces.io)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.errors import TraceError
+from repro.traces.io import read_trace, round_trip_equal, write_trace
+from repro.traces.synthetic import SyntheticTraceConfig, synthetic_stream
+
+
+class TestRoundTrip:
+    def test_memory_roundtrip(self):
+        stream = synthetic_stream(SyntheticTraceConfig(gop_count=5, seed=2))
+        buffer = io.StringIO()
+        write_trace(stream, buffer)
+        buffer.seek(0)
+        restored = read_trace(buffer)
+        assert round_trip_equal(stream, restored)
+        assert restored.pattern is not None
+        assert str(restored.pattern) == str(stream.pattern)
+
+    def test_file_roundtrip(self, tmp_path):
+        stream = synthetic_stream(SyntheticTraceConfig(gop_count=3, seed=2))
+        path = tmp_path / "trace.txt"
+        write_trace(stream, path)
+        restored = read_trace(path)
+        assert round_trip_equal(stream, restored)
+        assert restored.fps == stream.fps
+
+
+class TestParsing:
+    def test_comments_and_blanks_skipped(self):
+        text = "# a comment\n\nI 100\nB 50\nB 40\nP 70\n"
+        stream = read_trace(io.StringIO("# fps=24 gop=IBBP\n" + text))
+        assert len(stream) == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            read_trace(io.StringIO("# only a comment\n"))
+
+    def test_three_column_university_format(self):
+        text = "1 I 100\n2 B 50\n3 B 40\n4 P 70\n"
+        stream = read_trace(io.StringIO(text))
+        assert len(stream) == 4
+        assert stream[0].size_bits == 100
+        assert stream[3].frame_type.value == "P"
+
+    def test_malformed_line(self):
+        with pytest.raises(TraceError):
+            read_trace(io.StringIO("I 100 extra junk\n"))
+
+    def test_bad_type(self):
+        with pytest.raises(TraceError):
+            read_trace(io.StringIO("Q 100\n"))
+
+    def test_bad_size(self):
+        with pytest.raises(TraceError):
+            read_trace(io.StringIO("I lots\n"))
+
+    def test_negative_size(self):
+        with pytest.raises(TraceError):
+            read_trace(io.StringIO("I -4\n"))
+
+    def test_bad_fps_header(self):
+        with pytest.raises(TraceError):
+            read_trace(io.StringIO("# fps=abc\nI 100\n"))
+
+    def test_header_name(self):
+        stream = read_trace(io.StringIO("# fps=30 gop= name=demo\nX 10\n"))
+        assert stream.name == "demo"
+        assert stream.fps == 30.0
+        assert stream.pattern is None
+
+
+class TestComparison:
+    def test_round_trip_equal_detects_difference(self):
+        a = synthetic_stream(SyntheticTraceConfig(gop_count=2, seed=1))
+        b = synthetic_stream(SyntheticTraceConfig(gop_count=2, seed=2))
+        assert not round_trip_equal(a, b)

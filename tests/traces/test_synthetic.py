@@ -1,0 +1,90 @@
+"""Tests for the calibrated synthetic trace generator (repro.traces.synthetic)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TraceError
+from repro.media.gop import GOP_12
+from repro.media.ldu import FrameType
+from repro.traces.catalog import CATALOG, spec_for
+from repro.traces.synthetic import (
+    SyntheticTraceConfig,
+    calibrated_stream,
+    generate_frame_sizes,
+    synthetic_stream,
+)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            SyntheticTraceConfig(gop_count=0)
+        with pytest.raises(TraceError):
+            SyntheticTraceConfig(fps=0)
+        with pytest.raises(TraceError):
+            SyntheticTraceConfig(base_b_frame_bits=0)
+        with pytest.raises(TraceError):
+            SyntheticTraceConfig(activity_amplitude=1.5)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        config = SyntheticTraceConfig(gop_count=10, seed=3)
+        assert generate_frame_sizes(config) == generate_frame_sizes(config)
+
+    def test_seed_changes_output(self):
+        a = generate_frame_sizes(SyntheticTraceConfig(gop_count=10, seed=3))
+        b = generate_frame_sizes(SyntheticTraceConfig(gop_count=10, seed=4))
+        assert a != b
+
+    def test_length(self):
+        sizes = generate_frame_sizes(SyntheticTraceConfig(gop_count=5))
+        assert len(sizes) == 5 * GOP_12.size
+
+    def test_type_size_ordering(self):
+        """On average I frames dwarf P frames dwarf B frames."""
+        config = SyntheticTraceConfig(gop_count=60, seed=1)
+        sizes = generate_frame_sizes(config)
+        by_type = {FrameType.I: [], FrameType.P: [], FrameType.B: []}
+        for i, size in enumerate(sizes):
+            by_type[config.pattern.type_at(i)].append(size)
+        means = {t: sum(v) / len(v) for t, v in by_type.items()}
+        assert means[FrameType.I] > means[FrameType.P] > means[FrameType.B]
+
+    def test_all_positive(self):
+        sizes = generate_frame_sizes(SyntheticTraceConfig(gop_count=20, seed=2))
+        assert all(size > 0 for size in sizes)
+
+
+class TestSyntheticStream:
+    def test_typed_correctly(self):
+        stream = synthetic_stream(SyntheticTraceConfig(gop_count=4))
+        assert stream[0].frame_type is FrameType.I
+        assert stream[1].frame_type is FrameType.B
+        assert stream[3].frame_type is FrameType.P
+
+    def test_gop_metadata(self):
+        stream = synthetic_stream(SyntheticTraceConfig(gop_count=4))
+        assert stream[13].gop_index == 1
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("movie", sorted(CATALOG))
+    def test_exact_max_gop(self, movie):
+        stream = calibrated_stream(movie, gop_count=12, seed=5)
+        assert stream.max_gop_bits() == spec_for(movie).max_gop_bits
+
+    def test_fps_from_spec(self):
+        stream = calibrated_stream("star_wars", gop_count=4)
+        assert stream.fps == 24.0
+
+    def test_deterministic(self):
+        a = calibrated_stream("star_wars", gop_count=6, seed=9)
+        b = calibrated_stream("star_wars", gop_count=6, seed=9)
+        assert [l.size_bits for l in a] == [l.size_bits for l in b]
+
+    def test_no_gop_exceeds_target(self):
+        stream = calibrated_stream("terminator", gop_count=20, seed=3)
+        target = spec_for("terminator").max_gop_bits
+        assert all(g.size_bits <= target for g in stream.gops)
