@@ -1,4 +1,4 @@
-.PHONY: install test bench experiments examples lint all
+.PHONY: install test bench bench-all experiments examples lint all
 
 PYTHON ?= python
 
@@ -11,6 +11,9 @@ test:
 	$(PYTHON) -m pytest tests/
 
 bench:
+	$(PYTHON) tools/bench_compare.py
+
+bench-all:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 experiments:

@@ -2,7 +2,22 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_perm_cache(tmp_path_factory):
+    """Keep benchmark runs from reading or seeding the home permutation cache."""
+    cache_dir = tmp_path_factory.mktemp("perm-cache")
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 @pytest.fixture

@@ -2,9 +2,12 @@
 
 Commands
 --------
-``experiments [NAME ...]``
+``experiments [NAME ...] [--jobs N]``
     Run paper experiments by name (all when no names given) and print
-    the reproduced tables.  ``--list`` shows the available names.
+    the reproduced tables.  ``--list`` shows the available names;
+    ``--jobs N`` fans independent runs inside each experiment out over
+    N worker processes (identical output, less wall clock).  ``run`` is
+    an alias, and names may use underscores (``figure8_pooled``).
 ``trace MOVIE [--gops N] [--seed S] [--out FILE]``
     Generate a calibrated synthetic trace and write it as an ASCII
     trace file (stdout by default).
@@ -35,13 +38,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=f"repro {__version__}")
     commands = parser.add_subparsers(dest="command", required=True)
 
-    experiments = commands.add_parser(
-        "experiments", help="run paper experiments and print their tables"
-    )
-    experiments.add_argument("names", nargs="*", help="experiment names (default: all)")
-    experiments.add_argument(
-        "--list", action="store_true", help="list available experiment names"
-    )
+    for alias in ("experiments", "run"):
+        experiments = commands.add_parser(
+            alias, help="run paper experiments and print their tables"
+        )
+        experiments.add_argument(
+            "names", nargs="*", help="experiment names (default: all)"
+        )
+        experiments.add_argument(
+            "--list", action="store_true", help="list available experiment names"
+        )
+        experiments.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            metavar="N",
+            help="worker processes for per-experiment fan-out (default 1)",
+        )
 
     trace = commands.add_parser("trace", help="generate a calibrated synthetic trace")
     trace.add_argument("movie", help="catalog name, e.g. star_wars")
@@ -80,7 +93,7 @@ def _cmd_experiments(args: argparse.Namespace, out) -> int:
         return 0
     names = args.names or None
     failures = 0
-    for name, (rendered, shape) in run_all(names).items():
+    for name, (rendered, shape) in run_all(names, jobs=args.jobs).items():
         print(f"=== {name} ===", file=out)
         print(rendered, file=out)
         if shape is not None:
@@ -181,6 +194,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "experiments": _cmd_experiments,
+        "run": _cmd_experiments,
         "trace": _cmd_trace,
         "permute": _cmd_permute,
         "bounds": _cmd_bounds,

@@ -25,11 +25,13 @@ from __future__ import annotations
 import functools
 import math
 import random
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
+from repro import accel
+from repro.core import permcache
 from repro.core.evaluation import worst_case_clf
 from repro.core.permutation import Permutation, stride_permutation
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, PermutationError
 
 #: Effort levels for calculate_permutation.
 EFFORT_FAST = "fast"
@@ -191,6 +193,20 @@ def candidate_permutations(
                 yield ladder
 
 
+def _key_from_runs(
+    runs: Sequence[int], perm: Permutation, burst: int, *, cyclic: bool
+) -> Tuple[int, int, float]:
+    """Tie-break key from a per-start run profile (see ``_tie_break_key``)."""
+    worst = max(runs) if runs else 0
+    if cyclic:
+        from repro.core.evaluation import cyclic_worst_case_clf
+
+        worst = max(worst, cyclic_worst_case_clf(perm, burst))
+    ties = sum(1 for r in runs if r == worst)
+    mean = sum(runs) / len(runs) if runs else 0.0
+    return (worst, ties, mean)
+
+
 def _tie_break_key(
     perm: Permutation, burst: int, *, cyclic: bool = False
 ) -> Tuple[int, int, float]:
@@ -200,14 +216,26 @@ def _tie_break_key(
     worst case (bursts may span back-to-back windows using the same
     permutation).
     """
-    from repro.core.evaluation import burst_profile, cyclic_worst_case_clf
+    runs = accel.burst_runs(perm.order, burst)
+    return _key_from_runs(runs, perm, burst, cyclic=cyclic)
 
-    profile = burst_profile(perm, burst)
-    worst = profile.worst
-    if cyclic:
-        worst = max(worst, cyclic_worst_case_clf(perm, burst))
-    ties = sum(1 for r in profile.runs if r == worst)
-    return (worst, ties, profile.mean)
+
+def _batch_tie_break_keys(
+    perms: Sequence[Permutation], burst: int, *, cyclic: bool = False
+) -> List[Tuple[int, int, float]]:
+    """Tie-break keys for a whole candidate pool in one backend pass.
+
+    The per-start profiles of every candidate are scored by a single
+    :func:`repro.accel.batch_burst_runs` call — with the NumPy backend
+    all burst positions of all candidates go through one array pass.
+    The keys themselves are assembled in Python from the integer runs,
+    so candidate selection is bit-for-bit identical on every backend.
+    """
+    runs_per_perm = accel.batch_burst_runs([p.order for p in perms], burst)
+    return [
+        _key_from_runs(runs, perm, burst, cyclic=cyclic)
+        for perm, runs in zip(perms, runs_per_perm)
+    ]
 
 
 def _local_search(
@@ -215,11 +243,16 @@ def _local_search(
     burst: int,
     *,
     iterations: int,
-    seed: int,
+    rng: random.Random,
     cyclic: bool = False,
 ) -> Permutation:
-    """Hill-climb with pairwise slot swaps, minimizing the tie-break key."""
-    rng = random.Random(seed)
+    """Hill-climb with pairwise slot swaps, minimizing the tie-break key.
+
+    ``rng`` is a private :class:`random.Random` threaded in by the
+    caller — the search never touches the module-level ``random`` state,
+    so results are reproducible per seed and never perturb user code
+    that relies on the global stream.
+    """
     n = len(perm)
     best_order = list(perm.order)
     best_key = _tie_break_key(perm, burst, cyclic=cyclic)
@@ -261,8 +294,25 @@ def calculate_permutation(
       exact evaluation of every burst position; tests verify it matches
       the exhaustive optimum for ``n <= 13`` and stays within one of the
       provable lower bound for window sizes up to 120.
+
+    Results are memoized in-process and persisted across processes via
+    :mod:`repro.core.permcache` (the trivial closed-form regimes are
+    recomputed rather than stored).
     """
     return _calculate_permutation(n, b, effort, seed)
+
+
+def _cached_search(
+    kind: str, n: int, b: int, effort: str, seed: int
+) -> Optional[Permutation]:
+    """A disk-cached search result, validated, or None on a miss."""
+    order = permcache.load(kind, n, b, effort, seed)
+    if order is None:
+        return None
+    try:
+        return Permutation(order)
+    except PermutationError:
+        return None  # corrupt entry: fall through to a fresh search
 
 
 @functools.lru_cache(maxsize=4096)
@@ -292,6 +342,20 @@ def _calculate_permutation(
     if b <= n // 2:
         return even_odd_split(n)
 
+    cached = _cached_search("window", n, b, effort, seed)
+    if cached is not None:
+        return cached
+    result = _search_permutation(n, b, effort, seed)
+    permcache.store("window", n, b, effort, seed, result.order)
+    return result
+
+
+def _search_permutation(n: int, b: int, effort: str, seed: int) -> Permutation:
+    """The non-trivial search behind :func:`calculate_permutation`.
+
+    This is the entry point the persistent cache short-circuits; it is
+    only reached on a cold cache.
+    """
     if effort != EFFORT_FAST and n <= _EXACT_SEARCH_LIMIT:
         # Small windows: the exhaustive witness search is affordable and
         # returns a provably optimal permutation.
@@ -303,17 +367,17 @@ def _calculate_permutation(
         except ConfigurationError:
             pass  # budget blew up; fall through to the constructions
 
-    best: Optional[Permutation] = None
-    best_key: Optional[Tuple[int, int, float]] = None
-    for candidate in candidate_permutations(n, b, effort=effort):
-        key = _tie_break_key(candidate, b)
-        if best_key is None or key < best_key:
-            best, best_key = candidate, key
-    assert best is not None and best_key is not None
+    candidates = list(candidate_permutations(n, b, effort=effort))
+    keys = _batch_tie_break_keys(candidates, b)
+    best_index = min(range(len(candidates)), key=lambda i: (keys[i], i))
+    best = candidates[best_index]
+    best_key = keys[best_index]
 
     if effort != EFFORT_FAST and n <= 512:
         iterations = 30 * n if effort == EFFORT_NORMAL else 200 * n
-        polished = _local_search(best, b, iterations=iterations, seed=seed)
+        polished = _local_search(
+            best, b, iterations=iterations, rng=random.Random(seed)
+        )
         if _tie_break_key(polished, b) < best_key:
             best = polished
     return best
@@ -349,20 +413,33 @@ def _calculate_permutation_cyclic(
         return Permutation(())
     if b == 0:
         return Permutation.identity(n)
-    best: Optional[Permutation] = None
-    best_key: Optional[Tuple[int, int, float]] = None
+    cached = _cached_search("cyclic", n, b, effort, seed)
+    if cached is not None:
+        return cached
+    result = _search_permutation_cyclic(n, b, effort, seed)
+    permcache.store("cyclic", n, b, effort, seed, result.order)
+    return result
+
+
+def _search_permutation_cyclic(
+    n: int, b: int, effort: str, seed: int
+) -> Permutation:
+    """The search behind :func:`calculate_permutation_cyclic` (cache-cold)."""
     candidates = list(candidate_permutations(n, b, effort=effort))
     # Seed the pool with the window-optimal choice too.
     candidates.append(calculate_permutation(n, min(b, n), effort=effort))
-    for candidate in candidates:
-        key = _tie_break_key(candidate, min(b, n), cyclic=True)
-        if best_key is None or key < best_key:
-            best, best_key = candidate, key
-    assert best is not None
+    keys = _batch_tie_break_keys(candidates, min(b, n), cyclic=True)
+    best_index = min(range(len(candidates)), key=lambda i: (keys[i], i))
+    best = candidates[best_index]
+    best_key = keys[best_index]
     if effort != EFFORT_FAST and n <= 256:
         iterations = 20 * n if effort == EFFORT_NORMAL else 120 * n
         polished = _local_search(
-            best, min(b, n), iterations=iterations, seed=seed, cyclic=True
+            best,
+            min(b, n),
+            iterations=iterations,
+            rng=random.Random(seed),
+            cyclic=True,
         )
         if _tie_break_key(polished, min(b, n), cyclic=True) < best_key:
             best = polished

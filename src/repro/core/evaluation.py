@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Set, Tuple
 
+from repro import accel
 from repro.core.permutation import Permutation
 from repro.errors import PermutationError
 
@@ -57,12 +58,7 @@ def worst_case_clf(perm: Permutation, burst: int) -> int:
         return 0
     if burst >= n:
         return n
-    best = 0
-    for start in range(n - burst + 1):
-        run = burst_loss_run(perm, start, burst)
-        if run > best:
-            best = run
-    return best
+    return accel.worst_clf(perm.order, burst)
 
 
 def cyclic_worst_case_clf(perm: Permutation, burst: int) -> int:
@@ -71,13 +67,19 @@ def cyclic_worst_case_clf(perm: Permutation, burst: int) -> int:
     In a stream, windows are transmitted continuously with the same
     permutation, so a burst can cover the tail of window ``k`` and the
     head of window ``k+1`` (or, for ``burst > n``, several whole windows).
-    Evaluated exactly by sliding the burst over three concatenated copies
-    of the window, with playback offsets shifted by ``n`` per copy.
+    Evaluated exactly by sliding the burst over two concatenated copies
+    of the window plus the overhang the longest-starting burst needs,
+    with playback offsets shifted by ``n`` per copy.
     """
     n = len(perm)
     if burst <= 0 or n == 0:
         return 0
-    copies = 2 + (burst + n - 1) // n  # enough copies that no burst truncates
+    # Starts cover one full period (every distinct alignment of the burst
+    # relative to window boundaries), so the stream only needs to reach
+    # slot n - 1 + burst: at most two copies plus an overhang, not the
+    # 2 + ceil(burst / n) full copies a naive bound would materialize.
+    needed = n - 1 + burst
+    copies = -(-needed // n)
     stream = [
         copy * n + frame
         for copy in range(copies)
@@ -85,8 +87,6 @@ def cyclic_worst_case_clf(perm: Permutation, burst: int) -> int:
     ]
     limit = min(burst, len(stream))
     best = 0
-    # Sliding the start over one full period covers every distinct
-    # alignment of the burst relative to window boundaries.
     for start in range(n):
         lost = stream[start:start + limit]
         run = max_run(lost)
@@ -120,12 +120,7 @@ def burst_profile(perm: Permutation, burst: int) -> BurstProfile:
     n = len(perm)
     if burst <= 0 or n == 0:
         return BurstProfile(burst=burst, runs=())
-    burst_eff = min(burst, n)
-    runs = tuple(
-        burst_loss_run(perm, start, burst_eff)
-        for start in range(n - burst_eff + 1)
-    )
-    return BurstProfile(burst=burst, runs=runs)
+    return BurstProfile(burst=burst, runs=tuple(accel.burst_runs(perm.order, burst)))
 
 
 def clf_of_lost_frames(lost_frames: Iterable[int]) -> int:

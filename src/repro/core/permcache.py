@@ -1,0 +1,149 @@
+"""Persistent on-disk cache for ``calculate_permutation`` certificates.
+
+The k-CPO search is deterministic but not free — exhaustive witness
+searches and local-search polish can take seconds for large windows.
+Its results are tiny (one permutation per ``(n, b, effort, seed)``), so
+they are kept in a JSON file that survives across processes:
+
+* location: ``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro-espread``
+  (file ``perms.json``);
+* versioning: entries carry :data:`CACHE_REVISION`; bump it whenever the
+  construction families or the tie-break change, and stale files are
+  ignored and overwritten wholesale;
+* concurrency: writes are atomic (temp file + ``os.replace``) and merge
+  with whatever another process stored in the meantime;
+* robustness: a corrupt or unreadable file behaves like an empty cache;
+* opt-out: ``REPRO_PERM_CACHE=off`` (or ``0`` / ``no``) disables both
+  reads and writes.
+
+Only the in-memory LRU sits in front of this module, so a fresh process
+asking for a previously-computed permutation reads it from disk instead
+of re-running the search.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Bump when the construction families, tie-break, or local search
+#: change in a way that alters which permutation the search returns.
+CACHE_REVISION = 1
+
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+ENV_DISABLE = "REPRO_PERM_CACHE"
+
+_OFF_VALUES = {"off", "0", "no", "false"}
+
+_lock = threading.Lock()
+
+#: (path, mtime_ns, size) -> entries, so repeated misses on different
+#: keys re-read the file only when it actually changed on disk.
+_file_memo: Dict[Path, Tuple[Tuple[int, int], Dict[str, List[int]]]] = {}
+
+
+def cache_enabled() -> bool:
+    """True unless ``REPRO_PERM_CACHE`` opts out."""
+    return os.environ.get(ENV_DISABLE, "").strip().lower() not in _OFF_VALUES
+
+
+def cache_dir() -> Path:
+    """Directory holding the cache file (not created until first store)."""
+    override = os.environ.get(ENV_CACHE_DIR, "").strip()
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-espread"
+
+
+def cache_path() -> Path:
+    return cache_dir() / "perms.json"
+
+
+def _key(kind: str, n: int, b: int, effort: str, seed: int) -> str:
+    return f"{kind}:{n}:{b}:{effort}:{seed}"
+
+
+def _read_entries(path: Path) -> Dict[str, List[int]]:
+    """Entries of a cache file; {} on absence, corruption or stale revision."""
+    try:
+        stat = path.stat()
+    except OSError:
+        return {}
+    stamp = (stat.st_mtime_ns, stat.st_size)
+    memo = _file_memo.get(path)
+    if memo is not None and memo[0] == stamp:
+        return memo[1]
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return {}
+    entries = data.get("entries") if isinstance(data, dict) else None
+    if data.get("revision") != CACHE_REVISION or not isinstance(entries, dict):
+        entries = {}
+    _file_memo[path] = (stamp, entries)
+    return entries
+
+
+def load(
+    kind: str, n: int, b: int, effort: str, seed: int
+) -> Optional[List[int]]:
+    """The cached transmission order for a key, or None."""
+    if not cache_enabled():
+        return None
+    with _lock:
+        entries = _read_entries(cache_path())
+    order = entries.get(_key(kind, n, b, effort, seed))
+    if (
+        isinstance(order, list)
+        and len(order) == n
+        and all(isinstance(frame, int) for frame in order)
+    ):
+        return order
+    return None
+
+
+def store(
+    kind: str, n: int, b: int, effort: str, seed: int, order: Sequence[int]
+) -> None:
+    """Persist one search result; failures to write are non-fatal."""
+    if not cache_enabled():
+        return
+    path = cache_path()
+    with _lock:
+        # Merge with the file as it is *now* so concurrent processes
+        # lose at most their simultaneous twin, never older entries.
+        entries = dict(_read_entries(path))
+        entries[_key(kind, n, b, effort, seed)] = list(order)
+        payload = {"revision": CACHE_REVISION, "entries": entries}
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(path.parent), prefix=".perms-", suffix=".json"
+            )
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(payload, handle, separators=(",", ":"))
+                os.replace(tmp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return
+        try:
+            stat = path.stat()
+            _file_memo[path] = ((stat.st_mtime_ns, stat.st_size), entries)
+        except OSError:
+            _file_memo.pop(path, None)
+
+
+def clear_memory() -> None:
+    """Drop the per-process file memo (tests simulating a new process)."""
+    with _lock:
+        _file_memo.clear()

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Generic, List, Sequence, TypeVar
 
+from repro import accel
 from repro.core.cpo import EFFORT_NORMAL, calculate_permutation
 from repro.core.evaluation import max_run, worst_case_clf
 from repro.errors import ConfigurationError
@@ -57,12 +58,17 @@ class ErrorSpreader(Generic[T]):
         return worst_case_clf(self.permutation, self.b)
 
     def scramble(self, window: Sequence[T]) -> List[T]:
-        """Reorder a window into transmission order."""
-        return self.permutation.apply(window)
+        """Reorder a window into transmission order.
+
+        Dispatches through :mod:`repro.accel`: 1-D NumPy-array windows
+        take the vectorized fancy-indexing path, everything else the
+        plain list path.
+        """
+        return accel.permute(self.permutation.order, window)
 
     def unscramble(self, transmitted: Sequence[T]) -> List[T]:
         """Restore playback order at the receiver."""
-        return self.permutation.unapply(transmitted)
+        return accel.unpermute(self.permutation.order, transmitted)
 
     def playback_losses(self, lost_slots: Sequence[int]) -> List[int]:
         """Map lost transmission slots to playback offsets (sorted)."""

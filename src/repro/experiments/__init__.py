@@ -24,6 +24,7 @@ from repro.experiments.persist import (
     series_from_saved,
     session_to_dict,
 )
+from repro.experiments.parallel import parallel_map
 from repro.experiments.policies import PoliciesResult, run_policies
 from repro.experiments.robustness import RobustnessResult, run_robustness
 from repro.experiments.runner import available_experiments, run_all, run_experiment
@@ -57,6 +58,7 @@ __all__ = [
     "run_packetsize",
     "run_robustness",
     "available_experiments",
+    "parallel_map",
     "run_all",
     "run_experiment",
     "run_gateways",

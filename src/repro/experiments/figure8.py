@@ -162,13 +162,20 @@ class Figure8Aggregate:
 
 
 def run_figure8_multi(
-    config: Figure8Config, *, seeds: int = 5
+    config: Figure8Config, *, seeds: int = 5, jobs: int = 1
 ) -> Figure8Aggregate:
-    """Repeat one panel over ``seeds`` independent channel realizations."""
+    """Repeat one panel over ``seeds`` independent channel realizations.
+
+    ``jobs > 1`` fans the per-seed runs out over worker processes; the
+    result is identical to the sequential run (one config per seed,
+    results collected in seed order).
+    """
     from dataclasses import replace
 
-    runs = tuple(
-        run_figure8(replace(config, seed=config.seed + offset))
-        for offset in range(seeds)
-    )
+    from repro.experiments.parallel import parallel_map
+
+    configs = [
+        replace(config, seed=config.seed + offset) for offset in range(seeds)
+    ]
+    runs = tuple(parallel_map(run_figure8, configs, jobs))
     return Figure8Aggregate(config=config, runs=runs)

@@ -17,6 +17,7 @@ from typing import List, Tuple
 
 from repro.core.protocol import compare_schemes
 from repro.experiments.config import FIGURE_GOPS, FIGURE_MOVIE, FIGURE8_TOP
+from repro.experiments.parallel import parallel_map
 from repro.experiments.reporting import render_table
 from repro.traces.synthetic import calibrated_stream
 
@@ -73,29 +74,35 @@ class PacketSizeResult:
         )
 
 
+def _size_point(task) -> PacketSizePoint:
+    """One packet size's head-to-head run (module-level for pickling)."""
+    stream, config, windows = task
+    scrambled, unscrambled = compare_schemes(stream, config, max_windows=windows)
+    packets_per_window = scrambled.packets_offered / max(
+        1, len(scrambled.windows)
+    )
+    return PacketSizePoint(
+        packet_size_bytes=config.packet_size_bytes,
+        packets_per_window=packets_per_window,
+        scrambled_mean=scrambled.mean_clf,
+        unscrambled_mean=unscrambled.mean_clf,
+        scrambled_dev=scrambled.clf_deviation,
+        unscrambled_dev=unscrambled.clf_deviation,
+    )
+
+
 def run_packetsize(
     packet_sizes: Tuple[int, ...] = PACKET_SIZES,
     *,
     windows: int = 80,
     seed: int = 7100,
+    jobs: int = 1,
 ) -> PacketSizeResult:
     stream = calibrated_stream(FIGURE_MOVIE, gop_count=FIGURE_GOPS, seed=7)
     base = replace(FIGURE8_TOP.protocol(), seed=seed)
-    points: List[PacketSizePoint] = []
-    for size in packet_sizes:
-        config = replace(base, packet_size_bytes=size)
-        scrambled, unscrambled = compare_schemes(stream, config, max_windows=windows)
-        packets_per_window = scrambled.packets_offered / max(
-            1, len(scrambled.windows)
-        )
-        points.append(
-            PacketSizePoint(
-                packet_size_bytes=size,
-                packets_per_window=packets_per_window,
-                scrambled_mean=scrambled.mean_clf,
-                unscrambled_mean=unscrambled.mean_clf,
-                scrambled_dev=scrambled.clf_deviation,
-                unscrambled_dev=unscrambled.clf_deviation,
-            )
-        )
+    tasks = [
+        (stream, replace(base, packet_size_bytes=size), windows)
+        for size in packet_sizes
+    ]
+    points = parallel_map(_size_point, tasks, jobs)
     return PacketSizeResult(points=points)

@@ -16,6 +16,7 @@ from typing import List, Tuple
 
 from repro.core.protocol import compare_schemes
 from repro.experiments.config import FIGURE_GOPS, FIGURE_MOVIE, FIGURE8_TOP
+from repro.experiments.parallel import parallel_map
 from repro.experiments.reporting import render_table
 from repro.metrics.perception import VIDEO_CLF_THRESHOLD
 from repro.traces.synthetic import calibrated_stream
@@ -109,38 +110,42 @@ class RobustnessResult:
         return f"{table}\n{summary}"
 
 
+def _seed_outcome(task) -> SeedOutcome:
+    """One seed's head-to-head run (module-level so workers can pickle it)."""
+    stream, config, windows = task
+    scrambled, unscrambled = compare_schemes(stream, config, max_windows=windows)
+    return SeedOutcome(
+        seed=config.seed,
+        scrambled_mean=scrambled.mean_clf,
+        unscrambled_mean=unscrambled.mean_clf,
+        scrambled_dev=scrambled.clf_deviation,
+        unscrambled_dev=unscrambled.clf_deviation,
+        scrambled_acceptable=scrambled.series.windows_within(
+            VIDEO_CLF_THRESHOLD
+        ),
+        unscrambled_acceptable=unscrambled.series.windows_within(
+            VIDEO_CLF_THRESHOLD
+        ),
+        scrambled_catastrophic=sum(1 for w in scrambled.windows if w.clf >= 10),
+        unscrambled_catastrophic=sum(
+            1 for w in unscrambled.windows if w.clf >= 10
+        ),
+    )
+
+
 def run_robustness(
     *,
     seeds: int = 12,
     windows: int = 60,
     p_bad: float = 0.6,
     first_seed: int = 9000,
+    jobs: int = 1,
 ) -> RobustnessResult:
     stream = calibrated_stream(FIGURE_MOVIE, gop_count=FIGURE_GOPS, seed=7)
     base = replace(FIGURE8_TOP.protocol(), p_bad=p_bad)
-    outcomes: List[SeedOutcome] = []
-    for offset in range(seeds):
-        config = replace(base, seed=first_seed + offset)
-        scrambled, unscrambled = compare_schemes(stream, config, max_windows=windows)
-        outcomes.append(
-            SeedOutcome(
-                seed=config.seed,
-                scrambled_mean=scrambled.mean_clf,
-                unscrambled_mean=unscrambled.mean_clf,
-                scrambled_dev=scrambled.clf_deviation,
-                unscrambled_dev=unscrambled.clf_deviation,
-                scrambled_acceptable=scrambled.series.windows_within(
-                    VIDEO_CLF_THRESHOLD
-                ),
-                unscrambled_acceptable=unscrambled.series.windows_within(
-                    VIDEO_CLF_THRESHOLD
-                ),
-                scrambled_catastrophic=sum(
-                    1 for w in scrambled.windows if w.clf >= 10
-                ),
-                unscrambled_catastrophic=sum(
-                    1 for w in unscrambled.windows if w.clf >= 10
-                ),
-            )
-        )
+    tasks = [
+        (stream, replace(base, seed=first_seed + offset), windows)
+        for offset in range(seeds)
+    ]
+    outcomes = parallel_map(_seed_outcome, tasks, jobs)
     return RobustnessResult(outcomes=outcomes, windows_per_seed=windows)

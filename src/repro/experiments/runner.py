@@ -1,7 +1,9 @@
 """Run experiments by name — the engine behind the CLI.
 
-Each entry maps an experiment name to a zero-argument callable returning
-an object with ``render()`` (and usually ``shape_holds``).
+Each entry maps an experiment name to a callable taking the worker
+count (``jobs``) and returning an object with ``render()`` (and usually
+``shape_holds``).  Experiments whose work is a fan-out over independent
+seeds or sweep points honour ``jobs``; the rest ignore it.
 """
 
 from __future__ import annotations
@@ -11,12 +13,12 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.errors import ConfigurationError
 
 
-def _figure8():
+def _figure8(jobs: int):
     from repro.experiments.config import FIGURE8_BOTTOM, FIGURE8_TOP
     from repro.experiments.figure8 import run_figure8
+    from repro.experiments.parallel import parallel_map
 
-    top = run_figure8(FIGURE8_TOP)
-    bottom = run_figure8(FIGURE8_BOTTOM)
+    top, bottom = parallel_map(run_figure8, [FIGURE8_TOP, FIGURE8_BOTTOM], jobs)
 
     class _Both:
         shape_holds = (
@@ -31,80 +33,80 @@ def _figure8():
     return _Both()
 
 
-def _figure8_pooled():
+def _figure8_pooled(jobs: int):
     from repro.experiments.config import FIGURE8_TOP
     from repro.experiments.figure8 import run_figure8_multi
 
-    return run_figure8_multi(FIGURE8_TOP, seeds=5)
+    return run_figure8_multi(FIGURE8_TOP, seeds=5, jobs=jobs)
 
 
-def _table1():
+def _table1(jobs: int):
     from repro.experiments.table1 import run_table1
 
     return run_table1()
 
 
-def _table2():
+def _table2(jobs: int):
     from repro.experiments.table2 import run_table2
 
     return run_table2()
 
 
-def _theorem1():
+def _theorem1(jobs: int):
     from repro.experiments.theorem1 import run_theorem1
 
     return run_theorem1(small_n=(4, 6, 8, 10), large_n=(17, 24, 48))
 
 
-def _figure11():
+def _figure11(jobs: int):
     from repro.experiments.figure11 import run_figure11
 
     return run_figure11()
 
 
-def _figure12():
+def _figure12(jobs: int):
     from repro.experiments.figure12 import run_figure12
 
     return run_figure12()
 
 
-def _orthogonal():
+def _orthogonal(jobs: int):
     from repro.experiments.orthogonal import run_orthogonal
 
     return run_orthogonal()
 
 
-def _layering():
+def _layering(jobs: int):
     from repro.experiments.layering import run_layering
 
     return run_layering()
 
 
-def _gateways():
+def _gateways(jobs: int):
     from repro.experiments.gateways import run_gateways
 
     return run_gateways()
 
 
-def _robustness():
+def _robustness(jobs: int):
     from repro.experiments.robustness import run_robustness
 
-    return run_robustness(seeds=8, windows=50)
+    return run_robustness(seeds=8, windows=50, jobs=jobs)
 
 
-def _packetsize():
+def _packetsize(jobs: int):
     from repro.experiments.packetsize import run_packetsize
 
-    return run_packetsize(windows=50)
+    return run_packetsize(windows=50, jobs=jobs)
 
 
-def _policies():
+def _policies(jobs: int):
     from repro.experiments.policies import run_policies
 
     return run_policies()
 
 
-EXPERIMENTS: Dict[str, Callable[[], object]] = {
+EXPERIMENTS: Dict[str, Callable[[int], object]] = {
     "table1": _table1,
     "table2": _table2,
     "theorem1": _theorem1,
@@ -126,15 +128,30 @@ def available_experiments() -> List[str]:
     return list(EXPERIMENTS)
 
 
-def run_experiment(name: str) -> Tuple[str, Optional[bool]]:
-    """Run one experiment; returns (rendered output, shape verdict)."""
+def normalize_name(name: str) -> str:
+    """Accept ``figure8_pooled`` as a spelling of ``figure8-pooled``."""
+    if name in EXPERIMENTS:
+        return name
+    dashed = name.replace("_", "-")
+    if dashed in EXPERIMENTS:
+        return dashed
+    return name
+
+
+def run_experiment(name: str, *, jobs: int = 1) -> Tuple[str, Optional[bool]]:
+    """Run one experiment; returns (rendered output, shape verdict).
+
+    ``jobs > 1`` parallelizes the experiment's internal fan-out (where it
+    has one) without changing any result.
+    """
+    name = normalize_name(name)
     try:
         factory = EXPERIMENTS[name]
     except KeyError:
         raise ConfigurationError(
             f"unknown experiment {name!r}; available: {available_experiments()}"
         ) from None
-    result = factory()
+    result = factory(jobs)
     rendered = result.render()  # type: ignore[attr-defined]
     shape = getattr(result, "shape_holds", None)
     if name == "theorem1":
@@ -142,7 +159,17 @@ def run_experiment(name: str) -> Tuple[str, Optional[bool]]:
     return rendered, shape
 
 
-def run_all(names: Optional[List[str]] = None) -> Dict[str, Tuple[str, Optional[bool]]]:
-    """Run several experiments (all by default)."""
-    selected = names if names is not None else available_experiments()
-    return {name: run_experiment(name) for name in selected}
+def run_all(
+    names: Optional[List[str]] = None, *, jobs: int = 1
+) -> Dict[str, Tuple[str, Optional[bool]]]:
+    """Run several experiments (all by default).
+
+    The outer loop stays sequential; ``jobs`` parallelizes inside each
+    experiment, so output order and content match a sequential run.
+    """
+    selected = (
+        [normalize_name(name) for name in names]
+        if names is not None
+        else available_experiments()
+    )
+    return {name: run_experiment(name, jobs=jobs) for name in selected}

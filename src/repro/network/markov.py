@@ -16,6 +16,7 @@ import random
 from dataclasses import dataclass
 from typing import List
 
+from repro import accel
 from repro.errors import ConfigurationError
 
 GOOD = "GOOD"
@@ -78,10 +79,22 @@ class GilbertModel:
         return self._state == BAD
 
     def losses(self, count: int) -> List[bool]:
-        """Outcomes for the next ``count`` packets (True = lost)."""
+        """Outcomes for the next ``count`` packets (True = lost).
+
+        Batch-sampled: all ``count`` uniform draws come off the private
+        stream first (the same draws ``step`` would consume, so mixing
+        the two APIs stays reproducible), then the state recurrence is
+        evaluated in one pass by the active acceleration backend.
+        """
         if count < 0:
             raise ConfigurationError("count must be non-negative")
-        return [self.step() for _ in range(count)]
+        draws = [self._rng.random() for _ in range(count)]
+        states = accel.gilbert_states(
+            draws, self.p_good, self.p_bad, start_bad=self._state == BAD
+        )
+        if states:
+            self._state = BAD if states[-1] else GOOD
+        return states
 
     # ------------------------------------------------------------------
     # Analytical properties (used in tests and calibration)

@@ -18,8 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import accel
 from repro.errors import CodingError
-from repro.protocols.gf256 import gf_mul, mat_inv, mat_mul, mat_vec, solve, vandermonde
+from repro.protocols.gf256 import mat_inv, mat_mul, vandermonde
 
 
 def _validate_blocks(blocks: Sequence[bytes]) -> int:
@@ -115,14 +116,8 @@ class ReedSolomonErasure:
             raise CodingError(f"expected {self.k} blocks, got {len(blocks)}")
         if self.r == 0:
             return []
-        length = _validate_blocks(blocks)
-        parities = [bytearray(length) for _ in range(self.r)]
-        for byte_index in range(length):
-            column = [block[byte_index] for block in blocks]
-            encoded = mat_vec(self._parity_matrix, column)
-            for parity_index, value in enumerate(encoded):
-                parities[parity_index][byte_index] = value
-        return [bytes(parity) for parity in parities]
+        _validate_blocks(blocks)
+        return accel.gf_matmul_bytes(self._parity_matrix, list(blocks))
 
     def decode(
         self,
@@ -149,27 +144,35 @@ class ReedSolomonErasure:
         length = _validate_blocks(present + [p for _, p in surviving_parities])
 
         # For each missing data index, each surviving parity row gives one
-        # linear equation in the missing bytes.
+        # linear equation in the missing bytes; solving all byte columns
+        # at once is the inverse of the missing-column submatrix applied
+        # to the parity residuals (parity minus the surviving blocks'
+        # contribution).
         use_parities = surviving_parities[: len(missing)]
         system = [
             [self._parity_matrix[row][col] for col in missing]
             for row, _ in use_parities
         ]
-        restored = [bytearray(length) for _ in missing]
-        for byte_index in range(length):
-            rhs = []
-            for row, parity in use_parities:
-                acc = parity[byte_index]
-                for col, block in enumerate(blocks):
-                    if block is not None:
-                        acc ^= gf_mul(self._parity_matrix[row][col], block[byte_index])
-                rhs.append(acc)
-            solution = solve(system, rhs)
-            for slot, value in enumerate(solution):
-                restored[slot][byte_index] = value
+        system_inv = mat_inv(system)
+        present_cols = [col for col, block in enumerate(blocks) if block is not None]
+        if present_cols:
+            contributions = accel.gf_matmul_bytes(
+                [
+                    [self._parity_matrix[row][col] for col in present_cols]
+                    for row, _ in use_parities
+                ],
+                present,
+            )
+            residuals = [
+                bytes(p ^ c for p, c in zip(parity, contribution))
+                for (_, parity), contribution in zip(use_parities, contributions)
+            ]
+        else:
+            residuals = [bytes(parity) for _, parity in use_parities]
+        restored = accel.gf_matmul_bytes(system_inv, residuals)
         result: List[Optional[bytes]] = list(blocks)
         for slot, index in enumerate(missing):
-            result[index] = bytes(restored[slot])
+            result[index] = restored[slot]
         return [block for block in result if block is not None]  # type: ignore[misc]
 
 

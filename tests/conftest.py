@@ -2,11 +2,30 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.media.gop import GOP_12, GopPattern
 from repro.media.stream import make_video_stream
 from repro.traces.synthetic import calibrated_stream
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_perm_cache(tmp_path_factory):
+    """Point the persistent permutation cache at a per-run temp dir.
+
+    Keeps the suite hermetic: no reads of (possibly stale) entries from
+    the user's home cache, no writes outside the pytest tmp tree.
+    """
+    cache_dir = tmp_path_factory.mktemp("perm-cache")
+    previous = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(cache_dir)
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = previous
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,289 @@
+"""Property suite: the pure and NumPy kernels are bit-for-bit equal.
+
+The acceleration backend's contract is strict equality, not numerical
+closeness — permutations, codewords and loss patterns must be identical
+whichever backend computed them.  These properties drive both backend
+modules directly (no global backend switch needed) over random inputs,
+plus a few tests of the selection machinery itself.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import accel
+from repro.accel import pure
+from repro.errors import ConfigurationError, PermutationError
+
+np_backend = pytest.importorskip(
+    "repro.accel.np_backend", reason="NumPy backend not importable"
+)
+
+
+def orders(max_n: int = 24):
+    """Random permutation orders of window sizes 1..max_n."""
+    return st.integers(min_value=1, max_value=max_n).flatmap(
+        lambda n: st.permutations(list(range(n)))
+    )
+
+
+@st.composite
+def order_and_burst(draw, max_n: int = 24):
+    order = draw(orders(max_n))
+    burst = draw(st.integers(min_value=0, max_value=len(order) + 2))
+    return order, burst
+
+
+class TestClfKernels:
+    @given(order_and_burst())
+    @settings(max_examples=200, deadline=None)
+    def test_worst_clf_agrees(self, case):
+        order, burst = case
+        assert np_backend.worst_clf(order, burst) == pure.worst_clf(order, burst)
+
+    @given(order_and_burst(max_n=16))
+    @settings(max_examples=100, deadline=None)
+    def test_burst_runs_agree(self, case):
+        order, burst = case
+        assert np_backend.burst_runs(order, burst) == pure.burst_runs(
+            order, burst
+        )
+
+    @given(
+        st.integers(min_value=1, max_value=12).flatmap(
+            lambda n: st.tuples(
+                st.lists(
+                    st.permutations(list(range(n))), min_size=1, max_size=6
+                ),
+                st.integers(min_value=1, max_value=n),
+            )
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_batch_burst_runs_agree(self, case):
+        candidates, burst = case
+        assert np_backend.batch_burst_runs(
+            candidates, burst
+        ) == pure.batch_burst_runs(candidates, burst)
+
+    def test_long_run_orders_hit_the_fallback_kernel(self):
+        # The identity order has maximal runs, forcing the NumPy kernel
+        # past its galloping limit into the sorted-window path.
+        for n in (8, 17, 24, 40):
+            order = list(range(n))
+            for burst in (1, 2, n // 2, n - 1, n):
+                assert np_backend.worst_clf(order, burst) == pure.worst_clf(
+                    order, burst
+                )
+
+
+class TestScrambleKernels:
+    @given(
+        orders(16).flatmap(
+            lambda order: st.tuples(
+                st.just(order),
+                st.lists(
+                    st.one_of(st.integers(), st.text(max_size=3)),
+                    min_size=len(order),
+                    max_size=len(order),
+                ),
+            )
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_scramble_round_trips_on_both_backends(self, case):
+        order, window = case
+        for backend in (pure, np_backend):
+            transmitted = backend.permute(order, window)
+            assert backend.unpermute(order, transmitted) == list(window)
+        assert np_backend.permute(order, window) == pure.permute(order, window)
+
+    def test_length_mismatch_raises_on_both(self):
+        for backend in (pure, np_backend):
+            with pytest.raises(PermutationError):
+                backend.permute([0, 1, 2], ["a", "b"])
+            with pytest.raises(PermutationError):
+                backend.unpermute([0, 1, 2], ["a", "b"])
+
+
+class TestGfKernels:
+    @given(st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_gf_matmul_agrees(self, data):
+        rows = data.draw(st.integers(min_value=1, max_value=5))
+        cols = data.draw(st.integers(min_value=1, max_value=5))
+        length = data.draw(st.integers(min_value=1, max_value=16))
+        matrix = data.draw(
+            st.lists(
+                st.lists(
+                    st.integers(min_value=0, max_value=255),
+                    min_size=cols,
+                    max_size=cols,
+                ),
+                min_size=rows,
+                max_size=rows,
+            )
+        )
+        blocks = data.draw(
+            st.lists(
+                st.binary(min_size=length, max_size=length),
+                min_size=cols,
+                max_size=cols,
+            )
+        )
+        assert np_backend.gf_matmul_bytes(
+            matrix, blocks
+        ) == pure.gf_matmul_bytes(matrix, blocks)
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_reed_solomon_erasure_recovery_per_backend(self, data):
+        from repro.protocols.fec import ReedSolomonErasure
+
+        k = data.draw(st.integers(min_value=1, max_value=6))
+        r = data.draw(st.integers(min_value=1, max_value=4))
+        length = data.draw(st.integers(min_value=1, max_value=12))
+        blocks = data.draw(
+            st.lists(
+                st.binary(min_size=length, max_size=length),
+                min_size=k,
+                max_size=k,
+            )
+        )
+        erased = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=k - 1),
+                max_size=min(k, r),
+                unique=True,
+            )
+        )
+        code = ReedSolomonErasure(k, r)
+        previous = accel.backend_name()
+        outcomes = {}
+        try:
+            for name in accel.available_backends():
+                accel.set_backend(name)
+                parities = code.encode(blocks)
+                damaged = [
+                    None if i in erased else block
+                    for i, block in enumerate(blocks)
+                ]
+                outcomes[name] = (parities, code.decode(damaged, parities))
+        finally:
+            accel.set_backend(previous)
+        for parities, decoded in outcomes.values():
+            assert decoded == list(blocks)
+        assert len(set(outcomes[n][0][0] if outcomes[n][0] else b"" for n in outcomes)) == 1
+
+
+class TestGilbertKernel:
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            max_size=64,
+        ),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        st.booleans(),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_gilbert_states_agree(self, draws, p_good, p_bad, start_bad):
+        import numpy as np
+
+        expected = pure.gilbert_states(draws, p_good, p_bad, start_bad)
+        # Array input exercises the vectorized scan; list input the
+        # delegation path — both must match the reference exactly.
+        as_array = np.asarray(draws, dtype=np.float64)
+        assert np_backend.gilbert_states(
+            as_array, p_good, p_bad, start_bad
+        ) == expected
+        assert np_backend.gilbert_states(
+            draws, p_good, p_bad, start_bad
+        ) == expected
+
+    def test_same_seed_same_pattern_across_backends(self):
+        from repro.network.markov import GilbertModel
+
+        previous = accel.backend_name()
+        patterns = {}
+        try:
+            for name in accel.available_backends():
+                accel.set_backend(name)
+                model = GilbertModel(p_good=0.92, p_bad=0.6, seed=11)
+                patterns[name] = model.losses(500)
+        finally:
+            accel.set_backend(previous)
+        assert len(set(map(tuple, patterns.values()))) == 1
+
+
+class TestBackendSelection:
+    @pytest.fixture(autouse=True)
+    def _restore_backend(self):
+        previous = accel.backend_name()
+        yield
+        accel.set_backend(previous)
+
+    def test_set_backend_pure(self):
+        assert accel.set_backend("pure") == "pure"
+        assert accel.backend_name() == "pure"
+
+    def test_set_backend_numpy(self):
+        assert accel.set_backend("numpy") == "numpy"
+        assert accel.backend_name() == "numpy"
+
+    def test_auto_prefers_numpy_here(self):
+        assert accel.set_backend("auto") == "numpy"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            accel.set_backend("cuda")
+
+    def test_available_backends(self):
+        assert accel.available_backends() == ["pure", "numpy"]
+        assert accel.numpy_available()
+
+    def test_env_var_honored_in_subprocess(self):
+        import subprocess
+        import sys
+
+        script = (
+            "from repro import accel; print(accel.backend_name())"
+        )
+        for env_value, expected in (("pure", "pure"), ("numpy", "numpy")):
+            completed = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env={**__import__("os").environ, "REPRO_BACKEND": env_value},
+            )
+            assert completed.returncode == 0, completed.stderr
+            assert completed.stdout.strip() == expected
+
+    def test_dispatch_switches_with_backend(self):
+        order = list(range(9, -1, -1))
+        accel.set_backend("pure")
+        pure_result = accel.worst_clf(order, 4)
+        accel.set_backend("numpy")
+        assert accel.worst_clf(order, 4) == pure_result
+
+
+def test_search_parity_spot_check():
+    """End-to-end: the k-CPO search returns the same permutation."""
+    from repro.core.cpo import _search_permutation
+
+    cases = [(17, 9), (24, 13), (33, 20)]
+    previous = accel.backend_name()
+    try:
+        results = {}
+        for name in accel.available_backends():
+            accel.set_backend(name)
+            results[name] = [
+                _search_permutation(n, b, "fast", 0) for n, b in cases
+            ]
+    finally:
+        accel.set_backend(previous)
+    assert results["pure"] == results["numpy"]

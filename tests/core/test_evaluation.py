@@ -124,6 +124,65 @@ class TestCyclic:
         assert cyclic_worst_case_clf(Permutation.identity(4), 0) == 0
 
 
+def _cyclic_worst_case_clf_reference(perm: Permutation, burst: int) -> int:
+    """The pre-optimization implementation, kept verbatim as an oracle.
+
+    It materialized ``2 + ceil(burst / n)`` *full* copies of the window;
+    the shipped version allocates only ``ceil((n - 1 + burst) / n)``
+    copies.  Both must agree everywhere.
+    """
+    n = len(perm)
+    if burst <= 0 or n == 0:
+        return 0
+    copies = 2 + (burst + n - 1) // n
+    stream = [
+        copy * n + frame for copy in range(copies) for frame in perm.order
+    ]
+    best = 0
+    for start in range(n):
+        lost = stream[start:start + min(burst, len(stream))]
+        best = max(best, max_run(lost))
+    return best
+
+
+class TestCyclicRegression:
+    """The trimmed-allocation cyclic evaluator equals the old one."""
+
+    GRID = [
+        (n, b)
+        for n in (1, 2, 3, 4, 5, 6, 8, 12, 17, 24)
+        for b in (1, 2, 3, n // 2, n - 1, n, n + 1, 2 * n, 3 * n + 1)
+        if b > 0
+    ]
+
+    def test_equal_on_grid_of_strides(self):
+        import math
+
+        for n, b in self.GRID:
+            for stride in range(1, n + 1):
+                if math.gcd(stride, n) != 1:
+                    continue
+                perm = stride_permutation(n, stride)
+                assert cyclic_worst_case_clf(
+                    perm, b
+                ) == _cyclic_worst_case_clf_reference(perm, b), (n, b, stride)
+
+    def test_equal_on_grid_of_identities(self):
+        for n, b in self.GRID:
+            perm = Permutation.identity(n)
+            assert cyclic_worst_case_clf(
+                perm, b
+            ) == _cyclic_worst_case_clf_reference(perm, b), (n, b)
+
+    @given(permutations, st.integers(min_value=1, max_value=60))
+    @settings(max_examples=120)
+    def test_equal_on_random_permutations(self, order, b):
+        perm = Permutation(order)
+        assert cyclic_worst_case_clf(
+            perm, b
+        ) == _cyclic_worst_case_clf_reference(perm, b)
+
+
 class TestProfile:
     def test_profile_length(self):
         perm = Permutation.identity(10)

@@ -1,0 +1,97 @@
+"""Persistent permutation cache: disk hits, robustness, opt-out."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import cpo, permcache
+from repro.core.cpo import _calculate_permutation, calculate_permutation
+
+
+@pytest.fixture
+def fresh_cache(tmp_path, monkeypatch):
+    """A private cache dir with all in-memory layers dropped."""
+    cache_dir = tmp_path / "perm-cache"
+    monkeypatch.setenv(permcache.ENV_CACHE_DIR, str(cache_dir))
+    _calculate_permutation.cache_clear()
+    permcache.clear_memory()
+    yield cache_dir
+    _calculate_permutation.cache_clear()
+    permcache.clear_memory()
+
+
+def _simulate_new_process():
+    """Drop every in-memory cache layer, keeping only the disk file."""
+    _calculate_permutation.cache_clear()
+    permcache.clear_memory()
+
+
+class TestDiskCache:
+    def test_search_results_land_on_disk(self, fresh_cache):
+        calculate_permutation(120, 70)
+        data = json.loads((fresh_cache / "perms.json").read_text())
+        assert data["revision"] == permcache.CACHE_REVISION
+        assert any(key.startswith("window:120:70:") for key in data["entries"])
+
+    def test_second_process_hits_disk_not_search(self, fresh_cache, monkeypatch):
+        first = calculate_permutation(120, 70)
+        _simulate_new_process()
+
+        def _no_search(*args, **kwargs):
+            raise AssertionError("search re-ran despite a disk cache hit")
+
+        monkeypatch.setattr(cpo, "_search_permutation", _no_search)
+        second = calculate_permutation(120, 70)
+        assert second.order == first.order
+
+    def test_fast_paths_skip_the_disk(self, fresh_cache):
+        # b <= n//2 resolves analytically; nothing worth persisting.
+        calculate_permutation(96, 40)
+        assert not (fresh_cache / "perms.json").exists()
+
+    def test_corrupt_file_is_ignored(self, fresh_cache):
+        fresh_cache.mkdir(parents=True)
+        (fresh_cache / "perms.json").write_text("{not json")
+        perm = calculate_permutation(120, 70)
+        assert sorted(perm.order) == list(range(120))
+
+    def test_stale_revision_is_ignored(self, fresh_cache):
+        first = calculate_permutation(120, 70)
+        path = fresh_cache / "perms.json"
+        data = json.loads(path.read_text())
+        # A bogus order under an old revision must not be trusted.
+        key = next(iter(data["entries"]))
+        data["entries"][key] = list(range(120))
+        data["revision"] = permcache.CACHE_REVISION - 1
+        path.write_text(json.dumps(data))
+        _simulate_new_process()
+        assert calculate_permutation(120, 70).order == first.order
+
+    def test_invalid_entry_falls_back_to_search(self, fresh_cache):
+        first = calculate_permutation(120, 70)
+        path = fresh_cache / "perms.json"
+        data = json.loads(path.read_text())
+        key = next(iter(data["entries"]))
+        data["entries"][key] = [0] * 120  # not a permutation
+        path.write_text(json.dumps(data))
+        _simulate_new_process()
+        assert calculate_permutation(120, 70).order == first.order
+
+    def test_opt_out_env(self, fresh_cache, monkeypatch):
+        monkeypatch.setenv(permcache.ENV_DISABLE, "off")
+        calculate_permutation(120, 70)
+        assert not (fresh_cache / "perms.json").exists()
+
+    def test_store_merges_with_existing_entries(self, fresh_cache):
+        permcache.store("window", 4, 3, "normal", 0, [0, 2, 1, 3])
+        permcache.store("window", 6, 4, "normal", 0, [0, 3, 1, 4, 2, 5])
+        assert permcache.load("window", 4, 3, "normal", 0) == [0, 2, 1, 3]
+        assert permcache.load("window", 6, 4, "normal", 0) == [
+            0, 3, 1, 4, 2, 5,
+        ]
+
+    def test_load_rejects_wrong_length(self, fresh_cache):
+        permcache.store("window", 4, 3, "normal", 0, [0, 2, 1, 3])
+        assert permcache.load("window", 5, 3, "normal", 0) is None

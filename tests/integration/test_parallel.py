@@ -1,0 +1,73 @@
+"""Parallel experiment fan-out: worker pools must not change results."""
+
+from __future__ import annotations
+
+import io
+
+from repro.experiments.config import FIGURE8_TOP
+from repro.experiments.figure8 import run_figure8_multi
+from repro.experiments.parallel import parallel_map
+from repro.experiments.runner import normalize_name, run_experiment
+
+
+def _square(value: int) -> int:
+    return value * value
+
+
+def _boom(value: int) -> int:
+    raise ValueError(f"bad item {value}")
+
+
+class TestParallelMap:
+    def test_sequential_path(self):
+        assert parallel_map(_square, [3, 1, 2], jobs=1) == [9, 1, 4]
+
+    def test_preserves_item_order(self):
+        assert parallel_map(_square, range(20), jobs=4) == [
+            n * n for n in range(20)
+        ]
+
+    def test_single_item_stays_in_process(self):
+        assert parallel_map(_square, [7], jobs=8) == [49]
+
+    def test_empty(self):
+        assert parallel_map(_square, [], jobs=4) == []
+
+    def test_worker_errors_propagate(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            parallel_map(_boom, [1, 2], jobs=2)
+
+
+class TestParallelExperiments:
+    def test_figure8_multi_jobs_identical(self):
+        sequential = run_figure8_multi(FIGURE8_TOP, seeds=2, jobs=1)
+        parallel = run_figure8_multi(FIGURE8_TOP, seeds=2, jobs=2)
+        assert parallel.render() == sequential.render()
+        assert parallel.runs == sequential.runs
+
+    def test_run_experiment_jobs_identical(self):
+        sequential = run_experiment("figure8-pooled", jobs=1)
+        parallel = run_experiment("figure8-pooled", jobs=4)
+        assert parallel == sequential
+
+    def test_normalize_name(self):
+        assert normalize_name("figure8_pooled") == "figure8-pooled"
+        assert normalize_name("figure8-pooled") == "figure8-pooled"
+        assert normalize_name("table1") == "table1"
+        # Unknown names pass through untouched for the error message.
+        assert normalize_name("no_such_thing") == "no_such_thing"
+
+
+class TestCliJobs:
+    def test_run_alias_with_underscore_name_and_jobs(self):
+        from repro.cli import main
+
+        parallel, sequential = io.StringIO(), io.StringIO()
+        assert main(["run", "figure8_pooled", "--jobs", "4"], out=parallel) == 0
+        assert main(["experiments", "figure8-pooled"], out=sequential) == 0
+        text = parallel.getvalue()
+        assert text == sequential.getvalue()
+        assert "=== figure8-pooled ===" in text
+        assert "pooled over 5 seeds" in text

@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Run the micro-benchmarks and fail on performance regressions.
+
+Runs ``benchmarks/test_bench_micro.py`` under pytest-benchmark, records
+the results as ``BENCH_<rev>.json`` (``rev`` = short git revision) in
+``--out-dir``, and diffs the mean times against a baseline:
+
+* ``--baseline FILE`` compares against an explicit earlier recording;
+* otherwise the newest *other* ``BENCH_*.json`` in the output directory
+  is used;
+* with no baseline at all the run is recorded and the tool exits 0.
+
+A benchmark regresses when its mean time grows by more than
+``--threshold`` (default 0.20 = 20%); any regression makes the exit
+code non-zero, so ``make bench`` can gate commits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT_DIR = REPO_ROOT / "benchmarks" / "results"
+
+
+def git_short_rev() -> str:
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return "local"
+    return completed.stdout.strip() or "local"
+
+
+def run_benchmarks(json_path: Path, pytest_args: list[str]) -> int:
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        str(REPO_ROOT / "benchmarks" / "test_bench_micro.py"),
+        "--benchmark-only",
+        f"--benchmark-json={json_path}",
+        "-q",
+        *pytest_args,
+    ]
+    return subprocess.run(command, cwd=REPO_ROOT).returncode
+
+
+def load_means(path: Path) -> dict:
+    data = json.loads(path.read_text())
+    return {
+        bench["fullname"]: bench["stats"]["mean"]
+        for bench in data.get("benchmarks", [])
+    }
+
+
+def newest_other_recording(out_dir: Path, current: Path) -> Path | None:
+    candidates = [
+        path
+        for path in out_dir.glob("BENCH_*.json")
+        if path.resolve() != current.resolve()
+    ]
+    if not candidates:
+        return None
+    return max(candidates, key=lambda path: path.stat().st_mtime)
+
+
+def compare(baseline: dict, current: dict, threshold: float) -> list:
+    """(name, old mean, new mean, ratio, regressed) per shared benchmark."""
+    rows = []
+    for name in sorted(set(baseline) & set(current)):
+        old, new = baseline[name], current[name]
+        ratio = new / old if old else float("inf")
+        rows.append((name, old, new, ratio, ratio > 1.0 + threshold))
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", type=Path, help="earlier BENCH_*.json to diff against"
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="allowed relative slowdown before failing (default 0.20)",
+    )
+    parser.add_argument(
+        "--out-dir",
+        type=Path,
+        default=DEFAULT_OUT_DIR,
+        help="where BENCH_<rev>.json recordings live",
+    )
+    parser.add_argument(
+        "pytest_args",
+        nargs="*",
+        help="extra arguments passed through to pytest (after --)",
+    )
+    args = parser.parse_args(argv)
+
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    recording = args.out_dir / f"BENCH_{git_short_rev()}.json"
+    baseline_path = args.baseline or newest_other_recording(
+        args.out_dir, recording
+    )
+    # Re-running at the same revision overwrites the recording; keep its
+    # numbers as the baseline so iterating without committing still diffs.
+    baseline_means = None
+    if baseline_path is None and recording.exists():
+        baseline_means = load_means(recording)
+        baseline_label = f"{recording.name} (previous run, same revision)"
+
+    code = run_benchmarks(recording, args.pytest_args)
+    if code != 0:
+        print(f"benchmark run failed (exit {code})", file=sys.stderr)
+        return code
+    try:
+        shown = recording.relative_to(REPO_ROOT)
+    except ValueError:
+        shown = recording
+    print(f"recorded {shown}")
+
+    if baseline_means is None:
+        if baseline_path is None:
+            print("no earlier recording to compare against; baseline saved.")
+            return 0
+        if not baseline_path.exists():
+            print(f"baseline {baseline_path} not found", file=sys.stderr)
+            return 2
+        baseline_means = load_means(baseline_path)
+        baseline_label = baseline_path.name
+
+    rows = compare(baseline_means, load_means(recording), args.threshold)
+    if not rows:
+        print("no overlapping benchmarks between baseline and current run.")
+        return 0
+
+    print(f"baseline: {baseline_label}  threshold: {args.threshold:.0%}")
+    width = max(len(name) for name, *_ in rows)
+    regressions = 0
+    for name, old, new, ratio, regressed in rows:
+        verdict = "REGRESSED" if regressed else "ok"
+        regressions += regressed
+        print(
+            f"{name:<{width}}  {old * 1e6:>10.1f}us  {new * 1e6:>10.1f}us"
+            f"  x{ratio:5.2f}  {verdict}"
+        )
+    if regressions:
+        print(f"{regressions} benchmark(s) slowed down more than the threshold")
+        return 1
+    print("no regressions.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
