@@ -1,6 +1,7 @@
-.PHONY: install test bench bench-all experiments examples lint all
+.PHONY: install test bench bench-all experiments examples obs-demo obs-guard lint all
 
 PYTHON ?= python
+export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 install:
 	pip install -e . --no-build-isolation || \
@@ -22,4 +23,19 @@ experiments:
 examples:
 	for f in examples/*.py; do echo "== $$f =="; $(PYTHON) "$$f"; done
 
-all: test bench
+obs-demo:
+	$(PYTHON) -m repro obs dump figure8-pooled --quiet
+
+obs-guard:
+	$(PYTHON) tools/obs_overhead_guard.py --repeats 15
+
+lint:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+	  $(PYTHON) -m ruff check . && $(PYTHON) -m ruff format --check .; \
+	elif command -v ruff >/dev/null 2>&1; then \
+	  ruff check . && ruff format --check .; \
+	else \
+	  echo "ruff is not installed; skipping lint (CI runs it)"; \
+	fi
+
+all: test lint bench

@@ -18,7 +18,6 @@ from repro.core.cpo import (
     even_odd_split,
 )
 from repro.core.evaluation import worst_case_clf
-from repro.core.permutation import Permutation
 from repro.experiments.reporting import render_table
 
 

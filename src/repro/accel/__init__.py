@@ -23,6 +23,7 @@ from __future__ import annotations
 import os
 from typing import List, Sequence
 
+from repro import obs
 from repro.errors import ConfigurationError
 
 __all__ = [
@@ -79,6 +80,7 @@ def _backend():
     global _active
     if _active is None:
         _active = _load(os.environ.get(_ENV_VAR, AUTO) or AUTO)
+        obs.set_info("accel.backend", _active.NAME)
     return _active
 
 
@@ -91,6 +93,7 @@ def set_backend(name: str) -> str:
     """
     global _active
     _active = _load(name)
+    obs.set_info("accel.backend", _active.NAME)
     return _active.NAME
 
 
@@ -123,6 +126,8 @@ def available_backends() -> List[str]:
 
 def burst_runs(order: Sequence[int], burst: int) -> List[int]:
     """Worst lost playback run for every position of one burst."""
+    if obs.enabled():
+        obs.counter("accel.calls.burst_runs").inc()
     return _backend().burst_runs(order, burst)
 
 
@@ -130,11 +135,16 @@ def batch_burst_runs(
     orders: Sequence[Sequence[int]], burst: int
 ) -> List[List[int]]:
     """:func:`burst_runs` over many same-length candidate permutations."""
+    if obs.enabled():
+        obs.counter("accel.calls.batch_burst_runs").inc()
+        obs.counter("accel.batch_orders").inc(len(orders))
     return _backend().batch_burst_runs(orders, burst)
 
 
 def worst_clf(order: Sequence[int], burst: int) -> int:
     """Worst-case CLF of one permutation over all positions of one burst."""
+    if obs.enabled():
+        obs.counter("accel.calls.worst_clf").inc()
     return _backend().worst_clf(order, burst)
 
 
@@ -142,6 +152,8 @@ def gf_matmul_bytes(
     matrix: Sequence[Sequence[int]], blocks: Sequence[bytes]
 ) -> List[bytes]:
     """Matrix-of-coefficients times byte-blocks product over GF(256)."""
+    if obs.enabled():
+        obs.counter("accel.calls.gf_matmul_bytes").inc()
     return _backend().gf_matmul_bytes(matrix, blocks)
 
 
@@ -152,14 +164,20 @@ def gilbert_states(
     start_bad: bool = False,
 ) -> List[bool]:
     """Per-packet loss flags of a Gilbert channel for a batch of draws."""
+    if obs.enabled():
+        obs.counter("accel.calls.gilbert_states").inc()
     return _backend().gilbert_states(draws, p_good, p_bad, start_bad)
 
 
 def permute(order: Sequence[int], window: Sequence) -> list:
     """Scramble a window into transmission order."""
+    if obs.enabled():
+        obs.counter("accel.calls.permute").inc()
     return _backend().permute(order, window)
 
 
 def unpermute(order: Sequence[int], transmitted: Sequence) -> list:
     """Restore a transmitted window to playback order."""
+    if obs.enabled():
+        obs.counter("accel.calls.unpermute").inc()
     return _backend().unpermute(order, transmitted)

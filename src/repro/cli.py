@@ -19,6 +19,18 @@ Commands
 ``replay FILE [--loss-map]``
     Summarize a saved session JSON (written by
     ``repro.experiments.persist.save_session``).
+``obs dump EXPERIMENT [--jobs N] [--out FILE]``
+    Run one experiment with metrics enabled and write its JSON run
+    manifest (stdout by default).
+``obs diff A B``
+    Compare two run manifests (metrics, backend, timing).
+``obs validate FILE``
+    Check a manifest against the schema in ``tools/manifest_schema.json``.
+
+``experiments --metrics`` records metrics during a normal experiment
+run and writes one manifest per experiment to ``--manifest-dir``
+(default ``manifests/``); ``REPRO_METRICS=1`` does the same from the
+environment.
 """
 
 from __future__ import annotations
@@ -55,6 +67,18 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="N",
             help="worker processes for per-experiment fan-out (default 1)",
         )
+        experiments.add_argument(
+            "--metrics",
+            action="store_true",
+            help="record metrics and write one run manifest per experiment "
+            "(also enabled by REPRO_METRICS=1)",
+        )
+        experiments.add_argument(
+            "--manifest-dir",
+            default="manifests",
+            metavar="DIR",
+            help="where --metrics writes run manifests (default ./manifests)",
+        )
 
     trace = commands.add_parser("trace", help="generate a calibrated synthetic trace")
     trace.add_argument("movie", help="catalog name, e.g. star_wars")
@@ -81,11 +105,48 @@ def build_parser() -> argparse.ArgumentParser:
         "--loss-map", action="store_true", help="also print the per-window loss map"
     )
 
+    obs_cmd = commands.add_parser(
+        "obs", help="dump, diff and validate observability run manifests"
+    )
+    obs_actions = obs_cmd.add_subparsers(dest="obs_action", required=True)
+
+    dump = obs_actions.add_parser(
+        "dump", help="run one experiment with metrics on and emit its manifest"
+    )
+    dump.add_argument("experiment", help="experiment name (see experiments --list)")
+    dump.add_argument("--jobs", type=int, default=1, metavar="N")
+    dump.add_argument(
+        "--out", default="-", help="manifest file (default stdout)"
+    )
+    dump.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the experiment's rendered table",
+    )
+
+    diff = obs_actions.add_parser("diff", help="compare two run manifests")
+    diff.add_argument("manifest_a")
+    diff.add_argument("manifest_b")
+
+    validate = obs_actions.add_parser(
+        "validate", help="check a manifest against tools/manifest_schema.json"
+    )
+    validate.add_argument("path")
+    validate.add_argument(
+        "--schema", default=None, help="alternative JSON schema file"
+    )
+
     return parser
 
 
 def _cmd_experiments(args: argparse.Namespace, out) -> int:
-    from repro.experiments.runner import available_experiments, run_all
+    from repro import obs
+    from repro.experiments.runner import (
+        available_experiments,
+        normalize_name,
+        run_all,
+        run_with_manifest,
+    )
 
     if args.list:
         for name in available_experiments():
@@ -93,6 +154,32 @@ def _cmd_experiments(args: argparse.Namespace, out) -> int:
         return 0
     names = args.names or None
     failures = 0
+    with_metrics = args.metrics or obs.enabled()
+    if with_metrics:
+        from pathlib import Path
+
+        from repro.experiments.persist import save_run_manifest
+
+        selected = (
+            [normalize_name(name) for name in names]
+            if names is not None
+            else available_experiments()
+        )
+        for name in selected:
+            rendered, shape, manifest = run_with_manifest(name, jobs=args.jobs)
+            path = save_run_manifest(
+                manifest, Path(args.manifest_dir) / f"{name}.json"
+            )
+            print(f"=== {name} ===", file=out)
+            print(rendered, file=out)
+            print(f"[manifest {path}]", file=out)
+            if shape is not None:
+                verdict = "HOLDS" if shape else "VIOLATED"
+                print(f"[shape {verdict}]", file=out)
+                if not shape:
+                    failures += 1
+            print(file=out)
+        return 1 if failures else 0
     for name, (rendered, shape) in run_all(names, jobs=args.jobs).items():
         print(f"=== {name} ===", file=out)
         print(rendered, file=out)
@@ -103,6 +190,56 @@ def _cmd_experiments(args: argparse.Namespace, out) -> int:
                 failures += 1
         print(file=out)
     return 1 if failures else 0
+
+
+def _cmd_obs(args: argparse.Namespace, out) -> int:
+    import json
+
+    from repro.obs.manifest import (
+        diff_manifests,
+        load_manifest,
+        load_schema,
+        render_diff,
+        validate_manifest,
+    )
+
+    if args.obs_action == "dump":
+        from repro.experiments.persist import save_run_manifest
+        from repro.experiments.runner import run_with_manifest
+
+        rendered, shape, manifest = run_with_manifest(
+            args.experiment, jobs=args.jobs
+        )
+        if not args.quiet:
+            print(rendered, file=out)
+            if shape is not None:
+                print(f"[shape {'HOLDS' if shape else 'VIOLATED'}]", file=out)
+        if args.out == "-":
+            print(json.dumps(manifest, indent=2), file=out)
+        else:
+            path = save_run_manifest(manifest, args.out)
+            print(f"wrote manifest to {path}", file=out)
+        return 0
+    if args.obs_action == "diff":
+        diff = diff_manifests(
+            load_manifest(args.manifest_a), load_manifest(args.manifest_b)
+        )
+        print(render_diff(diff), file=out)
+        # Wall-clock differs between any two real runs; it is shown but
+        # does not make the manifests "different" for the exit code.
+        header = {k: v for k, v in diff["header"].items() if k != "wall_seconds"}
+        identical = not (header or diff["added"] or diff["removed"] or diff["changed"])
+        return 0 if identical else 1
+    if args.obs_action == "validate":
+        schema = load_schema(args.schema) if args.schema else None
+        errors = validate_manifest(load_manifest(args.path), schema)
+        if errors:
+            for error in errors:
+                print(error, file=out)
+            return 1
+        print(f"{args.path}: valid run manifest", file=out)
+        return 0
+    raise AssertionError(f"unhandled obs action {args.obs_action!r}")
 
 
 def _cmd_trace(args: argparse.Namespace, out) -> int:
@@ -199,6 +336,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "permute": _cmd_permute,
         "bounds": _cmd_bounds,
         "replay": _cmd_replay,
+        "obs": _cmd_obs,
     }
     return handlers[args.command](args, out)
 

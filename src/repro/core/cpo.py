@@ -27,9 +27,8 @@ import math
 import random
 from typing import Iterator, List, Optional, Sequence, Tuple
 
-from repro import accel
+from repro import accel, obs
 from repro.core import permcache
-from repro.core.evaluation import worst_case_clf
 from repro.core.permutation import Permutation, stride_permutation
 from repro.errors import ConfigurationError, PermutationError
 
@@ -299,6 +298,7 @@ def calculate_permutation(
     :mod:`repro.core.permcache` (the trivial closed-form regimes are
     recomputed rather than stored).
     """
+    obs.counter("cpo.requests").inc()
     return _calculate_permutation(n, b, effort, seed)
 
 
@@ -345,7 +345,8 @@ def _calculate_permutation(
     cached = _cached_search("window", n, b, effort, seed)
     if cached is not None:
         return cached
-    result = _search_permutation(n, b, effort, seed)
+    with obs.timer("cpo.search_seconds").time():
+        result = _search_permutation(n, b, effort, seed)
     permcache.store("window", n, b, effort, seed, result.order)
     return result
 
@@ -356,6 +357,7 @@ def _search_permutation(n: int, b: int, effort: str, seed: int) -> Permutation:
     This is the entry point the persistent cache short-circuits; it is
     only reached on a cold cache.
     """
+    obs.counter("cpo.searches").inc()
     if effort != EFFORT_FAST and n <= _EXACT_SEARCH_LIMIT:
         # Small windows: the exhaustive witness search is affordable and
         # returns a provably optimal permutation.
@@ -368,6 +370,7 @@ def _search_permutation(n: int, b: int, effort: str, seed: int) -> Permutation:
             pass  # budget blew up; fall through to the constructions
 
     candidates = list(candidate_permutations(n, b, effort=effort))
+    obs.counter("cpo.candidates_scored").inc(len(candidates))
     keys = _batch_tie_break_keys(candidates, b)
     best_index = min(range(len(candidates)), key=lambda i: (keys[i], i))
     best = candidates[best_index]
@@ -398,6 +401,7 @@ def calculate_permutation_cyclic(
     (:func:`repro.core.evaluation.cyclic_worst_case_clf`) instead of the
     within-window one.  Memoized like the plain variant.
     """
+    obs.counter("cpo.requests").inc()
     return _calculate_permutation_cyclic(n, b, effort, seed)
 
 
@@ -416,7 +420,8 @@ def _calculate_permutation_cyclic(
     cached = _cached_search("cyclic", n, b, effort, seed)
     if cached is not None:
         return cached
-    result = _search_permutation_cyclic(n, b, effort, seed)
+    with obs.timer("cpo.search_seconds").time():
+        result = _search_permutation_cyclic(n, b, effort, seed)
     permcache.store("cyclic", n, b, effort, seed, result.order)
     return result
 
@@ -425,7 +430,9 @@ def _search_permutation_cyclic(
     n: int, b: int, effort: str, seed: int
 ) -> Permutation:
     """The search behind :func:`calculate_permutation_cyclic` (cache-cold)."""
+    obs.counter("cpo.searches").inc()
     candidates = list(candidate_permutations(n, b, effort=effort))
+    obs.counter("cpo.candidates_scored").inc(len(candidates))
     # Seed the pool with the window-optimal choice too.
     candidates.append(calculate_permutation(n, min(b, n), effort=effort))
     keys = _batch_tie_break_keys(candidates, min(b, n), cyclic=True)

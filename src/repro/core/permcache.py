@@ -30,6 +30,8 @@ import threading
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
+
 #: Bump when the construction families, tie-break, or local search
 #: change in a way that alters which permutation the search returns.
 CACHE_REVISION = 1
@@ -102,7 +104,9 @@ def load(
         and len(order) == n
         and all(isinstance(frame, int) for frame in order)
     ):
+        obs.counter("permcache.hits").inc()
         return order
+    obs.counter("permcache.misses").inc()
     return None
 
 
@@ -112,6 +116,7 @@ def store(
     """Persist one search result; failures to write are non-fatal."""
     if not cache_enabled():
         return
+    obs.counter("permcache.stores").inc()
     path = cache_path()
     with _lock:
         # Merge with the file as it is *now* so concurrent processes

@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.core.adaptation import DEFAULT_ALPHA, AdaptiveController
 from repro.core.cpo import EFFORT_FAST
 from repro.core.layered import LayeredPlan, LayeredScheduler
@@ -36,7 +37,7 @@ from repro.media.ldu import FrameType, Ldu
 from repro.media.stream import MediaStream
 from repro.metrics.continuity import ContinuityReport, consecutive_loss
 from repro.metrics.windows import WindowSeries
-from repro.network.channel import SimulatedChannel, make_duplex
+from repro.network.channel import make_duplex
 from repro.network.feedback import Feedback, FeedbackCollector
 from repro.network.packet import Packetizer
 from repro.poset.builders import ldu_poset
@@ -464,6 +465,16 @@ class ProtocolSession:
         self._send_ack(window_index, window_end, result)
         self.result.windows.append(result)
         self.result.series.add_clf(result.clf, result.alf)
+        if obs.enabled():
+            obs.counter("protocol.windows").inc()
+            obs.counter("protocol.frames_sent").inc(result.sent)
+            obs.counter("protocol.frames_lost").inc(result.lost_in_network)
+            obs.counter("protocol.retransmissions").inc(result.retransmissions)
+            obs.counter("protocol.recovered").inc(result.recovered)
+            obs.counter("protocol.late").inc(result.late)
+            obs.counter("protocol.dropped_at_sender").inc(result.dropped_at_sender)
+            obs.histogram("protocol.window_clf").observe(result.clf)
+            obs.histogram("protocol.window_alf").observe(result.alf)
         return result
 
     # ------------------------------------------------------------------
@@ -487,10 +498,12 @@ class ProtocolSession:
         )
         self._ack_sequence += 1
         self.result.acks_sent += 1
+        obs.counter("protocol.acks_sent").inc()
         packet = self.packetizer.control_packet()
         transmission = self.feedback_channel.send(packet, at_time)
         if transmission.lost:
             self.result.acks_lost += 1
+            obs.counter("protocol.acks_lost").inc()
             result.ack_delivered = False
             return
         assert transmission.arrives_at is not None
@@ -502,8 +515,10 @@ class ProtocolSession:
         self._pending_acks = [item for item in self._pending_acks if item[0] > now]
         for _, feedback in sorted(arrived, key=lambda item: item[0]):
             if not self.collector.offer(feedback):
+                obs.counter("protocol.acks_stale").inc()
                 continue  # stale, out-of-order ACK: ignored
             self.result.acks_used += 1
+            obs.counter("protocol.acks_used").inc()
             window = self.result.windows[feedback.window_index]
             for layer_index, burst in feedback.burst_estimates.items():
                 layer_size = window.layer_sizes.get(layer_index, window.frames)
@@ -526,6 +541,10 @@ class ProtocolSession:
             windows = windows[:max_windows]
         for index, window in enumerate(windows):
             self.run_window(index, window)
+        if obs.enabled():
+            # One cycle of virtual time per window, plus the start-up delay.
+            streamed = sum(len(window) for window in windows) / self.stream.fps
+            obs.counter("protocol.virtual_seconds").inc(streamed)
         return self.result
 
 

@@ -89,6 +89,18 @@ class Figure8Result:
             ),
         )
 
+    def summary_dict(self) -> dict:
+        """Headline numbers for run manifests (see ``repro obs dump``)."""
+        return {
+            "seed": self.config.seed,
+            "p_bad": self.config.p_bad,
+            "windows": len(self.scrambled.windows),
+            "scrambled_mean_clf": self.scrambled.mean_clf,
+            "unscrambled_mean_clf": self.unscrambled.mean_clf,
+            "scrambled_clf_deviation": self.scrambled.clf_deviation,
+            "unscrambled_clf_deviation": self.unscrambled.clf_deviation,
+        }
+
 
 def run_figure8(config: Figure8Config) -> Figure8Result:
     """Run one Figure 8 panel."""
@@ -159,6 +171,23 @@ class Figure8Aggregate:
                 f"{len(self.runs)} seeds x {self.config.windows} windows"
             ),
         )
+
+    def summary_dict(self) -> dict:
+        """Headline numbers for run manifests (see ``repro obs dump``)."""
+        scrambled = self._pooled("scrambled")
+        unscrambled = self._pooled("unscrambled")
+        return {
+            "seed": self.config.seed,
+            "p_bad": self.config.p_bad,
+            "seeds": len(self.runs),
+            "windows_per_seed": self.config.windows,
+            "scrambled_mean_clf": scrambled[0],
+            "unscrambled_mean_clf": unscrambled[0],
+            "scrambled_clf_deviation": scrambled[1],
+            "unscrambled_clf_deviation": unscrambled[1],
+            "scrambled_catastrophic": scrambled[2],
+            "unscrambled_catastrophic": unscrambled[2],
+        }
 
 
 def run_figure8_multi(

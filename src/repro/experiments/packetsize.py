@@ -73,6 +73,19 @@ class PacketSizeResult:
             title="Packet-size ablation (p_bad=0.6, W=2 GOPs)",
         )
 
+    def summary_dict(self) -> dict:
+        """Headline numbers for run manifests (see ``repro obs dump``)."""
+        return {
+            "packet_sizes": [p.packet_size_bytes for p in self.points],
+            "all_sizes_win": self.shape_holds,
+            "scrambled_mean_clf_by_size": {
+                str(p.packet_size_bytes): p.scrambled_mean for p in self.points
+            },
+            "unscrambled_mean_clf_by_size": {
+                str(p.packet_size_bytes): p.unscrambled_mean for p in self.points
+            },
+        }
+
 
 def _size_point(task) -> PacketSizePoint:
     """One packet size's head-to-head run (module-level for pickling)."""

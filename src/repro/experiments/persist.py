@@ -2,7 +2,11 @@
 
 Sessions and window series serialize to plain dictionaries so sweeps
 can be archived, diffed across library versions, and plotted by
-external tooling without re-running the simulator.
+external tooling without re-running the simulator.  Run *manifests*
+(config + seed + backend + metric snapshot + timing, see
+:mod:`repro.obs.manifest`) ride the same path: experiments build them
+through :func:`build_run_manifest` and archive them with
+:func:`save_run_manifest`.
 """
 
 from __future__ import annotations
@@ -10,7 +14,7 @@ from __future__ import annotations
 import json
 from dataclasses import asdict
 from pathlib import Path
-from typing import Any, Dict, List, Union
+from typing import Any, Dict, Union
 
 from repro.core.protocol import SessionResult, WindowResult
 from repro.errors import ConfigurationError
@@ -102,3 +106,30 @@ def series_from_saved(data: Dict[str, Any], *, label: str = "") -> WindowSeries:
     for clf, alf in zip(data["clf_series"], data["alf_series"]):
         series.add_clf(int(clf), float(alf))
     return series
+
+
+# ----------------------------------------------------------------------
+# Run manifests (delegated to repro.obs.manifest; re-exported here so
+# experiment code depends on one persistence module).
+# ----------------------------------------------------------------------
+
+
+def build_run_manifest(**kwargs: Any) -> Dict[str, Any]:
+    """Assemble a run manifest; see :func:`repro.obs.manifest.build_manifest`."""
+    from repro.obs.manifest import build_manifest
+
+    return build_manifest(**kwargs)
+
+
+def save_run_manifest(manifest: Dict[str, Any], path: PathLike) -> Path:
+    """Write a run manifest to disk (parents created); returns the path."""
+    from repro.obs.manifest import save_manifest
+
+    return save_manifest(manifest, path)
+
+
+def load_run_manifest(path: PathLike) -> Dict[str, Any]:
+    """Read a run manifest back, checking its schema version."""
+    from repro.obs.manifest import load_manifest
+
+    return load_manifest(path)

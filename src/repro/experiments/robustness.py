@@ -109,6 +109,22 @@ class RobustnessResult:
         )
         return f"{table}\n{summary}"
 
+    def summary_dict(self) -> dict:
+        """Headline numbers for run manifests (see ``repro obs dump``)."""
+        return {
+            "seeds": len(self.outcomes),
+            "windows_per_seed": self.windows_per_seed,
+            "mean_win_rate": self.win_rate("mean_wins"),
+            "dev_win_rate": self.win_rate("dev_wins"),
+            "acceptability_win_rate": self.win_rate("acceptability_wins"),
+            "scrambled_catastrophic": sum(
+                o.scrambled_catastrophic for o in self.outcomes
+            ),
+            "unscrambled_catastrophic": sum(
+                o.unscrambled_catastrophic for o in self.outcomes
+            ),
+        }
+
 
 def _seed_outcome(task) -> SeedOutcome:
     """One seed's head-to-head run (module-level so workers can pickle it)."""

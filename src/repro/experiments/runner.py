@@ -4,11 +4,23 @@ Each entry maps an experiment name to a callable taking the worker
 count (``jobs``) and returning an object with ``render()`` (and usually
 ``shape_holds``).  Experiments whose work is a fan-out over independent
 seeds or sweep points honour ``jobs``; the rest ignore it.
+
+With metrics enabled (``--metrics`` on the CLI, ``REPRO_METRICS=1`` in
+the environment, or :func:`repro.obs.enable`),
+:func:`run_with_manifest` wraps one experiment run in a fresh metric
+registry and returns a JSON *run manifest* — configuration, seed,
+backend, metric snapshot, wall/virtual time — alongside the rendered
+table.  ``repro obs dump`` is the CLI front end.
+
+Caveat: worker processes (``jobs > 1``) keep their metrics to
+themselves; a manifest aggregates only what the coordinating process
+observed.  Run with ``jobs=1`` for complete counters.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 
@@ -157,6 +169,57 @@ def run_experiment(name: str, *, jobs: int = 1) -> Tuple[str, Optional[bool]]:
     if name == "theorem1":
         shape = result.all_small_optimal and result.max_gap <= 1  # type: ignore[attr-defined]
     return rendered, shape
+
+
+def run_with_manifest(
+    name: str, *, jobs: int = 1
+) -> Tuple[str, Optional[bool], Dict[str, Any]]:
+    """Run one experiment with metrics on; returns (rendered, shape, manifest).
+
+    The live registry is reset before the run so the manifest's metric
+    snapshot covers exactly this experiment.  Metrics are enabled for
+    the duration (and left enabled — callers toggling per run should
+    :func:`repro.obs.disable` afterwards).
+    """
+    from repro import accel, obs
+    from repro.experiments import persist
+
+    name = normalize_name(name)
+    try:
+        factory = EXPERIMENTS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {name!r}; available: {available_experiments()}"
+        ) from None
+    obs.enable()
+    obs.reset()
+    # reset() clears info keys and the backend may have been resolved
+    # while metrics were off, so stamp it explicitly.
+    obs.set_info("accel.backend", accel.backend_name())
+    started = time.perf_counter()
+    result = factory(jobs)
+    wall = time.perf_counter() - started
+    rendered = result.render()  # type: ignore[attr-defined]
+    shape = getattr(result, "shape_holds", None)
+    if name == "theorem1":
+        shape = result.all_small_optimal and result.max_gap <= 1  # type: ignore[attr-defined]
+    snapshot = obs.snapshot()
+    virtual = snapshot.get("counters", {}).get("protocol.virtual_seconds")
+    summary_of = getattr(result, "summary_dict", None)
+    summary = summary_of() if callable(summary_of) else {}
+    seed = summary.get("seed") if isinstance(summary, dict) else None
+    manifest = persist.build_run_manifest(
+        experiment=name,
+        config={"jobs": jobs},
+        seed=seed,
+        backend=accel.backend_name(),
+        metrics=snapshot,
+        wall_seconds=wall,
+        virtual_seconds=virtual,
+        shape_holds=shape,
+        summary=summary,
+    )
+    return rendered, shape, manifest
 
 
 def run_all(

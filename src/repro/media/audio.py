@@ -15,12 +15,7 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.errors import StreamError
-from repro.media.ldu import (
-    AUDIO_SAMPLE_RATE_HZ,
-    AUDIO_SAMPLES_PER_LDU,
-    FrameType,
-    Ldu,
-)
+from repro.media.ldu import AUDIO_SAMPLES_PER_LDU, FrameType, Ldu
 from repro.media.stream import MediaStream
 
 

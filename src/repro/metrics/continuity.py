@@ -21,6 +21,7 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Iterable, List, Sequence, Tuple
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.media.ldu import PlayoutRecord
 
@@ -90,15 +91,20 @@ def aggregate_loss(indicator: Iterable[int]) -> Tuple[int, int]:
     return losses, slots
 
 
+def _report(slots: int, losses: int, clf: int) -> ContinuityReport:
+    """Build a report, mirroring it into the metrics registry."""
+    report = ContinuityReport(slots=slots, unit_losses=losses, clf=clf)
+    if obs.enabled() and slots:
+        obs.histogram("continuity.clf").observe(clf)
+        obs.histogram("continuity.alf").observe(report.alf_float)
+    return report
+
+
 def measure(records: Sequence[PlayoutRecord]) -> ContinuityReport:
     """Measure ALF and CLF of a playout stretch."""
     indicator = loss_indicator(records)
     losses, slots = aggregate_loss(indicator)
-    return ContinuityReport(
-        slots=slots,
-        unit_losses=losses,
-        clf=consecutive_loss(indicator),
-    )
+    return _report(slots, losses, consecutive_loss(indicator))
 
 
 def measure_lost_set(lost_indices: Iterable[int], total_slots: int) -> ContinuityReport:
@@ -117,8 +123,4 @@ def measure_lost_set(lost_indices: Iterable[int], total_slots: int) -> Continuit
                 f"lost index {index} outside stream of {total_slots} slots"
             )
     indicator = [1 if i in lost else 0 for i in range(total_slots)]
-    return ContinuityReport(
-        slots=total_slots,
-        unit_losses=len(lost),
-        clf=consecutive_loss(indicator),
-    )
+    return _report(total_slots, len(lost), consecutive_loss(indicator))

@@ -23,7 +23,7 @@ Definitions (following the metrics paper's structure):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 from repro.errors import ConfigurationError
 from repro.metrics.continuity import consecutive_loss

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro import obs
 from repro.errors import NetworkError
 from repro.network.markov import GilbertModel
 from repro.network.packet import Packet
@@ -110,6 +111,11 @@ class SimulatedChannel:
             self.stats.delivered += 1
             self.stats.bytes_delivered += packet.size_bytes
             arrival = completed + self.propagation_delay
+        if obs.enabled():
+            obs.counter("link.offered").inc()
+            obs.counter("link.bytes_offered").inc(packet.size_bytes)
+            if lost:
+                obs.counter("link.lost").inc()
         return Transmission(
             packet=packet,
             offered_at=at_time,

@@ -16,8 +16,31 @@ import random
 from dataclasses import dataclass
 from typing import List
 
-from repro import accel
+from repro import accel, obs
 from repro.errors import ConfigurationError
+
+
+def _record_loss_batch(states: List[bool]) -> None:
+    """Fold one batch of loss flags into the channel metrics.
+
+    Called only when metrics are enabled; computes the loss-run lengths
+    of the batch (the paper's burst statistic) in one O(n) pass.
+    """
+    obs.counter("channel.packets").inc(len(states))
+    lost = sum(states)
+    if not lost:
+        return
+    obs.counter("channel.losses").inc(lost)
+    run_hist = obs.histogram("channel.loss_run")
+    run = 0
+    for state in states:
+        if state:
+            run += 1
+        elif run:
+            run_hist.observe(run)
+            run = 0
+    if run:
+        run_hist.observe(run)
 
 GOOD = "GOOD"
 BAD = "BAD"
@@ -76,7 +99,12 @@ class GilbertModel:
         else:
             if draw >= self.p_bad:
                 self._state = GOOD
-        return self._state == BAD
+        lost = self._state == BAD
+        if obs.enabled():
+            obs.counter("channel.packets").inc()
+            if lost:
+                obs.counter("channel.losses").inc()
+        return lost
 
     def losses(self, count: int) -> List[bool]:
         """Outcomes for the next ``count`` packets (True = lost).
@@ -94,6 +122,8 @@ class GilbertModel:
         )
         if states:
             self._state = BAD if states[-1] else GOOD
+        if obs.enabled():
+            _record_loss_batch(states)
         return states
 
     # ------------------------------------------------------------------
@@ -219,4 +249,7 @@ class SwitchingGilbertModel:
     def losses(self, count: int) -> List[bool]:
         if count < 0:
             raise ConfigurationError("count must be non-negative")
-        return [self.step() for _ in range(count)]
+        states = [self.step() for _ in range(count)]
+        if obs.enabled():
+            _record_loss_batch(states)
+        return states

@@ -13,9 +13,18 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+from repro import obs
 from repro.errors import NetworkError
 
 EventCallback = Callable[[], None]
+
+
+def _callback_label(callback: EventCallback) -> str:
+    """Short human label for a scheduled callback (best effort)."""
+    name = getattr(callback, "__qualname__", None) or getattr(
+        callback, "__name__", None
+    )
+    return name or type(callback).__name__
 
 
 @dataclass(order=True)
@@ -27,17 +36,33 @@ class _Event:
 
 
 class EventLoop:
-    """A heap-based event loop with a monotone clock."""
+    """A heap-based event loop with a monotone clock.
 
-    def __init__(self) -> None:
+    An optional *tracer* (see :class:`repro.obs.trace.EventTrace`)
+    observes every scheduled, fired and cancelled event with its
+    virtual time; with no tracer attached the hooks cost one ``None``
+    check per operation.
+    """
+
+    def __init__(self, tracer: Optional[object] = None) -> None:
         self._heap: List[_Event] = []
         self._counter = itertools.count()
         self._now = 0.0
         self._running = False
+        self._tracer = tracer
 
     @property
     def now(self) -> float:
         return self._now
+
+    @property
+    def tracer(self):
+        """The attached trace recorder, or None."""
+        return self._tracer
+
+    def set_tracer(self, tracer: Optional[object]) -> None:
+        """Attach (or detach, with None) a trace recorder."""
+        self._tracer = tracer
 
     def schedule(self, time: float, callback: EventCallback) -> _Event:
         """Schedule ``callback`` at absolute ``time`` (>= now)."""
@@ -47,6 +72,10 @@ class EventLoop:
             )
         event = _Event(time=max(time, self._now), tiebreak=next(self._counter), callback=callback)
         heapq.heappush(self._heap, event)
+        if self._tracer is not None:
+            self._tracer.record(event.time, "scheduled", _callback_label(callback))
+        if obs.enabled():
+            obs.counter("events.scheduled").inc()
         return event
 
     def schedule_in(self, delay: float, callback: EventCallback) -> _Event:
@@ -58,6 +87,10 @@ class EventLoop:
     def cancel(self, event: _Event) -> None:
         """Cancel a scheduled event (no-op if already run)."""
         event.cancelled = True
+        if self._tracer is not None:
+            self._tracer.record(self._now, "cancelled", _callback_label(event.callback))
+        if obs.enabled():
+            obs.counter("events.cancelled").inc()
 
     def run(self, *, until: Optional[float] = None, max_events: int = 10_000_000) -> int:
         """Run events in time order; returns the number executed.
@@ -76,10 +109,15 @@ class EventLoop:
             if event.cancelled:
                 continue
             self._now = event.time
+            if self._tracer is not None:
+                self._tracer.record(event.time, "fired", _callback_label(event.callback))
             event.callback()
             executed += 1
         if until is not None and self._now < until:
             self._now = until
+        if executed and obs.enabled():
+            obs.counter("events.fired").inc(executed)
+            obs.gauge("sim.virtual_time").set(self._now)
         return executed
 
     def peek_time(self) -> Optional[float]:

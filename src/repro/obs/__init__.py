@@ -1,0 +1,163 @@
+"""repro.obs — dependency-free observability for the reproduction.
+
+Structured metrics (counters, gauges, histograms, timer spans) behind a
+process-local :class:`~repro.obs.registry.MetricsRegistry`, an event
+tracer for the simulation kernel, and JSON *run manifests* that archive
+an experiment's configuration, seed, backend and metric snapshot.
+
+Off by default
+--------------
+Metrics are **disabled** unless ``REPRO_METRICS`` is set (``1`` /
+``true`` / ``on`` / ``yes``) or :func:`enable` is called — experiments
+pass ``--metrics`` through the CLI.  While disabled, every accessor
+returns a shared no-op instrument, so the instrumented hot paths pay
+one branch per *batch* operation and nothing else; CI guards that
+overhead with ``tools/obs_overhead_guard.py``.
+
+Usage::
+
+    from repro import obs
+
+    obs.enable()
+    obs.counter("protocol.windows").inc()
+    with obs.timer("cpo.search_seconds").time():
+        ...
+    print(obs.snapshot()["counters"]["protocol.windows"])
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional
+
+from repro.obs.registry import (
+    BUCKET_EDGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NOOP_COUNTER,
+    NOOP_GAUGE,
+    NOOP_HISTOGRAM,
+    NOOP_TIMER,
+    Timer,
+)
+from repro.obs.trace import EventTrace, TraceEvent, attach_trace
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    build_manifest,
+    diff_manifests,
+    load_manifest,
+    render_diff,
+    save_manifest,
+    validate_manifest,
+)
+
+__all__ = [
+    "BUCKET_EDGES",
+    "Counter",
+    "EventTrace",
+    "Gauge",
+    "Histogram",
+    "MANIFEST_SCHEMA_VERSION",
+    "MetricsRegistry",
+    "Timer",
+    "TraceEvent",
+    "attach_trace",
+    "build_manifest",
+    "counter",
+    "diff_manifests",
+    "disable",
+    "enable",
+    "enabled",
+    "gauge",
+    "get_registry",
+    "histogram",
+    "load_manifest",
+    "render_diff",
+    "reset",
+    "save_manifest",
+    "set_info",
+    "snapshot",
+    "timer",
+    "validate_manifest",
+]
+
+ENV_METRICS = "REPRO_METRICS"
+
+_ON_VALUES = {"1", "true", "on", "yes"}
+
+
+def _env_enabled() -> bool:
+    return os.environ.get(ENV_METRICS, "").strip().lower() in _ON_VALUES
+
+
+#: Module-level fast flag: instrumented code checks this via enabled().
+_enabled: bool = _env_enabled()
+
+_registry = MetricsRegistry()
+
+
+def enabled() -> bool:
+    """True when metric updates are being recorded."""
+    return _enabled
+
+
+def enable(registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Turn metric recording on (optionally into a given registry)."""
+    global _enabled, _registry
+    if registry is not None:
+        _registry = registry
+    _enabled = True
+    return _registry
+
+
+def disable() -> None:
+    """Turn metric recording off; instruments become shared no-ops."""
+    global _enabled
+    _enabled = False
+
+
+def get_registry() -> MetricsRegistry:
+    """The live registry (even while disabled)."""
+    return _registry
+
+
+def counter(name: str) -> Counter:
+    """The named counter, or the shared no-op when disabled."""
+    if not _enabled:
+        return NOOP_COUNTER  # type: ignore[return-value]
+    return _registry.counter(name)
+
+
+def gauge(name: str) -> Gauge:
+    if not _enabled:
+        return NOOP_GAUGE  # type: ignore[return-value]
+    return _registry.gauge(name)
+
+
+def histogram(name: str) -> Histogram:
+    if not _enabled:
+        return NOOP_HISTOGRAM  # type: ignore[return-value]
+    return _registry.histogram(name)
+
+
+def timer(name: str) -> Timer:
+    if not _enabled:
+        return NOOP_TIMER  # type: ignore[return-value]
+    return _registry.timer(name)
+
+
+def set_info(name: str, value: str) -> None:
+    if _enabled:
+        _registry.set_info(name, value)
+
+
+def reset() -> None:
+    """Zero the live registry (start of a manifest-producing run)."""
+    _registry.reset()
+
+
+def snapshot() -> Dict[str, Any]:
+    """JSON-ready snapshot of every instrument in the live registry."""
+    return _registry.snapshot()

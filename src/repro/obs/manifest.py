@@ -1,0 +1,217 @@
+"""Run manifests: one JSON document describing one experiment run.
+
+A manifest captures everything needed to interpret (and re-run) one
+experiment invocation: the experiment name, its configuration, seed,
+the acceleration backend that was active, the full metrics snapshot,
+and wall/virtual running time.  ``repro obs dump`` writes them,
+``repro obs diff`` compares two, and the checked-in JSON schema
+(``tools/manifest_schema.json``) pins the layout so external tooling
+can rely on it.
+
+The schema validator here is intentionally tiny — it supports the
+subset of JSON Schema the manifest schema uses (``type``, ``required``,
+``properties``, ``additionalProperties``, ``items``, ``enum``,
+``minimum``) so the library keeps zero runtime dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro._version import __version__
+from repro.errors import ConfigurationError
+
+PathLike = Union[str, Path]
+
+#: Bumped when the manifest layout changes incompatibly.
+MANIFEST_SCHEMA_VERSION = 1
+
+_TYPES = {
+    "object": dict,
+    "array": list,
+    "string": str,
+    "boolean": bool,
+    "null": type(None),
+}
+
+
+def build_manifest(
+    *,
+    experiment: str,
+    config: Optional[Dict[str, Any]] = None,
+    seed: Optional[int] = None,
+    backend: str,
+    metrics: Dict[str, Any],
+    wall_seconds: float,
+    virtual_seconds: Optional[float] = None,
+    shape_holds: Optional[bool] = None,
+    summary: Optional[Dict[str, Any]] = None,
+) -> Dict[str, Any]:
+    """Assemble one run manifest (plain JSON-ready data)."""
+    return {
+        "schema": MANIFEST_SCHEMA_VERSION,
+        "kind": "repro-run-manifest",
+        "library_version": __version__,
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "experiment": experiment,
+        "config": config or {},
+        "seed": seed,
+        "backend": backend,
+        "timing": {
+            "wall_seconds": wall_seconds,
+            "virtual_seconds": virtual_seconds,
+        },
+        "shape_holds": shape_holds,
+        "summary": summary or {},
+        "metrics": metrics,
+    }
+
+
+def save_manifest(manifest: Dict[str, Any], path: PathLike) -> Path:
+    """Write a manifest to ``path`` (parent directories created)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(manifest, indent=2, sort_keys=False) + "\n")
+    return target
+
+
+def load_manifest(path: PathLike) -> Dict[str, Any]:
+    """Read a manifest back, checking the schema version."""
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict) or data.get("schema") != MANIFEST_SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"{path}: not a version-{MANIFEST_SCHEMA_VERSION} run manifest"
+        )
+    return data
+
+
+def default_schema_path() -> Path:
+    """The checked-in schema, located relative to the repository root."""
+    return (
+        Path(__file__).resolve().parents[3] / "tools" / "manifest_schema.json"
+    )
+
+
+def load_schema(path: Optional[PathLike] = None) -> Dict[str, Any]:
+    schema_path = Path(path) if path is not None else default_schema_path()
+    try:
+        return json.loads(schema_path.read_text())
+    except OSError as exc:
+        raise ConfigurationError(f"cannot read schema {schema_path}: {exc}") from None
+
+
+def _check(node: Any, schema: Dict[str, Any], path: str, errors: List[str]) -> None:
+    expected = schema.get("type")
+    if expected is not None:
+        names = expected if isinstance(expected, list) else [expected]
+        ok = False
+        for name in names:
+            if name == "number":
+                ok = isinstance(node, (int, float)) and not isinstance(node, bool)
+            elif name == "integer":
+                ok = isinstance(node, int) and not isinstance(node, bool)
+            else:
+                ok = isinstance(node, _TYPES[name])
+            if ok:
+                break
+        if not ok:
+            errors.append(f"{path or '$'}: expected {expected}, got {type(node).__name__}")
+            return
+    if "enum" in schema and node not in schema["enum"]:
+        errors.append(f"{path or '$'}: {node!r} not in {schema['enum']}")
+    minimum = schema.get("minimum")
+    if minimum is not None and isinstance(node, (int, float)) and node < minimum:
+        errors.append(f"{path or '$'}: {node} below minimum {minimum}")
+    if isinstance(node, dict):
+        for key in schema.get("required", []):
+            if key not in node:
+                errors.append(f"{path or '$'}: missing required key {key!r}")
+        properties = schema.get("properties", {})
+        additional = schema.get("additionalProperties", True)
+        for key, value in node.items():
+            if key in properties:
+                _check(value, properties[key], f"{path}.{key}", errors)
+            elif isinstance(additional, dict):
+                _check(value, additional, f"{path}.{key}", errors)
+            elif additional is False:
+                errors.append(f"{path or '$'}: unexpected key {key!r}")
+    if isinstance(node, list) and "items" in schema:
+        for index, item in enumerate(node):
+            _check(item, schema["items"], f"{path}[{index}]", errors)
+
+
+def validate_manifest(
+    manifest: Dict[str, Any], schema: Optional[Dict[str, Any]] = None
+) -> List[str]:
+    """Validation errors of a manifest against the schema ([] = valid)."""
+    if schema is None:
+        schema = load_schema()
+    errors: List[str] = []
+    _check(manifest, schema, "", errors)
+    return errors
+
+
+def _flatten_metrics(metrics: Dict[str, Any]) -> Dict[str, Any]:
+    """Scalar view of a metrics snapshot for diffing.
+
+    Counters and gauges flatten to ``counters.<name>``; histograms and
+    timers contribute their ``count``/``mean``/``max`` scalars.
+    """
+    flat: Dict[str, Any] = {}
+    for kind in ("counters", "gauges"):
+        for name, value in metrics.get(kind, {}).items():
+            flat[f"{kind}.{name}"] = value
+    for kind in ("histograms", "timers"):
+        for name, stats in metrics.get(kind, {}).items():
+            for field in ("count", "mean", "max"):
+                if field in stats:
+                    flat[f"{kind}.{name}.{field}"] = stats[field]
+    for name, value in metrics.get("info", {}).items():
+        flat[f"info.{name}"] = value
+    return flat
+
+
+def diff_manifests(a: Dict[str, Any], b: Dict[str, Any]) -> Dict[str, Any]:
+    """Structured difference between two manifests.
+
+    Returns ``header`` (experiment/backend/timing fields that differ),
+    and ``added`` / ``removed`` / ``changed`` over the flattened metric
+    scalars of the two snapshots.
+    """
+    header: Dict[str, Any] = {}
+    for key in ("experiment", "backend", "seed", "shape_holds", "library_version"):
+        if a.get(key) != b.get(key):
+            header[key] = {"a": a.get(key), "b": b.get(key)}
+    wall_a = a.get("timing", {}).get("wall_seconds")
+    wall_b = b.get("timing", {}).get("wall_seconds")
+    if wall_a is not None and wall_b is not None and wall_a != wall_b:
+        header["wall_seconds"] = {"a": wall_a, "b": wall_b}
+    flat_a = _flatten_metrics(a.get("metrics", {}))
+    flat_b = _flatten_metrics(b.get("metrics", {}))
+    added = {name: flat_b[name] for name in sorted(set(flat_b) - set(flat_a))}
+    removed = {name: flat_a[name] for name in sorted(set(flat_a) - set(flat_b))}
+    changed = {
+        name: {"a": flat_a[name], "b": flat_b[name]}
+        for name in sorted(set(flat_a) & set(flat_b))
+        if flat_a[name] != flat_b[name]
+    }
+    return {"header": header, "added": added, "removed": removed, "changed": changed}
+
+
+def render_diff(diff: Dict[str, Any]) -> str:
+    """Human-readable rendering of :func:`diff_manifests` output."""
+    lines: List[str] = []
+    for key, pair in diff["header"].items():
+        lines.append(f"{key}: {pair['a']!r} -> {pair['b']!r}")
+    for name, value in diff["added"].items():
+        lines.append(f"+ {name} = {value!r}")
+    for name, value in diff["removed"].items():
+        lines.append(f"- {name} = {value!r}")
+    for name, pair in diff["changed"].items():
+        lines.append(f"~ {name}: {pair['a']!r} -> {pair['b']!r}")
+    if not lines:
+        lines.append("manifests are identical (modulo timestamps)")
+    return "\n".join(lines)

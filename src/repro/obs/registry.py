@@ -1,0 +1,321 @@
+"""Process-local metric instruments and the registry that owns them.
+
+Four instrument kinds, all dependency-free and cheap enough to update
+from simulation hot paths:
+
+* :class:`Counter` — a monotonically increasing total (int or float);
+* :class:`Gauge` — a last-write-wins level;
+* :class:`Histogram` — count/total/min/max plus power-of-two "less or
+  equal" buckets, enough to reconstruct burst-length and CLF
+  distributions without storing samples;
+* :class:`Timer` — a histogram of wall-clock durations with a
+  context-manager front end.
+
+A :class:`MetricsRegistry` hands out instruments by name (one instance
+per name, created on first use) and snapshots them all into plain JSON
+data.  The no-op twins (:data:`NOOP_COUNTER` and friends) share the
+update API but do nothing; :mod:`repro.obs` returns them whenever
+metrics are disabled so instrumented code never branches on its own.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Any, Dict, List, Optional, Union
+
+Number = Union[int, float]
+
+#: Upper edges of the histogram buckets: 1, 2, 4, ... 65536, then +inf.
+BUCKET_EDGES: List[float] = [float(1 << i) for i in range(17)] + [math.inf]
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def snapshot(self) -> Number:
+        return self.value
+
+
+class Gauge:
+    """A last-write-wins level (e.g. queue depth, virtual clock)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def add(self, amount: Number) -> None:
+        self.value += amount
+
+    def snapshot(self) -> Number:
+        return self.value
+
+
+class Histogram:
+    """Aggregated distribution: count, total, min, max and 2^k buckets."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total: float = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.buckets = [0] * len(BUCKET_EDGES)
+
+    def observe(self, value: Number) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for index, edge in enumerate(BUCKET_EDGES):
+            if value <= edge:
+                self.buckets[index] += 1
+                break
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "buckets": {
+                ("inf" if math.isinf(edge) else str(int(edge))): hits
+                for edge, hits in zip(BUCKET_EDGES, self.buckets)
+                if hits
+            },
+        }
+
+
+class _Span:
+    """One running timer span; records its duration on exit."""
+
+    __slots__ = ("_timer", "_started")
+
+    def __init__(self, timer: "Timer") -> None:
+        self._timer = timer
+        self._started = time.perf_counter()
+
+    def stop(self) -> float:
+        elapsed = time.perf_counter() - self._started
+        self._timer.observe_seconds(elapsed)
+        return elapsed
+
+    def __enter__(self) -> "_Span":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+class Timer:
+    """Wall-clock duration histogram with a context-manager front end.
+
+    Durations are recorded in *seconds*; bucket edges therefore resolve
+    sub-microsecond spans poorly, but ``total``/``mean``/``max`` carry
+    the full float precision the guard tooling needs.
+    """
+
+    __slots__ = ("name", "histogram")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.histogram = Histogram(name)
+
+    def time(self) -> _Span:
+        return _Span(self)
+
+    def observe_seconds(self, seconds: float) -> None:
+        self.histogram.observe(seconds)
+
+    def snapshot(self) -> Dict[str, Any]:
+        return self.histogram.snapshot()
+
+
+class _NoopSpan:
+    __slots__ = ()
+
+    def stop(self) -> float:
+        return 0.0
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+class NoopCounter:
+    """Shares :class:`Counter`'s API; every update is a pass."""
+
+    __slots__ = ()
+    name = ""
+    value = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        return None
+
+    def snapshot(self) -> Number:
+        return 0
+
+
+class NoopGauge:
+    __slots__ = ()
+    name = ""
+    value = 0
+
+    def set(self, value: Number) -> None:
+        return None
+
+    def add(self, amount: Number) -> None:
+        return None
+
+    def snapshot(self) -> Number:
+        return 0
+
+
+class NoopHistogram:
+    __slots__ = ()
+    name = ""
+    count = 0
+
+    def observe(self, value: Number) -> None:
+        return None
+
+    @property
+    def mean(self) -> float:
+        return 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {}
+
+
+class NoopTimer:
+    __slots__ = ()
+    name = ""
+
+    def time(self) -> _NoopSpan:
+        return _NOOP_SPAN
+
+    def observe_seconds(self, seconds: float) -> None:
+        return None
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {}
+
+
+_NOOP_SPAN = _NoopSpan()
+
+#: Shared do-nothing instruments, handed out whenever metrics are off.
+NOOP_COUNTER = NoopCounter()
+NOOP_GAUGE = NoopGauge()
+NOOP_HISTOGRAM = NoopHistogram()
+NOOP_TIMER = NoopTimer()
+
+
+class MetricsRegistry:
+    """Owns every named instrument of one process (or one test).
+
+    Instrument creation is locked; updates on the instruments themselves
+    are plain attribute arithmetic — safe under the GIL for the
+    simulator's single-threaded hot paths, and cheap enough that the
+    enabled/disabled decision (made in :mod:`repro.obs`) is the only
+    per-call overhead that matters.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._timers: Dict[str, Timer] = {}
+        self._info: Dict[str, str] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._counters.setdefault(name, Counter(name))
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._gauges.setdefault(name, Gauge(name))
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._histograms.setdefault(name, Histogram(name))
+        return instrument
+
+    def timer(self, name: str) -> Timer:
+        instrument = self._timers.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._timers.setdefault(name, Timer(name))
+        return instrument
+
+    def set_info(self, name: str, value: str) -> None:
+        """Record a string fact (backend name, cache path, ...)."""
+        with self._lock:
+            self._info[name] = str(value)
+
+    def reset(self) -> None:
+        """Drop every instrument (a fresh run starts from zero)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+            self._timers.clear()
+            self._info.clear()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """All instruments as one plain-JSON dictionary."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: c.snapshot() for name, c in sorted(self._counters.items())
+                },
+                "gauges": {
+                    name: g.snapshot() for name, g in sorted(self._gauges.items())
+                },
+                "histograms": {
+                    name: h.snapshot()
+                    for name, h in sorted(self._histograms.items())
+                },
+                "timers": {
+                    name: t.snapshot() for name, t in sorted(self._timers.items())
+                },
+                "info": dict(sorted(self._info.items())),
+            }

@@ -1,0 +1,121 @@
+"""Event-trace recorder for the discrete-event simulation kernel.
+
+The :class:`repro.network.simulator.EventLoop` accepts an optional
+tracer; when one is attached it is told about every *scheduled*,
+*fired* and *cancelled* event together with the virtual time at which
+it happened.  :class:`EventTrace` keeps the most recent events in a
+bounded ring (old entries fall off, a counter remembers how many) plus
+total counts, so tracing a million-event run costs memory proportional
+to the ring, not the run.
+
+Virtual-time *spans* bracket a region of simulated time::
+
+    trace = attach_trace(loop)
+    with trace.span(loop, "window-3"):
+        loop.run(until=window_end)
+
+and show up in the trace as ``span-start``/``span-end`` pairs whose
+distance is simulated seconds, not wall seconds.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, NamedTuple, Optional
+
+SCHEDULED = "scheduled"
+FIRED = "fired"
+CANCELLED = "cancelled"
+SPAN_START = "span-start"
+SPAN_END = "span-end"
+
+
+class TraceEvent(NamedTuple):
+    """One recorded kernel event at one virtual time."""
+
+    time: float
+    kind: str
+    label: str
+
+
+class _VirtualSpan:
+    """Context manager recording a span in *virtual* (simulated) time."""
+
+    __slots__ = ("_trace", "_loop", "label", "started_at", "ended_at")
+
+    def __init__(self, trace: "EventTrace", loop: Any, label: str) -> None:
+        self._trace = trace
+        self._loop = loop
+        self.label = label
+        self.started_at: float = 0.0
+        self.ended_at: Optional[float] = None
+
+    def __enter__(self) -> "_VirtualSpan":
+        self.started_at = self._loop.now
+        self._trace.record(self.started_at, SPAN_START, self.label)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.ended_at = self._loop.now
+        self._trace.record(self.ended_at, SPAN_END, self.label)
+
+    @property
+    def virtual_seconds(self) -> float:
+        end = self.ended_at if self.ended_at is not None else self._loop.now
+        return end - self.started_at
+
+
+class EventTrace:
+    """Bounded recorder of kernel events with aggregate counts."""
+
+    def __init__(self, capacity: int = 10_000) -> None:
+        if capacity <= 0:
+            raise ValueError("trace capacity must be positive")
+        self.capacity = capacity
+        self._ring: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.counts: Dict[str, int] = {}
+        self.total = 0
+        self.last_time = 0.0
+
+    def record(self, time: float, kind: str, label: str = "") -> None:
+        self._ring.append(TraceEvent(time, kind, label))
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        self.total += 1
+        if time > self.last_time:
+            self.last_time = time
+
+    def span(self, loop: Any, label: str) -> _VirtualSpan:
+        """A virtual-time span bracketed by ``loop.now`` readings."""
+        return _VirtualSpan(self, loop, label)
+
+    @property
+    def dropped(self) -> int:
+        """Events that fell off the ring (recorded but no longer held)."""
+        return self.total - len(self._ring)
+
+    def events(self, kind: Optional[str] = None) -> List[TraceEvent]:
+        """Retained events, optionally filtered by kind, oldest first."""
+        if kind is None:
+            return list(self._ring)
+        return [event for event in self._ring if event.kind == kind]
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-ready aggregate view (what manifests embed)."""
+        return {
+            "total": self.total,
+            "dropped": self.dropped,
+            "counts": dict(sorted(self.counts.items())),
+            "last_virtual_time": self.last_time,
+        }
+
+
+def attach_trace(loop: Any, trace: Optional[EventTrace] = None) -> EventTrace:
+    """Attach a (new or given) :class:`EventTrace` to an event loop.
+
+    Works with any object exposing the :class:`EventLoop` tracer slot;
+    returns the trace so call sites can keep a handle.
+    """
+    if trace is None:
+        trace = EventTrace()
+    loop.set_tracer(trace)
+    return trace

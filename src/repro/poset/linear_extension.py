@@ -9,7 +9,7 @@ for decoding.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Set, TypeVar
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Set, TypeVar
 
 from repro.errors import PosetError
 from repro.poset.poset import Poset

@@ -12,7 +12,6 @@ either direct dependencies or an already-closed relation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import (
     Dict,
     FrozenSet,
@@ -21,7 +20,6 @@ from typing import (
     Iterable,
     Iterator,
     List,
-    Sequence,
     Set,
     Tuple,
     TypeVar,

@@ -21,8 +21,9 @@ property of pure spreading shows up next to blocks B/C/E/F.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set
 
+from repro import obs
 from repro.core.cpo import EFFORT_FAST, calculate_permutation
 from repro.core.permutation import Permutation
 from repro.errors import ConfigurationError
@@ -167,6 +168,11 @@ def _run_window(
             if sum(member_losses) <= usable_parity:
                 received.update(members)
 
+    if obs.enabled():
+        obs.counter("blocks.windows").inc()
+        obs.counter("blocks.slots_used").inc(slots)
+        obs.counter("blocks.slots_lost").inc(lost_slots)
+        obs.counter(f"blocks.windows.{spec.label}").inc()
     indicator = [0 if frame in received else 1 for frame in range(n)]
     return BlockWindowResult(
         index=index,

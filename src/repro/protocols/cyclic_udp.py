@@ -18,8 +18,9 @@ priorities come from the layered k-CPO order instead of IBO.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
+from repro import obs
 from repro.errors import ProtocolError
 from repro.network.markov import GilbertModel
 
@@ -130,6 +131,12 @@ class CyclicUdpSender:
                 if chunk.identifier not in receiver_has
             ]
         result.delivered = receiver_has
+        if obs.enabled():
+            obs.counter("cyclic_udp.cycles").inc()
+            obs.counter("cyclic_udp.transmissions").inc(result.transmissions)
+            obs.counter("cyclic_udp.passes").inc(result.passes)
+            obs.counter("cyclic_udp.feedback_lost").inc(result.feedback_lost)
+            obs.counter("cyclic_udp.delivered").inc(len(receiver_has))
         return result
 
 

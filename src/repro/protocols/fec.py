@@ -16,9 +16,9 @@ frame granularity.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
-from repro import accel
+from repro import accel, obs
 from repro.errors import CodingError
 from repro.protocols.gf256 import mat_inv, mat_mul, vandermonde
 
@@ -71,6 +71,7 @@ class XorParity:
             raise CodingError(f"{len(missing)} erasures exceed XOR capacity of 1")
         if parity is None:
             raise CodingError("cannot recover: parity block was also lost")
+        obs.counter("fec.xor_repairs").inc()
         present = [block for block in blocks if block is not None]
         length = _validate_blocks(present + [parity])
         restored = bytearray(parity)
@@ -140,6 +141,7 @@ class ReedSolomonErasure:
                 f"{len(missing)} erasures exceed capacity "
                 f"{len(surviving_parities)} of surviving parity"
             )
+        obs.counter("fec.rs_repairs").inc(len(missing))
         present = [block for block in blocks if block is not None]
         length = _validate_blocks(present + [p for _, p in surviving_parities])
 

@@ -15,7 +15,7 @@ the problem); the ``layered`` ablation benchmark quantifies it.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List
 
 from repro.core.permutation import Permutation
 from repro.errors import ConfigurationError

@@ -19,7 +19,7 @@ envelope.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict
 
 from repro.errors import TraceError
 

@@ -8,9 +8,8 @@ frame type and its size.  We read/write a compatible two-column format
 
 from __future__ import annotations
 
-import io
 from pathlib import Path
-from typing import List, Optional, Sequence, TextIO, Tuple, Union
+from typing import List, Optional, TextIO, Tuple, Union
 
 from repro.errors import TraceError
 from repro.media.gop import GopPattern

@@ -6,7 +6,7 @@ import os
 
 import pytest
 
-from repro.media.gop import GOP_12, GopPattern
+from repro.media.gop import GOP_12
 from repro.media.stream import make_video_stream
 from repro.traces.synthetic import calibrated_stream
 

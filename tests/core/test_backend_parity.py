@@ -9,8 +9,6 @@ plus a few tests of the selection machinery itself.
 
 from __future__ import annotations
 
-import random
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

@@ -6,7 +6,7 @@ import pytest
 
 from repro.core.layered import LayeredScheduler
 from repro.errors import ConfigurationError, PosetError
-from repro.media.gop import GOP_12, GopPattern
+from repro.media.gop import GOP_12
 from repro.poset.builders import independent_poset, mpeg_poset_for_pattern
 
 

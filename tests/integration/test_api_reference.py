@@ -22,7 +22,6 @@ def test_api_md_is_current():
 
 
 def test_every_export_resolves():
-    import repro
 
     for package in (
         "repro.core",

@@ -1,0 +1,113 @@
+"""Tests for the ``repro obs`` CLI and ``experiments --metrics``."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.obs.manifest import load_manifest, validate_manifest
+
+
+@pytest.fixture(autouse=True)
+def _metrics_off_afterwards():
+    yield
+    obs.disable()
+
+
+class TestObsDump:
+    def test_dump_to_stdout(self):
+        out = io.StringIO()
+        assert main(["obs", "dump", "table1", "--quiet"], out=out) == 0
+        manifest = json.loads(out.getvalue())
+        assert manifest["experiment"] == "table1"
+        assert validate_manifest(manifest) == []
+
+    def test_dump_to_file_renders_table(self, tmp_path):
+        out = io.StringIO()
+        target = tmp_path / "table1.json"
+        assert main(["obs", "dump", "table1", "--out", str(target)], out=out) == 0
+        text = out.getvalue()
+        assert "Table 1" in text
+        assert f"wrote manifest to {target}" in text
+        manifest = load_manifest(target)
+        assert validate_manifest(manifest) == []
+        assert manifest["metrics"]["counters"]["accel.calls.worst_clf"] > 0
+
+    def test_underscore_name_accepted(self, tmp_path):
+        out = io.StringIO()
+        target = tmp_path / "m.json"
+        code = main(
+            ["obs", "dump", "theorem1", "--quiet", "--out", str(target)], out=out
+        )
+        assert code == 0
+        assert load_manifest(target)["experiment"] == "theorem1"
+
+
+class TestObsDiffAndValidate:
+    def test_diff_identical_exits_zero(self, tmp_path):
+        out = io.StringIO()
+        a = tmp_path / "a.json"
+        main(["obs", "dump", "table1", "--quiet", "--out", str(a)], out=out)
+        manifest = load_manifest(a)
+        b = tmp_path / "b.json"
+        b.write_text(json.dumps(manifest))
+        out = io.StringIO()
+        assert main(["obs", "diff", str(a), str(b)], out=out) == 0
+        assert "identical" in out.getvalue()
+
+    def test_diff_different_exits_one(self, tmp_path):
+        out = io.StringIO()
+        a = tmp_path / "a.json"
+        main(["obs", "dump", "table1", "--quiet", "--out", str(a)], out=out)
+        manifest = load_manifest(a)
+        manifest["metrics"]["counters"]["accel.calls.worst_clf"] += 1
+        b = tmp_path / "b.json"
+        b.write_text(json.dumps(manifest))
+        out = io.StringIO()
+        assert main(["obs", "diff", str(a), str(b)], out=out) == 1
+        assert "accel.calls.worst_clf" in out.getvalue()
+
+    def test_validate_good_manifest(self, tmp_path):
+        out = io.StringIO()
+        a = tmp_path / "a.json"
+        main(["obs", "dump", "table1", "--quiet", "--out", str(a)], out=out)
+        out = io.StringIO()
+        assert main(["obs", "validate", str(a)], out=out) == 0
+        assert "valid run manifest" in out.getvalue()
+
+    def test_validate_bad_manifest(self, tmp_path):
+        out = io.StringIO()
+        a = tmp_path / "a.json"
+        main(["obs", "dump", "table1", "--quiet", "--out", str(a)], out=out)
+        manifest = load_manifest(a)
+        manifest["backend"] = "cuda"
+        a.write_text(json.dumps(manifest))
+        out = io.StringIO()
+        assert main(["obs", "validate", str(a)], out=out) == 1
+        assert "cuda" in out.getvalue()
+
+
+class TestExperimentsMetricsFlag:
+    def test_metrics_flag_writes_manifest(self, tmp_path):
+        out = io.StringIO()
+        code = main(
+            [
+                "experiments",
+                "table1",
+                "--metrics",
+                "--manifest-dir",
+                str(tmp_path),
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "=== table1 ===" in text
+        assert "[manifest " in text
+        manifest = load_manifest(tmp_path / "table1.json")
+        assert validate_manifest(manifest) == []
+        assert manifest["experiment"] == "table1"

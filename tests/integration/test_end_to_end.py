@@ -10,7 +10,6 @@ from repro.core.protocol import ProtocolConfig, run_session
 from repro.metrics.continuity import consecutive_loss
 from repro.metrics.perception import VIDEO_PROFILE
 from repro.protocols.concealment import conceal, report
-from repro.traces.synthetic import calibrated_stream
 
 
 @pytest.fixture(scope="module")

@@ -8,9 +8,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-import pytest
-
-from repro.experiments.config import FIGURE8_TOP, Figure8Config
+from repro.experiments.config import FIGURE8_TOP
 from repro.experiments.figure8 import run_figure8, run_figure8_multi
 from repro.experiments.figure11 import run_figure11
 from repro.experiments.figure12 import run_figure12

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.protocol import ProtocolConfig, run_session
 from repro.media.gop import GOP_12, GopPattern
 from repro.media.ldu import FrameType, Ldu

@@ -6,7 +6,6 @@ regardless of channel behaviour, window size or stream shape.
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 import repro
 from repro import (
     ErrorSpreader,
@@ -12,7 +10,6 @@ from repro import (
     calculate_permutation,
     calibrated_stream,
     compare_schemes,
-    consecutive_loss,
     measure_lost_set,
     run_session,
     worst_case_clf,

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import StreamError
-from repro.media.gop import GOP_12, GopPattern
+from repro.media.gop import GOP_12
 from repro.media.ldu import FrameType, Ldu
 from repro.media.stream import (
     MediaStream,

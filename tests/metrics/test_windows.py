@@ -2,15 +2,13 @@
 
 from __future__ import annotations
 
-import math
-
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import ConfigurationError
 from repro.metrics.continuity import ContinuityReport
-from repro.metrics.windows import SeriesSummary, WindowSeries, compare, summarize
+from repro.metrics.windows import WindowSeries, compare, summarize
 
 
 class TestSummarize:

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import NetworkError
-from repro.media.ldu import FrameType, Ldu
+from repro.media.ldu import Ldu
 from repro.network.packet import (
     DEFAULT_PACKET_SIZE_BYTES,
     FrameAssembler,

@@ -1,0 +1,26 @@
+"""Keep the process-global obs state from leaking between tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs.registry import MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def _isolated_obs_state():
+    was_enabled = obs.enabled()
+    previous = obs.get_registry()
+    yield
+    obs.enable(previous)  # restores the registry reference
+    if not was_enabled:
+        obs.disable()
+
+
+@pytest.fixture
+def fresh_registry() -> MetricsRegistry:
+    """Enable metrics into a throwaway registry for one test."""
+    registry = MetricsRegistry()
+    obs.enable(registry)
+    return registry

@@ -1,0 +1,165 @@
+"""Tests for run manifests and their schema (repro.obs.manifest)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.errors import ConfigurationError
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    build_manifest,
+    default_schema_path,
+    diff_manifests,
+    load_manifest,
+    load_schema,
+    render_diff,
+    save_manifest,
+    validate_manifest,
+)
+
+
+def _sample_metrics() -> dict:
+    return {
+        "counters": {"channel.packets": 100, "channel.losses": 8},
+        "gauges": {"sim.virtual_time": 12.5},
+        "histograms": {
+            "channel.loss_run": {
+                "count": 3,
+                "total": 8.0,
+                "min": 1.0,
+                "max": 5.0,
+                "mean": 8 / 3,
+                "buckets": {"1": 1, "2": 1, "8": 1},
+            }
+        },
+        "timers": {},
+        "info": {"accel.backend": "pure"},
+    }
+
+
+def _sample_manifest() -> dict:
+    return build_manifest(
+        experiment="figure8-pooled",
+        config={"jobs": 1},
+        seed=2000,
+        backend="pure",
+        metrics=_sample_metrics(),
+        wall_seconds=1.25,
+        virtual_seconds=1000.0,
+        shape_holds=True,
+        summary={"scrambled_mean_clf": 1.4},
+    )
+
+
+class TestBuildAndRoundtrip:
+    def test_layout(self):
+        manifest = _sample_manifest()
+        assert manifest["schema"] == MANIFEST_SCHEMA_VERSION
+        assert manifest["kind"] == "repro-run-manifest"
+        assert manifest["timing"]["virtual_seconds"] == 1000.0
+        assert manifest["metrics"]["counters"]["channel.packets"] == 100
+
+    def test_save_load_roundtrip(self, tmp_path):
+        path = save_manifest(_sample_manifest(), tmp_path / "runs" / "m.json")
+        assert path.exists()
+        loaded = load_manifest(path)
+        assert loaded == _sample_manifest() | {"created_at": loaded["created_at"]}
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": 999}))
+        with pytest.raises(ConfigurationError):
+            load_manifest(bad)
+
+    def test_is_json_serializable(self):
+        json.dumps(_sample_manifest())
+
+
+class TestSchemaValidation:
+    def test_checked_in_schema_exists(self):
+        assert default_schema_path().exists()
+
+    def test_sample_manifest_is_valid(self):
+        assert validate_manifest(_sample_manifest()) == []
+
+    def test_missing_required_key_fails(self):
+        manifest = _sample_manifest()
+        del manifest["backend"]
+        errors = validate_manifest(manifest)
+        assert any("backend" in error for error in errors)
+
+    def test_unknown_top_level_key_fails(self):
+        manifest = _sample_manifest()
+        manifest["surprise"] = 1
+        errors = validate_manifest(manifest)
+        assert any("surprise" in error for error in errors)
+
+    def test_bad_backend_enum_fails(self):
+        manifest = _sample_manifest()
+        manifest["backend"] = "cuda"
+        errors = validate_manifest(manifest)
+        assert any("cuda" in error for error in errors)
+
+    def test_explicit_schema_argument(self):
+        schema = load_schema(default_schema_path())
+        assert validate_manifest(_sample_manifest(), schema) == []
+
+    def test_missing_schema_file(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_schema(tmp_path / "nope.json")
+
+
+class TestDiff:
+    def test_identical_manifests(self):
+        a, b = _sample_manifest(), _sample_manifest()
+        diff = diff_manifests(a, b)
+        assert diff["added"] == {} and diff["removed"] == {}
+        assert diff["changed"] == {}
+        assert "identical" in render_diff(
+            {"header": {}, "added": {}, "removed": {}, "changed": {}}
+        )
+
+    def test_counter_change_and_header(self):
+        a, b = _sample_manifest(), _sample_manifest()
+        b["backend"] = "numpy"
+        b["metrics"]["counters"]["channel.losses"] = 9
+        b["metrics"]["counters"]["new.metric"] = 1
+        del b["metrics"]["counters"]["channel.packets"]
+        diff = diff_manifests(a, b)
+        assert diff["header"]["backend"] == {"a": "pure", "b": "numpy"}
+        assert diff["changed"]["counters.channel.losses"] == {"a": 8, "b": 9}
+        assert "counters.new.metric" in diff["added"]
+        assert "counters.channel.packets" in diff["removed"]
+        rendered = render_diff(diff)
+        assert "backend: 'pure' -> 'numpy'" in rendered
+        assert "+ counters.new.metric" in rendered
+        assert "- counters.channel.packets" in rendered
+
+    def test_histogram_scalars_diffed(self):
+        a, b = _sample_manifest(), _sample_manifest()
+        b["metrics"]["histograms"]["channel.loss_run"]["max"] = 7.0
+        diff = diff_manifests(a, b)
+        assert diff["changed"]["histograms.channel.loss_run.max"] == {
+            "a": 5.0,
+            "b": 7.0,
+        }
+
+
+class TestExperimentManifest:
+    """End to end: a real (small) experiment produces a schema-valid manifest."""
+
+    def test_run_with_manifest_validates(self):
+        from repro.experiments.runner import run_with_manifest
+
+        rendered, shape, manifest = run_with_manifest("table1")
+        obs.disable()
+        assert "Table 1" in rendered
+        assert shape is True
+        assert manifest["experiment"] == "table1"
+        assert manifest["backend"] in ("pure", "numpy")
+        assert manifest["metrics"]["counters"]  # instrumentation fired
+        assert manifest["metrics"]["info"]["accel.backend"] == manifest["backend"]
+        assert validate_manifest(manifest) == []

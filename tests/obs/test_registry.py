@@ -1,0 +1,148 @@
+"""Tests for the metric instruments and registry (repro.obs.registry)."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro import obs
+from repro.obs.registry import (
+    BUCKET_EDGES,
+    NOOP_COUNTER,
+    NOOP_GAUGE,
+    NOOP_HISTOGRAM,
+    NOOP_TIMER,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self, fresh_registry):
+        counter = obs.counter("test.hits")
+        assert counter.snapshot() == 0
+        counter.inc()
+        counter.inc(41)
+        assert counter.snapshot() == 42
+
+    def test_same_name_same_instance(self, fresh_registry):
+        assert obs.counter("test.hits") is obs.counter("test.hits")
+
+    def test_cannot_decrease(self, fresh_registry):
+        with pytest.raises(ValueError):
+            obs.counter("test.hits").inc(-1)
+
+
+class TestGauge:
+    def test_last_write_wins(self, fresh_registry):
+        gauge = obs.gauge("test.level")
+        gauge.set(7)
+        gauge.set(3)
+        assert gauge.snapshot() == 3
+
+    def test_add(self, fresh_registry):
+        gauge = obs.gauge("test.level")
+        gauge.add(2.5)
+        gauge.add(-1.0)
+        assert gauge.snapshot() == 1.5
+
+
+class TestHistogram:
+    def test_aggregates(self):
+        hist = Histogram("test")
+        for value in (1, 5, 10):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap["count"] == 3
+        assert snap["total"] == 16.0
+        assert snap["min"] == 1.0 and snap["max"] == 10.0
+        assert snap["mean"] == pytest.approx(16 / 3)
+
+    def test_power_of_two_buckets(self):
+        hist = Histogram("test")
+        hist.observe(1)  # <= 1
+        hist.observe(3)  # <= 4
+        hist.observe(100_000)  # <= 131072... beyond 65536 -> inf bucket
+        snap = hist.snapshot()
+        assert snap["buckets"] == {"1": 1, "4": 1, "inf": 1}
+
+    def test_bucket_edges_cover_everything(self):
+        assert BUCKET_EDGES[0] == 1.0
+        assert math.isinf(BUCKET_EDGES[-1])
+        assert BUCKET_EDGES == sorted(BUCKET_EDGES)
+
+    def test_empty_snapshot(self):
+        snap = Histogram("test").snapshot()
+        assert snap["count"] == 0
+        assert snap["min"] is None and snap["max"] is None
+        assert snap["mean"] == 0.0
+
+
+class TestTimer:
+    def test_span_records_duration(self, fresh_registry):
+        timer = obs.timer("test.seconds")
+        with timer.time():
+            pass
+        snap = timer.snapshot()
+        assert snap["count"] == 1
+        assert snap["total"] >= 0.0
+
+    def test_stop_returns_elapsed(self, fresh_registry):
+        span = obs.timer("test.seconds").time()
+        elapsed = span.stop()
+        assert elapsed >= 0.0
+
+
+class TestEnableDisable:
+    def test_disabled_returns_shared_noops(self):
+        obs.disable()
+        assert obs.counter("x") is NOOP_COUNTER
+        assert obs.gauge("x") is NOOP_GAUGE
+        assert obs.histogram("x") is NOOP_HISTOGRAM
+        assert obs.timer("x") is NOOP_TIMER
+
+    def test_noop_updates_record_nothing(self):
+        obs.disable()
+        obs.counter("x").inc(100)
+        obs.gauge("x").set(5)
+        obs.histogram("x").observe(1)
+        with obs.timer("x").time():
+            pass
+        obs.set_info("x", "y")
+        snap = obs.snapshot()
+        assert "x" not in snap["counters"]
+        assert "x" not in snap["info"]
+
+    def test_enable_records_into_given_registry(self):
+        registry = MetricsRegistry()
+        obs.enable(registry)
+        obs.counter("test.hits").inc()
+        assert registry.snapshot()["counters"]["test.hits"] == 1
+
+
+class TestRegistry:
+    def test_snapshot_is_json_ready(self, fresh_registry):
+        obs.counter("c").inc()
+        obs.gauge("g").set(1.5)
+        obs.histogram("h").observe(3)
+        with obs.timer("t").time():
+            pass
+        obs.set_info("backend", "pure")
+        encoded = json.dumps(obs.snapshot())
+        decoded = json.loads(encoded)
+        assert decoded["counters"]["c"] == 1
+        assert decoded["info"]["backend"] == "pure"
+
+    def test_reset_drops_everything(self, fresh_registry):
+        obs.counter("c").inc()
+        obs.set_info("k", "v")
+        obs.reset()
+        snap = obs.snapshot()
+        assert snap["counters"] == {} and snap["info"] == {}
+
+    def test_snapshot_sorted_by_name(self, fresh_registry):
+        for name in ("z", "a", "m"):
+            obs.counter(name).inc()
+        assert list(obs.snapshot()["counters"]) == ["a", "m", "z"]

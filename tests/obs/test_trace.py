@@ -1,0 +1,112 @@
+"""Tests for the event-trace recorder (repro.obs.trace)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.simulator import EventLoop
+from repro.obs.trace import (
+    CANCELLED,
+    FIRED,
+    SCHEDULED,
+    EventTrace,
+    attach_trace,
+)
+
+
+def _noop() -> None:
+    return None
+
+
+class TestEventTrace:
+    def test_records_in_order(self):
+        trace = EventTrace()
+        trace.record(1.0, SCHEDULED, "a")
+        trace.record(2.0, FIRED, "a")
+        kinds = [event.kind for event in trace.events()]
+        assert kinds == [SCHEDULED, FIRED]
+        assert trace.total == 2
+        assert trace.last_time == 2.0
+
+    def test_filter_by_kind(self):
+        trace = EventTrace()
+        trace.record(1.0, SCHEDULED, "a")
+        trace.record(2.0, FIRED, "a")
+        assert [e.label for e in trace.events(FIRED)] == ["a"]
+
+    def test_ring_is_bounded(self):
+        trace = EventTrace(capacity=10)
+        for i in range(25):
+            trace.record(float(i), FIRED, "e")
+        assert len(trace.events()) == 10
+        assert trace.total == 25
+        assert trace.dropped == 15
+        # Oldest retained event is the 16th recorded.
+        assert trace.events()[0].time == 15.0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            EventTrace(capacity=0)
+
+    def test_summary_counts(self):
+        trace = EventTrace()
+        trace.record(1.0, SCHEDULED, "a")
+        trace.record(1.0, SCHEDULED, "b")
+        trace.record(2.0, FIRED, "a")
+        summary = trace.summary()
+        assert summary["counts"] == {FIRED: 1, SCHEDULED: 2}
+        assert summary["total"] == 3
+        assert summary["dropped"] == 0
+        assert summary["last_virtual_time"] == 2.0
+
+
+class TestEventLoopIntegration:
+    def test_attach_trace_sees_lifecycle(self):
+        loop = EventLoop()
+        trace = attach_trace(loop)
+        assert loop.tracer is trace
+        loop.schedule(1.0, _noop)
+        keep = loop.schedule(2.0, _noop)
+        cancel_me = loop.schedule(3.0, _noop)
+        loop.cancel(cancel_me)
+        loop.run()
+        assert trace.counts[SCHEDULED] == 3
+        assert trace.counts[CANCELLED] == 1
+        assert trace.counts[FIRED] == 2
+        fired_times = [e.time for e in trace.events(FIRED)]
+        assert fired_times == [1.0, 2.0]
+        assert keep.time == 2.0
+
+    def test_labels_name_the_callback(self):
+        loop = EventLoop()
+        trace = attach_trace(loop)
+        loop.schedule(1.0, _noop)
+        label = trace.events(SCHEDULED)[0].label
+        assert "_noop" in label
+
+    def test_detach(self):
+        loop = EventLoop()
+        trace = attach_trace(loop)
+        loop.set_tracer(None)
+        loop.schedule(1.0, _noop)
+        loop.run()
+        assert trace.total == 0
+
+    def test_virtual_span_measures_simulated_time(self):
+        loop = EventLoop()
+        trace = attach_trace(loop)
+        loop.schedule(5.0, _noop)
+        with trace.span(loop, "window") as span:
+            loop.run()
+        assert span.virtual_seconds == 5.0
+        assert trace.counts["span-start"] == 1
+        assert trace.counts["span-end"] == 1
+
+    def test_existing_trace_can_be_reattached(self):
+        trace = EventTrace()
+        loop_a, loop_b = EventLoop(), EventLoop()
+        assert attach_trace(loop_a, trace) is trace
+        assert attach_trace(loop_b, trace) is trace
+        loop_a.schedule(1.0, _noop)
+        loop_b.schedule(1.0, _noop)
+        assert trace.counts[SCHEDULED] == 2

@@ -7,7 +7,6 @@ topological orderings catch systematic bugs the in-module tests share.
 from __future__ import annotations
 
 import networkx as nx
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

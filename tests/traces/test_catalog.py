@@ -6,7 +6,6 @@ import pytest
 
 from repro.errors import TraceError
 from repro.traces.catalog import (
-    CATALOG,
     JURASSIC_PARK,
     STAR_WARS,
     TraceSpec,
