@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-all experiments examples obs-demo obs-guard lint all
+.PHONY: install test bench bench-batch bench-all profile experiments examples obs-demo obs-guard lint all
 
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
@@ -14,8 +14,14 @@ test:
 bench:
 	$(PYTHON) tools/bench_compare.py
 
+bench-batch:
+	$(PYTHON) tools/bench_compare.py --bench-path benchmarks/test_bench_batch.py --tag batch
+
 bench-all:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+profile:
+	$(PYTHON) tools/profile_hotpath.py
 
 experiments:
 	$(PYTHON) -m repro experiments

@@ -1,0 +1,89 @@
+"""Batched replication-sweep benchmark: the engine behind figure8-pooled.
+
+Runs the paper's Figure-8 top panel (100 buffer windows) over 32
+independent channel seeds two ways — one sequential ``run_session`` per
+seed, and all 32 replications in lockstep through
+:func:`repro.core.batch.run_sessions_batch` — and checks both that the
+results are bit-for-bit identical and that the batch engine delivers
+the advertised speedup on the NumPy backend.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+from repro import accel
+from repro.core.batch import run_sessions_batch, summarize_replications
+from repro.core.protocol import run_session
+from repro.experiments.config import FIGURE8_TOP, FIGURE_GOPS, FIGURE_MOVIE
+from repro.traces.synthetic import calibrated_stream
+
+REPLICATIONS = 32
+
+
+def _sweep_inputs():
+    stream = calibrated_stream(
+        FIGURE_MOVIE, gop_count=FIGURE_GOPS, seed=FIGURE8_TOP.stream_seed
+    )
+    config = FIGURE8_TOP.protocol()
+    seeds = [FIGURE8_TOP.seed + offset for offset in range(REPLICATIONS)]
+    return stream, config, seeds
+
+
+def _run_sequential(stream, config, seeds):
+    return [
+        run_session(
+            stream, replace(config, seed=seed), max_windows=FIGURE8_TOP.windows
+        )
+        for seed in seeds
+    ]
+
+
+def test_bench_batch_sweep(benchmark, show):
+    stream, config, seeds = _sweep_inputs()
+    results = benchmark.pedantic(
+        lambda: run_sessions_batch(
+            stream, config, seeds=seeds, max_windows=FIGURE8_TOP.windows
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(results) == REPLICATIONS
+    show(summarize_replications(results).describe())
+
+
+def test_bench_sequential_sweep(benchmark):
+    stream, config, seeds = _sweep_inputs()
+    results = benchmark.pedantic(
+        lambda: _run_sequential(stream, config, seeds), rounds=1, iterations=1
+    )
+    assert len(results) == REPLICATIONS
+
+
+def test_bench_batch_speedup_and_parity(benchmark, show):
+    stream, config, seeds = _sweep_inputs()
+    # Warm the permutation caches so neither timing pays the one-off
+    # plan-search cost.
+    run_sessions_batch(stream, config, seeds=seeds[:1], max_windows=2)
+
+    started = time.perf_counter()
+    expected = _run_sequential(stream, config, seeds)
+    sequential_time = time.perf_counter() - started
+
+    batched = benchmark.pedantic(
+        lambda: run_sessions_batch(
+            stream, config, seeds=seeds, max_windows=FIGURE8_TOP.windows
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert batched == expected
+    batch_time = benchmark.stats.stats.min
+    speedup = sequential_time / batch_time
+    show(
+        f"sequential {sequential_time:.3f}s, batched {batch_time:.3f}s "
+        f"=> {speedup:.2f}x on the {accel.backend_name()} backend"
+    )
+    if accel.backend_name() == "numpy":
+        assert speedup >= 5.0

@@ -33,9 +33,12 @@ __all__ = [
     "available_backends",
     "backend_name",
     "batch_burst_runs",
+    "batch_worst_clf",
     "burst_runs",
     "gf_matmul_bytes",
     "gilbert_states",
+    "gilbert_states_batch",
+    "loss_run_lengths",
     "numpy_available",
     "permute",
     "set_backend",
@@ -167,6 +170,42 @@ def gilbert_states(
     if obs.enabled():
         obs.counter("accel.calls.gilbert_states").inc()
     return _backend().gilbert_states(draws, p_good, p_bad, start_bad)
+
+
+def gilbert_states_batch(
+    draws: Sequence[Sequence[float]],
+    p_good: float,
+    p_bad: float,
+    start_bad: Sequence[bool],
+) -> List[List[bool]]:
+    """Per-packet loss flags for many independent replication rows.
+
+    ``draws[r]`` is replication ``r``'s uniform-draw stream (rows must
+    have equal length for the vectorized path) and ``start_bad[r]`` its
+    Gilbert state before the first draw.
+    """
+    if len(draws) != len(start_bad):
+        raise ConfigurationError(
+            f"{len(draws)} draw rows but {len(start_bad)} start states"
+        )
+    if obs.enabled():
+        obs.counter("accel.calls.gilbert_states_batch").inc()
+        obs.counter("accel.batch_rows").inc(len(draws))
+    return _backend().gilbert_states_batch(draws, p_good, p_bad, start_bad)
+
+
+def batch_worst_clf(indicators: Sequence[Sequence[int]]) -> List[int]:
+    """Longest truthy run (the CLF) of each row of a 0/1 matrix."""
+    if obs.enabled():
+        obs.counter("accel.calls.batch_worst_clf").inc()
+    return _backend().batch_worst_clf(indicators)
+
+
+def loss_run_lengths(states: Sequence) -> List[int]:
+    """Lengths of the maximal truthy runs in one indicator sequence."""
+    if obs.enabled():
+        obs.counter("accel.calls.loss_run_lengths").inc()
+    return _backend().loss_run_lengths(states)
 
 
 def permute(order: Sequence[int], window: Sequence) -> list:

@@ -167,6 +167,56 @@ def gf_matmul_bytes(
     return [row.tobytes() for row in out]
 
 
+#: Minimum total element count before the stacked batch kernels beat the
+#: pure scalar scans: below this, converting Python lists into arrays
+#: costs more than the vectorized pass saves (measured on the figure8
+#: replication sweep), so small batches delegate to the pure backend.
+_SMALL_BATCH = 4096
+
+
+def batch_worst_clf(indicators: Sequence[Sequence[int]]) -> List[int]:
+    """Longest truthy run per row of a 0/1 matrix, in one array pass.
+
+    Rows must have equal length (the batch engine always produces
+    rectangular indicator matrices); ragged input falls back to the pure
+    row-by-row scan, as do small matrices (see ``_SMALL_BATCH``).
+    """
+    if not len(indicators):
+        return []
+    if len(indicators) * len(indicators[0]) < _SMALL_BATCH:
+        from repro.accel import pure
+
+        return pure.batch_worst_clf(indicators)
+    try:
+        arr = np.asarray(indicators, dtype=bool)
+    except ValueError:
+        arr = None
+    if arr is None or arr.ndim != 2:
+        from repro.accel import pure
+
+        return pure.batch_worst_clf(indicators)
+    if arr.shape[1] == 0:
+        return [0] * arr.shape[0]
+    return _run_lengths(arr).max(axis=-1).tolist()
+
+
+def loss_run_lengths(states: Sequence) -> List[int]:
+    """Lengths of the maximal truthy runs in one indicator sequence.
+
+    Run boundaries are the +1/-1 edges of the zero-padded indicator, so
+    the lengths fall out of two ``flatnonzero`` calls.
+    """
+    arr = np.asarray(states, dtype=bool)
+    if arr.size == 0:
+        return []
+    padded = np.zeros(arr.size + 2, dtype=np.int8)
+    padded[1:-1] = arr
+    edges = np.diff(padded)
+    starts = np.flatnonzero(edges == 1)
+    ends = np.flatnonzero(edges == -1)
+    return (ends - starts).tolist()
+
+
 def gilbert_states(
     draws: Sequence[float],
     p_good: float,
@@ -211,6 +261,58 @@ def gilbert_states(
     before = np.where(last_zero < 0, bool(start_bad), before)
     states = prefix ^ before
     return states.tolist()
+
+
+def gilbert_states_batch(
+    draws: Sequence[Sequence[float]],
+    p_good: float,
+    p_bad: float,
+    start_bad: Sequence[bool],
+) -> List[List[bool]]:
+    """Vectorized Gilbert scan over many independent replication rows.
+
+    The same prefix-XOR unrolling as :func:`gilbert_states`, with every
+    accumulation running along the last axis of an (R x packets) draw
+    matrix — one array pass resolves all R replications.  Unlike the
+    single-row kernel this one converts list input: the conversion cost
+    amortizes over the batch, which is the whole point of drawing
+    replications together.  Ragged rows fall back to the pure scan, as
+    do small batches (see ``_SMALL_BATCH``).
+    """
+    if not len(draws) or len(draws) * len(draws[0]) < _SMALL_BATCH:
+        from repro.accel import pure
+
+        return pure.gilbert_states_batch(draws, p_good, p_bad, start_bad)
+    try:
+        d = np.asarray(draws, dtype=np.float64)
+    except ValueError:
+        d = None
+    if d is None or d.ndim != 2:
+        from repro.accel import pure
+
+        return pure.gilbert_states_batch(draws, p_good, p_bad, start_bad)
+    rows, n = d.shape
+    if n == 0:
+        return [[] for _ in range(rows)]
+    a = d >= p_good
+    b = d < p_bad
+    c = a ^ b
+    index = np.arange(n)
+    last_zero = np.maximum.accumulate(
+        np.where(~c, index[None, :], -1), axis=1
+    )
+    prefix = np.logical_xor.accumulate(a, axis=1)
+    gathered = np.take_along_axis(
+        prefix, np.maximum(last_zero - 1, 0), axis=1
+    )
+    start = np.fromiter(
+        (bool(flag) for flag in start_bad), dtype=bool, count=rows
+    )[:, None]
+    before = np.where(
+        last_zero > 0, gathered, np.where(last_zero < 0, start, False)
+    )
+    states = prefix ^ before
+    return [row.tolist() for row in states]
 
 
 def _fast_array(window: Sequence) -> "np.ndarray | None":

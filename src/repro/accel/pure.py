@@ -100,6 +100,43 @@ def gf_matmul_bytes(
     return out
 
 
+def batch_worst_clf(indicators: Sequence[Sequence[int]]) -> List[int]:
+    """Longest run of truthy entries in each row of a 0/1 matrix.
+
+    Row ``r`` of the result is the CLF of indicator row ``r`` — the same
+    number :func:`repro.metrics.continuity.consecutive_loss` computes,
+    evaluated for many replications at once.
+    """
+    out: List[int] = []
+    for row in indicators:
+        best = 0
+        current = 0
+        for value in row:
+            if value:
+                current += 1
+                if current > best:
+                    best = current
+            else:
+                current = 0
+        out.append(best)
+    return out
+
+
+def loss_run_lengths(states: Sequence) -> List[int]:
+    """Lengths of the maximal truthy runs in one indicator sequence."""
+    runs: List[int] = []
+    current = 0
+    for value in states:
+        if value:
+            current += 1
+        elif current:
+            runs.append(current)
+            current = 0
+    if current:
+        runs.append(current)
+    return runs
+
+
 def gilbert_states(
     draws: Sequence[float],
     p_good: float,
@@ -124,6 +161,26 @@ def gilbert_states(
                 bad = True
         states.append(bad)
     return states
+
+
+def gilbert_states_batch(
+    draws: Sequence[Sequence[float]],
+    p_good: float,
+    p_bad: float,
+    start_bad: Sequence[bool],
+) -> List[List[bool]]:
+    """:func:`gilbert_states` for many independent replication rows.
+
+    Row ``r`` of ``draws`` is one replication's private uniform-draw
+    stream and ``start_bad[r]`` its channel state before the first draw;
+    row ``r`` of the result holds that replication's per-packet loss
+    flags.  Rows are independent Markov chains, so the reference simply
+    scans them one by one.
+    """
+    return [
+        gilbert_states(row, p_good, p_bad, bool(flag))
+        for row, flag in zip(draws, start_bad)
+    ]
 
 
 def permute(order: Sequence[int], window: Sequence) -> list:

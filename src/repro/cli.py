@@ -2,12 +2,15 @@
 
 Commands
 --------
-``experiments [NAME ...] [--jobs N]``
+``experiments [NAME ...] [--jobs N] [--replications R]``
     Run paper experiments by name (all when no names given) and print
     the reproduced tables.  ``--list`` shows the available names;
     ``--jobs N`` fans independent runs inside each experiment out over
-    N worker processes (identical output, less wall clock).  ``run`` is
-    an alias, and names may use underscores (``figure8_pooled``).
+    N worker processes (identical output, less wall clock);
+    ``--replications R`` overrides the Monte-Carlo replication count of
+    the experiments that have one (``figure8-pooled``, ``robustness``).
+    ``run`` is an alias, and names may use underscores
+    (``figure8_pooled``).
 ``trace MOVIE [--gops N] [--seed S] [--out FILE]``
     Generate a calibrated synthetic trace and write it as an ASCII
     trace file (stdout by default).
@@ -19,7 +22,7 @@ Commands
 ``replay FILE [--loss-map]``
     Summarize a saved session JSON (written by
     ``repro.experiments.persist.save_session``).
-``obs dump EXPERIMENT [--jobs N] [--out FILE]``
+``obs dump EXPERIMENT [--jobs N] [--replications R] [--out FILE]``
     Run one experiment with metrics enabled and write its JSON run
     manifest (stdout by default).
 ``obs diff A B``
@@ -66,6 +69,14 @@ def build_parser() -> argparse.ArgumentParser:
             default=1,
             metavar="N",
             help="worker processes for per-experiment fan-out (default 1)",
+        )
+        experiments.add_argument(
+            "--replications",
+            type=int,
+            default=None,
+            metavar="R",
+            help="Monte-Carlo replication count for experiments that have "
+            "one (figure8-pooled, robustness); others ignore it",
         )
         experiments.add_argument(
             "--metrics",
@@ -115,6 +126,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dump.add_argument("experiment", help="experiment name (see experiments --list)")
     dump.add_argument("--jobs", type=int, default=1, metavar="N")
+    dump.add_argument(
+        "--replications",
+        type=int,
+        default=None,
+        metavar="R",
+        help="Monte-Carlo replication count (experiments that have one)",
+    )
     dump.add_argument(
         "--out", default="-", help="manifest file (default stdout)"
     )
@@ -166,7 +184,9 @@ def _cmd_experiments(args: argparse.Namespace, out) -> int:
             else available_experiments()
         )
         for name in selected:
-            rendered, shape, manifest = run_with_manifest(name, jobs=args.jobs)
+            rendered, shape, manifest = run_with_manifest(
+                name, jobs=args.jobs, replications=args.replications
+            )
             path = save_run_manifest(
                 manifest, Path(args.manifest_dir) / f"{name}.json"
             )
@@ -180,7 +200,9 @@ def _cmd_experiments(args: argparse.Namespace, out) -> int:
                     failures += 1
             print(file=out)
         return 1 if failures else 0
-    for name, (rendered, shape) in run_all(names, jobs=args.jobs).items():
+    for name, (rendered, shape) in run_all(
+        names, jobs=args.jobs, replications=args.replications
+    ).items():
         print(f"=== {name} ===", file=out)
         print(rendered, file=out)
         if shape is not None:
@@ -208,7 +230,7 @@ def _cmd_obs(args: argparse.Namespace, out) -> int:
         from repro.experiments.runner import run_with_manifest
 
         rendered, shape, manifest = run_with_manifest(
-            args.experiment, jobs=args.jobs
+            args.experiment, jobs=args.jobs, replications=args.replications
         )
         if not args.quiet:
             print(rendered, file=out)

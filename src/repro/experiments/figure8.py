@@ -190,21 +190,57 @@ class Figure8Aggregate:
         }
 
 
+def _arm_sessions(task) -> List[SessionResult]:
+    """One arm's batched replication sweep (module-level for pickling)."""
+    stream, config, seeds, windows = task
+    from repro.core.batch import run_sessions_batch
+
+    return run_sessions_batch(stream, config, seeds=seeds, max_windows=windows)
+
+
 def run_figure8_multi(
     config: Figure8Config, *, seeds: int = 5, jobs: int = 1
 ) -> Figure8Aggregate:
     """Repeat one panel over ``seeds`` independent channel realizations.
 
-    ``jobs > 1`` fans the per-seed runs out over worker processes; the
-    result is identical to the sequential run (one config per seed,
-    results collected in seed order).
+    All replications of each arm run through the batched session engine
+    (:func:`repro.core.batch.run_sessions_batch`) in one sweep;
+    ``jobs > 1`` fans the two *arms* (scrambled / unscrambled) out over
+    worker processes.  Either way the result is bit-for-bit identical to
+    one sequential :func:`run_figure8` per seed.
     """
     from dataclasses import replace
 
     from repro.experiments.parallel import parallel_map
 
-    configs = [
-        replace(config, seed=config.seed + offset) for offset in range(seeds)
+    stream = calibrated_stream(
+        FIGURE_MOVIE, gop_count=FIGURE_GOPS, seed=config.stream_seed
+    )
+    base = config.protocol()
+    seed_list = [config.seed + offset for offset in range(seeds)]
+    tasks = [
+        (
+            stream,
+            replace(base, layered=True, scramble=True),
+            seed_list,
+            config.windows,
+        ),
+        (
+            stream,
+            replace(base, layered=False, scramble=False),
+            seed_list,
+            config.windows,
+        ),
     ]
-    runs = tuple(parallel_map(run_figure8, configs, jobs))
+    scrambled_runs, unscrambled_runs = parallel_map(_arm_sessions, tasks, jobs)
+    runs = tuple(
+        Figure8Result(
+            config=replace(config, seed=seed),
+            scrambled=scrambled,
+            unscrambled=unscrambled,
+        )
+        for seed, scrambled, unscrambled in zip(
+            seed_list, scrambled_runs, unscrambled_runs
+        )
+    )
     return Figure8Aggregate(config=config, runs=runs)

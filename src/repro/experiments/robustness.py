@@ -14,7 +14,6 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import List, Tuple
 
-from repro.core.protocol import compare_schemes
 from repro.experiments.config import FIGURE_GOPS, FIGURE_MOVIE, FIGURE8_TOP
 from repro.experiments.parallel import parallel_map
 from repro.experiments.reporting import render_table
@@ -126,12 +125,10 @@ class RobustnessResult:
         }
 
 
-def _seed_outcome(task) -> SeedOutcome:
-    """One seed's head-to-head run (module-level so workers can pickle it)."""
-    stream, config, windows = task
-    scrambled, unscrambled = compare_schemes(stream, config, max_windows=windows)
+def _seed_outcome(seed: int, scrambled, unscrambled) -> SeedOutcome:
+    """One seed's head-to-head comparison from its two session results."""
     return SeedOutcome(
-        seed=config.seed,
+        seed=seed,
         scrambled_mean=scrambled.mean_clf,
         unscrambled_mean=unscrambled.mean_clf,
         scrambled_dev=scrambled.clf_deviation,
@@ -149,6 +146,14 @@ def _seed_outcome(task) -> SeedOutcome:
     )
 
 
+def _arm_sessions(task):
+    """One arm's batched replication sweep (module-level for pickling)."""
+    stream, config, seeds, windows = task
+    from repro.core.batch import run_sessions_batch
+
+    return run_sessions_batch(stream, config, seeds=seeds, max_windows=windows)
+
+
 def run_robustness(
     *,
     seeds: int = 12,
@@ -157,11 +162,25 @@ def run_robustness(
     first_seed: int = 9000,
     jobs: int = 1,
 ) -> RobustnessResult:
+    """Head-to-head comparison over ``seeds`` independent realizations.
+
+    Each arm's replications run through the batched session engine in
+    one sweep (matching :func:`repro.core.protocol.compare_schemes`
+    per seed bit for bit); ``jobs > 1`` fans the two arms out over
+    worker processes.
+    """
     stream = calibrated_stream(FIGURE_MOVIE, gop_count=FIGURE_GOPS, seed=7)
     base = replace(FIGURE8_TOP.protocol(), p_bad=p_bad)
+    seed_list = [first_seed + offset for offset in range(seeds)]
     tasks = [
-        (stream, replace(base, seed=first_seed + offset), windows)
-        for offset in range(seeds)
+        (stream, replace(base, layered=True, scramble=True), seed_list, windows),
+        (stream, replace(base, layered=False, scramble=False), seed_list, windows),
     ]
-    outcomes = parallel_map(_seed_outcome, tasks, jobs)
+    scrambled_runs, unscrambled_runs = parallel_map(_arm_sessions, tasks, jobs)
+    outcomes = [
+        _seed_outcome(seed, scrambled, unscrambled)
+        for seed, scrambled, unscrambled in zip(
+            seed_list, scrambled_runs, unscrambled_runs
+        )
+    ]
     return RobustnessResult(outcomes=outcomes, windows_per_seed=windows)

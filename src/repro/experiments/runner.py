@@ -25,7 +25,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.errors import ConfigurationError
 
 
-def _figure8(jobs: int):
+def _figure8(jobs: int, replications: Optional[int] = None):
     from repro.experiments.config import FIGURE8_BOTTOM, FIGURE8_TOP
     from repro.experiments.figure8 import run_figure8
     from repro.experiments.parallel import parallel_map
@@ -45,80 +45,82 @@ def _figure8(jobs: int):
     return _Both()
 
 
-def _figure8_pooled(jobs: int):
+def _figure8_pooled(jobs: int, replications: Optional[int] = None):
     from repro.experiments.config import FIGURE8_TOP
     from repro.experiments.figure8 import run_figure8_multi
 
-    return run_figure8_multi(FIGURE8_TOP, seeds=5, jobs=jobs)
+    return run_figure8_multi(
+        FIGURE8_TOP, seeds=replications or 5, jobs=jobs
+    )
 
 
-def _table1(jobs: int):
+def _table1(jobs: int, replications: Optional[int] = None):
     from repro.experiments.table1 import run_table1
 
     return run_table1()
 
 
-def _table2(jobs: int):
+def _table2(jobs: int, replications: Optional[int] = None):
     from repro.experiments.table2 import run_table2
 
     return run_table2()
 
 
-def _theorem1(jobs: int):
+def _theorem1(jobs: int, replications: Optional[int] = None):
     from repro.experiments.theorem1 import run_theorem1
 
     return run_theorem1(small_n=(4, 6, 8, 10), large_n=(17, 24, 48))
 
 
-def _figure11(jobs: int):
+def _figure11(jobs: int, replications: Optional[int] = None):
     from repro.experiments.figure11 import run_figure11
 
     return run_figure11()
 
 
-def _figure12(jobs: int):
+def _figure12(jobs: int, replications: Optional[int] = None):
     from repro.experiments.figure12 import run_figure12
 
     return run_figure12()
 
 
-def _orthogonal(jobs: int):
+def _orthogonal(jobs: int, replications: Optional[int] = None):
     from repro.experiments.orthogonal import run_orthogonal
 
     return run_orthogonal()
 
 
-def _layering(jobs: int):
+def _layering(jobs: int, replications: Optional[int] = None):
     from repro.experiments.layering import run_layering
 
     return run_layering()
 
 
-def _gateways(jobs: int):
+def _gateways(jobs: int, replications: Optional[int] = None):
     from repro.experiments.gateways import run_gateways
 
     return run_gateways()
 
 
-def _robustness(jobs: int):
+def _robustness(jobs: int, replications: Optional[int] = None):
     from repro.experiments.robustness import run_robustness
 
-    return run_robustness(seeds=8, windows=50, jobs=jobs)
+    return run_robustness(seeds=replications or 8, windows=50, jobs=jobs)
 
 
-def _packetsize(jobs: int):
+def _packetsize(jobs: int, replications: Optional[int] = None):
     from repro.experiments.packetsize import run_packetsize
 
     return run_packetsize(windows=50, jobs=jobs)
 
 
-def _policies(jobs: int):
+def _policies(jobs: int, replications: Optional[int] = None):
     from repro.experiments.policies import run_policies
 
     return run_policies()
 
 
-EXPERIMENTS: Dict[str, Callable[[int], object]] = {
+EXPERIMENTS: Dict[str, Callable[..., object]] = {
     "table1": _table1,
     "table2": _table2,
     "theorem1": _theorem1,
@@ -150,11 +152,15 @@ def normalize_name(name: str) -> str:
     return name
 
 
-def run_experiment(name: str, *, jobs: int = 1) -> Tuple[str, Optional[bool]]:
+def run_experiment(
+    name: str, *, jobs: int = 1, replications: Optional[int] = None
+) -> Tuple[str, Optional[bool]]:
     """Run one experiment; returns (rendered output, shape verdict).
 
     ``jobs > 1`` parallelizes the experiment's internal fan-out (where it
-    has one) without changing any result.
+    has one) without changing any result.  ``replications`` overrides
+    the Monte-Carlo replication count of the experiments that have one
+    (``figure8-pooled``, ``robustness``); the rest ignore it.
     """
     name = normalize_name(name)
     try:
@@ -163,7 +169,7 @@ def run_experiment(name: str, *, jobs: int = 1) -> Tuple[str, Optional[bool]]:
         raise ConfigurationError(
             f"unknown experiment {name!r}; available: {available_experiments()}"
         ) from None
-    result = factory(jobs)
+    result = factory(jobs, replications)
     rendered = result.render()  # type: ignore[attr-defined]
     shape = getattr(result, "shape_holds", None)
     if name == "theorem1":
@@ -172,7 +178,7 @@ def run_experiment(name: str, *, jobs: int = 1) -> Tuple[str, Optional[bool]]:
 
 
 def run_with_manifest(
-    name: str, *, jobs: int = 1
+    name: str, *, jobs: int = 1, replications: Optional[int] = None
 ) -> Tuple[str, Optional[bool], Dict[str, Any]]:
     """Run one experiment with metrics on; returns (rendered, shape, manifest).
 
@@ -197,7 +203,7 @@ def run_with_manifest(
     # while metrics were off, so stamp it explicitly.
     obs.set_info("accel.backend", accel.backend_name())
     started = time.perf_counter()
-    result = factory(jobs)
+    result = factory(jobs, replications)
     wall = time.perf_counter() - started
     rendered = result.render()  # type: ignore[attr-defined]
     shape = getattr(result, "shape_holds", None)
@@ -210,7 +216,7 @@ def run_with_manifest(
     seed = summary.get("seed") if isinstance(summary, dict) else None
     manifest = persist.build_run_manifest(
         experiment=name,
-        config={"jobs": jobs},
+        config={"jobs": jobs, "replications": replications},
         seed=seed,
         backend=accel.backend_name(),
         metrics=snapshot,
@@ -223,7 +229,10 @@ def run_with_manifest(
 
 
 def run_all(
-    names: Optional[List[str]] = None, *, jobs: int = 1
+    names: Optional[List[str]] = None,
+    *,
+    jobs: int = 1,
+    replications: Optional[int] = None,
 ) -> Dict[str, Tuple[str, Optional[bool]]]:
     """Run several experiments (all by default).
 
@@ -235,4 +244,7 @@ def run_all(
         if names is not None
         else available_experiments()
     )
-    return {name: run_experiment(name, jobs=jobs) for name in selected}
+    return {
+        name: run_experiment(name, jobs=jobs, replications=replications)
+        for name in selected
+    }

@@ -23,23 +23,17 @@ from repro.errors import ConfigurationError
 def _record_loss_batch(states: List[bool]) -> None:
     """Fold one batch of loss flags into the channel metrics.
 
-    Called only when metrics are enabled; computes the loss-run lengths
-    of the batch (the paper's burst statistic) in one O(n) pass.
+    Called only when metrics are enabled; the loss-run lengths of the
+    batch (the paper's burst statistic) come from the active
+    acceleration backend and each returned run is observed.
     """
     obs.counter("channel.packets").inc(len(states))
-    lost = sum(states)
-    if not lost:
+    runs = accel.loss_run_lengths(states)
+    if not runs:
         return
-    obs.counter("channel.losses").inc(lost)
+    obs.counter("channel.losses").inc(sum(runs))
     run_hist = obs.histogram("channel.loss_run")
-    run = 0
-    for state in states:
-        if state:
-            run += 1
-        elif run:
-            run_hist.observe(run)
-            run = 0
-    if run:
+    for run in runs:
         run_hist.observe(run)
 
 GOOD = "GOOD"

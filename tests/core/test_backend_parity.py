@@ -218,6 +218,134 @@ class TestGilbertKernel:
         assert len(set(map(tuple, patterns.values()))) == 1
 
 
+class TestBatchKernels:
+    """The replication-sweep kernels behind ``repro.core.batch``."""
+
+    @given(
+        st.integers(min_value=1, max_value=8).flatmap(
+            lambda cols: st.lists(
+                st.lists(
+                    st.integers(min_value=0, max_value=1),
+                    min_size=cols,
+                    max_size=cols,
+                ),
+                max_size=6,
+            )
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_batch_worst_clf_agrees_small(self, indicators):
+        expected = pure.batch_worst_clf(indicators)
+        assert np_backend.batch_worst_clf(indicators) == expected
+        assert expected == [
+            max(pure.loss_run_lengths(row), default=0) for row in indicators
+        ]
+
+    def test_batch_worst_clf_large_hits_vectorized_path(self):
+        import random
+
+        rng = random.Random(7)
+        # 8 x 600 = 4800 elements: past the _SMALL_BATCH delegation
+        # cutoff, so the array kernel itself is under test.
+        indicators = [
+            [rng.randint(0, 1) for _ in range(600)] for _ in range(8)
+        ]
+        expected = pure.batch_worst_clf(indicators)
+        assert np_backend.batch_worst_clf(indicators) == expected
+        assert expected == [
+            max(pure.loss_run_lengths(row), default=0) for row in indicators
+        ]
+
+    def test_batch_worst_clf_ragged_and_empty(self):
+        ragged = [[1, 0, 1, 1], [1] * 2000, [0] * 2000]
+        assert np_backend.batch_worst_clf(ragged) == pure.batch_worst_clf(
+            ragged
+        ) == [2, 2000, 0]
+        for backend in (pure, np_backend):
+            assert backend.batch_worst_clf([]) == []
+            assert backend.batch_worst_clf([[] for _ in range(3)]) == [0, 0, 0]
+
+    @given(st.lists(st.booleans(), max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_loss_run_lengths_agree(self, states):
+        expected = pure.loss_run_lengths(states)
+        assert np_backend.loss_run_lengths(states) == expected
+        assert sum(expected) == sum(states)
+
+    def test_loss_run_lengths_large(self):
+        import random
+
+        rng = random.Random(11)
+        states = [rng.random() < 0.4 for _ in range(5000)]
+        assert np_backend.loss_run_lengths(states) == pure.loss_run_lengths(
+            states
+        )
+        for backend in (pure, np_backend):
+            assert backend.loss_run_lengths([]) == []
+            assert backend.loss_run_lengths([True] * 9) == [9]
+
+    @given(
+        st.integers(min_value=0, max_value=16).flatmap(
+            lambda cols: st.tuples(
+                st.lists(
+                    st.lists(
+                        st.floats(
+                            min_value=0.0, max_value=1.0, allow_nan=False
+                        ),
+                        min_size=cols,
+                        max_size=cols,
+                    ),
+                    max_size=5,
+                ),
+                st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+                st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            )
+        ),
+        st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_gilbert_states_batch_agrees_small(self, case, data):
+        draws, p_good, p_bad = case
+        start_bad = data.draw(
+            st.lists(
+                st.booleans(), min_size=len(draws), max_size=len(draws)
+            )
+        )
+        expected = pure.gilbert_states_batch(draws, p_good, p_bad, start_bad)
+        assert (
+            np_backend.gilbert_states_batch(draws, p_good, p_bad, start_bad)
+            == expected
+        )
+        # The batch is definitionally independent rows of the scalar scan.
+        assert expected == [
+            pure.gilbert_states(row, p_good, p_bad, flag)
+            for row, flag in zip(draws, start_bad)
+        ]
+
+    def test_gilbert_states_batch_large_hits_vectorized_path(self):
+        import random
+
+        rng = random.Random(13)
+        draws = [[rng.random() for _ in range(700)] for _ in range(8)]
+        start_bad = [r % 2 == 0 for r in range(8)]
+        expected = pure.gilbert_states_batch(draws, 0.92, 0.6, start_bad)
+        assert (
+            np_backend.gilbert_states_batch(draws, 0.92, 0.6, start_bad)
+            == expected
+        )
+
+    def test_gilbert_states_batch_ragged_falls_back(self):
+        draws = [[0.5] * 3000, [0.1] * 2999]
+        start_bad = [False, True]
+        assert np_backend.gilbert_states_batch(
+            draws, 0.92, 0.6, start_bad
+        ) == pure.gilbert_states_batch(draws, 0.92, 0.6, start_bad)
+
+    def test_gilbert_states_batch_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            accel.gilbert_states_batch([[0.5], [0.5]], 0.9, 0.6, [False])
+
+
 class TestBackendSelection:
     @pytest.fixture(autouse=True)
     def _restore_backend(self):

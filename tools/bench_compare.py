@@ -1,13 +1,16 @@
 #!/usr/bin/env python3
 """Run the micro-benchmarks and fail on performance regressions.
 
-Runs ``benchmarks/test_bench_micro.py`` under pytest-benchmark, records
-the results as ``BENCH_<rev>.json`` (``rev`` = short git revision) in
-``--out-dir``, and diffs the mean times against a baseline:
+Runs a benchmark family (``benchmarks/test_bench_micro.py`` by default,
+``--bench-path`` for others) under pytest-benchmark, records the
+results as ``BENCH_<rev>[_<tag>].json`` (``rev`` = short git revision,
+``--tag`` keeps families apart) in ``--out-dir``, and diffs the mean
+times against a baseline:
 
 * ``--baseline FILE`` compares against an explicit earlier recording;
 * otherwise the newest *other* ``BENCH_*.json`` in the output directory
-  is used;
+  that shares at least one benchmark with this run is used (so another
+  family's recording can never become the baseline);
 * with no baseline at all the run is recorded and the tool exits 0.
 
 A benchmark regresses when its mean time grows by more than
@@ -41,12 +44,14 @@ def git_short_rev() -> str:
     return completed.stdout.strip() or "local"
 
 
-def run_benchmarks(json_path: Path, pytest_args: list[str]) -> int:
+def run_benchmarks(
+    json_path: Path, pytest_args: list[str], bench_path: Path
+) -> int:
     command = [
         sys.executable,
         "-m",
         "pytest",
-        str(REPO_ROOT / "benchmarks" / "test_bench_micro.py"),
+        str(bench_path),
         "--benchmark-only",
         f"--benchmark-json={json_path}",
         "-q",
@@ -63,12 +68,27 @@ def load_means(path: Path) -> dict:
     }
 
 
-def newest_other_recording(out_dir: Path, current: Path) -> Path | None:
-    candidates = [
-        path
-        for path in out_dir.glob("BENCH_*.json")
-        if path.resolve() != current.resolve()
-    ]
+def newest_other_recording(
+    out_dir: Path, current: Path, names=None
+) -> Path | None:
+    """Newest ``BENCH_*.json`` in ``out_dir`` other than ``current``.
+
+    With ``names`` (the fullnames of the benchmarks just run), only
+    recordings sharing at least one benchmark are eligible — a recording
+    of a different bench family (e.g. the batch sweep next to the micro
+    suite) can then never be picked as the implicit baseline.
+    """
+    candidates = []
+    for path in out_dir.glob("BENCH_*.json"):
+        if path.resolve() == current.resolve():
+            continue
+        if names is not None:
+            try:
+                if not set(load_means(path)) & set(names):
+                    continue
+            except (OSError, json.JSONDecodeError):
+                continue
+        candidates.append(path)
     if not candidates:
         return None
     return max(candidates, key=lambda path: path.stat().st_mtime)
@@ -102,6 +122,19 @@ def main(argv: list[str] | None = None) -> int:
         help="where BENCH_<rev>.json recordings live",
     )
     parser.add_argument(
+        "--bench-path",
+        type=Path,
+        default=REPO_ROOT / "benchmarks" / "test_bench_micro.py",
+        help="benchmark file (or directory) to run "
+        "(default benchmarks/test_bench_micro.py)",
+    )
+    parser.add_argument(
+        "--tag",
+        default=None,
+        help="suffix for the recording name (BENCH_<rev>_<tag>.json) so "
+        "different bench families keep separate recordings",
+    )
+    parser.add_argument(
         "pytest_args",
         nargs="*",
         help="extra arguments passed through to pytest (after --)",
@@ -109,18 +142,18 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     args.out_dir.mkdir(parents=True, exist_ok=True)
-    recording = args.out_dir / f"BENCH_{git_short_rev()}.json"
-    baseline_path = args.baseline or newest_other_recording(
-        args.out_dir, recording
-    )
-    # Re-running at the same revision overwrites the recording; keep its
-    # numbers as the baseline so iterating without committing still diffs.
-    baseline_means = None
-    if baseline_path is None and recording.exists():
-        baseline_means = load_means(recording)
-        baseline_label = f"{recording.name} (previous run, same revision)"
+    suffix = f"_{args.tag}" if args.tag else ""
+    recording = args.out_dir / f"BENCH_{git_short_rev()}{suffix}.json"
+    # Re-running at the same revision overwrites the recording; capture
+    # its numbers first so iterating without committing still diffs.
+    same_rev_means = None
+    if args.baseline is None and recording.exists():
+        try:
+            same_rev_means = load_means(recording)
+        except (OSError, json.JSONDecodeError):
+            same_rev_means = None  # corrupt leftover from an aborted run
 
-    code = run_benchmarks(recording, args.pytest_args)
+    code = run_benchmarks(recording, args.pytest_args, args.bench_path)
     if code != 0:
         print(f"benchmark run failed (exit {code})", file=sys.stderr)
         return code
@@ -130,15 +163,25 @@ def main(argv: list[str] | None = None) -> int:
         shown = recording
     print(f"recorded {shown}")
 
-    if baseline_means is None:
-        if baseline_path is None:
+    if args.baseline is not None:
+        if not args.baseline.exists():
+            print(f"baseline {args.baseline} not found", file=sys.stderr)
+            return 2
+        baseline_means = load_means(args.baseline)
+        baseline_label = args.baseline.name
+    else:
+        baseline_path = newest_other_recording(
+            args.out_dir, recording, names=load_means(recording)
+        )
+        if baseline_path is not None:
+            baseline_means = load_means(baseline_path)
+            baseline_label = baseline_path.name
+        elif same_rev_means is not None:
+            baseline_means = same_rev_means
+            baseline_label = f"{recording.name} (previous run, same revision)"
+        else:
             print("no earlier recording to compare against; baseline saved.")
             return 0
-        if not baseline_path.exists():
-            print(f"baseline {baseline_path} not found", file=sys.stderr)
-            return 2
-        baseline_means = load_means(baseline_path)
-        baseline_label = baseline_path.name
 
     rows = compare(baseline_means, load_means(recording), args.threshold)
     if not rows:

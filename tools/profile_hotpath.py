@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Profile the protocol hot path: one Figure-8 panel under cProfile.
+
+Runs :func:`repro.experiments.figure8.run_figure8` on the paper's top
+panel (100 buffer windows, both arms), writes the full cumulative-time
+listing to ``benchmarks/results/PROFILE_<rev>.txt`` and prints the top
+of it, so "where did the time go" for the session engine is one
+``make profile`` away.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pstats
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT_DIR = REPO_ROOT / "benchmarks" / "results"
+
+
+def git_short_rev() -> str:
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return "local"
+    return completed.stdout.strip() or "local"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out-dir",
+        type=Path,
+        default=DEFAULT_OUT_DIR,
+        help="where PROFILE_<rev>.txt lands (default benchmarks/results)",
+    )
+    parser.add_argument(
+        "--top",
+        type=int,
+        default=25,
+        help="rows of the cumulative listing to print (default 25)",
+    )
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.experiments.config import FIGURE8_TOP
+    from repro.experiments.figure8 import run_figure8
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = run_figure8(FIGURE8_TOP)
+    profiler.disable()
+
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats()
+    listing = buffer.getvalue()
+
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    out_path = args.out_dir / f"PROFILE_{git_short_rev()}.txt"
+    out_path.write_text(listing)
+
+    shown = 0
+    for line in listing.splitlines():
+        print(line)
+        if line.strip() and line.lstrip()[0].isdigit():
+            shown += 1
+            if shown >= args.top:
+                break
+    try:
+        rel = out_path.relative_to(REPO_ROOT)
+    except ValueError:
+        rel = out_path
+    print(f"\nfull listing: {rel}")
+    print(
+        f"panel sanity: scrambled mean CLF {result.scrambled.mean_clf:.2f} "
+        f"vs unscrambled {result.unscrambled.mean_clf:.2f}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
