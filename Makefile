@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-batch bench-all profile experiments examples obs-demo obs-guard lint all
+.PHONY: install test bench bench-batch bench-all profile experiments examples serve-demo obs-demo obs-guard lint all
 
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
@@ -28,6 +28,9 @@ experiments:
 
 examples:
 	for f in examples/*.py; do echo "== $$f =="; $(PYTHON) "$$f"; done
+
+serve-demo:
+	$(PYTHON) -m repro serve --sessions 6 --capacity-mbps 2.4 --seed 5
 
 obs-demo:
 	$(PYTHON) -m repro obs dump figure8-pooled --quiet

@@ -1,0 +1,57 @@
+"""Multi-session serving benchmark: contention on a shared bottleneck.
+
+Serves generated fleets of growing size against one fixed bottleneck and
+prints the degradation table (admitted sessions, mean/worst CLF, shed
+frames), then times the capacity-sweep experiment end to end.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.capacity import CapacityConfig, run_capacity
+from repro.serve import LoadSpec, generate_requests, serve_sessions
+
+CAPACITY_BPS = 2_400_000.0
+SEED = 5
+
+
+def _serve_fleet(sessions, **kwargs):
+    requests = generate_requests(
+        LoadSpec(sessions=sessions, seed=SEED, gop_count=4, max_windows=4)
+    )
+    return serve_sessions(requests, CAPACITY_BPS, **kwargs)
+
+
+def test_bench_serve_contention(benchmark, show):
+    result = benchmark.pedantic(
+        lambda: _serve_fleet(8), rounds=3, iterations=1
+    )
+    assert result.admitted
+    lines = ["K  admitted  mean CLF  worst CLF  shed"]
+    for sessions in (1, 2, 4, 8):
+        point = _serve_fleet(sessions)
+        lines.append(
+            f"{sessions:<3}{len(point.admitted):<10}"
+            f"{point.mean_clf:<10.2f}{point.worst_clf:<11}"
+            f"{point.shed_total}"
+        )
+    show("\n".join(lines))
+
+
+def test_bench_serve_baseline_arm(benchmark):
+    result = benchmark.pedantic(
+        lambda: _serve_fleet(8, shedding=False, admission=False),
+        rounds=3,
+        iterations=1,
+    )
+    assert len(result.admitted) == 8
+    assert result.shed_total == 0
+
+
+def test_bench_capacity_sweep(benchmark, show):
+    config = CapacityConfig(
+        ks=(1, 4), replications=1, gop_count=2, max_windows=2
+    )
+    result = benchmark.pedantic(
+        lambda: run_capacity(config), rounds=1, iterations=1
+    )
+    show(result.render())

@@ -22,6 +22,13 @@ Commands
 ``replay FILE [--loss-map]``
     Summarize a saved session JSON (written by
     ``repro.experiments.persist.save_session``).
+``serve [--sessions K] [--capacity-mbps C] [--seed S] ...]``
+    Run ``K`` concurrent sessions from the seeded load generator over
+    one shared bottleneck (``repro.serve``) and print the admission,
+    shedding and per-session CLF outcome.  ``--scheduler`` picks the
+    bandwidth split (``fair`` or ``priority``), ``--no-shedding`` /
+    ``--no-admission`` disable the managed-server arms, and
+    ``--manifest-out FILE`` records a service run manifest.
 ``obs dump EXPERIMENT [--jobs N] [--replications R] [--out FILE]``
     Run one experiment with metrics enabled and write its JSON run
     manifest (stdout by default).
@@ -76,7 +83,7 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             metavar="R",
             help="Monte-Carlo replication count for experiments that have "
-            "one (figure8-pooled, robustness); others ignore it",
+            "one (figure8-pooled, robustness, capacity); others ignore it",
         )
         experiments.add_argument(
             "--metrics",
@@ -114,6 +121,62 @@ def build_parser() -> argparse.ArgumentParser:
     replay.add_argument("path", help="session file written by save_session")
     replay.add_argument(
         "--loss-map", action="store_true", help="also print the per-window loss map"
+    )
+
+    serve = commands.add_parser(
+        "serve", help="run concurrent sessions over one shared bottleneck"
+    )
+    serve.add_argument(
+        "--sessions", type=int, default=4, metavar="K", help="sessions to submit"
+    )
+    serve.add_argument(
+        "--capacity-mbps",
+        type=float,
+        default=2.4,
+        metavar="C",
+        help="bottleneck capacity in Mbps (default 2.4)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0, help="load-generator seed (default 0)"
+    )
+    serve.add_argument(
+        "--scheduler",
+        choices=["fair", "priority"],
+        default="fair",
+        help="bandwidth split across sessions (default fair)",
+    )
+    serve.add_argument(
+        "--gops", type=int, default=8, help="GOPs per generated stream"
+    )
+    serve.add_argument(
+        "--windows",
+        type=int,
+        default=4,
+        metavar="W",
+        help="buffer windows each session streams",
+    )
+    serve.add_argument(
+        "--mean-interarrival",
+        type=float,
+        default=0.25,
+        metavar="T",
+        help="mean exponential arrival gap, seconds (0 = all at once)",
+    )
+    serve.add_argument(
+        "--no-shedding",
+        action="store_true",
+        help="disable graceful load shedding (unmanaged baseline)",
+    )
+    serve.add_argument(
+        "--no-admission",
+        action="store_true",
+        help="admit every session regardless of critical-layer demand",
+    )
+    serve.add_argument(
+        "--manifest-out",
+        default=None,
+        metavar="FILE",
+        help="record metrics and write a service run manifest",
     )
 
     obs_cmd = commands.add_parser(
@@ -212,6 +275,74 @@ def _cmd_experiments(args: argparse.Namespace, out) -> int:
                 failures += 1
         print(file=out)
     return 1 if failures else 0
+
+
+def _cmd_serve(args: argparse.Namespace, out) -> int:
+    import time
+
+    from repro import obs
+    from repro.experiments.reporting import render_table
+    from repro.serve import (
+        LoadSpec,
+        build_service_manifest,
+        generate_requests,
+        make_scheduler,
+        serve_sessions,
+    )
+
+    if args.manifest_out is not None:
+        obs.enable()
+        obs.reset()
+    spec = LoadSpec(
+        sessions=args.sessions,
+        seed=args.seed,
+        mean_interarrival=args.mean_interarrival,
+        gop_count=args.gops,
+        max_windows=args.windows,
+    )
+    started = time.perf_counter()
+    result = serve_sessions(
+        generate_requests(spec),
+        args.capacity_mbps * 1e6,
+        scheduler=make_scheduler(args.scheduler),
+        shedding=not args.no_shedding,
+        admission=not args.no_admission,
+    )
+    wall = time.perf_counter() - started
+    rows = []
+    for outcome in result.outcomes:
+        session = outcome.result
+        rows.append(
+            (
+                outcome.request.session_id,
+                outcome.request.priority,
+                "yes" if outcome.admitted else "NO",
+                f"{session.mean_clf:.2f}" if session else "-",
+                session.stream_clf if session else "-",
+                outcome.shed_frames,
+                f"{outcome.min_share_bps / 1e6:.2f}" if outcome.admitted else "-",
+            )
+        )
+    print(
+        render_table(
+            ["session", "prio", "admitted", "mean CLF", "stream CLF", "shed",
+             "min share Mbps"],
+            rows,
+            title=result.describe(),
+        ),
+        file=out,
+    )
+    for outcome in result.rejected:
+        print(f"rejected {outcome.request.session_id}: {outcome.reason}", file=out)
+    if args.manifest_out is not None:
+        from repro.experiments.persist import save_run_manifest
+
+        manifest = build_service_manifest(
+            result, seed=args.seed, wall_seconds=wall
+        )
+        path = save_run_manifest(manifest, args.manifest_out)
+        print(f"wrote manifest to {path}", file=out)
+    return 0
 
 
 def _cmd_obs(args: argparse.Namespace, out) -> int:
@@ -358,6 +489,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "permute": _cmd_permute,
         "bounds": _cmd_bounds,
         "replay": _cmd_replay,
+        "serve": _cmd_serve,
         "obs": _cmd_obs,
     }
     return handlers[args.command](args, out)

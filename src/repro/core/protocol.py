@@ -101,6 +101,9 @@ class WindowResult:
     transmission_order: Tuple[int, ...]
     sent: int = 0
     dropped_at_sender: int = 0
+    #: Frames proactively dropped by a load-shedding policy (a subset of
+    #: ``dropped_at_sender``); always 0 for plain sessions.
+    shed: int = 0
     lost_in_network: int = 0
     retransmissions: int = 0
     recovered: int = 0
@@ -313,6 +316,20 @@ class ProtocolSession:
                     )
         return scheduler.plan(bounds, scramble=self.config.scramble)
 
+    def _shed_frames(
+        self, window_index: int, window: Sequence[Ldu], plan: LayeredPlan
+    ) -> frozenset:
+        """Frame offsets to shed (drop at the sender) this window.
+
+        The base engine never sheds — overloaded servers are the domain
+        of :mod:`repro.serve`, whose sessions override this hook with a
+        bandwidth-aware policy.  Shed frames count as
+        ``dropped_at_sender`` (and ``shed``) and consume neither air
+        time nor channel state, so an empty set leaves the session
+        bit-for-bit identical to an engine without the hook.
+        """
+        return frozenset()
+
     # ------------------------------------------------------------------
     # One window
     # ------------------------------------------------------------------
@@ -401,8 +418,16 @@ class ProtocolSession:
                 retransmit_queue.remove(record)
                 retransmit_one(record, now)
 
+        shed = self._shed_frames(window_index, window, plan)
+
         first_attempt_indicator: List[int] = []
         for offset in plan.order:
+            if offset in shed:
+                # Load shedding: the frame is dropped at the sender
+                # without consuming air time or channel state.
+                result.dropped_at_sender += 1
+                result.shed += 1
+                continue
             ldu = window[offset]
             try_retransmissions(link_free_at())
             if not budget_allows(ldu, link_free_at()):

@@ -1,0 +1,279 @@
+"""Capacity sweep: sessions vs. CLF over one shared bottleneck.
+
+The paper evaluates the adaptive protocol one session at a time; this
+experiment loads ``K`` concurrent sessions onto a fixed-capacity
+bottleneck through :mod:`repro.serve` and measures how the per-viewer
+continuity guarantee (CLF) degrades as ``K`` grows.  Two service arms
+run over identical session fleets:
+
+``shed``
+    Admission control plus graceful load shedding (B-layers first,
+    anchors last — PROTOCOL.md step 2 made proactive).
+
+``baseline``
+    Everyone admitted, nothing shed: overload lands on the in-window
+    transmission budget, which drops whatever does not fit — including
+    anchors — exactly like an unmanaged server.
+
+Each arm is replicated over independent load seeds; the admitted
+sessions' results are pooled and aggregated with
+:func:`repro.core.batch.summarize_replications` (mean / deviation /
+95% CI), and an *unloaded* single-session reference — the same
+Monte-Carlo replication count, no contention — is computed through the
+batched engine :func:`repro.core.batch.run_sessions_batch`.
+
+The reproduced shape: with shedding the admitted sessions' mean CLF
+stays within the adaptive target at every load, while the baseline
+arm's worst-case CLF grows with ``K``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.batch import (
+    ReplicationSummary,
+    run_sessions_batch,
+    summarize_replications,
+)
+from repro.core.protocol import ProtocolConfig, SessionResult
+from repro.experiments.parallel import parallel_map
+from repro.experiments.reporting import render_table
+from repro.media.gop import GOP_12
+from repro.media.stream import make_video_stream
+from repro.serve import LoadSpec, ServiceResult, generate_requests, serve_sessions
+
+__all__ = [
+    "CapacityConfig",
+    "ArmPoint",
+    "CapacityResult",
+    "run_capacity",
+]
+
+#: Load-seed stride between replications of the same sweep point.
+_REPLICATION_STRIDE = 101
+
+
+@dataclass(frozen=True)
+class CapacityConfig:
+    """One capacity sweep (defaults: 2x-provisioned bottleneck)."""
+
+    ks: Tuple[int, ...] = (1, 2, 4, 8)
+    #: Bottleneck capacity — two sessions' worth of the default
+    #: 1.2 Mbps provisioning, so K = 4 is mild and K = 8 heavy overload.
+    capacity_bps: float = 2_400_000.0
+    replications: int = 3
+    base_seed: int = 5
+    gop_count: int = 4
+    max_windows: int = 4
+    scheduler: str = "fair"
+    #: The adaptive target the shed arm must hold: admitted sessions'
+    #: pooled mean CLF at the heaviest load stays at or below this.
+    target_clf: float = 2.5
+    session_config: ProtocolConfig = ProtocolConfig()
+
+
+def _load_spec(config: CapacityConfig, k: int, replication: int) -> LoadSpec:
+    return LoadSpec(
+        sessions=k,
+        seed=config.base_seed + replication * _REPLICATION_STRIDE,
+        gop_count=config.gop_count,
+        max_windows=config.max_windows,
+        config=config.session_config,
+    )
+
+
+def _run_service(task: Tuple[CapacityConfig, int, int, bool]) -> ServiceResult:
+    config, k, replication, shed = task
+    requests = generate_requests(_load_spec(config, k, replication))
+    return serve_sessions(
+        requests,
+        config.capacity_bps,
+        shedding=shed,
+        admission=shed,
+        scheduler=None if config.scheduler == "fair" else _make_scheduler(config),
+    )
+
+
+def _make_scheduler(config: CapacityConfig):
+    from repro.serve import make_scheduler
+
+    return make_scheduler(config.scheduler)
+
+
+@dataclass(frozen=True)
+class ArmPoint:
+    """One (K, arm) sweep point, pooled over replications."""
+
+    k: int
+    arm: str
+    submitted: int
+    admitted: int
+    shed_frames: int
+    worst_clf: int
+    summary: Optional[ReplicationSummary]
+
+    @property
+    def mean_clf(self) -> float:
+        return self.summary.mean_clf.mean if self.summary else 0.0
+
+
+@dataclass(frozen=True)
+class CapacityResult:
+    config: CapacityConfig
+    points: List[ArmPoint]
+    #: Unloaded single-session reference over the same replication count.
+    reference: ReplicationSummary
+    runs: List[ServiceResult] = field(default_factory=list)
+
+    def point(self, k: int, arm: str) -> ArmPoint:
+        for point in self.points:
+            if point.k == k and point.arm == arm:
+                return point
+        raise KeyError((k, arm))
+
+    @property
+    def shape_holds(self) -> bool:
+        """Graceful degradation: shedding defends the mean, the
+        unmanaged baseline's worst case grows with load."""
+        k_lo, k_hi = min(self.config.ks), max(self.config.ks)
+        shed_hi = self.point(k_hi, "shed")
+        base_hi = self.point(k_hi, "baseline")
+        base_lo = self.point(k_lo, "baseline")
+        return (
+            shed_hi.mean_clf <= self.config.target_clf
+            and base_hi.worst_clf > base_lo.worst_clf
+            and shed_hi.mean_clf <= base_hi.mean_clf
+        )
+
+    def rows(self) -> List[Tuple]:
+        rows: List[Tuple] = []
+        for point in self.points:
+            low, high = (
+                point.summary.mean_clf_ci if point.summary else (0.0, 0.0)
+            )
+            rows.append(
+                (
+                    point.k,
+                    point.arm,
+                    f"{point.admitted}/{point.submitted}",
+                    point.mean_clf,
+                    f"{low:.2f}..{high:.2f}",
+                    point.worst_clf,
+                    point.shed_frames,
+                )
+            )
+        return rows
+
+    def render(self) -> str:
+        table = render_table(
+            ["K", "arm", "admitted", "mean CLF", "95% CI", "worst CLF", "shed"],
+            self.rows(),
+            title=(
+                f"Capacity sweep: {self.config.capacity_bps / 1e6:.1f} Mbps "
+                f"bottleneck, {self.config.scheduler} split, "
+                f"{self.config.replications} replications per point"
+            ),
+        )
+        ref = self.reference
+        footer = (
+            f"unloaded reference (batched, {ref.replications} replications): "
+            f"mean CLF {ref.mean_clf.mean:.2f}, "
+            f"stream CLF {ref.stream_clf.mean:.2f}; "
+            f"adaptive target {self.config.target_clf:.2f}"
+        )
+        return f"{table}\n{footer}"
+
+    def summary_dict(self) -> Dict[str, object]:
+        """Headline numbers for run manifests (see ``repro obs dump``)."""
+        return {
+            "seed": self.config.base_seed,
+            "capacity_bps": self.config.capacity_bps,
+            "scheduler": self.config.scheduler,
+            "replications": self.config.replications,
+            "target_clf": self.config.target_clf,
+            "reference_mean_clf": self.reference.mean_clf.mean,
+            "shape_holds": self.shape_holds,
+            "points": [
+                {
+                    "k": point.k,
+                    "arm": point.arm,
+                    "submitted": point.submitted,
+                    "admitted": point.admitted,
+                    "mean_clf": point.mean_clf,
+                    "mean_clf_ci": list(
+                        point.summary.mean_clf_ci if point.summary else (0.0, 0.0)
+                    ),
+                    "worst_clf": point.worst_clf,
+                    "shed_frames": point.shed_frames,
+                }
+                for point in self.points
+            ],
+        }
+
+
+def run_capacity(
+    config: Optional[CapacityConfig] = None,
+    *,
+    replications: Optional[int] = None,
+    jobs: int = 1,
+) -> CapacityResult:
+    """Run the sweep; ``jobs`` fans service runs out over processes."""
+    config = config or CapacityConfig()
+    if replications is not None:
+        config = replace(config, replications=replications)
+    tasks = [
+        (config, k, replication, shed)
+        for k in config.ks
+        for shed in (True, False)
+        for replication in range(config.replications)
+    ]
+    runs = parallel_map(_run_service, tasks, jobs)
+    by_point: Dict[Tuple[int, str], List[ServiceResult]] = {}
+    for (cfg, k, _replication, shed), run in zip(tasks, runs):
+        by_point.setdefault((k, "shed" if shed else "baseline"), []).append(run)
+
+    points: List[ArmPoint] = []
+    for k in config.ks:
+        for arm in ("shed", "baseline"):
+            arm_runs = by_point[(k, arm)]
+            admitted: List[SessionResult] = []
+            for run in arm_runs:
+                admitted.extend(run.admitted_results)
+            points.append(
+                ArmPoint(
+                    k=k,
+                    arm=arm,
+                    submitted=sum(len(run.outcomes) for run in arm_runs),
+                    admitted=sum(len(run.admitted) for run in arm_runs),
+                    shed_frames=sum(run.shed_total for run in arm_runs),
+                    worst_clf=max(
+                        (run.worst_clf for run in arm_runs), default=0
+                    ),
+                    summary=(
+                        summarize_replications(admitted) if admitted else None
+                    ),
+                )
+            )
+
+    # Unloaded reference: the same session shape, alone on its
+    # provisioned bandwidth, replicated through the batched engine.
+    stream = make_video_stream(
+        GOP_12, gop_count=config.gop_count, name="capacity-reference"
+    )
+    seeds = [
+        _load_spec(config, 1, replication).seed * 1_000_003
+        for replication in range(config.replications)
+    ]
+    reference = summarize_replications(
+        run_sessions_batch(
+            stream,
+            config.session_config,
+            seeds=seeds,
+            max_windows=config.max_windows,
+        )
+    )
+    return CapacityResult(
+        config=config, points=points, reference=reference, runs=runs
+    )

@@ -34,6 +34,7 @@ def window_to_dict(window: WindowResult) -> Dict[str, Any]:
         "transmission_order": list(window.transmission_order),
         "sent": window.sent,
         "dropped_at_sender": window.dropped_at_sender,
+        "shed": window.shed,
         "lost_in_network": window.lost_in_network,
         "retransmissions": window.retransmissions,
         "recovered": window.recovered,

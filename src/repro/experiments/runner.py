@@ -120,6 +120,12 @@ def _policies(jobs: int, replications: Optional[int] = None):
     return run_policies()
 
 
+def _capacity(jobs: int, replications: Optional[int] = None):
+    from repro.experiments.capacity import run_capacity
+
+    return run_capacity(replications=replications, jobs=jobs)
+
+
 EXPERIMENTS: Dict[str, Callable[..., object]] = {
     "table1": _table1,
     "table2": _table2,
@@ -134,6 +140,7 @@ EXPERIMENTS: Dict[str, Callable[..., object]] = {
     "robustness": _robustness,
     "packetsize": _packetsize,
     "policies": _policies,
+    "capacity": _capacity,
 }
 
 

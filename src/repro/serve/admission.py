@@ -1,0 +1,118 @@
+"""Admission control: refuse sessions the bottleneck cannot carry.
+
+The per-viewer guarantee the service defends is continuity of the
+*critical* layers — the anchor frames everything else decodes against.
+A session is admitted only if, after adding it, the bandwidth
+scheduler's allocation still gives **every** session (the newcomer and
+everyone already playing) at least its critical-layer demand.  Anything
+less and the layered drop order of PROTOCOL.md step 2 would start
+shedding anchors, which no amount of error spreading recovers from.
+
+Demands are estimated from the stream itself: the peak over buffer
+windows of ``bits / cycle`` (full demand) and ``anchor bits / cycle``
+(critical demand).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.core.protocol import ProtocolConfig
+from repro.errors import ConfigurationError
+from repro.media.stream import MediaStream
+from repro.serve.bandwidth import SessionDemand
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "estimate_demand",
+]
+
+
+def estimate_demand(
+    stream: MediaStream,
+    config: ProtocolConfig,
+    *,
+    max_windows: Optional[int] = None,
+) -> Tuple[float, float]:
+    """(full, critical) bandwidth demand of one session, bits/second.
+
+    Peak over the session's buffer windows: a window of ``n`` frames has
+    one cycle of ``n / fps`` seconds of air time, so the window's demand
+    is its encoded bits divided by the cycle.  The critical demand
+    counts only anchor (I/P) frames — what must survive for the window
+    to decode at all.
+    """
+    windows = list(stream.windows(config.window_frames))
+    if max_windows is not None:
+        windows = windows[:max_windows]
+    if not windows:
+        raise ConfigurationError("cannot estimate demand of an empty stream")
+    full = 0.0
+    critical = 0.0
+    for window in windows:
+        cycle = len(window) / stream.fps
+        total_bits = sum(ldu.size_bits for ldu in window)
+        anchor_bits = sum(
+            ldu.size_bits for ldu in window if ldu.frame_type.is_anchor
+        )
+        full = max(full, total_bits / cycle)
+        critical = max(critical, anchor_bits / cycle)
+    return full, critical
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission test."""
+
+    admitted: bool
+    reason: str
+    share_bps: float  # the candidate's prospective share
+
+
+class AdmissionController:
+    """Critical-layer admission test against a bandwidth scheduler.
+
+    ``headroom`` inflates every critical demand by a fraction before the
+    comparison, reserving slack for anchor retransmissions.
+    """
+
+    def __init__(self, scheduler, capacity_bps: float, *, headroom: float = 0.0) -> None:
+        if capacity_bps <= 0:
+            raise ConfigurationError("capacity must be positive")
+        if headroom < 0:
+            raise ConfigurationError("headroom must be non-negative")
+        self.scheduler = scheduler
+        self.capacity_bps = capacity_bps
+        self.headroom = headroom
+
+    def evaluate(
+        self,
+        active: Sequence[SessionDemand],
+        candidate: SessionDemand,
+    ) -> AdmissionDecision:
+        """Would admitting ``candidate`` keep every critical layer afloat?"""
+        prospective = list(active) + [candidate]
+        shares = self.scheduler.allocate(prospective, self.capacity_bps)
+        for demand in prospective:
+            floor = demand.critical_bps * (1.0 + self.headroom)
+            if shares[demand.session_id] < floor:
+                whose = (
+                    "its own"
+                    if demand.session_id == candidate.session_id
+                    else f"session {demand.session_id!r}'s"
+                )
+                return AdmissionDecision(
+                    admitted=False,
+                    reason=(
+                        f"share {shares[demand.session_id]:.0f} bps below "
+                        f"{whose} critical demand of {floor:.0f} bps"
+                    ),
+                    share_bps=shares[candidate.session_id],
+                )
+        return AdmissionDecision(
+            admitted=True,
+            reason="critical layers covered for all sessions",
+            share_bps=shares[candidate.session_id],
+        )

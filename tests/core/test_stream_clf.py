@@ -1,0 +1,106 @@
+"""Property: ``SessionResult.stream_clf`` is the longest un-decodable
+run over the *concatenated* per-window decodability strings.
+
+Per-window CLF truncates loss runs at window boundaries; the
+whole-stream figure must not — a burst covering the tail of one window
+and the head of the next counts as one run.  The reference below scans
+the concatenation directly, with no shared code with the implementation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.protocol import ProtocolConfig, SessionResult, WindowResult
+from repro.metrics.windows import WindowSeries
+
+
+def _window(index: int, frames: int, decodable: Set[int]) -> WindowResult:
+    longest = current = 0
+    for offset in range(frames):
+        current = 0 if offset in decodable else current + 1
+        longest = max(longest, current)
+    return WindowResult(
+        index=index,
+        frames=frames,
+        transmission_order=tuple(range(frames)),
+        decodable=decodable,
+        clf=longest,
+    )
+
+
+def _session(windows: List[WindowResult]) -> SessionResult:
+    return SessionResult(
+        config=ProtocolConfig(), windows=windows, series=WindowSeries(label="t")
+    )
+
+
+def _reference_longest_run(windows: List[WindowResult]) -> int:
+    """Longest 1-run of the concatenated loss indicator, scanned flat."""
+    longest = current = 0
+    for window in windows:
+        for offset in range(window.frames):
+            if offset in window.decodable:
+                current = 0
+            else:
+                current += 1
+                longest = max(longest, current)
+    return longest
+
+
+@st.composite
+def window_lists(draw):
+    count = draw(st.integers(min_value=1, max_value=6))
+    windows = []
+    for index in range(count):
+        frames = draw(st.integers(min_value=1, max_value=30))
+        decodable = draw(
+            st.sets(st.integers(min_value=0, max_value=frames - 1))
+        )
+        windows.append(_window(index, frames, decodable))
+    return windows
+
+
+class TestStreamClfProperty:
+    @given(window_lists())
+    @settings(max_examples=300, deadline=None)
+    def test_equals_flat_scan_of_concatenation(self, windows):
+        result = _session(windows)
+        assert result.stream_clf == _reference_longest_run(windows)
+        report = result.overall_report
+        assert report.slots == sum(w.frames for w in windows)
+        assert report.unit_losses == sum(
+            w.frames - len(w.decodable & set(range(w.frames))) for w in windows
+        )
+
+    def test_run_spanning_a_window_boundary(self):
+        """Two windows, each with per-window CLF 2, whose runs touch at
+        the boundary: the stream CLF must see one run of 4."""
+        first = _window(0, 4, decodable={0, 1})  # lost: 2, 3
+        second = _window(1, 4, decodable={2, 3})  # lost: 0, 1
+        result = _session([first, second])
+        assert result.stream_clf == 4
+
+    def test_run_spanning_three_windows(self):
+        """A fully-lost middle window bridges its neighbours' edges."""
+        windows = [
+            _window(0, 3, decodable={0, 1}),  # lost tail: 1
+            _window(1, 3, decodable=set()),  # lost: 3
+            _window(2, 3, decodable={1, 2}),  # lost head: 1
+        ]
+        assert _session(windows).stream_clf == 5
+
+    def test_stream_clf_at_least_any_window_clf(self):
+        windows = [
+            _window(0, 5, decodable={0, 4}),
+            _window(1, 5, decodable={0, 1, 2, 3, 4}),
+        ]
+        result = _session(windows)
+        assert result.stream_clf >= max(w.clf for w in result.windows)
+
+    def test_clean_stream_is_zero(self):
+        windows = [_window(0, 6, decodable=set(range(6)))]
+        assert _session(windows).stream_clf == 0

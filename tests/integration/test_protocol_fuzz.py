@@ -97,6 +97,100 @@ def test_independent_stream_invariants(count, window, p_bad, seed):
         assert list(result_window.layer_sizes) == [0]
 
 
+@given(
+    video_sessions(),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_ack_channel_abuse_never_breaks_the_controller(case, chaos_seed):
+    """Randomized ACK loss, duplication and reordering through
+    ``_drain_acks`` must never crash, and every burst estimate must stay
+    within its documented clamp (estimate in [0, window], integer bound
+    in [1, window])."""
+    import random
+
+    from repro.core.protocol import ProtocolSession
+
+    stream, config = case
+    rng = random.Random(chaos_seed)
+    session = ProtocolSession(stream, config)
+    windows = list(stream.windows(config.window_frames))[:4]
+    for index, window in enumerate(windows):
+        session.run_window(index, window)
+        # Abuse the in-flight ACKs the engine is about to drain: lose
+        # some, duplicate some, jitter arrival times and shuffle.
+        mutated = []
+        for arrives_at, feedback in session._pending_acks:
+            roll = rng.random()
+            if roll < 0.3:
+                continue  # lost in the network
+            jittered = max(0.0, arrives_at + rng.uniform(-0.5, 0.5))
+            mutated.append((jittered, feedback))
+            if roll > 0.7:  # duplicated by the network
+                mutated.append((jittered + rng.uniform(0.0, 0.3), feedback))
+        rng.shuffle(mutated)
+        session._pending_acks = mutated
+    result = session.result
+    # The controller survived; its estimates respect the clamp.
+    for layer, estimator in session.controller.layers.items():
+        assert 0.0 <= estimator.estimate <= estimator.window
+        assert 1 <= estimator.burst_bound <= estimator.window
+    # The Gilbert fit stayed a probability model.
+    assert 0.0 <= session.channel_estimator.p_bad < 1.0
+    assert 0.0 <= session.channel_estimator.p_good <= 1.0
+    assert 0.0 <= session.channel_estimator.loss_rate <= 1.0
+    # Feedback accounting still closes: every ACK was sent once per
+    # window, and the engine never used more than it saw arrive.
+    assert result.acks_sent == len(result.windows)
+    assert result.acks_used <= result.acks_sent + result.acks_sent  # duplicates
+    for window_result in result.windows:
+        assert window_result.sent + window_result.dropped_at_sender == (
+            window_result.frames
+        )
+
+
+def test_stale_and_duplicate_acks_are_ignored():
+    """A duplicated ACK must fold into Equation 1 exactly once, and a
+    reordered (stale) ACK not at all."""
+    from repro.core.protocol import ProtocolSession
+
+    stream = make_video_stream(GopPattern.parse("IBBPBB"), gop_count=4)
+    config = ProtocolConfig(
+        gops_per_window=1,
+        gop_size=6,
+        p_good=0.9,
+        p_bad=0.5,
+        lossy_feedback=False,
+        seed=3,
+    )
+    session = ProtocolSession(stream, config)
+    windows = list(stream.windows(config.window_frames))
+    session.run_window(0, windows[0])
+    (pending0,) = session._pending_acks
+    stale_feedback = pending0[1]  # sequence 0, kept for replay below
+    # Duplicate window 0's ACK three times.  It is in flight during
+    # window 1 (one ACK round trip) and drains at window 2's start,
+    # where Equation 1 must fold it exactly once.
+    session._pending_acks = [pending0] * 3
+    session.run_window(1, windows[1])
+    (pending1,) = [
+        item for item in session._pending_acks if item[1].sequence == 1
+    ]
+    session.run_window(2, windows[2])
+    assert session.result.acks_used == 1
+    assert session.collector.ignored_stale == 2
+    # Replay the old sequence-0 ACK *behind* window 1's newer one: the
+    # collector must flag the reordered copy as stale and ignore it.
+    session._pending_acks = [pending1, (pending1[0], stale_feedback)]
+    session.run_window(3, windows[3])
+    assert session.result.acks_used == 2
+    assert session.collector.ignored_stale == 3
+
+
 def test_lossless_channel_is_invariant_under_everything():
     """With no loss and ample bandwidth, every mode plays out cleanly."""
     stream = make_video_stream(GopPattern.parse("IBBPBB"), gop_count=4)

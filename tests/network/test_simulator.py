@@ -105,3 +105,100 @@ class TestControl:
         assert loop.pending == 2
         loop.cancel(a)
         assert loop.pending == 1
+
+
+class TestCancellationSemantics:
+    """Regression pins for the service layer's two load-bearing
+    guarantees: a cancelled event never fires, and events at identical
+    times run in scheduling (FIFO) order — the per-window share
+    reallocation of ``repro.serve`` depends on both."""
+
+    def test_cancelled_event_among_same_time_peers(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(1.0, lambda: seen.append("a"))
+        doomed = loop.schedule(1.0, lambda: seen.append("doomed"))
+        loop.schedule(1.0, lambda: seen.append("b"))
+        loop.cancel(doomed)
+        assert loop.run() == 2
+        assert seen == ["a", "b"]
+
+    def test_cancel_from_an_earlier_same_time_callback(self):
+        """Cancelling a same-timestamp event that is already in the
+        heap, from a callback firing before it, must suppress it."""
+        loop = EventLoop()
+        seen = []
+        doomed = loop.schedule(2.0, lambda: seen.append("doomed"))
+        loop.schedule(1.0, lambda: loop.cancel(doomed))
+        survivor = loop.schedule(2.0, lambda: seen.append("survivor"))
+        del survivor
+        assert loop.run() == 2
+        assert seen == ["survivor"]
+
+    def test_cancel_same_timestamp_sibling_mid_tick(self):
+        """Even at the *same* virtual time, a callback can cancel a
+        sibling scheduled after it and the sibling must not fire."""
+        loop = EventLoop()
+        seen = []
+        handles = {}
+
+        def first():
+            seen.append("first")
+            loop.cancel(handles["second"])
+
+        loop.schedule(1.0, first)
+        handles["second"] = loop.schedule(1.0, lambda: seen.append("second"))
+        loop.schedule(1.0, lambda: seen.append("third"))
+        assert loop.run() == 2
+        assert seen == ["first", "third"]
+
+    def test_identical_times_run_in_scheduling_order(self):
+        """FIFO among equal timestamps, regardless of heap shape."""
+        loop = EventLoop()
+        seen = []
+        for index in range(10):
+            loop.schedule(5.0, lambda i=index: seen.append(i))
+        loop.run()
+        assert seen == list(range(10))
+
+    def test_identical_times_fifo_across_nested_scheduling(self):
+        """Events scheduled *during* a tick for the same timestamp run
+        after everything scheduled for it earlier."""
+        loop = EventLoop()
+        seen = []
+
+        def first():
+            seen.append("first")
+            loop.schedule(1.0, lambda: seen.append("nested"))
+
+        loop.schedule(1.0, first)
+        loop.schedule(1.0, lambda: seen.append("second"))
+        loop.run()
+        assert seen == ["first", "second", "nested"]
+
+    def test_cancel_after_fire_is_a_noop(self):
+        loop = EventLoop()
+        seen = []
+        event = loop.schedule(1.0, lambda: seen.append("x"))
+        loop.run()
+        loop.cancel(event)  # already fired: must not corrupt the loop
+        loop.schedule(2.0, lambda: seen.append("y"))
+        assert loop.run() == 1
+        assert seen == ["x", "y"]
+
+    def test_double_cancel_is_a_noop(self):
+        loop = EventLoop()
+        event = loop.schedule(1.0, lambda: None)
+        loop.cancel(event)
+        loop.cancel(event)
+        assert loop.run() == 0
+
+    def test_cancelled_events_do_not_advance_the_clock(self):
+        loop = EventLoop()
+        seen = []
+        late = loop.schedule(9.0, lambda: seen.append("late"))
+        loop.schedule(1.0, lambda: seen.append("early"))
+        loop.cancel(late)
+        loop.run()
+        assert seen == ["early"]
+        assert loop.now == 1.0

@@ -1,0 +1,104 @@
+"""Tests for admission control (repro.serve.admission)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.protocol import ProtocolConfig
+from repro.errors import ConfigurationError
+from repro.media.gop import GopPattern
+from repro.media.stream import MediaStream, make_video_stream
+from repro.serve.admission import AdmissionController, estimate_demand
+from repro.serve.bandwidth import FairShareScheduler, SessionDemand
+
+IBBP = GopPattern.parse("IBBP")
+
+
+def small_config():
+    return ProtocolConfig(gops_per_window=1, gop_size=4)
+
+
+class TestEstimateDemand:
+    def test_hand_computed_constant_sizes(self):
+        """One IBBP GOP per window at the default constant sizes.
+
+        Window bits: I(150k) + B(20k) + B(20k) + P(60k) = 250k over a
+        4/24 s cycle -> 1.5 Mbps full; anchors I + P = 210k -> 1.26 Mbps
+        critical.
+        """
+        stream = make_video_stream(IBBP, gop_count=3, fps=24.0)
+        full, critical = estimate_demand(stream, small_config())
+        assert full == pytest.approx(250_000 * 6)
+        assert critical == pytest.approx(210_000 * 6)
+
+    def test_peak_window_dominates(self):
+        """Demand is the peak over windows, not the average."""
+        sizes = [150_000, 20_000, 20_000, 60_000] + [300_000, 40_000, 40_000, 120_000]
+        stream = make_video_stream(IBBP, gop_count=2, sizes_bits=sizes, fps=24.0)
+        full, critical = estimate_demand(stream, small_config())
+        assert full == pytest.approx(500_000 * 6)
+        assert critical == pytest.approx(420_000 * 6)
+
+    def test_max_windows_limits_the_scan(self):
+        sizes = [150_000, 20_000, 20_000, 60_000] + [300_000, 40_000, 40_000, 120_000]
+        stream = make_video_stream(IBBP, gop_count=2, sizes_bits=sizes, fps=24.0)
+        full, _ = estimate_demand(stream, small_config(), max_windows=1)
+        assert full == pytest.approx(250_000 * 6)
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(Exception):
+            estimate_demand(MediaStream(ldus=()), small_config())
+
+
+def demand(sid, full=1_200_000.0, critical=600_000.0, **kwargs):
+    return SessionDemand(
+        session_id=sid,
+        demand_bps=max(full, critical),
+        critical_bps=critical,
+        **kwargs,
+    )
+
+
+class TestAdmissionController:
+    def controller(self, capacity=2_400_000.0, headroom=0.0):
+        return AdmissionController(
+            FairShareScheduler(), capacity, headroom=headroom
+        )
+
+    def test_admits_while_critical_fits(self):
+        controller = self.controller()
+        decision = controller.evaluate([demand("a")], demand("b"))
+        assert decision.admitted
+        assert decision.share_bps == pytest.approx(1_200_000.0)
+
+    def test_rejects_when_candidate_would_starve(self):
+        controller = self.controller()
+        active = [demand("a"), demand("b"), demand("c")]
+        decision = controller.evaluate(active, demand("d"))
+        # Fair share of 2.4 Mbps over four is 600 kbps == the critical
+        # floor, so four still fit; a fifth cannot.
+        assert decision.admitted
+        decision = controller.evaluate(active + [demand("d")], demand("e"))
+        assert not decision.admitted
+        assert "critical demand" in decision.reason
+
+    def test_rejection_protects_existing_sessions(self):
+        """A newcomer is refused when *anyone's* floor would break."""
+        controller = self.controller()
+        active = [demand("greedy", critical=1_500_000.0)]
+        decision = controller.evaluate(active, demand("new", critical=100_000.0))
+        assert not decision.admitted
+        assert "greedy" in decision.reason
+
+    def test_headroom_reserves_retransmission_slack(self):
+        tight = self.controller(headroom=0.0)
+        padded = self.controller(headroom=0.5)
+        active = [demand("a"), demand("b"), demand("c")]
+        assert tight.evaluate(active, demand("d")).admitted
+        assert not padded.evaluate(active, demand("d")).admitted
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionController(FairShareScheduler(), 0.0)
+        with pytest.raises(ConfigurationError):
+            AdmissionController(FairShareScheduler(), 1.0, headroom=-0.1)

@@ -1,0 +1,135 @@
+"""Tests for the bottleneck bandwidth schedulers (repro.serve.bandwidth)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.bandwidth import (
+    FairShareScheduler,
+    PriorityScheduler,
+    SessionDemand,
+    make_scheduler,
+)
+
+
+def demand(sid, full=1_200_000.0, critical=None, weight=1.0, priority=0):
+    return SessionDemand(
+        session_id=sid,
+        demand_bps=full,
+        critical_bps=full / 2 if critical is None else critical,
+        weight=weight,
+        priority=priority,
+    )
+
+
+class TestFairShare:
+    def test_equal_split(self):
+        shares = FairShareScheduler().allocate(
+            [demand("a"), demand("b"), demand("c")], 3_000_000.0
+        )
+        assert shares == {"a": 1_000_000.0, "b": 1_000_000.0, "c": 1_000_000.0}
+
+    def test_single_session_gets_everything(self):
+        shares = FairShareScheduler().allocate([demand("a")], 2_400_000.0)
+        assert shares == {"a": 2_400_000.0}
+
+    def test_empty_active_set(self):
+        assert FairShareScheduler().allocate([], 1_000_000.0) == {}
+
+    def test_nonpositive_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FairShareScheduler().allocate([demand("a")], 0.0)
+
+
+class TestPriority:
+    def test_higher_class_satisfied_first(self):
+        demands = [
+            demand("hi", full=900_000.0, priority=1),
+            demand("lo", full=900_000.0, priority=0),
+        ]
+        shares = PriorityScheduler().allocate(demands, 1_200_000.0)
+        assert shares["hi"] == 900_000.0  # met in full
+        assert shares["lo"] == pytest.approx(300_000.0)  # the leftovers
+
+    def test_lowest_class_absorbs_surplus(self):
+        """Capacity beyond every higher class's demand is never parked."""
+        demands = [
+            demand("hi", full=400_000.0, priority=1),
+            demand("lo", full=100_000.0, priority=0),
+        ]
+        shares = PriorityScheduler().allocate(demands, 2_000_000.0)
+        assert shares["hi"] == 400_000.0
+        assert shares["lo"] == pytest.approx(1_600_000.0)
+
+    def test_starved_class_gets_zero(self):
+        demands = [
+            demand("a", full=1_000_000.0, priority=2),
+            demand("b", full=1_000_000.0, priority=1),
+            demand("c", full=1_000_000.0, priority=0),
+        ]
+        shares = PriorityScheduler().allocate(demands, 1_000_000.0)
+        assert shares["a"] == 1_000_000.0
+        assert shares["b"] == 0.0
+        assert shares["c"] == 0.0
+
+    def test_weighted_water_filling_within_class(self):
+        demands = [
+            demand("w1", full=2_000_000.0, weight=1.0, priority=1),
+            demand("w3", full=2_000_000.0, weight=3.0, priority=1),
+            demand("lo", full=500_000.0, priority=0),
+        ]
+        shares = PriorityScheduler().allocate(demands, 1_000_000.0)
+        assert shares["w1"] == pytest.approx(250_000.0)
+        assert shares["w3"] == pytest.approx(750_000.0)
+        assert shares["lo"] == 0.0
+
+    def test_water_fill_frees_surplus_of_met_members(self):
+        demands = [
+            demand("small", full=100_000.0, priority=1),
+            demand("big", full=5_000_000.0, priority=1),
+            demand("lo", full=500_000.0, priority=0),
+        ]
+        shares = PriorityScheduler().allocate(demands, 1_000_000.0)
+        assert shares["small"] == 100_000.0
+        assert shares["big"] == pytest.approx(900_000.0)
+
+    def test_deterministic_under_input_order(self):
+        demands = [
+            demand("a", full=700_000.0, priority=1),
+            demand("b", full=900_000.0, weight=2.0, priority=1),
+            demand("c", full=400_000.0, priority=0),
+        ]
+        forward = PriorityScheduler().allocate(demands, 1_500_000.0)
+        backward = PriorityScheduler().allocate(demands[::-1], 1_500_000.0)
+        assert forward == backward
+
+    def test_single_class_splits_whole_capacity_by_weight(self):
+        demands = [demand("a"), demand("b", weight=2.0)]
+        shares = PriorityScheduler().allocate(demands, 900_000.0)
+        assert shares["a"] == pytest.approx(300_000.0)
+        assert shares["b"] == pytest.approx(600_000.0)
+
+
+class TestSessionDemand:
+    def test_critical_cannot_exceed_full(self):
+        with pytest.raises(ConfigurationError):
+            SessionDemand("x", demand_bps=1.0, critical_bps=2.0)
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SessionDemand("x", demand_bps=-1.0, critical_bps=0.0)
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SessionDemand("x", demand_bps=1.0, critical_bps=0.0, weight=0.0)
+
+
+class TestFactory:
+    def test_by_name(self):
+        assert isinstance(make_scheduler("fair"), FairShareScheduler)
+        assert isinstance(make_scheduler("priority"), PriorityScheduler)
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            make_scheduler("round-robin")

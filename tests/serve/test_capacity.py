@@ -1,0 +1,79 @@
+"""Tests for the capacity sweep experiment (repro.experiments.capacity)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.capacity import CapacityConfig, run_capacity
+
+SMALL = CapacityConfig(
+    ks=(1, 4), replications=1, gop_count=2, max_windows=2
+)
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    return run_capacity(SMALL)
+
+
+class TestSmallSweep:
+    def test_points_cover_the_grid(self, small_result):
+        assert {(p.k, p.arm) for p in small_result.points} == {
+            (1, "shed"),
+            (1, "baseline"),
+            (4, "shed"),
+            (4, "baseline"),
+        }
+
+    def test_unloaded_arms_agree_with_reference(self, small_result):
+        """K = 1 under either arm is the batched single-session run."""
+        reference = small_result.reference.mean_clf.mean
+        assert small_result.point(1, "shed").mean_clf == pytest.approx(reference)
+        assert small_result.point(1, "baseline").mean_clf == pytest.approx(
+            reference
+        )
+
+    def test_baseline_admits_everyone(self, small_result):
+        for k in SMALL.ks:
+            point = small_result.point(k, "baseline")
+            assert point.admitted == point.submitted
+            assert point.shed_frames == 0
+
+    def test_render_and_summary(self, small_result):
+        text = small_result.render()
+        assert "Capacity sweep" in text and "unloaded reference" in text
+        summary = small_result.summary_dict()
+        assert summary["replications"] == 1
+        assert len(summary["points"]) == 4
+        assert {p["arm"] for p in summary["points"]} == {"shed", "baseline"}
+
+    def test_replications_override(self):
+        result = run_capacity(SMALL, replications=2)
+        assert result.config.replications == 2
+        assert result.reference.replications == 2
+
+    def test_runner_registration(self):
+        from repro.experiments.runner import available_experiments
+
+        assert "capacity" in available_experiments()
+
+
+@pytest.mark.slow
+class TestFullSweep:
+    def test_graceful_degradation_shape(self):
+        """The committed manifest's claim: shedding holds the adaptive
+        target while the unmanaged baseline's worst case grows with K."""
+        result = run_capacity()
+        config = result.config
+        k_hi = max(config.ks)
+        assert result.shape_holds
+        assert (
+            result.point(k_hi, "shed").mean_clf <= config.target_clf
+        )
+        assert (
+            result.point(k_hi, "baseline").worst_clf
+            > result.point(min(config.ks), "baseline").worst_clf
+        )
+        # shedding happened, and only on the managed arm
+        assert result.point(k_hi, "shed").shed_frames > 0
+        assert result.point(k_hi, "baseline").shed_frames == 0

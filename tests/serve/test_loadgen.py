@@ -1,0 +1,70 @@
+"""Tests for the seeded load generator (repro.serve.loadgen)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serve.loadgen import LoadSpec, generate_requests
+
+
+class TestDeterminism:
+    def test_same_spec_same_fleet(self):
+        a = generate_requests(LoadSpec(sessions=5, seed=3))
+        b = generate_requests(LoadSpec(sessions=5, seed=3))
+        assert [r.session_id for r in a] == [r.session_id for r in b]
+        assert [r.arrival_time for r in a] == [r.arrival_time for r in b]
+        assert [r.config.seed for r in a] == [r.config.seed for r in b]
+        assert [r.priority for r in a] == [r.priority for r in b]
+
+    def test_different_seeds_differ(self):
+        a = generate_requests(LoadSpec(sessions=5, seed=3))
+        b = generate_requests(LoadSpec(sessions=5, seed=4))
+        assert [r.config.seed for r in a] != [r.config.seed for r in b]
+
+    def test_channel_seeds_unique_within_fleet(self):
+        requests = generate_requests(LoadSpec(sessions=8, seed=0))
+        seeds = [r.config.seed for r in requests]
+        assert len(set(seeds)) == len(seeds)
+
+
+class TestShape:
+    def test_arrivals_monotone(self):
+        requests = generate_requests(LoadSpec(sessions=6, seed=1))
+        arrivals = [r.arrival_time for r in requests]
+        assert arrivals == sorted(arrivals)
+        assert arrivals[0] == 0.0
+
+    def test_zero_interarrival_means_simultaneous(self):
+        requests = generate_requests(
+            LoadSpec(sessions=4, seed=1, mean_interarrival=0.0)
+        )
+        assert all(r.arrival_time == 0.0 for r in requests)
+
+    def test_priority_fraction_extremes(self):
+        low = generate_requests(
+            LoadSpec(sessions=6, seed=2, high_priority_fraction=0.0)
+        )
+        high = generate_requests(
+            LoadSpec(sessions=6, seed=2, high_priority_fraction=1.0)
+        )
+        assert all(r.priority == 0 and r.weight == 1.0 for r in low)
+        assert all(r.priority == 1 and r.weight == 2.0 for r in high)
+
+    def test_max_windows_propagates(self):
+        requests = generate_requests(LoadSpec(sessions=2, seed=0, max_windows=3))
+        assert all(r.max_windows == 3 for r in requests)
+
+
+class TestValidation:
+    def test_sessions_positive(self):
+        with pytest.raises(ConfigurationError):
+            LoadSpec(sessions=0)
+
+    def test_interarrival_non_negative(self):
+        with pytest.raises(ConfigurationError):
+            LoadSpec(mean_interarrival=-1.0)
+
+    def test_priority_fraction_bounds(self):
+        with pytest.raises(ConfigurationError):
+            LoadSpec(high_priority_fraction=1.5)

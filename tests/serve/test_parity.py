@@ -1,0 +1,118 @@
+"""Differential parity: K = 1 serving equals the sequential engine.
+
+The service's contract is that one admitted session on a fair split of
+a sufficient bottleneck is *bit-for-bit* the sequential
+:func:`repro.core.protocol.run_session` — same
+:class:`~repro.core.protocol.SessionResult` dataclasses, same floats —
+on every available acceleration backend.  This module must keep
+passing with NumPy absent, so it never imports it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro import accel
+from repro.core.protocol import ProtocolConfig, run_session
+from repro.media.gop import GOP_12, GopPattern
+from repro.media.stream import make_video_stream
+from repro.serve import LoadSpec, SessionRequest, generate_requests, serve_sessions
+
+
+@pytest.fixture(scope="module")
+def figure_stream():
+    return make_video_stream(GOP_12, gop_count=8)
+
+
+def _served_result(stream, config, *, capacity=None, max_windows=4, **kwargs):
+    request = SessionRequest(
+        session_id="only", stream=stream, config=config, max_windows=max_windows
+    )
+    result = serve_sessions(
+        [request], capacity or config.bandwidth_bps, **kwargs
+    )
+    assert len(result.admitted) == 1
+    return result.outcomes[0].result
+
+
+def _assert_parity(stream, config, *, capacity=None, max_windows=4, **kwargs):
+    previous = accel.backend_name()
+    try:
+        for name in accel.available_backends():
+            accel.set_backend(name)
+            served = _served_result(
+                stream, config, capacity=capacity, max_windows=max_windows, **kwargs
+            )
+            expected = run_session(stream, config, max_windows=max_windows)
+            assert served == expected, f"backend {name!r} diverged"
+    finally:
+        accel.set_backend(previous)
+
+
+class TestSingleSessionParity:
+    def test_paper_geometry(self, figure_stream):
+        """The Figure-8 window shape (N = 24), capacity == provisioning."""
+        _assert_parity(figure_stream, ProtocolConfig(seed=2000))
+
+    def test_capacity_above_native_is_idle_headroom(self, figure_stream):
+        """A share above the provisioned rate never speeds a session up."""
+        config = ProtocolConfig(seed=7)
+        _assert_parity(
+            figure_stream, config, capacity=config.bandwidth_bps * 4
+        )
+
+    def test_unscrambled_baseline_arm(self, figure_stream):
+        _assert_parity(
+            figure_stream,
+            ProtocolConfig(layered=False, scramble=False, seed=2000),
+        )
+
+    def test_priority_scheduler_single_session(self, figure_stream):
+        from repro.serve import make_scheduler
+
+        _assert_parity(
+            figure_stream,
+            ProtocolConfig(seed=11),
+            scheduler=make_scheduler("priority"),
+        )
+
+    def test_shedding_disabled_arm(self, figure_stream):
+        _assert_parity(
+            figure_stream, ProtocolConfig(seed=23), shedding=False
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 99, 4242])
+    def test_seed_sweep(self, figure_stream, seed):
+        _assert_parity(
+            figure_stream, ProtocolConfig(seed=seed), max_windows=3
+        )
+
+    def test_small_gop_shapes(self):
+        """IBBP windows: the stream's critical demand (1.26 Mbps)
+        exceeds its own 1.2 Mbps provisioning, so this also pins parity
+        with admission control out of the way."""
+        stream = make_video_stream(GopPattern.parse("IBBP"), gop_count=6)
+        for lossy in (False, True):
+            config = ProtocolConfig(
+                gop_size=4, seed=5, lossy_feedback=lossy, p_bad=0.5
+            )
+            _assert_parity(stream, config, max_windows=5, admission=False)
+
+    def test_loadgen_single_session_matches_batch_reference(self):
+        """The K = 1 generated fleet equals the unloaded reference the
+        capacity sweep computes through the batched engine."""
+        from repro.core.batch import run_sessions_batch
+
+        spec = LoadSpec(sessions=1, seed=9, gop_count=4, max_windows=4)
+        (request,) = generate_requests(spec)
+        service = serve_sessions([request], request.config.bandwidth_bps)
+        reference_stream = make_video_stream(GOP_12, gop_count=4)
+        (expected,) = run_sessions_batch(
+            reference_stream,
+            replace(spec.config, seed=request.config.seed),
+            seeds=[request.config.seed],
+            max_windows=4,
+        )
+        assert service.outcomes[0].result == expected
