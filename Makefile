@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-batch bench-all profile experiments examples serve-demo obs-demo obs-guard lint all
+.PHONY: install test bench bench-batch bench-serve bench-all profile profile-serve experiments examples serve-demo obs-demo obs-guard lint all
 
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
@@ -17,11 +17,17 @@ bench:
 bench-batch:
 	$(PYTHON) tools/bench_compare.py --bench-path benchmarks/test_bench_batch.py --tag batch
 
+bench-serve:
+	$(PYTHON) tools/bench_compare.py --bench-path benchmarks/test_bench_serve_fastpath.py --tag serve
+
 bench-all:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
 profile:
 	$(PYTHON) tools/profile_hotpath.py
+
+profile-serve:
+	$(PYTHON) tools/profile_hotpath.py --target serve
 
 experiments:
 	$(PYTHON) -m repro experiments

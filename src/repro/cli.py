@@ -27,7 +27,10 @@ Commands
     one shared bottleneck (``repro.serve``) and print the admission,
     shedding and per-session CLF outcome.  ``--scheduler`` picks the
     bandwidth split (``fair`` or ``priority``), ``--no-shedding`` /
-    ``--no-admission`` disable the managed-server arms, and
+    ``--no-admission`` disable the managed-server arms,
+    ``--fast`` routes the run through the window-batched fast path
+    (bit-for-bit identical results), ``--shards S`` fans the fleet out
+    over ``S`` independent bottleneck shards in worker processes, and
     ``--manifest-out FILE`` records a service run manifest.
 ``obs dump EXPERIMENT [--jobs N] [--replications R] [--out FILE]``
     Run one experiment with metrics enabled and write its JSON run
@@ -173,6 +176,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="admit every session regardless of critical-layer demand",
     )
     serve.add_argument(
+        "--fast",
+        action="store_true",
+        help="use the window-batched fast path (bit-for-bit identical)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="S",
+        help="fan the fleet out over S bottleneck shards (processes)",
+    )
+    serve.add_argument(
         "--manifest-out",
         default=None,
         metavar="FILE",
@@ -287,9 +302,13 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
         build_service_manifest,
         generate_requests,
         make_scheduler,
+        run_sharded,
         serve_sessions,
     )
 
+    if args.shards < 1:
+        print("--shards must be at least 1", file=out)
+        return 2
     if args.manifest_out is not None:
         obs.enable()
         obs.reset()
@@ -301,20 +320,40 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
         max_windows=args.windows,
     )
     started = time.perf_counter()
-    result = serve_sessions(
-        generate_requests(spec),
-        args.capacity_mbps * 1e6,
-        scheduler=make_scheduler(args.scheduler),
-        shedding=not args.no_shedding,
-        admission=not args.no_admission,
-    )
+    if args.shards > 1:
+        result = run_sharded(
+            spec,
+            args.capacity_mbps * 1e6,
+            shards=args.shards,
+            scheduler=args.scheduler,
+            shedding=not args.no_shedding,
+            admission=not args.no_admission,
+            fast=args.fast,
+        )
+        labelled = [
+            (f"{index}:{outcome.request.session_id}", outcome)
+            for index, shard in enumerate(result.shards)
+            for outcome in shard.outcomes
+        ]
+    else:
+        result = serve_sessions(
+            generate_requests(spec),
+            args.capacity_mbps * 1e6,
+            fast=args.fast,
+            scheduler=make_scheduler(args.scheduler),
+            shedding=not args.no_shedding,
+            admission=not args.no_admission,
+        )
+        labelled = [
+            (outcome.request.session_id, outcome) for outcome in result.outcomes
+        ]
     wall = time.perf_counter() - started
     rows = []
-    for outcome in result.outcomes:
+    for label, outcome in labelled:
         session = outcome.result
         rows.append(
             (
-                outcome.request.session_id,
+                label,
                 outcome.request.priority,
                 "yes" if outcome.admitted else "NO",
                 f"{session.mean_clf:.2f}" if session else "-",
@@ -332,8 +371,9 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
         ),
         file=out,
     )
-    for outcome in result.rejected:
-        print(f"rejected {outcome.request.session_id}: {outcome.reason}", file=out)
+    for label, outcome in labelled:
+        if not outcome.admitted:
+            print(f"rejected {label}: {outcome.reason}", file=out)
     if args.manifest_out is not None:
         from repro.experiments.persist import save_run_manifest
 

@@ -325,8 +325,18 @@ def _run_row_sender(
     window_index: int,
     window_start: float,
     window_end: float,
+    shed_for=None,
 ) -> _RowWindow:
-    """One row's sender loop; mirrors ``ProtocolSession.run_window``."""
+    """One row's sender loop; mirrors ``ProtocolSession.run_window``.
+
+    ``shed_for`` is the row-engine twin of
+    :meth:`ProtocolSession._shed_frames`: an optional
+    ``(row, plan) -> frozenset`` callback naming frame offsets to drop
+    at the sender before they consume air time or channel state.  The
+    serve fast path (:mod:`repro.serve.fastpath`) binds it to the
+    service's shedding policy; plain replication sweeps leave it unset,
+    which keeps this loop byte-identical to its pre-hook behaviour.
+    """
     _drain_acks(row, window_start)
     bounds = _row_bounds(row, config, info.shape)
     plan, layer_sequences = info.shape.plan_for(bounds, config.scramble)
@@ -337,6 +347,7 @@ def _run_row_sender(
         transmission_order=plan.order,
         layer_sizes={layer.index: layer.size for layer in plan.layers},
     )
+    shed = shed_for(row, plan) if shed_for is not None else frozenset()
 
     frag_counts = info.frag_counts
     frag_times = info.frag_times
@@ -402,6 +413,10 @@ def _run_row_sender(
 
     first_attempt: List[int] = []
     for offset in plan.order:
+        if offset in shed:
+            result.dropped_at_sender += 1
+            result.shed += 1
+            continue
         link_free = window_start if window_start > busy else busy
         try_retransmissions(link_free)
         link_free = window_start if window_start > busy else busy

@@ -87,9 +87,13 @@ def _load_spec(config: CapacityConfig, k: int, replication: int) -> LoadSpec:
 def _run_service(task: Tuple[CapacityConfig, int, int, bool]) -> ServiceResult:
     config, k, replication, shed = task
     requests = generate_requests(_load_spec(config, k, replication))
+    # The window-batched fast path is pinned bit-for-bit against the
+    # event-loop service, so the sweep's numbers are unchanged — only
+    # the wall clock moves.
     return serve_sessions(
         requests,
         config.capacity_bps,
+        fast=True,
         shedding=shed,
         admission=shed,
         scheduler=None if config.scheduler == "fair" else _make_scheduler(config),

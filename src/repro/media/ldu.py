@@ -74,6 +74,24 @@ class Ldu:
         if self.size_bits < 0:
             raise StreamError(f"LDU size must be non-negative, got {self.size_bits}")
 
+    def __hash__(self) -> int:
+        # Memoized: window tuples of LDUs are dictionary keys on the
+        # serving fast path, where the dataclass-generated field-by-field
+        # hash is hot.  Frozen + all-immutable fields make this safe.
+        value = self.__dict__.get("_hash")
+        if value is None:
+            value = hash(
+                (
+                    self.index,
+                    self.frame_type,
+                    self.size_bits,
+                    self.gop_index,
+                    self.position_in_gop,
+                )
+            )
+            object.__setattr__(self, "_hash", value)
+        return value
+
     @property
     def is_anchor(self) -> bool:
         """Whether other LDUs may depend on this one (MPEG I/P frames)."""

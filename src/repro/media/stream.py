@@ -44,6 +44,15 @@ class MediaStream:
                     f"position {expected} holds index {ldu.index}"
                 )
 
+    def __hash__(self) -> int:
+        # Memoized: streams key the serving layer's demand cache, and
+        # the dataclass-generated hash walks every LDU on each lookup.
+        value = self.__dict__.get("_hash")
+        if value is None:
+            value = hash((self.ldus, self.fps, self.name))
+            object.__setattr__(self, "_hash", value)
+        return value
+
     def __len__(self) -> int:
         return len(self.ldus)
 
@@ -117,6 +126,15 @@ class VideoStream(MediaStream):
                         f"frame {ldu.index} has type {ldu.frame_type}, "
                         f"pattern says {expected}"
                     )
+
+    def __hash__(self) -> int:
+        # Memoized like the parent's (the dataclass decorator would
+        # otherwise regenerate a field-walking hash for the subclass).
+        value = self.__dict__.get("_hash")
+        if value is None:
+            value = hash((self.ldus, self.fps, self.name, self.pattern))
+            object.__setattr__(self, "_hash", value)
+        return value
 
     @property
     def gops(self) -> List[Gop]:

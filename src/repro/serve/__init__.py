@@ -29,6 +29,14 @@ from repro.serve.admission import (
     AdmissionDecision,
     estimate_demand,
 )
+from repro.serve.fastpath import (
+    FastStreamingService,
+    ShardedResult,
+    ShardedService,
+    run_sharded,
+    serve_sessions_fast,
+    shard_specs,
+)
 from repro.serve.bandwidth import (
     FairShareScheduler,
     PriorityScheduler,
@@ -51,6 +59,7 @@ __all__ = [
     "AdmissionController",
     "AdmissionDecision",
     "FairShareScheduler",
+    "FastStreamingService",
     "LayeredShedPolicy",
     "LoadSpec",
     "PriorityScheduler",
@@ -59,10 +68,15 @@ __all__ = [
     "SessionDemand",
     "SessionOutcome",
     "SessionRequest",
+    "ShardedResult",
+    "ShardedService",
     "StreamingService",
     "build_service_manifest",
     "estimate_demand",
     "generate_requests",
     "make_scheduler",
+    "run_sharded",
     "serve_sessions",
+    "serve_sessions_fast",
+    "shard_specs",
 ]

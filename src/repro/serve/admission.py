@@ -15,9 +15,11 @@ windows of ``bits / cycle`` (full demand) and ``anchor bits / cycle``
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
+from repro import obs
 from repro.core.protocol import ProtocolConfig
 from repro.errors import ConfigurationError
 from repro.media.stream import MediaStream
@@ -28,6 +30,13 @@ __all__ = [
     "AdmissionDecision",
     "estimate_demand",
 ]
+
+#: LRU capacity of the demand cache.  Capacity sweeps re-admit the same
+#: few generated streams for every replication and arm; 128 distinct
+#: (stream, windowing) shapes is far beyond any sweep in the repo.
+_DEMAND_CACHE_SIZE = 128
+
+_demand_cache: "OrderedDict[tuple, Tuple[float, float]]" = OrderedDict()
 
 
 def estimate_demand(
@@ -43,7 +52,20 @@ def estimate_demand(
     is its encoded bits divided by the cycle.  The critical demand
     counts only anchor (I/P) frames — what must survive for the window
     to decode at all.
+
+    Results are memoized in a small LRU keyed by the stream and its
+    windowing (the only inputs the estimate reads) — the capacity sweep
+    recomputes identical demands for every replication.
     """
+    key = (stream, config.window_frames, max_windows)
+    cached = _demand_cache.get(key)
+    if cached is not None:
+        _demand_cache.move_to_end(key)
+        if obs.enabled():
+            obs.counter("serve.demand_cache.hits").inc()
+        return cached
+    if obs.enabled():
+        obs.counter("serve.demand_cache.misses").inc()
     windows = list(stream.windows(config.window_frames))
     if max_windows is not None:
         windows = windows[:max_windows]
@@ -59,6 +81,9 @@ def estimate_demand(
         )
         full = max(full, total_bits / cycle)
         critical = max(critical, anchor_bits / cycle)
+    _demand_cache[key] = (full, critical)
+    if len(_demand_cache) > _DEMAND_CACHE_SIZE:
+        _demand_cache.popitem(last=False)
     return full, critical
 
 

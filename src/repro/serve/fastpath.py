@@ -1,0 +1,752 @@
+"""Window-batched fast path and sharded fan-out for the service.
+
+``StreamingService`` (the event-loop path) runs its ``K`` sessions one
+:meth:`~repro.core.protocol.ProtocolSession.run_window` call at a time,
+paying the sequential engine's full per-packet object churn per viewer.
+But the scheduling decisions the event loop exists to order — arrivals,
+admission tests, per-window share reallocation, departures — never read
+a single simulation result: shares depend only on the active demand set,
+and demands come from the streams themselves.  The media simulation of
+each admitted session is therefore a pure function of its request and
+of the share it is handed at each of its window boundaries.
+
+The fast path exploits exactly that factorisation:
+
+1. **Plan.**  A :class:`_PlanningService` replays the *identical* event
+   timeline — same events, same heap order, same admission calls, same
+   ``scheduler.allocate`` invocations — with the media engine replaced
+   by a stub, recording every admitted session's per-window bottleneck
+   share.  Because nothing the stub skips can influence scheduling,
+   the recorded shares are bit-for-bit the ones the event-loop path
+   would have applied.
+2. **Execute.**  The admitted fleet then advances window-by-window in
+   lockstep through the row engine of :mod:`repro.core.batch`: one
+   :func:`repro.accel.gilbert_states_batch` prefetch across the fleet
+   per window, stacked :func:`repro.accel.batch_worst_clf` calls for
+   per-window and per-layer CLF, and permutation plans shared per
+   window shape.  Load shedding runs through the same
+   :class:`~repro.serve.shedding.LayeredShedPolicy` via the row
+   engine's ``shed_for`` hook.  Windows whose rows all share one
+   (window shape, share) key batch across the whole fleet
+   (``serve.fastpath.windows_batched``); windows made dynamic by
+   arrivals, departures or scheduler rebalancing fall back to
+   per-session execution (``serve.fastpath.windows_fallback``) — the
+   same arithmetic the event loop performs, minus the batching.
+
+Either way the produced :class:`~repro.serve.service.ServiceResult` is
+pinned bit-for-bit against :class:`StreamingService` on every accel
+backend (``tests/serve/test_fastpath.py``, ``tests/serve/test_parity.py``).
+
+Sharding
+--------
+:class:`ShardedService` scales the fleet dimension across processes: a
+:class:`~repro.serve.loadgen.LoadSpec` request stream is partitioned
+into per-shard specs with a **pinned seed lineage** — shard ``i`` of
+``S`` serves ``sessions // S`` (+1 for the first ``sessions % S``
+shards) viewers generated from ``seed + i * SHARD_SEED_STRIDE`` — and
+every shard's fleet runs through the fast path on its own bottleneck
+(one shard models one server of a fleet).  Results merge into a
+:class:`ShardedResult`; identical spec + shard count always reproduces
+identical traffic, whatever the worker-process count.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import accel, obs
+from repro.core.batch import (
+    _CONTROL_PACKET_BYTES,
+    _PREFETCH_SLACK,
+    _PREFETCH_WINDOWS,
+    _Row,
+    _WindowInfo,
+    _loss_run_count,
+    _run_row_sender,
+    _send_ack,
+)
+from repro.errors import ConfigurationError, ProtocolError
+from repro.experiments.parallel import parallel_map
+from repro.media.ldu import Ldu
+from repro.serve.loadgen import LoadSpec, generate_requests
+from repro.serve.service import (
+    _MIN_SHARE_BPS,
+    ServiceResult,
+    SessionOutcome,
+    SessionRequest,
+    StreamingService,
+)
+
+__all__ = [
+    "SHARD_SEED_STRIDE",
+    "FastStreamingService",
+    "ShardedResult",
+    "ShardedService",
+    "run_sharded",
+    "serve_sessions_fast",
+    "shard_specs",
+]
+
+#: Load-seed spacing between shards of one sharded run.  Far from both
+#: the per-session stride of :mod:`repro.serve.loadgen` (7919) and the
+#: feedback-channel offset (104729), so shard lineages never collide
+#: with in-shard session seeds.  Pinned: changing it changes every
+#: sharded run's traffic.
+SHARD_SEED_STRIDE = 15_485_863
+
+
+# ----------------------------------------------------------------------
+# Phase 1 — planning: replay the exact scheduling timeline
+# ----------------------------------------------------------------------
+
+
+class _PlanStub:
+    """Stands in for a :class:`ServedSession` during the planning pass."""
+
+    __slots__ = ("stream", "shares")
+
+    def __init__(self, stream) -> None:
+        if len(stream) == 0:
+            raise ProtocolError("cannot stream an empty stream")
+        self.stream = stream
+        self.shares: List[float] = []
+
+
+@dataclass
+class _SessionPlan:
+    """One admitted session's complete schedule: windows and shares."""
+
+    outcome: SessionOutcome
+    windows: List[Tuple[Ldu, ...]]
+    shares: List[float] = field(default_factory=list)
+
+
+class _PlanningService(StreamingService):
+    """The service with the media engine stubbed out.
+
+    Scheduling in :class:`StreamingService` never reads a simulation
+    result — shares and admission depend only on the demand set — so
+    replaying the event loop with ``run_window`` skipped records the
+    exact per-window share sequence of every admitted session.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.session_plans: Dict[str, _SessionPlan] = {}
+
+    def _create_session(self, request: SessionRequest):
+        return _PlanStub(request.stream)
+
+    def _execute_window(
+        self, active, index: int, window: Sequence[Ldu], share_bps: float
+    ) -> None:
+        active.session.shares.append(share_bps)
+
+    def _finalize_session(self, active) -> None:
+        self.session_plans[active.outcome.request.session_id] = _SessionPlan(
+            outcome=active.outcome,
+            windows=active.windows,
+            shares=active.session.shares,
+        )
+
+
+# ----------------------------------------------------------------------
+# Phase 2 — execution: the fleet in window lockstep
+# ----------------------------------------------------------------------
+
+
+class _FleetRow(_Row):
+    """One served session as a batch-engine row with service state."""
+
+    __slots__ = (
+        "plan",
+        "config",
+        "fps",
+        "native_bps",
+        "bandwidth_bps",
+        "min_share_bps",
+        "shed_total",
+        "group_id",
+    )
+
+    def __init__(self, plan: _SessionPlan) -> None:
+        request = plan.outcome.request
+        super().__init__(request.config, request.config.seed)
+        self.plan = plan
+        self.config = request.config
+        self.fps = request.stream.fps
+        #: Mirrors ``ServedSession``: the provisioned rate is a hard
+        #: cap (a bigger share is idle headroom, never a speed-up).
+        self.native_bps = request.config.bandwidth_bps
+        self.bandwidth_bps = request.config.bandwidth_bps
+        self.min_share_bps = request.config.bandwidth_bps
+        self.shed_total = 0
+        self.group_id = 0
+
+    def apply_share(self, share_bps: float) -> float:
+        """Clamp and apply one window's share; twin of ``set_bandwidth``."""
+        share_bps = min(max(share_bps, _MIN_SHARE_BPS), self.native_bps)
+        self.min_share_bps = min(self.min_share_bps, share_bps)
+        self.bandwidth_bps = share_bps
+        return share_bps
+
+
+def _make_shed_for(shed_policy, window: Sequence[Ldu], fps: float):
+    """Bind the service's shed policy to the row engine's hook.
+
+    Mirrors :meth:`ServedSession._shed_frames`: the policy sees the
+    row's current bottleneck share, its provisioned rate and its own
+    feedback-fed channel estimator.
+    """
+
+    def shed_for(row: _FleetRow, plan) -> frozenset:
+        shed = shed_policy.select(
+            window,
+            plan,
+            row.bandwidth_bps,
+            fps,
+            native_bps=row.native_bps,
+            estimator=row.estimator,
+        )
+        if shed:
+            row.shed_total += len(shed)
+            if obs.enabled():
+                obs.counter("serve.shed_frames").inc(len(shed))
+        return shed
+
+    return shed_for
+
+
+def _run_fleet_window(
+    rows: List[_FleetRow],
+    info: _WindowInfo,
+    window: Sequence[Ldu],
+    window_index: int,
+    shed_policy,
+) -> None:
+    """Advance one group of rows through one window, kernels stacked.
+
+    Every row in ``rows`` shares the same window shape, configuration
+    family and effective share (that is the grouping invariant), so the
+    receiver-side continuity and per-layer burst measurements of the
+    whole group collapse into stacked :func:`repro.accel.batch_worst_clf`
+    calls — exactly the structure of
+    :func:`repro.core.batch._run_window_batch`, generalised to serve
+    rows with shedding and a share-dependent ACK serialization.
+    """
+    n = info.n
+    cycle = info.cycle
+    fps = rows[0].fps
+    config = rows[0].config  # uniform across the group except the seed
+    window_start = window_index * cycle
+    window_end = window_start + cycle
+    playback_start = window_end + config.rtt / 2.0
+    slot_times = [playback_start + offset / fps for offset in range(n)]
+
+    shed_for = (
+        _make_shed_for(shed_policy, window, fps) if shed_policy is not None else None
+    )
+    row_windows = [
+        _run_row_sender(
+            row, info, row.config, window_index, window_start, window_end, shed_for
+        )
+        for row in rows
+    ]
+
+    rtt_half = config.rtt / 2.0
+    need_masks = info.shape.need_masks
+    indicator_rows: List[List[int]] = []
+    for data in row_windows:
+        result = data.result
+        received = set()
+        for offset, (completed, delivered) in data.sent.items():
+            if not delivered:
+                continue
+            arrival = completed + rtt_half
+            if arrival <= slot_times[offset]:
+                received.add(offset)
+                result.arrival_times[offset] = arrival
+            else:
+                result.late += 1
+        result.received = received
+        result.playback_start = playback_start
+        mask = 0
+        for offset in received:
+            mask |= 1 << offset
+        decodable = {
+            offset for offset in range(n) if need_masks[offset] & ~mask == 0
+        }
+        result.decodable = decodable
+        data.received = frozenset(received)
+        indicator = [0 if offset in decodable else 1 for offset in range(n)]
+        result.unit_losses = sum(indicator)
+        indicator_rows.append(indicator)
+
+    for clf, data in zip(accel.batch_worst_clf(indicator_rows), row_windows):
+        data.result.clf = clf
+
+    layers = info.shape.transmission.layers
+    for layer_position, layer in enumerate(layers):
+        matrix = [
+            [
+                1 if offset not in data.received else 0
+                for offset in data.layer_sequences[layer_position]
+            ]
+            for data in row_windows
+        ]
+        for burst, data in zip(accel.batch_worst_clf(matrix), row_windows):
+            data.result.layer_bursts[layer.index] = burst
+
+    for row, data in zip(rows, row_windows):
+        result = data.result
+        first_attempt = data.first_attempt
+        result.first_attempt_stats = (
+            sum(first_attempt),
+            _loss_run_count(first_attempt),
+            len(first_attempt),
+        )
+        # The ACK rides the feedback channel at the session's *current*
+        # share — the event-loop path resizes both channel directions.
+        control_serialization = _CONTROL_PACKET_BYTES * 8.0 / row.bandwidth_bps
+        _send_ack(
+            row, row.config, window_index, window_end, result, control_serialization
+        )
+        row.result.windows.append(result)
+        row.result.series.add_clf(result.clf, result.alf)
+
+    if obs.enabled():
+        obs.counter("protocol.windows").inc(len(rows))
+        clf_hist = obs.histogram("protocol.window_clf")
+        alf_hist = obs.histogram("protocol.window_alf")
+        sent = lost = retransmissions = recovered = late = dropped = 0
+        for data in row_windows:
+            result = data.result
+            sent += result.sent
+            lost += result.lost_in_network
+            retransmissions += result.retransmissions
+            recovered += result.recovered
+            late += result.late
+            dropped += result.dropped_at_sender
+            clf_hist.observe(result.clf)
+            alf_hist.observe(result.alf)
+        obs.counter("protocol.frames_sent").inc(sent)
+        obs.counter("protocol.frames_lost").inc(lost)
+        obs.counter("protocol.retransmissions").inc(retransmissions)
+        obs.counter("protocol.recovered").inc(recovered)
+        obs.counter("protocol.late").inc(late)
+        obs.counter("protocol.dropped_at_sender").inc(dropped)
+
+
+def _execute_fleet(plans: List[_SessionPlan], shed_policy) -> None:
+    """Run every admitted session's schedule, window ordinals in lockstep."""
+    rows = [_FleetRow(plan) for plan in plans]
+    # Shape caches (schedulers, dependency masks, permutation plans) are
+    # keyed by the config family only, so every bandwidth variant of a
+    # window shares one plan cache.  Window infos additionally depend on
+    # the packetization timing, hence on the effective share.
+    shape_caches: Dict[tuple, dict] = {}
+    info_cache: Dict[tuple, _WindowInfo] = {}
+    # Intern the expensive-to-hash group-key components once: rows share
+    # a batch group iff their (config sans seed, fps), window tuple and
+    # effective share all agree, but hashing whole configs and 24-LDU
+    # window tuples on every row-step would dominate the bookkeeping.
+    config_ids: Dict[tuple, int] = {}
+    for row in rows:
+        base = (replace(row.config, seed=0), row.fps)
+        row.group_id = config_ids.setdefault(base, len(config_ids))
+    window_ids: Dict[Tuple[Ldu, ...], int] = {}
+
+    total_windows = max(len(row.plan.windows) for row in rows)
+    for ordinal in range(total_windows):
+        step_rows = [row for row in rows if ordinal < len(row.plan.windows)]
+        groups: Dict[tuple, List[_FleetRow]] = {}
+        group_info: Dict[tuple, _WindowInfo] = {}
+        group_window: Dict[tuple, Tuple[Ldu, ...]] = {}
+        for row in step_rows:
+            effective = row.apply_share(row.plan.shares[ordinal])
+            row.plan.outcome.share_bps = effective
+            window = row.plan.windows[ordinal]
+            key = (
+                row.group_id,
+                effective,
+                window_ids.setdefault(window, len(window_ids)),
+            )
+            info = info_cache.get(key)
+            if info is None:
+                family = (row.config.closed_gops, row.config.effort, row.config.layered)
+                shapes = shape_caches.setdefault(family, {})
+                info = _WindowInfo(
+                    window,
+                    replace(row.config, seed=0, bandwidth_bps=effective),
+                    row.fps,
+                    shapes,
+                )
+                info_cache[key] = info
+            members = groups.get(key)
+            if members is None:
+                groups[key] = [row]
+                group_info[key] = info
+                group_window[key] = window
+            else:
+                members.append(row)
+
+        # Batched loss-flag prefetch across the whole step: rows that
+        # cannot cover their window's first-attempt packets (plus
+        # retransmission slack) refill together, one stacked Gilbert
+        # call per channel-parameter family.
+        refills: Dict[Tuple[float, float], List[Tuple[_FleetRow, int, int]]] = {}
+        for key, members in groups.items():
+            needed = group_info[key].first_attempt_packets + _PREFETCH_SLACK
+            for row in members:
+                if row.pos:
+                    del row.flags[: row.pos]
+                    row.pos = 0
+                missing = needed - len(row.flags)
+                if missing > 0:
+                    refills.setdefault(
+                        (row.config.p_good, row.config.p_bad), []
+                    ).append((row, missing, needed))
+        for (p_good, p_bad), entries in refills.items():
+            chunk = max(
+                max(missing, _PREFETCH_WINDOWS * needed)
+                for _, missing, needed in entries
+            )
+            draw_rows = [
+                [row.fwd_rng.random() for _ in range(chunk)]
+                for row, _, _ in entries
+            ]
+            states_rows = accel.gilbert_states_batch(
+                draw_rows, p_good, p_bad, [row.fwd_bad for row, _, _ in entries]
+            )
+            for (row, _, _), states in zip(entries, states_rows):
+                if states:
+                    row.fwd_bad = bool(states[-1])
+                row.flags.extend(states)
+            if obs.enabled():
+                obs.counter("serve.fastpath.refill_rows").inc(len(entries))
+
+        for key, members in groups.items():
+            _run_fleet_window(
+                members, group_info[key], group_window[key], ordinal, shed_policy
+            )
+        if obs.enabled():
+            obs.counter("serve.fastpath.steps").inc()
+            for members in groups.values():
+                if len(members) > 1:
+                    obs.counter("serve.fastpath.windows_batched").inc(len(members))
+                else:
+                    obs.counter("serve.fastpath.windows_fallback").inc()
+
+    for row in rows:
+        outcome = row.plan.outcome
+        outcome.result = row.result
+        outcome.shed_frames = row.shed_total
+        outcome.min_share_bps = row.min_share_bps
+        if obs.enabled():
+            obs.counter("serve.sessions_completed").inc()
+            session_id = outcome.request.session_id
+            obs.gauge(f"serve.session.{session_id}.mean_clf").set(
+                outcome.result.mean_clf
+            )
+            obs.gauge(f"serve.session.{session_id}.mean_alf").set(
+                outcome.result.series.alf_summary.mean
+            )
+            obs.histogram("serve.session_stream_clf").observe(
+                outcome.result.stream_clf
+            )
+
+
+# ----------------------------------------------------------------------
+# Public fast-path API
+# ----------------------------------------------------------------------
+
+
+def serve_sessions_fast(
+    requests: Sequence[SessionRequest],
+    capacity_bps: float,
+    *,
+    loop=None,
+    **kwargs,
+) -> ServiceResult:
+    """Serve a fleet through the window-batched engine.
+
+    Bit-for-bit identical to
+    :func:`repro.serve.service.serve_sessions` on every accel backend.
+    A caller-supplied event ``loop`` may carry foreign events the
+    planning pass must not consume, so that case falls back to the
+    event-loop service wholesale (``serve.fastpath.fallback_runs``).
+    """
+    if loop is not None:
+        if obs.enabled():
+            obs.counter("serve.fastpath.fallback_runs").inc()
+        service = StreamingService(capacity_bps, loop=loop, **kwargs)
+        service.submit_all(requests)
+        return service.run()
+    planner = _PlanningService(capacity_bps, **kwargs)
+    planner.submit_all(requests)
+    result = planner.run()
+    plans = [
+        planner.session_plans[outcome.request.session_id]
+        for outcome in result.outcomes
+        if outcome.admitted
+    ]
+    if plans:
+        _execute_fleet(plans, planner._shed_policy)
+    if obs.enabled():
+        obs.counter("serve.fastpath.runs").inc()
+        obs.counter("serve.fastpath.sessions").inc(len(plans))
+    return result
+
+
+class FastStreamingService:
+    """Drop-in front end with the :class:`StreamingService` interface.
+
+    Requests are collected on submit and the whole fleet runs through
+    :func:`serve_sessions_fast` when :meth:`run` is called — submission
+    order, arrival times and admission decisions behave exactly as on
+    the event-loop service.
+    """
+
+    def __init__(self, capacity_bps: float, **kwargs) -> None:
+        if capacity_bps <= 0:
+            raise ConfigurationError("capacity must be positive")
+        self.capacity_bps = capacity_bps
+        self._kwargs = kwargs
+        self._requests: List[SessionRequest] = []
+        self._ran = False
+
+    def submit(self, request: SessionRequest) -> None:
+        if self._ran:
+            raise ConfigurationError("service already ran; build a new one")
+        self._requests.append(request)
+
+    def submit_all(self, requests: Sequence[SessionRequest]) -> None:
+        for request in requests:
+            self.submit(request)
+
+    def run(self) -> ServiceResult:
+        self._ran = True
+        return serve_sessions_fast(
+            self._requests, self.capacity_bps, **self._kwargs
+        )
+
+
+# ----------------------------------------------------------------------
+# Sharded fan-out
+# ----------------------------------------------------------------------
+
+
+def shard_specs(spec: LoadSpec, shards: int) -> List[LoadSpec]:
+    """Partition a load spec into per-shard specs with pinned seeds.
+
+    Shard ``i`` receives ``sessions // shards`` viewers (the first
+    ``sessions % shards`` shards get one extra) generated from the
+    derived seed ``spec.seed + i * SHARD_SEED_STRIDE``; inside a shard,
+    the load generator's own per-session seed derivation applies
+    unchanged.  With more shards than sessions the empty tail shards
+    are dropped.
+    """
+    if shards <= 0:
+        raise ConfigurationError("shard count must be positive")
+    base, extra = divmod(spec.sessions, shards)
+    specs: List[LoadSpec] = []
+    for index in range(shards):
+        sessions = base + (1 if index < extra else 0)
+        if sessions == 0:
+            break
+        specs.append(
+            replace(
+                spec,
+                sessions=sessions,
+                seed=spec.seed + index * SHARD_SEED_STRIDE,
+            )
+        )
+    return specs
+
+
+def _run_shard(task) -> Tuple[ServiceResult, float]:
+    """Worker: serve one shard's fleet (module-level for pickling)."""
+    spec, capacity_bps, scheduler_name, shedding, admission, fast = task
+    from repro.serve.bandwidth import make_scheduler
+    from repro.serve.service import serve_sessions
+
+    started = time.perf_counter()
+    result = serve_sessions(
+        generate_requests(spec),
+        capacity_bps,
+        fast=fast,
+        scheduler=make_scheduler(scheduler_name),
+        shedding=shedding,
+        admission=admission,
+    )
+    return result, time.perf_counter() - started
+
+
+@dataclass
+class ShardedResult:
+    """Merged outcome of one sharded run (duck-types ``ServiceResult``
+    far enough for :func:`repro.serve.service.build_service_manifest`)."""
+
+    capacity_bps: float
+    scheduler: str
+    shedding: bool
+    admission: bool
+    shards: List[ServiceResult]
+    shard_seeds: List[int]
+    shard_seconds: List[float]
+
+    @property
+    def outcomes(self) -> List[SessionOutcome]:
+        return [outcome for shard in self.shards for outcome in shard.outcomes]
+
+    @property
+    def admitted(self) -> List[SessionOutcome]:
+        return [outcome for outcome in self.outcomes if outcome.admitted]
+
+    @property
+    def rejected(self) -> List[SessionOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.admitted]
+
+    @property
+    def mean_clf(self) -> float:
+        results = [
+            outcome.result for outcome in self.admitted if outcome.result is not None
+        ]
+        if not results:
+            return 0.0
+        return sum(result.mean_clf for result in results) / len(results)
+
+    @property
+    def worst_clf(self) -> int:
+        return max((shard.worst_clf for shard in self.shards), default=0)
+
+    @property
+    def shed_total(self) -> int:
+        return sum(shard.shed_total for shard in self.shards)
+
+    def describe(self) -> str:
+        return (
+            f"{len(self.shards)} shards x {self.capacity_bps / 1e6:.2f} Mbps "
+            f"({self.scheduler} split): "
+            f"{len(self.admitted)}/{len(self.outcomes)} sessions admitted, "
+            f"mean CLF {self.mean_clf:.2f}, worst CLF {self.worst_clf}, "
+            f"{self.shed_total} frames shed"
+        )
+
+    def summary_dict(self) -> Dict[str, object]:
+        """JSON-ready summary for run manifests."""
+        return {
+            "capacity_bps": self.capacity_bps,
+            "scheduler": self.scheduler,
+            "shedding": self.shedding,
+            "admission": self.admission,
+            "shards": len(self.shards),
+            "shard_seeds": list(self.shard_seeds),
+            "sessions": len(self.outcomes),
+            "admitted": len(self.admitted),
+            "rejected": len(self.rejected),
+            "mean_clf": self.mean_clf,
+            "worst_clf": self.worst_clf,
+            "shed_frames": self.shed_total,
+            "per_shard": [shard.summary_dict() for shard in self.shards],
+        }
+
+
+class ShardedService:
+    """Fan a load spec out over independent bottleneck shards.
+
+    Each shard models one server of a fleet: its own bottleneck of
+    ``capacity_bps``, its own admission controller and shedding policy,
+    serving the shard's slice of the request stream through the fast
+    path (``fast=False`` switches the shards to the event-loop engine).
+    Shards run in worker processes via
+    :func:`repro.experiments.parallel.parallel_map` — results are merged
+    in shard order, so the outcome is independent of ``jobs``.
+    """
+
+    def __init__(
+        self,
+        capacity_bps: float,
+        *,
+        shards: int = 2,
+        scheduler: str = "fair",
+        shedding: bool = True,
+        admission: bool = True,
+        fast: bool = True,
+        jobs: Optional[int] = None,
+    ) -> None:
+        if capacity_bps <= 0:
+            raise ConfigurationError("capacity must be positive")
+        if shards <= 0:
+            raise ConfigurationError("shard count must be positive")
+        from repro.serve.bandwidth import make_scheduler
+
+        make_scheduler(scheduler)  # validate the name early
+        self.capacity_bps = capacity_bps
+        self.shards = shards
+        self.scheduler = scheduler
+        self.shedding = shedding
+        self.admission = admission
+        self.fast = fast
+        self.jobs = jobs
+
+    def run(self, spec: LoadSpec) -> ShardedResult:
+        specs = shard_specs(spec, self.shards)
+        tasks = [
+            (
+                shard_spec,
+                self.capacity_bps,
+                self.scheduler,
+                self.shedding,
+                self.admission,
+                self.fast,
+            )
+            for shard_spec in specs
+        ]
+        jobs = self.jobs if self.jobs is not None else len(tasks)
+        started = time.perf_counter()
+        outputs = parallel_map(_run_shard, tasks, jobs)
+        if obs.enabled():
+            obs.counter("serve.fastpath.shard_runs").inc()
+            obs.counter("serve.fastpath.shards").inc(len(tasks))
+            seconds = obs.histogram("serve.fastpath.shard_seconds")
+            for _, wall in outputs:
+                seconds.observe(wall)
+            obs.gauge("serve.fastpath.fanout_seconds").set(
+                time.perf_counter() - started
+            )
+        return ShardedResult(
+            capacity_bps=self.capacity_bps,
+            scheduler=self.scheduler,
+            shedding=self.shedding,
+            admission=self.admission,
+            shards=[result for result, _ in outputs],
+            shard_seeds=[shard_spec.seed for shard_spec in specs],
+            shard_seconds=[wall for _, wall in outputs],
+        )
+
+
+def run_sharded(
+    spec: LoadSpec,
+    capacity_bps: float,
+    *,
+    shards: int,
+    scheduler: str = "fair",
+    shedding: bool = True,
+    admission: bool = True,
+    fast: bool = True,
+    jobs: Optional[int] = None,
+) -> ShardedResult:
+    """One-shot convenience around :class:`ShardedService`."""
+    service = ShardedService(
+        capacity_bps,
+        shards=shards,
+        scheduler=scheduler,
+        shedding=shedding,
+        admission=admission,
+        fast=fast,
+        jobs=jobs,
+    )
+    return service.run(spec)

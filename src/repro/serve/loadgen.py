@@ -7,13 +7,14 @@ the tests all replay identical traffic for identical seeds.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import List
 
 from repro.core.protocol import ProtocolConfig
 from repro.errors import ConfigurationError
 from repro.media.gop import GOP_12
-from repro.media.stream import make_video_stream
+from repro.media.stream import VideoStream, make_video_stream
 from repro.serve.service import SessionRequest
 
 __all__ = ["LoadSpec", "generate_requests"]
@@ -21,6 +22,39 @@ __all__ = ["LoadSpec", "generate_requests"]
 #: Seed spacing between sessions' channel processes, far from the
 #: feedback-channel offset used by ``make_duplex``.
 _SESSION_SEED_STRIDE = 7919
+
+#: Generated streams are deterministic in (pattern, gop_count, name), so
+#: fleets regenerated for parity comparisons, replications and sharded
+#: runs can share the immutable stream objects — which keeps memoized
+#: hashes and identity-based dictionary hits (demand cache, fast-path
+#: batch grouping) warm across fleets.
+_STREAM_CACHE_SIZE = 256
+
+_stream_cache: "OrderedDict[tuple, VideoStream]" = OrderedDict()
+
+
+def _load_stream(gop_count: int, name: str) -> VideoStream:
+    key = (gop_count, name)
+    stream = _stream_cache.get(key)
+    if stream is None:
+        # All same-length generated streams share one LDU tuple object:
+        # equality checks between their windows then hit CPython's
+        # identity fast path instead of field-by-field dataclass
+        # comparisons when the fast path groups windows by content.
+        base_key = (gop_count, None)
+        base = _stream_cache.get(base_key)
+        if base is None:
+            base = make_video_stream(GOP_12, gop_count=gop_count, name="")
+            _stream_cache[base_key] = base
+        stream = VideoStream(
+            ldus=base.ldus, fps=base.fps, name=name, pattern=base.pattern
+        )
+        _stream_cache[key] = stream
+        while len(_stream_cache) > _STREAM_CACHE_SIZE:
+            _stream_cache.popitem(last=False)
+    else:
+        _stream_cache.move_to_end(key)
+    return stream
 
 
 @dataclass(frozen=True)
@@ -61,9 +95,7 @@ def generate_requests(spec: LoadSpec) -> List[SessionRequest]:
         if index > 0 and spec.mean_interarrival > 0:
             arrival += rng.expovariate(1.0 / spec.mean_interarrival)
         high = rng.random() < spec.high_priority_fraction
-        stream = make_video_stream(
-            GOP_12, gop_count=spec.gop_count, name=f"load-{spec.seed}-{index}"
-        )
+        stream = _load_stream(spec.gop_count, f"load-{spec.seed}-{index}")
         config = replace(
             spec.config,
             seed=spec.seed * 1_000_003 + index * _SESSION_SEED_STRIDE,

@@ -330,12 +330,7 @@ class StreamingService:
                     obs.counter("serve.sessions_rejected").inc()
                 return
             outcome.reason = decision.reason
-        session = ServedSession(
-            request.stream,
-            request.config,
-            session_id=request.session_id,
-            shed_policy=self._shed_policy,
-        )
+        session = self._create_session(request)
         windows = list(request.stream.windows(request.config.window_frames))
         if request.max_windows is not None:
             windows = windows[: request.max_windows]
@@ -354,14 +349,34 @@ class StreamingService:
     # Windows and departures
     # ------------------------------------------------------------------
 
+    def _create_session(self, request: SessionRequest):
+        """Build the engine that will stream one admitted request.
+
+        The fast path's planning pass (:mod:`repro.serve.fastpath`)
+        overrides this with a stub so the exact scheduling timeline can
+        be replayed without any media simulation.
+        """
+        return ServedSession(
+            request.stream,
+            request.config,
+            session_id=request.session_id,
+            shed_policy=self._shed_policy,
+        )
+
+    def _execute_window(
+        self, active: _Active, index: int, window: Sequence[Ldu], share_bps: float
+    ) -> None:
+        """Apply one window's bottleneck share and stream the window."""
+        active.session.set_bandwidth(share_bps)
+        active.outcome.share_bps = active.session.config.bandwidth_bps
+        active.session.run_window(index, window)
+
     def _window_event(self, session_id: str) -> None:
         active = self._active[session_id]
         shares = self.scheduler.allocate(self._demands(), self.capacity_bps)
-        active.session.set_bandwidth(shares[session_id])
-        active.outcome.share_bps = active.session.config.bandwidth_bps
         index = active.next_index
         window = active.windows[index]
-        active.session.run_window(index, window)
+        self._execute_window(active, index, window, shares[session_id])
         active.next_index += 1
         if obs.enabled():
             obs.counter("serve.windows").inc()
@@ -371,15 +386,15 @@ class StreamingService:
         else:
             self._depart(session_id)
 
-    def _depart(self, session_id: str) -> None:
-        active = self._active.pop(session_id)
+    def _finalize_session(self, active: _Active) -> None:
+        """Record a finished session's results on its outcome."""
         outcome = active.outcome
         outcome.result = active.session.result
         outcome.shed_frames = active.session.shed_total
         outcome.min_share_bps = active.session.min_share_bps
         if obs.enabled():
-            obs.gauge("serve.active_sessions").set(len(self._active))
             obs.counter("serve.sessions_completed").inc()
+            session_id = outcome.request.session_id
             obs.gauge(f"serve.session.{session_id}.mean_clf").set(
                 outcome.result.mean_clf
             )
@@ -389,6 +404,12 @@ class StreamingService:
             obs.histogram("serve.session_stream_clf").observe(
                 outcome.result.stream_clf
             )
+
+    def _depart(self, session_id: str) -> None:
+        active = self._active.pop(session_id)
+        self._finalize_session(active)
+        if obs.enabled():
+            obs.gauge("serve.active_sessions").set(len(self._active))
 
     # ------------------------------------------------------------------
 
@@ -404,9 +425,20 @@ class StreamingService:
 def serve_sessions(
     requests: Sequence[SessionRequest],
     capacity_bps: float,
+    *,
+    fast: bool = False,
     **kwargs,
 ) -> ServiceResult:
-    """One-shot convenience: submit every request, run, return the result."""
+    """One-shot convenience: submit every request, run, return the result.
+
+    ``fast=True`` routes the run through the window-batched execution
+    engine (:func:`repro.serve.fastpath.serve_sessions_fast`), which is
+    pinned bit-for-bit against this event-loop path.
+    """
+    if fast:
+        from repro.serve.fastpath import serve_sessions_fast
+
+        return serve_sessions_fast(requests, capacity_bps, **kwargs)
     service = StreamingService(capacity_bps, **kwargs)
     service.submit_all(requests)
     return service.run()

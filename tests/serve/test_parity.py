@@ -26,12 +26,14 @@ def figure_stream():
     return make_video_stream(GOP_12, gop_count=8)
 
 
-def _served_result(stream, config, *, capacity=None, max_windows=4, **kwargs):
+def _served_result(
+    stream, config, *, capacity=None, max_windows=4, fast=False, **kwargs
+):
     request = SessionRequest(
         session_id="only", stream=stream, config=config, max_windows=max_windows
     )
     result = serve_sessions(
-        [request], capacity or config.bandwidth_bps, **kwargs
+        [request], capacity or config.bandwidth_bps, fast=fast, **kwargs
     )
     assert len(result.admitted) == 1
     return result.outcomes[0].result
@@ -42,11 +44,19 @@ def _assert_parity(stream, config, *, capacity=None, max_windows=4, **kwargs):
     try:
         for name in accel.available_backends():
             accel.set_backend(name)
-            served = _served_result(
-                stream, config, capacity=capacity, max_windows=max_windows, **kwargs
-            )
             expected = run_session(stream, config, max_windows=max_windows)
-            assert served == expected, f"backend {name!r} diverged"
+            for fast in (False, True):
+                served = _served_result(
+                    stream,
+                    config,
+                    capacity=capacity,
+                    max_windows=max_windows,
+                    fast=fast,
+                    **kwargs,
+                )
+                assert served == expected, (
+                    f"backend {name!r} diverged (fast={fast})"
+                )
     finally:
         accel.set_backend(previous)
 

@@ -69,14 +69,18 @@ def load_means(path: Path) -> dict:
 
 
 def newest_other_recording(
-    out_dir: Path, current: Path, names=None
+    out_dir: Path, current: Path, names=None, tag=None
 ) -> Path | None:
     """Newest ``BENCH_*.json`` in ``out_dir`` other than ``current``.
 
     With ``names`` (the fullnames of the benchmarks just run), only
     recordings sharing at least one benchmark are eligible — a recording
     of a different bench family (e.g. the batch sweep next to the micro
-    suite) can then never be picked as the implicit baseline.
+    suite) can then never be picked as the implicit baseline.  With
+    ``tag``, recordings carrying the same ``_<tag>`` suffix are
+    preferred over untagged (or differently tagged) ones, so a family's
+    committed baseline wins even when another eligible recording is
+    newer.
     """
     candidates = []
     for path in out_dir.glob("BENCH_*.json"):
@@ -89,6 +93,12 @@ def newest_other_recording(
             except (OSError, json.JSONDecodeError):
                 continue
         candidates.append(path)
+    if tag:
+        tagged = [
+            path for path in candidates if path.stem.endswith(f"_{tag}")
+        ]
+        if tagged:
+            candidates = tagged
     if not candidates:
         return None
     return max(candidates, key=lambda path: path.stat().st_mtime)
@@ -171,7 +181,7 @@ def main(argv: list[str] | None = None) -> int:
         baseline_label = args.baseline.name
     else:
         baseline_path = newest_other_recording(
-            args.out_dir, recording, names=load_means(recording)
+            args.out_dir, recording, names=load_means(recording), tag=args.tag
         )
         if baseline_path is not None:
             baseline_means = load_means(baseline_path)

@@ -1,11 +1,21 @@
 #!/usr/bin/env python3
-"""Profile the protocol hot path: one Figure-8 panel under cProfile.
+"""Profile a repro hot path under cProfile.
 
-Runs :func:`repro.experiments.figure8.run_figure8` on the paper's top
-panel (100 buffer windows, both arms), writes the full cumulative-time
-listing to ``benchmarks/results/PROFILE_<rev>.txt`` and prints the top
-of it, so "where did the time go" for the session engine is one
-``make profile`` away.
+Two targets:
+
+* ``--target figure8`` (default) runs
+  :func:`repro.experiments.figure8.run_figure8` on the paper's top
+  panel (100 buffer windows, both arms) — the single-session protocol
+  engine.
+* ``--target serve`` runs the window-batched serving fast path
+  (:mod:`repro.serve.fastpath`) on the K = 16 capacity-sweep fleet the
+  serve benchmarks time, with caches pre-warmed so the listing shows
+  the steady-state engine, not one-off plan searches.
+
+Writes the full cumulative-time listing to
+``benchmarks/results/PROFILE_<rev>[_<target>].txt`` and prints the top
+of it, so "where did the time go" is one ``make profile`` (or
+``make profile-serve``) away.
 """
 
 from __future__ import annotations
@@ -50,15 +60,57 @@ def main(argv: list[str] | None = None) -> int:
         default=25,
         help="rows of the cumulative listing to print (default 25)",
     )
+    parser.add_argument(
+        "--target",
+        choices=("figure8", "serve"),
+        default="figure8",
+        help="hot path to profile: the Figure-8 session engine or the "
+        "window-batched serving fast path (default figure8)",
+    )
     args = parser.parse_args(argv)
 
     sys.path.insert(0, str(REPO_ROOT / "src"))
-    from repro.experiments.config import FIGURE8_TOP
-    from repro.experiments.figure8 import run_figure8
+    if args.target == "serve":
+        from repro.serve import LoadSpec, generate_requests, serve_sessions
+
+        spec = LoadSpec(
+            sessions=16,
+            seed=5,
+            gop_count=50,
+            max_windows=50,
+            mean_interarrival=0.0,
+        )
+        capacity_bps = 2_400_000.0 * 8
+        # Warm the permutation, stream and demand caches so the profile
+        # shows the steady-state engine.
+        serve_sessions(generate_requests(spec), capacity_bps, fast=True)
+        requests = generate_requests(spec)
+
+        def workload():
+            return serve_sessions(requests, capacity_bps, fast=True)
+
+        def sanity(result):
+            return (
+                f"fleet sanity: {len(result.admitted)}/{spec.sessions} "
+                f"admitted, mean CLF {result.mean_clf:.2f}"
+            )
+    else:
+        from repro.experiments.config import FIGURE8_TOP
+        from repro.experiments.figure8 import run_figure8
+
+        def workload():
+            return run_figure8(FIGURE8_TOP)
+
+        def sanity(result):
+            return (
+                f"panel sanity: scrambled mean CLF "
+                f"{result.scrambled.mean_clf:.2f} "
+                f"vs unscrambled {result.unscrambled.mean_clf:.2f}"
+            )
 
     profiler = cProfile.Profile()
     profiler.enable()
-    result = run_figure8(FIGURE8_TOP)
+    result = workload()
     profiler.disable()
 
     buffer = io.StringIO()
@@ -67,7 +119,8 @@ def main(argv: list[str] | None = None) -> int:
     listing = buffer.getvalue()
 
     args.out_dir.mkdir(parents=True, exist_ok=True)
-    out_path = args.out_dir / f"PROFILE_{git_short_rev()}.txt"
+    suffix = "" if args.target == "figure8" else f"_{args.target}"
+    out_path = args.out_dir / f"PROFILE_{git_short_rev()}{suffix}.txt"
     out_path.write_text(listing)
 
     shown = 0
@@ -82,10 +135,7 @@ def main(argv: list[str] | None = None) -> int:
     except ValueError:
         rel = out_path
     print(f"\nfull listing: {rel}")
-    print(
-        f"panel sanity: scrambled mean CLF {result.scrambled.mean_clf:.2f} "
-        f"vs unscrambled {result.unscrambled.mean_clf:.2f}"
-    )
+    print(sanity(result))
     return 0
 
 
