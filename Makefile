@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-batch bench-serve bench-all profile profile-serve experiments examples serve-demo obs-demo obs-guard lint all
+.PHONY: install test bench bench-batch bench-serve bench-kernel bench-all profile profile-serve profile-kernel experiments examples serve-demo obs-demo obs-guard lint all
 
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
@@ -20,6 +20,9 @@ bench-batch:
 bench-serve:
 	$(PYTHON) tools/bench_compare.py --bench-path benchmarks/test_bench_serve_fastpath.py --tag serve
 
+bench-kernel:
+	$(PYTHON) tools/bench_compare.py --bench-path benchmarks/test_bench_kernel.py --tag kernel
+
 bench-all:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -28,6 +31,9 @@ profile:
 
 profile-serve:
 	$(PYTHON) tools/profile_hotpath.py --target serve
+
+profile-kernel:
+	$(PYTHON) tools/profile_hotpath.py --target kernel
 
 experiments:
 	$(PYTHON) -m repro experiments

@@ -1,11 +1,13 @@
 """Batched replication-sweep benchmark: the engine behind figure8-pooled.
 
 Runs the paper's Figure-8 top panel (100 buffer windows) over 32
-independent channel seeds two ways — one sequential ``run_session`` per
-seed, and all 32 replications in lockstep through
-:func:`repro.core.batch.run_sessions_batch` — and checks both that the
-results are bit-for-bit identical and that the batch engine delivers
-the advertised speedup on the NumPy backend.
+independent channel seeds two ways — one sequential object-engine
+:class:`ProtocolSession` run per seed, and all 32 replications in
+lockstep through :func:`repro.core.batch.run_sessions_batch` — and
+checks both that the results are bit-for-bit identical and that the
+batch engine delivers the advertised speedup on the NumPy backend.
+(``run_session`` itself now routes through the batch engine's kernel,
+so the object engine is the honest sequential baseline.)
 """
 
 from __future__ import annotations
@@ -15,7 +17,7 @@ from dataclasses import replace
 
 from repro import accel
 from repro.core.batch import run_sessions_batch, summarize_replications
-from repro.core.protocol import run_session
+from repro.core.protocol import ProtocolSession
 from repro.experiments.config import FIGURE8_TOP, FIGURE_GOPS, FIGURE_MOVIE
 from repro.traces.synthetic import calibrated_stream
 
@@ -33,8 +35,8 @@ def _sweep_inputs():
 
 def _run_sequential(stream, config, seeds):
     return [
-        run_session(
-            stream, replace(config, seed=seed), max_windows=FIGURE8_TOP.windows
+        ProtocolSession(stream, replace(config, seed=seed)).run(
+            max_windows=FIGURE8_TOP.windows
         )
         for seed in seeds
     ]

@@ -101,7 +101,20 @@ class AdaptiveController:
         return existing
 
     def observe(self, layer: int, window: int, observed_burst: int) -> None:
-        self.estimator_for(layer, window).update(observed_burst)
+        # Inlined estimator_for + update: this runs once per layer per
+        # ACK, and the call chain dominated the feedback path.
+        estimator = self._estimators.get(layer)
+        if estimator is None or estimator.window != window:
+            estimator = LossEstimator(window=window, alpha=self.alpha)
+            self._estimators[layer] = estimator
+        if observed_burst < 0:
+            raise ConfigurationError("observed burst must be non-negative")
+        clamped = observed_burst if observed_burst < window else window
+        alpha = estimator.alpha
+        estimator._estimate = (
+            alpha * clamped + (1.0 - alpha) * estimator._estimate
+        )
+        estimator.observations += 1
 
     def burst_bound(self, layer: int, window: int) -> int:
         return self.estimator_for(layer, window).burst_bound

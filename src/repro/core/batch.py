@@ -6,7 +6,10 @@ Monte-Carlo estimates over many independent channel realizations.
 time, paying the full per-packet object churn (packets, transmissions,
 channel bookkeeping) for every seed.  This module simulates ``R``
 replications of the *same* stream and configuration simultaneously,
-window-synchronously:
+window-synchronously, by stepping a fleet of
+:class:`repro.core.kernel.SessionRow` cells through
+:func:`repro.core.kernel.step_window` — the columnar window-step
+kernel shared with the serving fast path:
 
 * the Gilbert loss flags of all replications are prefetched in
   ``(R x packets)`` blocks through one
@@ -18,41 +21,50 @@ window-synchronously:
   so replications whose feedback agrees reuse the same permutation;
 * per-window CLF and per-layer bursts of all ``R`` rows come from the
   stacked :func:`repro.accel.batch_worst_clf` kernel;
-* decodability is evaluated with integer dependency bitmasks instead of
-  per-frame set scans.
+* under the kernel's fused tier, rows whose window sees no loss (or no
+  lost anchor) collapse onto a shared first-attempt timeline instead of
+  replaying the scalar sender loop.
 
 The control flow that *depends* on each replication's losses
 (retransmission budgets, Equation-1 feedback folding, ACK fates) is
 replayed per row with exactly the float-operation sequence of the
 sequential engine, so :func:`run_sessions_batch` is pinned bit-for-bit
-against ``R`` sequential :func:`~repro.core.protocol.run_session` calls
-on identical seeds — same :class:`~repro.core.protocol.SessionResult`
-dataclasses, same floats, on either accel backend.
+against ``R`` sequential :class:`~repro.core.protocol.ProtocolSession`
+runs on identical seeds — same
+:class:`~repro.core.protocol.SessionResult` dataclasses, same floats,
+on either accel backend and either kernel tier.
 """
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro import accel, obs
-from repro.core.adaptation import AdaptiveController
-from repro.core.layered import LayeredPlan, LayeredScheduler
-from repro.core.protocol import ProtocolConfig, SessionResult, WindowResult
+from repro import obs
+from repro.core import kernel
+from repro.core.kernel import (
+    CONTROL_PACKET_BYTES as _CONTROL_PACKET_BYTES,
+    FEEDBACK_SEED_OFFSET as _FEEDBACK_SEED_OFFSET,
+    PREFETCH_SLACK as _PREFETCH_SLACK,
+    PREFETCH_WINDOWS as _PREFETCH_WINDOWS,
+    RowWindow as _RowWindow,
+    SessionRow as _Row,
+    WindowInfo as _WindowInfo,
+    WindowShape as _Shape,
+    drain_acks as _drain_acks,
+    loss_run_count as _loss_run_count,
+    row_bounds as _row_bounds,
+    run_row_sender as _run_row_sender,
+    send_ack as _send_ack,
+)
+from repro.core.protocol import ProtocolConfig, SessionResult
 from repro.errors import ProtocolError
-from repro.media.ldu import Ldu
 from repro.media.stream import MediaStream
 from repro.metrics.windows import (
     SeriesSummary,
-    WindowSeries,
     mean_confidence_interval,
     summarize,
 )
-from repro.network.estimation import GilbertEstimator
-from repro.network.feedback import Feedback, FeedbackCollector
-from repro.network.packet import fragments_needed
-from repro.poset.builders import independent_poset, ldu_poset
 
 __all__ = [
     "ReplicationSummary",
@@ -60,602 +72,26 @@ __all__ = [
     "summarize_replications",
 ]
 
-#: Seed offset of the feedback channel's Gilbert process
-#: (must match :func:`repro.network.channel.make_duplex`).
-_FEEDBACK_SEED_OFFSET = 104729
-
-#: Control (ACK) packet payload, bytes (Packetizer.control_packet default).
-_CONTROL_PACKET_BYTES = 64
-
-#: Extra loss flags prefetched per window beyond the first-attempt packet
-#: count, to cover retransmissions without a mid-window refill.
-_PREFETCH_SLACK = 32
-
-#: Windows' worth of loss flags drawn per batched refill.  Prefetching
-#: several windows ahead is free (the draws come off each row's private
-#: stream in order either way) and turns many small stacked kernel calls
-#: into few large ones, which is where the NumPy backend pays off.
-_PREFETCH_WINDOWS = 8
-
-
-# ----------------------------------------------------------------------
-# Shared (replication-independent) precomputation
-# ----------------------------------------------------------------------
-
-
-class _Shape:
-    """Schedulers, dependency masks and plan cache for one window shape.
-
-    A shape is a window length plus its frame-type tuple — the same key
-    :class:`~repro.core.protocol.ProtocolSession` caches schedulers by.
-    Plans additionally depend on the per-layer burst bounds, which vary
-    per replication, so they get their own cache keyed by bounds.
-    """
-
-    __slots__ = ("transmission", "media", "need_masks", "_plans")
-
-    def __init__(self, window: Sequence[Ldu], config: ProtocolConfig) -> None:
-        media_poset = ldu_poset(window, closed_gops=config.closed_gops)
-        self.media = LayeredScheduler(media_poset, effort=config.effort)
-        if config.layered:
-            self.transmission = self.media
-        else:
-            self.transmission = LayeredScheduler(
-                independent_poset(len(window)), effort=config.effort
-            )
-        # need_masks[f]: bit f plus the bits of everything frame f
-        # (transitively) depends on; f is decodable iff its mask is a
-        # subset of the received-offsets mask.
-        masks: List[int] = []
-        for offset in range(len(window)):
-            mask = 1 << offset
-            for dep in media_poset.above(offset):
-                mask |= 1 << dep
-            masks.append(mask)
-        self.need_masks = masks
-        self._plans: Dict[
-            Tuple[Tuple[Tuple[int, int], ...], bool],
-            Tuple[LayeredPlan, Tuple[Tuple[int, ...], ...]],
-        ] = {}
-
-    def plan_for(
-        self, bounds: Dict[int, int], scramble: bool
-    ) -> Tuple[LayeredPlan, Tuple[Tuple[int, ...], ...]]:
-        """(plan, per-layer transmission sequences) for one bounds map.
-
-        ``calculate_permutation`` is deterministic per (size, bound,
-        effort), so identical bounds always yield the identical plan the
-        sequential engine would have built.
-        """
-        key = (tuple(sorted(bounds.items())), scramble)
-        cached = self._plans.get(key)
-        if cached is None:
-            plan = self.transmission.plan(bounds, scramble=scramble)
-            sequences = tuple(
-                tuple(layer.members[frame] for frame in perm.order)
-                for layer, perm in zip(plan.layers, plan.permutations)
-            )
-            cached = (plan, sequences)
-            self._plans[key] = cached
-            if obs.enabled():
-                obs.counter("batch.plan_misses").inc()
-        elif obs.enabled():
-            obs.counter("batch.plan_hits").inc()
-        return cached
-
-
-class _WindowInfo:
-    """Packetization and timing facts of one window, shared by all rows."""
-
-    __slots__ = (
-        "n",
-        "cycle",
-        "anchors",
-        "frag_counts",
-        "frag_times",
-        "frame_ser",
-        "first_attempt_packets",
-        "shape",
-    )
-
-    def __init__(
-        self,
-        window: Sequence[Ldu],
-        config: ProtocolConfig,
-        fps: float,
-        shapes: Dict[Tuple[int, tuple], _Shape],
-    ) -> None:
-        n = len(window)
-        self.n = n
-        self.cycle = n / fps
-        self.anchors = frozenset(
-            offset for offset in range(n) if window[offset].frame_type.is_anchor
-        )
-        bandwidth = config.bandwidth_bps
-        packet_size = config.packet_size_bytes
-        frag_counts: List[int] = []
-        frag_times: List[Tuple[float, ...]] = []
-        frame_ser: List[float] = []
-        for ldu in window:
-            count = fragments_needed(ldu.size_bits, packet_size)
-            remaining = ldu.size_bytes
-            times: List[float] = []
-            for _ in range(count):
-                payload = min(packet_size, max(remaining, 0))
-                times.append(payload * 8.0 / bandwidth)
-                remaining -= payload
-            frag_counts.append(count)
-            frag_times.append(tuple(times))
-            frame_ser.append(ldu.size_bytes * 8.0 / bandwidth)
-        self.frag_counts = tuple(frag_counts)
-        self.frag_times = tuple(frag_times)
-        self.frame_ser = tuple(frame_ser)
-        self.first_attempt_packets = sum(frag_counts)
-        key = (n, tuple(ldu.frame_type for ldu in window))
-        shape = shapes.get(key)
-        if shape is None:
-            shape = _Shape(window, config)
-            shapes[key] = shape
-        self.shape = shape
-
-
-# ----------------------------------------------------------------------
-# Per-replication state
-# ----------------------------------------------------------------------
-
-
-class _Row:
-    """One replication's channel, feedback and adaptation state."""
-
-    __slots__ = (
-        "result",
-        "fwd_rng",
-        "fwd_bad",
-        "flags",
-        "pos",
-        "fwd_busy",
-        "fb_rng",
-        "fb_bad",
-        "fb_busy",
-        "controller",
-        "estimator",
-        "collector",
-        "ack_seq",
-        "pending",
-    )
-
-    def __init__(self, config: ProtocolConfig, seed: int) -> None:
-        self.result = SessionResult(
-            config=replace(config, seed=seed),
-            windows=[],
-            series=WindowSeries(
-                label="scrambled" if config.scramble else "in-order"
-            ),
-        )
-        self.fwd_rng = random.Random(seed)
-        self.fwd_bad = False       # Gilbert state at the END of the buffer
-        self.flags: List[bool] = []
-        self.pos = 0
-        self.fwd_busy = 0.0
-        self.fb_rng = (
-            random.Random(seed + _FEEDBACK_SEED_OFFSET)
-            if config.lossy_feedback
-            else None
-        )
-        self.fb_bad = False
-        self.fb_busy = 0.0
-        self.controller = AdaptiveController(alpha=config.alpha)
-        self.estimator = GilbertEstimator()
-        self.collector = FeedbackCollector()
-        self.ack_seq = 0
-        self.pending: List[Tuple[float, Feedback]] = []
-
-    def refill(self, count: int, config: ProtocolConfig) -> None:
-        """Draw ``count`` more loss flags off the private forward stream."""
-        draws = [self.fwd_rng.random() for _ in range(count)]
-        states = accel.gilbert_states(
-            draws, config.p_good, config.p_bad, start_bad=self.fwd_bad
-        )
-        if states:
-            self.fwd_bad = bool(states[-1])
-        self.flags.extend(states)
-
-
-@dataclass
-class _RowWindow:
-    """What one row's sender phase hands to the batched receiver phase."""
-
-    result: WindowResult
-    sent: Dict[int, Tuple[float, bool]]   # offset -> (completed_at, delivered)
-    first_attempt: List[int]
-    layer_sequences: Tuple[Tuple[int, ...], ...]
-    received: frozenset = frozenset()
-
-
-# ----------------------------------------------------------------------
-# Sender phase (per row, scalar, object-churn-free)
-# ----------------------------------------------------------------------
-
-
-def _row_bounds(row: _Row, config: ProtocolConfig, shape: _Shape) -> Dict[int, int]:
-    """Per-layer burst bounds exactly as ``ProtocolSession._plan_window``."""
-    bounds: Dict[int, int] = {}
-    if not config.scramble:
-        return bounds
-    quantile_bound: Optional[int] = None
-    if config.burst_policy == "quantile":
-        quantile_bound = row.estimator.burst_quantile(config.quantile_epsilon)
-    for layer in shape.transmission.layers:
-        if layer.critical or layer.size <= 1:
-            continue
-        if quantile_bound is not None:
-            bounds[layer.index] = min(quantile_bound, layer.size)
-        else:
-            bounds[layer.index] = row.controller.burst_bound(
-                layer.index, layer.size
-            )
-    return bounds
-
-
-def _drain_acks(row: _Row, now: float) -> None:
-    """Apply every ACK arrived by ``now`` (Equation 1 / quantile fit)."""
-    arrived = [item for item in row.pending if item[0] <= now]
-    row.pending = [item for item in row.pending if item[0] > now]
-    for _, feedback in sorted(arrived, key=lambda item: item[0]):
-        if not row.collector.offer(feedback):
-            obs.counter("protocol.acks_stale").inc()
-            continue
-        row.result.acks_used += 1
-        obs.counter("protocol.acks_used").inc()
-        window = row.result.windows[feedback.window_index]
-        for layer_index, burst in feedback.burst_estimates.items():
-            layer_size = window.layer_sizes.get(layer_index, window.frames)
-            if layer_size > 1:
-                row.controller.observe(layer_index, layer_size, burst)
-        if feedback.loss_statistics is not None:
-            lost, runs, total = feedback.loss_statistics
-            if total > 0:
-                row.estimator.observe_counts(lost=lost, total=total, runs=runs)
-
-
-def _run_row_sender(
-    row: _Row,
-    info: _WindowInfo,
-    config: ProtocolConfig,
-    window_index: int,
-    window_start: float,
-    window_end: float,
-    shed_for=None,
-) -> _RowWindow:
-    """One row's sender loop; mirrors ``ProtocolSession.run_window``.
-
-    ``shed_for`` is the row-engine twin of
-    :meth:`ProtocolSession._shed_frames`: an optional
-    ``(row, plan) -> frozenset`` callback naming frame offsets to drop
-    at the sender before they consume air time or channel state.  The
-    serve fast path (:mod:`repro.serve.fastpath`) binds it to the
-    service's shedding policy; plain replication sweeps leave it unset,
-    which keeps this loop byte-identical to its pre-hook behaviour.
-    """
-    _drain_acks(row, window_start)
-    bounds = _row_bounds(row, config, info.shape)
-    plan, layer_sequences = info.shape.plan_for(bounds, config.scramble)
-
-    result = WindowResult(
-        index=window_index,
-        frames=info.n,
-        transmission_order=plan.order,
-        layer_sizes={layer.index: layer.size for layer in plan.layers},
-    )
-    shed = shed_for(row, plan) if shed_for is not None else frozenset()
-
-    frag_counts = info.frag_counts
-    frag_times = info.frag_times
-    frame_ser = info.frame_ser
-    anchors = info.anchors
-    rtt = config.rtt
-    retransmit = config.retransmit_anchors
-    flags = row.flags
-    pos = row.pos
-    busy = row.fwd_busy
-    packets_offered = 0
-    packets_lost = 0
-    sent: Dict[int, Tuple[float, bool]] = {}
-    queue: List[Tuple[int, float]] = []   # (offset, completed_at)
-
-    def offer(offset: int, start: float) -> Tuple[float, int]:
-        """Serialize one frame from ``start``; (completed_at, packets lost)."""
-        nonlocal pos, busy, packets_offered, packets_lost
-        count = frag_counts[offset]
-        if len(flags) - pos < count:
-            deficit = count - (len(flags) - pos)
-            row.pos = pos
-            row.refill(max(deficit, 64), config)
-            if obs.enabled():
-                obs.counter("batch.refills").inc()
-        completed = start
-        for serialization in frag_times[offset]:
-            completed = completed + serialization
-        if count == 1:
-            lost = 1 if flags[pos] else 0
-        else:
-            lost = sum(flags[pos:pos + count])
-        pos += count
-        busy = completed
-        packets_offered += count
-        packets_lost += lost
-        return completed, lost
-
-    def retransmit_one(offset: int, completed_at: float, now: float) -> bool:
-        """Retry one lost frame; False when its budget ran out."""
-        due_at = completed_at + rtt
-        start = now if now > due_at else due_at
-        link_free = window_start if window_start > busy else busy
-        at = start if start > link_free else link_free
-        if at + frame_ser[offset] > window_end:
-            return False
-        completed, lost = offer(offset, at)
-        result.retransmissions += 1
-        if lost == 0:
-            result.recovered += 1
-            sent[offset] = (completed, True)
-        else:
-            queue.append((offset, completed))
-        return True
-
-    def try_retransmissions(now: float) -> None:
-        if not retransmit or not queue:
-            return
-        due = [record for record in queue if record[1] + rtt <= now]
-        for record in due:
-            queue.remove(record)
-            retransmit_one(record[0], record[1], now)
-
-    first_attempt: List[int] = []
-    for offset in plan.order:
-        if offset in shed:
-            result.dropped_at_sender += 1
-            result.shed += 1
-            continue
-        link_free = window_start if window_start > busy else busy
-        try_retransmissions(link_free)
-        link_free = window_start if window_start > busy else busy
-        if link_free + frame_ser[offset] > window_end:
-            result.dropped_at_sender += 1
-            continue
-        completed, lost = offer(offset, link_free)
-        result.sent += 1
-        delivered = lost == 0
-        sent[offset] = (completed, delivered)
-        first_attempt.append(0 if delivered else 1)
-        if not delivered:
-            result.lost_in_network += 1
-            if retransmit and offset in anchors:
-                queue.append((offset, completed))
-    # The idle tail of the cycle is retransmission time: keep retrying
-    # lost anchors, one NACK round trip apart, while the cycle allows.
-    if retransmit:
-        while queue:
-            record = min(queue, key=lambda r: r[1])
-            queue.remove(record)
-            link_free = window_start if window_start > busy else busy
-            if not retransmit_one(record[0], record[1], link_free):
-                break
-
-    row.pos = pos
-    row.fwd_busy = busy
-    row.result.packets_offered += packets_offered
-    row.result.packets_lost += packets_lost
-    if obs.enabled():
-        obs.counter("channel.packets").inc(packets_offered)
-        obs.counter("channel.losses").inc(packets_lost)
-    return _RowWindow(
-        result=result,
-        sent=sent,
-        first_attempt=first_attempt,
-        layer_sequences=layer_sequences,
-    )
-
-
-# ----------------------------------------------------------------------
-# Receiver phase (batched across rows)
-# ----------------------------------------------------------------------
-
-
-def _loss_run_count(indicator: Sequence[int]) -> int:
-    """Number of maximal loss runs in a 0/1 indicator (scalar, exact)."""
-    runs = 0
-    previous = 0
-    for value in indicator:
-        if value and not previous:
-            runs += 1
-        previous = value
-    return runs
-
-
-def _send_ack(
-    row: _Row,
-    config: ProtocolConfig,
-    window_index: int,
-    window_end: float,
-    result: WindowResult,
-    control_serialization: float,
-) -> None:
-    """Mirror of ``ProtocolSession._send_ack`` without packet objects."""
-    feedback = Feedback(
-        sequence=row.ack_seq,
-        window_index=window_index,
-        burst_estimates=dict(result.layer_bursts),
-        loss_rates={
-            layer: min(1.0, burst / max(1, result.frames))
-            for layer, burst in result.layer_bursts.items()
-        },
-        loss_statistics=(
-            result.first_attempt_stats[0],
-            result.first_attempt_stats[1],
-            result.first_attempt_stats[2],
-        ),
-    )
-    row.ack_seq += 1
-    row.result.acks_sent += 1
-    obs.counter("protocol.acks_sent").inc()
-    start = window_end if window_end > row.fb_busy else row.fb_busy
-    completed = start + control_serialization
-    row.fb_busy = completed
-    lost = False
-    if row.fb_rng is not None:
-        draw = row.fb_rng.random()
-        if row.fb_bad:
-            if draw >= config.p_bad:
-                row.fb_bad = False
-        else:
-            if draw >= config.p_good:
-                row.fb_bad = True
-        lost = row.fb_bad
-    if lost:
-        row.result.acks_lost += 1
-        obs.counter("protocol.acks_lost").inc()
-        result.ack_delivered = False
-        return
-    row.pending.append((completed + config.rtt / 2.0, feedback))
-
-
-def _run_window_batch(
-    rows: List[_Row],
-    info: _WindowInfo,
-    config: ProtocolConfig,
-    fps: float,
-    window_index: int,
-    control_serialization: float,
-) -> None:
-    """Run one buffer window across every replication."""
-    n = info.n
-    cycle = info.cycle
-    window_start = window_index * cycle
-    window_end = window_start + cycle
-    playback_start = window_end + config.rtt / 2.0
-    slot_times = [playback_start + offset / fps for offset in range(n)]
-
-    # Batched loss-flag prefetch: every row that cannot cover this
-    # window's first-attempt packets (plus retransmission slack) from its
-    # buffer draws the same-size chunk, evaluated in one stacked call.
-    needed = info.first_attempt_packets + _PREFETCH_SLACK
-    refill_rows = []
-    deficit = 0
-    for row in rows:
-        if row.pos:
-            del row.flags[: row.pos]
-            row.pos = 0
-        missing = needed - len(row.flags)
-        if missing > 0:
-            refill_rows.append(row)
-            if missing > deficit:
-                deficit = missing
-    if refill_rows:
-        chunk = max(deficit, _PREFETCH_WINDOWS * needed)
-        draw_rows = [
-            [row.fwd_rng.random() for _ in range(chunk)] for row in refill_rows
-        ]
-        states_rows = accel.gilbert_states_batch(
-            draw_rows,
-            config.p_good,
-            config.p_bad,
-            [row.fwd_bad for row in refill_rows],
-        )
-        for row, states in zip(refill_rows, states_rows):
-            if states:
-                row.fwd_bad = bool(states[-1])
-            row.flags.extend(states)
-
-    row_windows = [
-        _run_row_sender(row, info, config, window_index, window_start, window_end)
-        for row in rows
-    ]
-
-    # Receiver side, batched: arrivals and decodability per row, then the
-    # CLF of every row in one stacked kernel call.
-    rtt_half = config.rtt / 2.0
-    need_masks = info.shape.need_masks
-    indicator_rows: List[List[int]] = []
-    for data in row_windows:
-        result = data.result
-        received = set()
-        for offset, (completed, delivered) in data.sent.items():
-            if not delivered:
-                continue
-            arrival = completed + rtt_half
-            if arrival <= slot_times[offset]:
-                received.add(offset)
-                result.arrival_times[offset] = arrival
-            else:
-                result.late += 1
-        result.received = received
-        result.playback_start = playback_start
-        mask = 0
-        for offset in received:
-            mask |= 1 << offset
-        decodable = {
-            offset for offset in range(n) if need_masks[offset] & ~mask == 0
-        }
-        result.decodable = decodable
-        data.received = frozenset(received)
-        indicator = [0 if offset in decodable else 1 for offset in range(n)]
-        result.unit_losses = sum(indicator)
-        indicator_rows.append(indicator)
-
-    for clf, data in zip(accel.batch_worst_clf(indicator_rows), row_windows):
-        data.result.clf = clf
-
-    # Per-layer observed bursts: the layer structure is shared, the
-    # permutation (hence the transmission sequence) is per-row.
-    layers = info.shape.transmission.layers
-    for layer_position, layer in enumerate(layers):
-        matrix = [
-            [
-                1 if offset not in data.received else 0
-                for offset in data.layer_sequences[layer_position]
-            ]
-            for data in row_windows
-        ]
-        for burst, data in zip(accel.batch_worst_clf(matrix), row_windows):
-            data.result.layer_bursts[layer.index] = burst
-
-    for row, data in zip(rows, row_windows):
-        result = data.result
-        first_attempt = data.first_attempt
-        result.first_attempt_stats = (
-            sum(first_attempt),
-            _loss_run_count(first_attempt),
-            len(first_attempt),
-        )
-        _send_ack(
-            row, config, window_index, window_end, result, control_serialization
-        )
-        row.result.windows.append(result)
-        row.result.series.add_clf(result.clf, result.alf)
-
-    if obs.enabled():
-        obs.counter("batch.windows").inc()
-        obs.counter("protocol.windows").inc(len(rows))
-        clf_hist = obs.histogram("protocol.window_clf")
-        alf_hist = obs.histogram("protocol.window_alf")
-        sent = lost = retransmissions = recovered = late = dropped = 0
-        for data in row_windows:
-            result = data.result
-            sent += result.sent
-            lost += result.lost_in_network
-            retransmissions += result.retransmissions
-            recovered += result.recovered
-            late += result.late
-            dropped += result.dropped_at_sender
-            clf_hist.observe(result.clf)
-            alf_hist.observe(result.alf)
-        obs.counter("protocol.frames_sent").inc(sent)
-        obs.counter("protocol.frames_lost").inc(lost)
-        obs.counter("protocol.retransmissions").inc(retransmissions)
-        obs.counter("protocol.recovered").inc(recovered)
-        obs.counter("protocol.late").inc(late)
-        obs.counter("protocol.dropped_at_sender").inc(dropped)
+# Backward-compatible aliases: the engine internals now live in
+# repro.core.kernel under public names.  Kept so downstream code (and
+# the serve fast path's older imports) that reached for the underscore
+# names keeps working.
+_ = (
+    _CONTROL_PACKET_BYTES,
+    _FEEDBACK_SEED_OFFSET,
+    _PREFETCH_SLACK,
+    _PREFETCH_WINDOWS,
+    _Row,
+    _RowWindow,
+    _Shape,
+    _WindowInfo,
+    _drain_acks,
+    _loss_run_count,
+    _row_bounds,
+    _run_row_sender,
+    _send_ack,
+)
+del _
 
 
 # ----------------------------------------------------------------------
@@ -672,8 +108,8 @@ def run_sessions_batch(
 ) -> List[SessionResult]:
     """Simulate one session per seed, all replications in lockstep.
 
-    Returns exactly ``[run_session(stream, replace(config, seed=s),
-    max_windows=max_windows) for s in seeds]`` — the same
+    Returns exactly ``[ProtocolSession(stream, replace(config, seed=s))
+    .run(max_windows=max_windows) for s in seeds]`` — the same
     :class:`~repro.core.protocol.SessionResult` values bit for bit — but
     shares every replication-independent computation across rows and
     batches the channel sampling and continuity kernels, which is where
@@ -694,16 +130,24 @@ def run_sessions_batch(
     rows = [_Row(config, seed) for seed in seed_list]
     control_serialization = _CONTROL_PACKET_BYTES * 8.0 / config.bandwidth_bps
 
-    if obs.enabled():
+    track = obs.enabled()
+    if track:
         obs.counter("batch.sweeps").inc()
         obs.counter("batch.replications").inc(len(rows))
 
     for window_index, info in enumerate(infos):
-        _run_window_batch(
-            rows, info, config, stream.fps, window_index, control_serialization
+        kernel.step_window(
+            rows,
+            info,
+            config,
+            stream.fps,
+            window_index,
+            control_serialization=control_serialization,
         )
+        if track:
+            obs.counter("batch.windows").inc()
 
-    if obs.enabled():
+    if track:
         streamed = sum(info.n for info in infos) / stream.fps
         obs.counter("protocol.virtual_seconds").inc(streamed * len(rows))
     return [row.result for row in rows]

@@ -14,7 +14,11 @@ they are kept in a JSON file that survives across processes:
   with whatever another process stored in the meantime;
 * robustness: a corrupt or unreadable file behaves like an empty cache;
 * opt-out: ``REPRO_PERM_CACHE=off`` (or ``0`` / ``no``) disables both
-  reads and writes.
+  reads and writes;
+* bounding: at most ``REPRO_PERM_CACHE_MAX`` entries survive a store
+  (default :data:`DEFAULT_MAX_ENTRIES`; ``<= 0`` lifts the bound) —
+  the oldest certificates are evicted first and counted on the
+  ``permcache.evictions`` counter.
 
 Only the in-memory LRU sits in front of this module, so a fresh process
 asking for a previously-computed permutation reads it from disk instead
@@ -38,6 +42,12 @@ CACHE_REVISION = 1
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_DISABLE = "REPRO_PERM_CACHE"
+ENV_MAX_ENTRIES = "REPRO_PERM_CACHE_MAX"
+
+#: Default bound on stored certificates.  Entries are tiny (a few dozen
+#: ints), so 4096 keeps the file well under a megabyte while covering
+#: every (n, b, effort, seed) combination the experiment suite touches.
+DEFAULT_MAX_ENTRIES = 4096
 
 _OFF_VALUES = {"off", "0", "no", "false"}
 
@@ -51,6 +61,21 @@ _file_memo: Dict[Path, Tuple[Tuple[int, int], Dict[str, List[int]]]] = {}
 def cache_enabled() -> bool:
     """True unless ``REPRO_PERM_CACHE`` opts out."""
     return os.environ.get(ENV_DISABLE, "").strip().lower() not in _OFF_VALUES
+
+
+def max_entries() -> int:
+    """Entry bound of the on-disk cache (``<= 0`` means unlimited).
+
+    ``REPRO_PERM_CACHE_MAX`` overrides :data:`DEFAULT_MAX_ENTRIES`;
+    unparsable values fall back to the default.
+    """
+    raw = os.environ.get(ENV_MAX_ENTRIES, "").strip()
+    if raw:
+        try:
+            return int(raw)
+        except ValueError:
+            pass
+    return DEFAULT_MAX_ENTRIES
 
 
 def cache_dir() -> Path:
@@ -122,7 +147,17 @@ def store(
         # Merge with the file as it is *now* so concurrent processes
         # lose at most their simultaneous twin, never older entries.
         entries = dict(_read_entries(path))
+        entries.pop(_key(kind, n, b, effort, seed), None)
         entries[_key(kind, n, b, effort, seed)] = list(order)
+        # FIFO eviction against the configured bound: JSON object order
+        # is insertion order, so the front of the dict is the oldest
+        # stored certificate.
+        bound = max_entries()
+        if bound > 0 and len(entries) > bound:
+            evicted = len(entries) - bound
+            for stale in list(entries)[:evicted]:
+                del entries[stale]
+            obs.counter("permcache.evictions").inc(evicted)
         payload = {"revision": CACHE_REVISION, "entries": entries}
         try:
             path.parent.mkdir(parents=True, exist_ok=True)

@@ -579,9 +579,21 @@ def run_session(
     *,
     max_windows: Optional[int] = None,
 ) -> SessionResult:
-    """Simulate a full streaming session; see :class:`ProtocolConfig`."""
-    session = ProtocolSession(stream, config or ProtocolConfig())
-    return session.run(max_windows=max_windows)
+    """Simulate a full streaming session; see :class:`ProtocolConfig`.
+
+    Routes through the columnar window-step kernel
+    (:mod:`repro.core.kernel`, via a one-row
+    :func:`repro.core.batch.run_sessions_batch` call) — bit-for-bit the
+    result :class:`ProtocolSession` produces, at row-engine speed.  Use
+    :class:`ProtocolSession` directly when injecting channels (the
+    gateway path) or when the object-model reference engine is wanted.
+    """
+    from repro.core.batch import run_sessions_batch  # deferred: cycle
+
+    resolved = config or ProtocolConfig()
+    return run_sessions_batch(
+        stream, resolved, seeds=[resolved.seed], max_windows=max_windows
+    )[0]
 
 
 def compare_schemes(

@@ -27,12 +27,12 @@ def _callback_label(callback: EventCallback) -> str:
     return name or type(callback).__name__
 
 
-@dataclass(order=True)
+@dataclass
 class _Event:
     time: float
     tiebreak: int
-    callback: EventCallback = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    callback: EventCallback
+    cancelled: bool = field(default=False)
 
 
 class EventLoop:
@@ -45,7 +45,10 @@ class EventLoop:
     """
 
     def __init__(self, tracer: Optional[object] = None) -> None:
-        self._heap: List[_Event] = []
+        # Heap entries are (time, tiebreak, event) tuples so ordering
+        # runs on C-level tuple comparison instead of a generated
+        # dataclass ``__lt__`` — the heap is on every hot path.
+        self._heap: List[tuple] = []
         self._counter = itertools.count()
         self._now = 0.0
         self._running = False
@@ -71,7 +74,7 @@ class EventLoop:
                 f"cannot schedule event at {time} before current time {self._now}"
             )
         event = _Event(time=max(time, self._now), tiebreak=next(self._counter), callback=callback)
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (event.time, event.tiebreak, event))
         if self._tracer is not None:
             self._tracer.record(event.time, "scheduled", _callback_label(callback))
         if obs.enabled():
@@ -99,13 +102,15 @@ class EventLoop:
         ``max_events`` guards against runaway self-scheduling loops.
         """
         executed = 0
-        while self._heap:
+        heap = self._heap
+        heappop = heapq.heappop
+        while heap:
             if executed >= max_events:
                 raise NetworkError(f"event budget of {max_events} exhausted")
-            event = self._heap[0]
+            event = heap[0][2]
             if until is not None and event.time > until:
                 break
-            heapq.heappop(self._heap)
+            heappop(heap)
             if event.cancelled:
                 continue
             self._now = event.time
@@ -122,10 +127,10 @@ class EventLoop:
 
     def peek_time(self) -> Optional[float]:
         """Time of the next pending event, skipping cancelled ones."""
-        while self._heap and self._heap[0].cancelled:
+        while self._heap and self._heap[0][2].cancelled:
             heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        return self._heap[0][0] if self._heap else None
 
     @property
     def pending(self) -> int:
-        return sum(1 for event in self._heap if not event.cancelled)
+        return sum(1 for _, _, event in self._heap if not event.cancelled)

@@ -38,6 +38,18 @@ _DEMAND_CACHE_SIZE = 128
 
 _demand_cache: "OrderedDict[tuple, Tuple[float, float]]" = OrderedDict()
 
+#: Identity-keyed front cache.  Load generators intern LDU tuples — a
+#: 256-viewer fleet is 256 distinct stream *objects* sharing a handful
+#: of ``ldus`` tuples — so the value-keyed LRU above sees 256 distinct
+#: keys and thrashes, while this front keyed on the ``ldus`` tuple's
+#: identity (plus everything else the estimate reads) collapses the
+#: whole fleet onto a few entries.  Each entry pins the tuple with a
+#: strong reference, so its ``id`` cannot be recycled while the entry
+#: lives; the ``is`` check on lookup makes the key airtight.
+_demand_id_cache: "OrderedDict[tuple, Tuple[tuple, Tuple[float, float]]]" = (
+    OrderedDict()
+)
+
 
 def estimate_demand(
     stream: MediaStream,
@@ -57,10 +69,20 @@ def estimate_demand(
     windowing (the only inputs the estimate reads) — the capacity sweep
     recomputes identical demands for every replication.
     """
+    id_key = (id(stream.ldus), stream.fps, config.window_frames, max_windows)
+    id_hit = _demand_id_cache.get(id_key)
+    if id_hit is not None and id_hit[0] is stream.ldus:
+        _demand_id_cache.move_to_end(id_key)
+        if obs.enabled():
+            obs.counter("serve.demand_cache.hits").inc()
+        return id_hit[1]
     key = (stream, config.window_frames, max_windows)
     cached = _demand_cache.get(key)
     if cached is not None:
         _demand_cache.move_to_end(key)
+        _demand_id_cache[id_key] = (stream.ldus, cached)
+        if len(_demand_id_cache) > _DEMAND_CACHE_SIZE:
+            _demand_id_cache.popitem(last=False)
         if obs.enabled():
             obs.counter("serve.demand_cache.hits").inc()
         return cached
@@ -84,6 +106,9 @@ def estimate_demand(
     _demand_cache[key] = (full, critical)
     if len(_demand_cache) > _DEMAND_CACHE_SIZE:
         _demand_cache.popitem(last=False)
+    _demand_id_cache[id_key] = (stream.ldus, (full, critical))
+    if len(_demand_id_cache) > _DEMAND_CACHE_SIZE:
+        _demand_id_cache.popitem(last=False)
     return full, critical
 
 

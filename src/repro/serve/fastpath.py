@@ -20,13 +20,17 @@ The fast path exploits exactly that factorisation:
    the recorded shares are bit-for-bit the ones the event-loop path
    would have applied.
 2. **Execute.**  The admitted fleet then advances window-by-window in
-   lockstep through the row engine of :mod:`repro.core.batch`: one
+   lockstep through the columnar window-step kernel
+   (:func:`repro.core.kernel.step_window` — the same engine behind
+   :mod:`repro.core.batch`): one
    :func:`repro.accel.gilbert_states_batch` prefetch across the fleet
    per window, stacked :func:`repro.accel.batch_worst_clf` calls for
-   per-window and per-layer CLF, and permutation plans shared per
-   window shape.  Load shedding runs through the same
-   :class:`~repro.serve.shedding.LayeredShedPolicy` via the row
-   engine's ``shed_for`` hook.  Windows whose rows all share one
+   per-window and per-layer CLF, permutation plans shared per window
+   shape, and — under the kernel's fused tier — whole rows collapsed
+   onto shared first-attempt timelines when their losses allow.  Load
+   shedding runs through the same
+   :class:`~repro.serve.shedding.LayeredShedPolicy` via the
+   kernel's ``shed_for`` hook.  Windows whose rows all share one
    (window shape, share) key batch across the whole fleet
    (``serve.fastpath.windows_batched``); windows made dynamic by
    arrivals, departures or scheduler rebalancing fall back to
@@ -48,6 +52,13 @@ every shard's fleet runs through the fast path on its own bottleneck
 (one shard models one server of a fleet).  Results merge into a
 :class:`ShardedResult`; identical spec + shard count always reproduces
 identical traffic, whatever the worker-process count.
+
+``ShardedService(transport="shm")`` moves each shard's numeric outcome
+columns back through one :mod:`multiprocessing.shared_memory` segment
+(via :class:`repro.core.kernel.FleetState`) instead of pickling every
+per-session result object — the summary surface
+(``mean_clf``/``stream_clf``/shed/share columns) is bit-for-bit the
+pickled transport's, because float64 survives the copy exactly.
 """
 
 from __future__ import annotations
@@ -56,16 +67,15 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro import accel, obs
-from repro.core.batch import (
-    _CONTROL_PACKET_BYTES,
-    _PREFETCH_SLACK,
-    _PREFETCH_WINDOWS,
-    _Row,
-    _WindowInfo,
-    _loss_run_count,
-    _run_row_sender,
-    _send_ack,
+from repro import obs
+from repro.core import kernel
+from repro.core.kernel import (
+    CONTROL_PACKET_BYTES as _CONTROL_PACKET_BYTES,
+    PREFETCH_SLACK as _PREFETCH_SLACK,
+    FleetState,
+    SessionRow as _Row,
+    SharedFleet,
+    WindowInfo as _WindowInfo,
 )
 from repro.errors import ConfigurationError, ProtocolError
 from repro.experiments.parallel import parallel_map
@@ -219,6 +229,12 @@ def _make_shed_for(shed_policy, window: Sequence[Ldu], fps: float):
     return shed_for
 
 
+def _ack_serialization(row: _FleetRow) -> float:
+    """The ACK rides the feedback channel at the session's *current*
+    share — the event-loop path resizes both channel directions."""
+    return _CONTROL_PACKET_BYTES * 8.0 / row.bandwidth_bps
+
+
 def _run_fleet_window(
     rows: List[_FleetRow],
     info: _WindowInfo,
@@ -226,117 +242,29 @@ def _run_fleet_window(
     window_index: int,
     shed_policy,
 ) -> None:
-    """Advance one group of rows through one window, kernels stacked.
+    """Advance one group of rows through one window via the kernel.
 
     Every row in ``rows`` shares the same window shape, configuration
     family and effective share (that is the grouping invariant), so the
-    receiver-side continuity and per-layer burst measurements of the
-    whole group collapse into stacked :func:`repro.accel.batch_worst_clf`
-    calls — exactly the structure of
-    :func:`repro.core.batch._run_window_batch`, generalised to serve
-    rows with shedding and a share-dependent ACK serialization.
+    whole group steps through :func:`repro.core.kernel.step_window`
+    as one batch — stacked receiver kernels, shared plans, and fused
+    timeline collapse where each row's losses allow — with serve-grade
+    shedding and a share-dependent ACK serialization bound in.
     """
-    n = info.n
-    cycle = info.cycle
     fps = rows[0].fps
     config = rows[0].config  # uniform across the group except the seed
-    window_start = window_index * cycle
-    window_end = window_start + cycle
-    playback_start = window_end + config.rtt / 2.0
-    slot_times = [playback_start + offset / fps for offset in range(n)]
-
     shed_for = (
         _make_shed_for(shed_policy, window, fps) if shed_policy is not None else None
     )
-    row_windows = [
-        _run_row_sender(
-            row, info, row.config, window_index, window_start, window_end, shed_for
-        )
-        for row in rows
-    ]
-
-    rtt_half = config.rtt / 2.0
-    need_masks = info.shape.need_masks
-    indicator_rows: List[List[int]] = []
-    for data in row_windows:
-        result = data.result
-        received = set()
-        for offset, (completed, delivered) in data.sent.items():
-            if not delivered:
-                continue
-            arrival = completed + rtt_half
-            if arrival <= slot_times[offset]:
-                received.add(offset)
-                result.arrival_times[offset] = arrival
-            else:
-                result.late += 1
-        result.received = received
-        result.playback_start = playback_start
-        mask = 0
-        for offset in received:
-            mask |= 1 << offset
-        decodable = {
-            offset for offset in range(n) if need_masks[offset] & ~mask == 0
-        }
-        result.decodable = decodable
-        data.received = frozenset(received)
-        indicator = [0 if offset in decodable else 1 for offset in range(n)]
-        result.unit_losses = sum(indicator)
-        indicator_rows.append(indicator)
-
-    for clf, data in zip(accel.batch_worst_clf(indicator_rows), row_windows):
-        data.result.clf = clf
-
-    layers = info.shape.transmission.layers
-    for layer_position, layer in enumerate(layers):
-        matrix = [
-            [
-                1 if offset not in data.received else 0
-                for offset in data.layer_sequences[layer_position]
-            ]
-            for data in row_windows
-        ]
-        for burst, data in zip(accel.batch_worst_clf(matrix), row_windows):
-            data.result.layer_bursts[layer.index] = burst
-
-    for row, data in zip(rows, row_windows):
-        result = data.result
-        first_attempt = data.first_attempt
-        result.first_attempt_stats = (
-            sum(first_attempt),
-            _loss_run_count(first_attempt),
-            len(first_attempt),
-        )
-        # The ACK rides the feedback channel at the session's *current*
-        # share — the event-loop path resizes both channel directions.
-        control_serialization = _CONTROL_PACKET_BYTES * 8.0 / row.bandwidth_bps
-        _send_ack(
-            row, row.config, window_index, window_end, result, control_serialization
-        )
-        row.result.windows.append(result)
-        row.result.series.add_clf(result.clf, result.alf)
-
-    if obs.enabled():
-        obs.counter("protocol.windows").inc(len(rows))
-        clf_hist = obs.histogram("protocol.window_clf")
-        alf_hist = obs.histogram("protocol.window_alf")
-        sent = lost = retransmissions = recovered = late = dropped = 0
-        for data in row_windows:
-            result = data.result
-            sent += result.sent
-            lost += result.lost_in_network
-            retransmissions += result.retransmissions
-            recovered += result.recovered
-            late += result.late
-            dropped += result.dropped_at_sender
-            clf_hist.observe(result.clf)
-            alf_hist.observe(result.alf)
-        obs.counter("protocol.frames_sent").inc(sent)
-        obs.counter("protocol.frames_lost").inc(lost)
-        obs.counter("protocol.retransmissions").inc(retransmissions)
-        obs.counter("protocol.recovered").inc(recovered)
-        obs.counter("protocol.late").inc(late)
-        obs.counter("protocol.dropped_at_sender").inc(dropped)
+    kernel.step_window(
+        rows,
+        info,
+        config,
+        fps,
+        window_index,
+        control_serialization=_ack_serialization,
+        shed_for=shed_for,
+    )
 
 
 def _execute_fleet(plans: List[_SessionPlan], shed_policy) -> None:
@@ -357,6 +285,11 @@ def _execute_fleet(plans: List[_SessionPlan], shed_policy) -> None:
         base = (replace(row.config, seed=0), row.fps)
         row.group_id = config_ids.setdefault(base, len(config_ids))
     window_ids: Dict[Tuple[Ldu, ...], int] = {}
+    # Identity memo over the content map: the service interns window
+    # tuples per stream shape, so most rows carry the *same* tuple
+    # objects and the 24-LDU content hash runs once per distinct object
+    # (ids are stable here — the plans keep every window alive).
+    window_ids_by_obj: Dict[int, int] = {}
 
     total_windows = max(len(row.plan.windows) for row in rows)
     for ordinal in range(total_windows):
@@ -368,11 +301,11 @@ def _execute_fleet(plans: List[_SessionPlan], shed_policy) -> None:
             effective = row.apply_share(row.plan.shares[ordinal])
             row.plan.outcome.share_bps = effective
             window = row.plan.windows[ordinal]
-            key = (
-                row.group_id,
-                effective,
-                window_ids.setdefault(window, len(window_ids)),
-            )
+            wid = window_ids_by_obj.get(id(window))
+            if wid is None:
+                wid = window_ids.setdefault(window, len(window_ids))
+                window_ids_by_obj[id(window)] = wid
+            key = (row.group_id, effective, wid)
             info = info_cache.get(key)
             if info is None:
                 family = (row.config.closed_gops, row.config.effort, row.config.layered)
@@ -409,21 +342,7 @@ def _execute_fleet(plans: List[_SessionPlan], shed_policy) -> None:
                         (row.config.p_good, row.config.p_bad), []
                     ).append((row, missing, needed))
         for (p_good, p_bad), entries in refills.items():
-            chunk = max(
-                max(missing, _PREFETCH_WINDOWS * needed)
-                for _, missing, needed in entries
-            )
-            draw_rows = [
-                [row.fwd_rng.random() for _ in range(chunk)]
-                for row, _, _ in entries
-            ]
-            states_rows = accel.gilbert_states_batch(
-                draw_rows, p_good, p_bad, [row.fwd_bad for row, _, _ in entries]
-            )
-            for (row, _, _), states in zip(entries, states_rows):
-                if states:
-                    row.fwd_bad = bool(states[-1])
-                row.flags.extend(states)
+            kernel.prefetch_flags(entries, p_good, p_bad)
             if obs.enabled():
                 obs.counter("serve.fastpath.refill_rows").inc(len(entries))
 
@@ -566,9 +485,119 @@ def shard_specs(spec: LoadSpec, shards: int) -> List[LoadSpec]:
     return specs
 
 
-def _run_shard(task) -> Tuple[ServiceResult, float]:
+@dataclass(frozen=True)
+class _LeanRequest:
+    """Request surface a summarised outcome still exposes."""
+
+    session_id: str
+    priority: int
+
+
+@dataclass(frozen=True)
+class _LeanResult:
+    """Result surface a summarised outcome still exposes."""
+
+    mean_clf: float
+    stream_clf: int
+
+
+#: Numeric per-outcome columns of one shard result, in transfer order.
+_OUTCOME_COLUMNS = (
+    "admitted",
+    "has_result",
+    "priority",
+    "mean_clf",
+    "stream_clf",
+    "shed_frames",
+    "share_bps",
+    "min_share_bps",
+    "demand_bps",
+    "critical_bps",
+)
+
+
+def _pack_shard_result(result: ServiceResult):
+    """Split a shard result into numeric columns + a small meta record.
+
+    The columns carry every number the merged
+    :class:`ShardedResult`/:class:`ServiceResult` summary surface reads;
+    the meta record keeps only strings and flags.  All columns are
+    float64-exact (CLFs are small integers, rates are already doubles),
+    so the transported summary is bit-for-bit the pickled one.
+    """
+    outcomes = result.outcomes
+    columns = {name: [] for name in _OUTCOME_COLUMNS}
+    for outcome in outcomes:
+        res = outcome.result
+        columns["admitted"].append(1.0 if outcome.admitted else 0.0)
+        columns["has_result"].append(0.0 if res is None else 1.0)
+        columns["priority"].append(float(outcome.request.priority))
+        columns["mean_clf"].append(res.mean_clf if res is not None else 0.0)
+        columns["stream_clf"].append(
+            float(res.stream_clf) if res is not None else 0.0
+        )
+        columns["shed_frames"].append(float(outcome.shed_frames))
+        columns["share_bps"].append(outcome.share_bps)
+        columns["min_share_bps"].append(outcome.min_share_bps)
+        columns["demand_bps"].append(outcome.demand_bps)
+        columns["critical_bps"].append(outcome.critical_bps)
+    meta = {
+        "capacity_bps": result.capacity_bps,
+        "scheduler": result.scheduler,
+        "shedding": result.shedding,
+        "admission": result.admission,
+        "session_ids": [outcome.request.session_id for outcome in outcomes],
+        "reasons": [outcome.reason for outcome in outcomes],
+    }
+    return FleetState(columns) if outcomes else None, meta
+
+
+def _unpack_shard_result(
+    state: Optional[FleetState], meta: Dict[str, object]
+) -> ServiceResult:
+    """Rebuild a summary-equivalent :class:`ServiceResult` from columns."""
+    result = ServiceResult(
+        capacity_bps=meta["capacity_bps"],
+        scheduler=meta["scheduler"],
+        shedding=meta["shedding"],
+        admission=meta["admission"],
+    )
+    if state is None:
+        return result
+    columns = state.as_dict()
+    for index, (session_id, reason) in enumerate(
+        zip(meta["session_ids"], meta["reasons"])
+    ):
+        has_result = columns["has_result"][index] > 0.0
+        result.outcomes.append(
+            SessionOutcome(
+                request=_LeanRequest(
+                    session_id=session_id,
+                    priority=int(columns["priority"][index]),
+                ),
+                admitted=columns["admitted"][index] > 0.0,
+                reason=reason,
+                result=(
+                    _LeanResult(
+                        mean_clf=columns["mean_clf"][index],
+                        stream_clf=int(columns["stream_clf"][index]),
+                    )
+                    if has_result
+                    else None
+                ),
+                shed_frames=int(columns["shed_frames"][index]),
+                share_bps=columns["share_bps"][index],
+                min_share_bps=columns["min_share_bps"][index],
+                demand_bps=columns["demand_bps"][index],
+                critical_bps=columns["critical_bps"][index],
+            )
+        )
+    return result
+
+
+def _run_shard(task):
     """Worker: serve one shard's fleet (module-level for pickling)."""
-    spec, capacity_bps, scheduler_name, shedding, admission, fast = task
+    spec, capacity_bps, scheduler_name, shedding, admission, fast, transport = task
     from repro.serve.bandwidth import make_scheduler
     from repro.serve.service import serve_sessions
 
@@ -581,7 +610,35 @@ def _run_shard(task) -> Tuple[ServiceResult, float]:
         shedding=shedding,
         admission=admission,
     )
-    return result, time.perf_counter() - started
+    wall = time.perf_counter() - started
+    if transport != "shm":
+        return ("pickle", result, None, wall)
+    state, meta = _pack_shard_result(result)
+    if state is not None:
+        try:
+            return ("shm", state.to_shared(), meta, wall)
+        except (OSError, ValueError):
+            # No usable shared-memory backing (e.g. /dev/shm missing):
+            # fall back to shipping the raw columns through the pickle
+            # channel — still no per-session objects on the wire.
+            return ("columns", state.as_dict(), meta, wall)
+    return ("columns", None, meta, wall)
+
+
+def _decode_shard_output(output) -> Tuple[ServiceResult, float, str]:
+    """Parent side of the shard transport; returns (result, wall, mode)."""
+    mode, payload, meta, wall = output
+    if mode == "pickle":
+        return payload, wall, mode
+    if mode == "shm":
+        handle: SharedFleet = payload
+        try:
+            state = handle.open()
+        finally:
+            handle.unlink()
+        return _unpack_shard_result(state, meta), wall, mode
+    state = FleetState(payload) if payload is not None else None
+    return _unpack_shard_result(state, meta), wall, mode
 
 
 @dataclass
@@ -664,6 +721,14 @@ class ShardedService:
     Shards run in worker processes via
     :func:`repro.experiments.parallel.parallel_map` — results are merged
     in shard order, so the outcome is independent of ``jobs``.
+
+    ``transport`` picks how shard results travel home: ``"pickle"``
+    (default) ships the full per-session result objects;  ``"shm"``
+    ships the numeric outcome columns through one shared-memory segment
+    per shard (plus a tiny pickled meta record) and rebuilds
+    summary-equivalent lean outcomes in the parent — same
+    ``summary_dict()``, ``mean_clf``, ``worst_clf`` and shed totals,
+    without re-pickling per-session objects.
     """
 
     def __init__(
@@ -676,11 +741,16 @@ class ShardedService:
         admission: bool = True,
         fast: bool = True,
         jobs: Optional[int] = None,
+        transport: str = "pickle",
     ) -> None:
         if capacity_bps <= 0:
             raise ConfigurationError("capacity must be positive")
         if shards <= 0:
             raise ConfigurationError("shard count must be positive")
+        if transport not in ("pickle", "shm"):
+            raise ConfigurationError(
+                f"unknown shard transport {transport!r}; use 'pickle' or 'shm'"
+            )
         from repro.serve.bandwidth import make_scheduler
 
         make_scheduler(scheduler)  # validate the name early
@@ -691,6 +761,7 @@ class ShardedService:
         self.admission = admission
         self.fast = fast
         self.jobs = jobs
+        self.transport = transport
 
     def run(self, spec: LoadSpec) -> ShardedResult:
         specs = shard_specs(spec, self.shards)
@@ -702,18 +773,24 @@ class ShardedService:
                 self.shedding,
                 self.admission,
                 self.fast,
+                self.transport,
             )
             for shard_spec in specs
         ]
         jobs = self.jobs if self.jobs is not None else len(tasks)
         started = time.perf_counter()
         outputs = parallel_map(_run_shard, tasks, jobs)
+        decoded = [_decode_shard_output(output) for output in outputs]
         if obs.enabled():
             obs.counter("serve.fastpath.shard_runs").inc()
             obs.counter("serve.fastpath.shards").inc(len(tasks))
             seconds = obs.histogram("serve.fastpath.shard_seconds")
-            for _, wall in outputs:
+            for _, wall, mode in decoded:
                 seconds.observe(wall)
+                if mode == "shm":
+                    obs.counter("serve.fastpath.shm_shards").inc()
+                elif mode == "columns":
+                    obs.counter("serve.fastpath.shm_fallbacks").inc()
             obs.gauge("serve.fastpath.fanout_seconds").set(
                 time.perf_counter() - started
             )
@@ -722,9 +799,9 @@ class ShardedService:
             scheduler=self.scheduler,
             shedding=self.shedding,
             admission=self.admission,
-            shards=[result for result, _ in outputs],
+            shards=[result for result, _, _ in decoded],
             shard_seeds=[shard_spec.seed for shard_spec in specs],
-            shard_seconds=[wall for _, wall in outputs],
+            shard_seconds=[wall for _, wall, _ in decoded],
         )
 
 
@@ -738,6 +815,7 @@ def run_sharded(
     admission: bool = True,
     fast: bool = True,
     jobs: Optional[int] = None,
+    transport: str = "pickle",
 ) -> ShardedResult:
     """One-shot convenience around :class:`ShardedService`."""
     service = ShardedService(
@@ -748,5 +826,6 @@ def run_sharded(
         admission=admission,
         fast=fast,
         jobs=jobs,
+        transport=transport,
     )
     return service.run(spec)

@@ -23,8 +23,9 @@ given the active set at its start.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.core.protocol import ProtocolConfig, ProtocolSession, SessionResult
@@ -51,6 +52,35 @@ __all__ = [
 #: for the engine's timing arithmetic (it will shed essentially
 #: everything instead).
 _MIN_SHARE_BPS = 1.0
+
+#: Identity-keyed cache of a stream's buffer-window slicing.  Load
+#: generators intern LDU tuples, so a whole fleet's sessions usually
+#: share a handful of ``ldus`` objects — caching the window tuples by
+#: that identity both skips the re-slicing and hands every session the
+#: *same* window tuple objects, which downstream group-batching keys on
+#: cheaply.  Entries pin the tuple, so its ``id`` cannot recycle while
+#: cached; the ``is`` check on lookup makes the key airtight.
+_WINDOWS_CACHE_SIZE = 128
+_windows_cache: "OrderedDict[tuple, Tuple[tuple, List[Tuple[Ldu, ...]]]]" = (
+    OrderedDict()
+)
+
+
+def _windows_for(
+    stream: MediaStream, window_frames: int, max_windows: Optional[int]
+) -> List[Tuple[Ldu, ...]]:
+    key = (id(stream.ldus), window_frames, max_windows)
+    hit = _windows_cache.get(key)
+    if hit is not None and hit[0] is stream.ldus:
+        _windows_cache.move_to_end(key)
+        return list(hit[1])
+    windows = list(stream.windows(window_frames))
+    if max_windows is not None:
+        windows = windows[:max_windows]
+    _windows_cache[key] = (stream.ldus, windows)
+    if len(_windows_cache) > _WINDOWS_CACHE_SIZE:
+        _windows_cache.popitem(last=False)
+    return list(windows)
 
 
 @dataclass(frozen=True)
@@ -234,6 +264,9 @@ class _Active:
     demand: SessionDemand
     windows: List[Tuple[Ldu, ...]]
     next_index: int = 0
+    #: The session's window-event callback, allocated once at admission
+    #: and re-scheduled for every window.
+    window_event: Optional[Callable[[], None]] = None
 
 
 class StreamingService:
@@ -268,6 +301,13 @@ class StreamingService:
             else None
         )
         self._active: Dict[str, _Active] = {}
+        self._seen_ids: set = set()
+        # Epoch cache of the scheduler's allocation.  Both shipped
+        # schedulers are pure functions of (demand set, capacity), and
+        # demands are frozen per session, so the allocation can only
+        # change when the active set changes — arrivals and departures
+        # invalidate it, every window event in between reuses it.
+        self._shares_cache: Optional[Dict[str, float]] = None
         self._result = ServiceResult(
             capacity_bps=capacity_bps,
             scheduler=getattr(self.scheduler, "name", type(self.scheduler).__name__),
@@ -296,13 +336,11 @@ class StreamingService:
         return [active.demand for active in self._active.values()]
 
     def _arrive(self, request: SessionRequest) -> None:
-        if request.session_id in self._active or any(
-            outcome.request.session_id == request.session_id
-            for outcome in self._result.outcomes
-        ):
+        if request.session_id in self._seen_ids:
             raise ConfigurationError(
                 f"duplicate session id {request.session_id!r}"
             )
+        self._seen_ids.add(request.session_id)
         full, critical = estimate_demand(
             request.stream, request.config, max_windows=request.max_windows
         )
@@ -331,19 +369,22 @@ class StreamingService:
                 return
             outcome.reason = decision.reason
         session = self._create_session(request)
-        windows = list(request.stream.windows(request.config.window_frames))
-        if request.max_windows is not None:
-            windows = windows[: request.max_windows]
-        self._active[request.session_id] = _Active(
+        windows = _windows_for(
+            request.stream, request.config.window_frames, request.max_windows
+        )
+        active = _Active(
             outcome=outcome,
             session=session,
             demand=demand,
             windows=windows,
         )
+        active.window_event = lambda: self._window_event(request.session_id)
+        self._active[request.session_id] = active
+        self._shares_cache = None
         if obs.enabled():
             obs.counter("serve.sessions_admitted").inc()
             obs.gauge("serve.active_sessions").set(len(self._active))
-        self.loop.schedule(self.loop.now, lambda: self._window_event(request.session_id))
+        self.loop.schedule(self.loop.now, active.window_event)
 
     # ------------------------------------------------------------------
     # Windows and departures
@@ -373,7 +414,10 @@ class StreamingService:
 
     def _window_event(self, session_id: str) -> None:
         active = self._active[session_id]
-        shares = self.scheduler.allocate(self._demands(), self.capacity_bps)
+        shares = self._shares_cache
+        if shares is None:
+            shares = self.scheduler.allocate(self._demands(), self.capacity_bps)
+            self._shares_cache = shares
         index = active.next_index
         window = active.windows[index]
         self._execute_window(active, index, window, shares[session_id])
@@ -382,7 +426,7 @@ class StreamingService:
             obs.counter("serve.windows").inc()
         if active.next_index < len(active.windows):
             cycle = len(window) / active.session.stream.fps
-            self.loop.schedule_in(cycle, lambda: self._window_event(session_id))
+            self.loop.schedule_in(cycle, active.window_event)
         else:
             self._depart(session_id)
 
@@ -407,6 +451,7 @@ class StreamingService:
 
     def _depart(self, session_id: str) -> None:
         active = self._active.pop(session_id)
+        self._shares_cache = None
         self._finalize_session(active)
         if obs.enabled():
             obs.gauge("serve.active_sessions").set(len(self._active))

@@ -18,7 +18,7 @@ from hypothesis import strategies as st
 
 from repro import accel
 from repro.core.batch import run_sessions_batch, summarize_replications
-from repro.core.protocol import ProtocolConfig, run_session
+from repro.core.protocol import ProtocolConfig, ProtocolSession, run_session
 from repro.errors import ConfigurationError, ProtocolError
 from repro.media.gop import GOP_12, GopPattern
 from repro.media.stream import MediaStream, make_video_stream
@@ -59,24 +59,37 @@ def protocol_configs(draw):
 
 
 def _sequential(stream, config, seeds, max_windows):
+    # Anchor to the object engine directly: run_session itself routes
+    # through the batch engine now, so comparing against it would be a
+    # vacuous self-check.
     return [
-        run_session(stream, replace(config, seed=seed), max_windows=max_windows)
+        ProtocolSession(stream, replace(config, seed=seed)).run(
+            max_windows=max_windows
+        )
         for seed in seeds
     ]
 
 
 def _assert_batch_matches(stream, config, seeds, max_windows):
+    from repro.core import kernel
+
     previous = accel.backend_name()
+    previous_tier = kernel.tier_name()
     try:
         for name in accel.available_backends():
             accel.set_backend(name)
-            batched = run_sessions_batch(
-                stream, config, seeds=seeds, max_windows=max_windows
-            )
             expected = _sequential(stream, config, seeds, max_windows)
-            assert batched == expected, f"backend {name!r} diverged"
+            for tier in kernel.available_tiers():
+                kernel.set_tier(tier)
+                batched = run_sessions_batch(
+                    stream, config, seeds=seeds, max_windows=max_windows
+                )
+                assert batched == expected, (
+                    f"backend {name!r} tier {tier!r} diverged"
+                )
     finally:
         accel.set_backend(previous)
+        kernel.set_tier(previous_tier)
 
 
 class TestBatchSequentialParity:

@@ -95,3 +95,49 @@ class TestDiskCache:
     def test_load_rejects_wrong_length(self, fresh_cache):
         permcache.store("window", 4, 3, "normal", 0, [0, 2, 1, 3])
         assert permcache.load("window", 5, 3, "normal", 0) is None
+
+
+class TestEviction:
+    def test_bound_evicts_oldest_first(self, fresh_cache, monkeypatch):
+        monkeypatch.setenv(permcache.ENV_MAX_ENTRIES, "2")
+        permcache.store("window", 3, 2, "normal", 0, [0, 2, 1])
+        permcache.store("window", 3, 2, "normal", 1, [1, 0, 2])
+        permcache.store("window", 3, 2, "normal", 2, [2, 1, 0])
+        assert permcache.load("window", 3, 2, "normal", 0) is None
+        assert permcache.load("window", 3, 2, "normal", 1) == [1, 0, 2]
+        assert permcache.load("window", 3, 2, "normal", 2) == [2, 1, 0]
+
+    def test_restore_refreshes_entry_age(self, fresh_cache, monkeypatch):
+        monkeypatch.setenv(permcache.ENV_MAX_ENTRIES, "2")
+        permcache.store("window", 3, 2, "normal", 0, [0, 2, 1])
+        permcache.store("window", 3, 2, "normal", 1, [1, 0, 2])
+        # Re-storing seed 0 makes it the newest entry, so seed 1 is the
+        # one the next store pushes out.
+        permcache.store("window", 3, 2, "normal", 0, [0, 2, 1])
+        permcache.store("window", 3, 2, "normal", 2, [2, 1, 0])
+        assert permcache.load("window", 3, 2, "normal", 0) == [0, 2, 1]
+        assert permcache.load("window", 3, 2, "normal", 1) is None
+
+    def test_eviction_counter(self, fresh_cache, monkeypatch):
+        from repro import obs
+
+        monkeypatch.setenv(permcache.ENV_MAX_ENTRIES, "1")
+        registry = obs.enable()
+        obs.reset()
+        try:
+            permcache.store("window", 3, 2, "normal", 0, [0, 2, 1])
+            permcache.store("window", 3, 2, "normal", 1, [1, 0, 2])
+        finally:
+            obs.disable()
+        assert registry.snapshot()["counters"]["permcache.evictions"] == 1
+
+    def test_non_positive_bound_is_unlimited(self, fresh_cache, monkeypatch):
+        monkeypatch.setenv(permcache.ENV_MAX_ENTRIES, "0")
+        for seed in range(8):
+            permcache.store("window", 3, 2, "normal", seed, [0, 2, 1])
+        for seed in range(8):
+            assert permcache.load("window", 3, 2, "normal", seed) == [0, 2, 1]
+
+    def test_unparsable_bound_falls_back_to_default(self, monkeypatch):
+        monkeypatch.setenv(permcache.ENV_MAX_ENTRIES, "lots")
+        assert permcache.max_entries() == permcache.DEFAULT_MAX_ENTRIES

@@ -1,0 +1,185 @@
+"""The regression gate itself must not pass silently.
+
+``tools/bench_compare.py`` guards the perf gates in CI; these tests pin
+its two sharp edges: a ``--tag`` run must never fall back to another
+family's recording as its implicit baseline, and a run with no baseline
+at all must exit non-zero unless ``--allow-missing-baseline`` opts in —
+a missing baseline that exits 0 would let every regression through.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def bench_compare():
+    spec = importlib.util.spec_from_file_location(
+        "bench_compare", REPO / "tools" / "bench_compare.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    return module
+
+
+def _write_recording(path: pathlib.Path, means: dict) -> None:
+    path.write_text(
+        json.dumps(
+            {
+                "benchmarks": [
+                    {"fullname": name, "stats": {"mean": mean}}
+                    for name, mean in means.items()
+                ]
+            }
+        )
+    )
+
+
+@pytest.fixture
+def fake_runner(monkeypatch, bench_compare):
+    """Replace the pytest subprocess with a canned recording writer."""
+
+    def install(means: dict) -> None:
+        def _run(json_path, pytest_args, bench_path):
+            _write_recording(json_path, means)
+            return 0
+
+        monkeypatch.setattr(bench_compare, "run_benchmarks", _run)
+
+    return install
+
+
+class TestImplicitBaseline:
+    def test_tagged_run_ignores_untagged_recordings(
+        self, tmp_path, bench_compare
+    ):
+        means = {"bench::one": 1.0}
+        untagged = tmp_path / "BENCH_aaa.json"
+        _write_recording(untagged, means)
+        current = tmp_path / "BENCH_bbb_kernel.json"
+        _write_recording(current, means)
+        assert (
+            bench_compare.newest_other_recording(
+                tmp_path, current, names=means, tag="kernel"
+            )
+            is None
+        )
+
+    def test_tagged_run_finds_same_tag_recording(
+        self, tmp_path, bench_compare
+    ):
+        means = {"bench::one": 1.0}
+        _write_recording(tmp_path / "BENCH_aaa.json", means)
+        tagged = tmp_path / "BENCH_aaa_kernel.json"
+        _write_recording(tagged, means)
+        current = tmp_path / "BENCH_bbb_kernel.json"
+        _write_recording(current, means)
+        assert (
+            bench_compare.newest_other_recording(
+                tmp_path, current, names=means, tag="kernel"
+            )
+            == tagged
+        )
+
+    def test_other_family_never_becomes_baseline(
+        self, tmp_path, bench_compare
+    ):
+        _write_recording(tmp_path / "BENCH_aaa.json", {"other::bench": 1.0})
+        current = tmp_path / "BENCH_bbb.json"
+        means = {"bench::one": 1.0}
+        _write_recording(current, means)
+        assert (
+            bench_compare.newest_other_recording(
+                tmp_path, current, names=means
+            )
+            is None
+        )
+
+
+class TestMissingBaseline:
+    def test_missing_baseline_fails_loudly(
+        self, tmp_path, bench_compare, fake_runner, capsys
+    ):
+        fake_runner({"bench::one": 1.0})
+        code = bench_compare.main(
+            ["--out-dir", str(tmp_path), "--tag", "fresh"]
+        )
+        assert code == 2
+        assert "allow-missing-baseline" in capsys.readouterr().err
+
+    def test_allow_missing_baseline_seeds_first_recording(
+        self, tmp_path, bench_compare, fake_runner
+    ):
+        fake_runner({"bench::one": 1.0})
+        code = bench_compare.main(
+            [
+                "--out-dir",
+                str(tmp_path),
+                "--tag",
+                "fresh",
+                "--allow-missing-baseline",
+            ]
+        )
+        assert code == 0
+        assert list(tmp_path.glob("BENCH_*_fresh.json"))
+
+    def test_explicit_missing_baseline_still_errors(
+        self, tmp_path, bench_compare, fake_runner
+    ):
+        fake_runner({"bench::one": 1.0})
+        code = bench_compare.main(
+            [
+                "--out-dir",
+                str(tmp_path),
+                "--baseline",
+                str(tmp_path / "nope.json"),
+            ]
+        )
+        assert code == 2
+
+    def test_regression_detected_against_committed_baseline(
+        self, tmp_path, bench_compare, fake_runner
+    ):
+        baseline = tmp_path / "BENCH_old_kernel.json"
+        _write_recording(baseline, {"bench::one": 1.0})
+        fake_runner({"bench::one": 1.5})
+        code = bench_compare.main(
+            [
+                "--out-dir",
+                str(tmp_path),
+                "--tag",
+                "kernel",
+                "--baseline",
+                str(baseline),
+                "--threshold",
+                "0.2",
+            ]
+        )
+        assert code == 1
+
+    def test_within_threshold_passes(
+        self, tmp_path, bench_compare, fake_runner
+    ):
+        baseline = tmp_path / "BENCH_old_kernel.json"
+        _write_recording(baseline, {"bench::one": 1.0})
+        fake_runner({"bench::one": 1.1})
+        code = bench_compare.main(
+            [
+                "--out-dir",
+                str(tmp_path),
+                "--tag",
+                "kernel",
+                "--baseline",
+                str(baseline),
+                "--threshold",
+                "0.2",
+            ]
+        )
+        assert code == 0

@@ -303,6 +303,59 @@ class TestSharding:
             _outcome_key(o) for o in slow.outcomes
         ]
 
+    def test_shm_transport_matches_pickle(self):
+        """The shared-memory result transport is invisible in summaries.
+
+        The shm transport ships session outcomes as numeric columns (a
+        :class:`repro.core.kernel.FleetState`), so per-window detail
+        stays in the worker — but every summary statistic must round
+        trip exactly (float64 columns copy losslessly).
+        """
+
+        def lean_key(outcome):
+            return (
+                outcome.request.session_id,
+                outcome.request.priority,
+                outcome.admitted,
+                outcome.reason,
+                outcome.share_bps,
+                outcome.min_share_bps,
+                outcome.shed_frames,
+                outcome.demand_bps,
+                outcome.critical_bps,
+                outcome.result.mean_clf if outcome.result else None,
+                outcome.result.stream_clf if outcome.result else None,
+            )
+
+        spec = LoadSpec(sessions=4, seed=13, gop_count=4)
+        pickled = run_sharded(
+            spec, 2_400_000.0, shards=2, jobs=2, transport="pickle"
+        )
+        shared = run_sharded(
+            spec, 2_400_000.0, shards=2, jobs=2, transport="shm"
+        )
+        assert pickled.summary_dict() == shared.summary_dict()
+        assert [lean_key(o) for o in pickled.outcomes] == [
+            lean_key(o) for o in shared.outcomes
+        ]
+
+    def test_shm_transport_serial_jobs(self):
+        spec = LoadSpec(sessions=3, seed=5, gop_count=4)
+        pickled = run_sharded(spec, 2_000_000.0, shards=2, jobs=1)
+        shared = run_sharded(
+            spec, 2_000_000.0, shards=2, jobs=1, transport="shm"
+        )
+        assert pickled.summary_dict() == shared.summary_dict()
+
+    def test_unknown_transport_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_sharded(
+                LoadSpec(sessions=2, seed=1, gop_count=4),
+                2_000_000.0,
+                shards=2,
+                transport="carrier-pigeon",
+            )
+
     def test_sharded_summary_and_manifest(self):
         from repro.serve import build_service_manifest
 
@@ -344,12 +397,13 @@ class TestObservability:
             obs.disable()
 
     def test_demand_cache_counters(self):
-        from repro.serve.admission import _demand_cache
+        from repro.serve.admission import _demand_cache, _demand_id_cache
 
         registry = obs.enable()
         obs.reset()
         try:
             _demand_cache.clear()
+            _demand_id_cache.clear()
             requests = generate_requests(LoadSpec(sessions=2, seed=77))
             stream = requests[0].stream
             config = requests[0].config

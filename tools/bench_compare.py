@@ -10,8 +10,12 @@ times against a baseline:
 * ``--baseline FILE`` compares against an explicit earlier recording;
 * otherwise the newest *other* ``BENCH_*.json`` in the output directory
   that shares at least one benchmark with this run is used (so another
-  family's recording can never become the baseline);
-* with no baseline at all the run is recorded and the tool exits 0.
+  family's recording can never become the baseline); with ``--tag``,
+  only same-tag recordings qualify;
+* with no baseline at all the run is recorded and the tool exits 2 —
+  a family whose committed baseline went missing must fail loudly, not
+  silently pass.  ``--allow-missing-baseline`` restores the old exit-0
+  behaviour for seeding a brand-new family.
 
 A benchmark regresses when its mean time grows by more than
 ``--threshold`` (default 0.20 = 20%); any regression makes the exit
@@ -77,14 +81,16 @@ def newest_other_recording(
     recordings sharing at least one benchmark are eligible — a recording
     of a different bench family (e.g. the batch sweep next to the micro
     suite) can then never be picked as the implicit baseline.  With
-    ``tag``, recordings carrying the same ``_<tag>`` suffix are
-    preferred over untagged (or differently tagged) ones, so a family's
-    committed baseline wins even when another eligible recording is
-    newer.
+    ``tag``, only recordings carrying the same ``_<tag>`` suffix are
+    eligible: an untagged (or differently tagged) recording must never
+    stand in for a family's baseline, even when nothing else exists —
+    silently diffing against the wrong family hides regressions.
     """
     candidates = []
     for path in out_dir.glob("BENCH_*.json"):
         if path.resolve() == current.resolve():
+            continue
+        if tag and not path.stem.endswith(f"_{tag}"):
             continue
         if names is not None:
             try:
@@ -93,12 +99,6 @@ def newest_other_recording(
             except (OSError, json.JSONDecodeError):
                 continue
         candidates.append(path)
-    if tag:
-        tagged = [
-            path for path in candidates if path.stem.endswith(f"_{tag}")
-        ]
-        if tagged:
-            candidates = tagged
     if not candidates:
         return None
     return max(candidates, key=lambda path: path.stat().st_mtime)
@@ -145,6 +145,12 @@ def main(argv: list[str] | None = None) -> int:
         "different bench families keep separate recordings",
     )
     parser.add_argument(
+        "--allow-missing-baseline",
+        action="store_true",
+        help="exit 0 instead of 2 when no baseline exists (for seeding "
+        "a new bench family's first recording)",
+    )
+    parser.add_argument(
         "pytest_args",
         nargs="*",
         help="extra arguments passed through to pytest (after --)",
@@ -189,9 +195,19 @@ def main(argv: list[str] | None = None) -> int:
         elif same_rev_means is not None:
             baseline_means = same_rev_means
             baseline_label = f"{recording.name} (previous run, same revision)"
-        else:
+        elif args.allow_missing_baseline:
             print("no earlier recording to compare against; baseline saved.")
             return 0
+        else:
+            print(
+                "no earlier recording to compare against "
+                f"(tag={args.tag or 'none'}); a missing baseline would let "
+                "regressions pass silently. Re-run with "
+                "--allow-missing-baseline to seed this family's first "
+                "recording.",
+                file=sys.stderr,
+            )
+            return 2
 
     rows = compare(baseline_means, load_means(recording), args.threshold)
     if not rows:

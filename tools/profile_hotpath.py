@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Profile a repro hot path under cProfile.
 
-Two targets:
+Three targets:
 
 * ``--target figure8`` (default) runs
   :func:`repro.experiments.figure8.run_figure8` on the paper's top
@@ -11,6 +11,9 @@ Two targets:
   (:mod:`repro.serve.fastpath`) on the K = 16 capacity-sweep fleet the
   serve benchmarks time, with caches pre-warmed so the listing shows
   the steady-state engine, not one-off plan searches.
+* ``--target kernel`` runs the same fast path on the K = 256
+  steady-state fleet the kernel benchmark gates at 10x — wide enough
+  that the fused tier's per-window cohort work dominates the listing.
 
 Writes the full cumulative-time listing to
 ``benchmarks/results/PROFILE_<rev>[_<target>].txt`` and prints the top
@@ -62,25 +65,39 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--target",
-        choices=("figure8", "serve"),
+        choices=("figure8", "serve", "kernel"),
         default="figure8",
-        help="hot path to profile: the Figure-8 session engine or the "
-        "window-batched serving fast path (default figure8)",
+        help="hot path to profile: the Figure-8 session engine, the "
+        "window-batched serving fast path, or the K = 256 fused-kernel "
+        "steady state (default figure8)",
     )
     args = parser.parse_args(argv)
 
     sys.path.insert(0, str(REPO_ROOT / "src"))
-    if args.target == "serve":
+    if args.target in ("serve", "kernel"):
         from repro.serve import LoadSpec, generate_requests, serve_sessions
 
-        spec = LoadSpec(
-            sessions=16,
-            seed=5,
-            gop_count=50,
-            max_windows=50,
-            mean_interarrival=0.0,
-        )
-        capacity_bps = 2_400_000.0 * 8
+        if args.target == "kernel":
+            from repro.core.protocol import ProtocolConfig
+
+            spec = LoadSpec(
+                sessions=256,
+                seed=9,
+                gop_count=24,
+                max_windows=12,
+                mean_interarrival=0.0,
+                config=ProtocolConfig(p_good=0.995, p_bad=0.6),
+            )
+            capacity_bps = 1_200_000.0 * 256
+        else:
+            spec = LoadSpec(
+                sessions=16,
+                seed=5,
+                gop_count=50,
+                max_windows=50,
+                mean_interarrival=0.0,
+            )
+            capacity_bps = 2_400_000.0 * 8
         # Warm the permutation, stream and demand caches so the profile
         # shows the steady-state engine.
         serve_sessions(generate_requests(spec), capacity_bps, fast=True)
