@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-batch bench-serve bench-kernel bench-all profile profile-serve profile-kernel experiments examples serve-demo obs-demo obs-guard lint all
+.PHONY: install test bench bench-batch bench-serve bench-kernel bench-all profile profile-serve profile-kernel experiments examples serve-demo gateway-demo obs-demo obs-guard lint all
 
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
@@ -43,6 +43,12 @@ examples:
 
 serve-demo:
 	$(PYTHON) -m repro serve --sessions 6 --capacity-mbps 2.4 --seed 5
+
+# A seeded loopback pair over real UDP: prints the live per-window
+# CLF/ALF/b-hat trajectory and the differential verdict vs the simulator.
+gateway-demo:
+	$(PYTHON) -m repro gateway probe --seed 7
+	$(PYTHON) -m repro gateway probe --seed 11 --reorder-span 5
 
 obs-demo:
 	$(PYTHON) -m repro obs dump figure8-pooled --quiet

@@ -194,6 +194,62 @@ def build_parser() -> argparse.ArgumentParser:
         help="record metrics and write a service run manifest",
     )
 
+    gateway = commands.add_parser(
+        "gateway", help="real-network serving gateway (RTSP control + UDP data)"
+    )
+    gateway_actions = gateway.add_subparsers(dest="gateway_action", required=True)
+
+    probe = gateway_actions.add_parser(
+        "probe",
+        help="run a seeded loopback session and pin it against the simulator",
+    )
+    probe.add_argument("--seed", type=int, default=0, help="channel seed (default 0)")
+    probe.add_argument(
+        "--gops", type=int, default=8, help="GOPs in the generated stream"
+    )
+    probe.add_argument(
+        "--windows",
+        type=int,
+        default=4,
+        metavar="W",
+        help="buffer windows to stream (default 4)",
+    )
+    probe.add_argument(
+        "--reorder-span",
+        type=int,
+        default=0,
+        metavar="S",
+        help="deterministic datagram reorder buffer size (default 0)",
+    )
+    probe.add_argument(
+        "--burst-policy",
+        choices=["equation1", "quantile"],
+        default="equation1",
+        help="sender burst-bound policy (default equation1)",
+    )
+    probe.add_argument(
+        "--quiet", action="store_true", help="print only the verdict line"
+    )
+
+    gateway_serve = gateway_actions.add_parser(
+        "serve", help="run the gateway server on real sockets until interrupted"
+    )
+    gateway_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    gateway_serve.add_argument(
+        "--control-port",
+        type=int,
+        default=8554,
+        help="TCP control port (default 8554, 0 = ephemeral)",
+    )
+    gateway_serve.add_argument(
+        "--data-port",
+        type=int,
+        default=0,
+        help="UDP data port (default ephemeral)",
+    )
+
     obs_cmd = commands.add_parser(
         "obs", help="dump, diff and validate observability run manifests"
     )
@@ -518,6 +574,56 @@ def _cmd_replay(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_gateway(args: argparse.Namespace, out) -> int:
+    if args.gateway_action == "probe":
+        from repro.gateway.probe import ProbeSpec, run_loopback_probe
+
+        overrides = {}
+        if args.burst_policy != "equation1":
+            overrides["burst_policy"] = args.burst_policy
+        spec = ProbeSpec(
+            seed=args.seed,
+            gops=args.gops,
+            max_windows=args.windows,
+            reorder_span=args.reorder_span,
+            config_overrides=overrides,
+        )
+        outcome = run_loopback_probe(spec)
+        lines = outcome.summary_lines()
+        if args.quiet:
+            lines = lines[-1:]
+        for line in lines:
+            print(line, file=out)
+        return 0 if outcome.matches else 1
+
+    import asyncio
+
+    from repro.gateway.server import GatewayServer
+
+    async def _serve_forever() -> None:
+        server = GatewayServer(
+            host=args.host,
+            control_port=args.control_port,
+            data_port=args.data_port,
+        )
+        await server.start()
+        print(
+            f"gateway listening: control rtsp://{args.host}:"
+            f"{server.control_port} data udp/{server.data_port}",
+            file=out,
+        )
+        try:
+            await asyncio.Event().wait()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve_forever())
+    except KeyboardInterrupt:
+        print("gateway stopped", file=out)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out if out is not None else sys.stdout
@@ -530,6 +636,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "bounds": _cmd_bounds,
         "replay": _cmd_replay,
         "serve": _cmd_serve,
+        "gateway": _cmd_gateway,
         "obs": _cmd_obs,
     }
     return handlers[args.command](args, out)

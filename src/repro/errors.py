@@ -54,3 +54,24 @@ class CodingError(ReproError):
 
 class PipelineError(ReproError):
     """A CMT-style pipeline is mis-wired or an object misbehaved."""
+
+
+class GatewayError(ReproError):
+    """The real-network serving gateway hit an unrecoverable condition."""
+
+
+class WireFormatError(GatewayError):
+    """A gateway datagram could not be encoded or decoded."""
+
+
+class ControlError(GatewayError):
+    """An RTSP-style control request must be answered with an error status.
+
+    Carries the response ``status`` code (4xx/5xx) so the control server
+    can answer the offending request instead of dropping the connection.
+    """
+
+    def __init__(self, status: int, reason: str) -> None:
+        super().__init__(f"{status} {reason}")
+        self.status = status
+        self.reason = reason

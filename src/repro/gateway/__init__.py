@@ -1,0 +1,82 @@
+"""Real-network serving gateway: RTSP-style control, UDP data plane.
+
+The gateway takes the repo's simulated Section-3/4 loop onto real
+sockets without giving up determinism: the *unmodified* protocol engine
+(k-CPO scrambling, budget arithmetic, Equation-1 adaptation) runs
+inside :class:`~repro.gateway.sender.GatewaySenderSession`, keeping the
+seeded Gilbert channel pair as the loss/timing oracle, while delivered
+fragments travel as real UDP datagrams and per-window feedback comes
+back from a real :class:`~repro.gateway.receiver.GatewayReceiver`.  A
+loopback session is therefore *bit-for-bit* the simulated session for
+the same stream, config and seed — the property the differential
+battery (:mod:`repro.gateway.probe`, ``tests/gateway``) pins.
+
+Modules
+-------
+``wire``
+    The binary datagram format (MEDIA / TRAILER / REPORT).
+``control``
+    The RTSP/1.0 subset: request grammar, responses, session states.
+``shim``
+    The loopback impairment shim (Gilbert drops, virtual time stamps,
+    deterministic reordering).
+``sender`` / ``receiver``
+    The two endpoints of the data plane.
+``server``
+    The asyncio server binding both planes to sockets.
+``probe``
+    The seeded loopback probe that pins gateway == simulator.
+"""
+
+from repro.gateway.control import (
+    METHODS,
+    RTSP_VERSION,
+    ControlRequest,
+    SessionState,
+    format_request,
+    format_response,
+    parse_request,
+    parse_response,
+)
+from repro.gateway.probe import ProbeOutcome, ProbeSpec, run_loopback_probe
+from repro.gateway.receiver import GatewayReceiver, ReceivedWindow
+from repro.gateway.sender import (
+    GatewaySenderSession,
+    TrajectoryPoint,
+    snapshot_trajectory,
+)
+from repro.gateway.server import GatewayServer, GatewaySession
+from repro.gateway.shim import ImpairedLink, ReorderBuffer
+from repro.gateway.wire import (
+    MediaDatagram,
+    WindowReport,
+    WindowTrailer,
+    decode,
+)
+
+__all__ = [
+    "METHODS",
+    "RTSP_VERSION",
+    "ControlRequest",
+    "GatewayReceiver",
+    "GatewaySenderSession",
+    "GatewayServer",
+    "GatewaySession",
+    "ImpairedLink",
+    "MediaDatagram",
+    "ProbeOutcome",
+    "ProbeSpec",
+    "ReceivedWindow",
+    "ReorderBuffer",
+    "SessionState",
+    "TrajectoryPoint",
+    "WindowReport",
+    "WindowTrailer",
+    "decode",
+    "format_request",
+    "format_response",
+    "parse_request",
+    "parse_response",
+    "run_loopback_probe",
+    "snapshot_trajectory",
+]

@@ -1,0 +1,250 @@
+"""RTSP-style control plane: request grammar and session state machine.
+
+The gateway speaks a deliberately small RTSP/1.0 subset over TCP::
+
+    SETUP rtsp://host/stream RTSP/1.0\r\n
+    CSeq: 1\r\n
+    Content-Length: 123\r\n
+    \r\n
+    {json session description}
+
+Supported methods: ``OPTIONS``, ``SETUP``, ``PLAY``, ``PAUSE``,
+``TEARDOWN``.  Every request must carry a numeric ``CSeq`` header which
+is echoed in the response.  ``PLAY``/``PAUSE``/``TEARDOWN`` must carry
+the ``Session`` header returned by ``SETUP``.
+
+Malformed input never kills the connection: the parser raises
+:class:`~repro.errors.ControlError` with the proper 4xx/5xx status
+(400 bad syntax or CSeq, 404 bad target, 454 unknown session, 455
+method not valid in this state, 501 unknown method) and the server
+answers with that status, then keeps reading.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.errors import ControlError
+
+__all__ = [
+    "RTSP_VERSION",
+    "METHODS",
+    "STATUS_REASONS",
+    "ControlRequest",
+    "SessionState",
+    "parse_request",
+    "parse_response",
+    "format_request",
+    "format_response",
+]
+
+RTSP_VERSION = "RTSP/1.0"
+
+#: Methods the gateway implements.
+METHODS = ("OPTIONS", "SETUP", "PLAY", "PAUSE", "TEARDOWN")
+
+#: Methods that require an established session.
+_SESSION_METHODS = ("PLAY", "PAUSE", "TEARDOWN")
+
+STATUS_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    454: "Session Not Found",
+    455: "Method Not Valid in This State",
+    459: "Aggregate Operation Not Allowed",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+}
+
+_MAX_HEADER_COUNT = 64
+_MAX_LINE_BYTES = 4096
+
+
+@dataclass(frozen=True)
+class ControlRequest:
+    """One parsed control request."""
+
+    method: str
+    target: str
+    cseq: int
+    headers: Mapping[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def session_id(self) -> Optional[str]:
+        value = self.headers.get("session")
+        return value if value else None
+
+
+def _decode_line(raw: bytes) -> str:
+    if len(raw) > _MAX_LINE_BYTES:
+        raise ControlError(400, "header line too long")
+    try:
+        return raw.decode("ascii")
+    except UnicodeDecodeError:
+        raise ControlError(400, "header line is not ASCII") from None
+
+
+def _parse_headers(lines) -> Dict[str, str]:
+    headers: Dict[str, str] = {}
+    if len(lines) > _MAX_HEADER_COUNT:
+        raise ControlError(400, "too many headers")
+    for raw in lines:
+        line = _decode_line(raw)
+        if not line.strip():
+            raise ControlError(400, "empty header line inside request")
+        if line[0] in " \t":
+            raise ControlError(400, "header continuation lines not supported")
+        name, sep, value = line.partition(":")
+        if not sep or not name.strip():
+            raise ControlError(400, f"malformed header line {line!r}")
+        key = name.strip().lower()
+        if key in headers:
+            raise ControlError(400, f"duplicate header {name.strip()!r}")
+        headers[key] = value.strip()
+    return headers
+
+
+def _parse_cseq(headers: Mapping[str, str]) -> int:
+    raw = headers.get("cseq")
+    if raw is None:
+        raise ControlError(400, "missing CSeq header")
+    if not raw.isdigit():
+        raise ControlError(400, f"CSeq must be a non-negative integer, got {raw!r}")
+    cseq = int(raw)
+    if cseq > 2**31 - 1:
+        raise ControlError(400, "CSeq out of range")
+    return cseq
+
+
+def parse_request(head: bytes, body: bytes = b"") -> ControlRequest:
+    """Parse one request head (bytes up to the blank line) plus its body.
+
+    Raises :class:`ControlError` with the status to answer on any
+    malformed input; never raises anything else for arbitrary bytes.
+    """
+    lines = head.split(b"\r\n")
+    # Tolerate bare-LF clients, but never bare-CR.
+    if len(lines) == 1:
+        lines = head.split(b"\n")
+    lines = [line for line in lines if line != b""]
+    if not lines:
+        raise ControlError(400, "empty request")
+    request_line = _decode_line(lines[0])
+    parts = request_line.split()
+    if len(parts) != 3:
+        raise ControlError(400, f"malformed request line {request_line!r}")
+    method, target, version = parts
+    if version != RTSP_VERSION:
+        raise ControlError(400, f"unsupported protocol version {version!r}")
+    headers = _parse_headers(lines[1:])
+    cseq = _parse_cseq(headers)
+    if method not in METHODS:
+        raise ControlError(501, f"method {method!r} not implemented")
+    if not (target == "*" or target.startswith("rtsp://")):
+        raise ControlError(404, f"target {target!r} is not an rtsp:// URL")
+    declared = headers.get("content-length")
+    if declared is not None:
+        if not declared.isdigit():
+            raise ControlError(400, "Content-Length must be a non-negative integer")
+        if int(declared) != len(body):
+            raise ControlError(
+                400,
+                f"Content-Length {declared} does not match body of {len(body)} bytes",
+            )
+    elif body:
+        raise ControlError(400, "body without Content-Length")
+    return ControlRequest(
+        method=method, target=target, cseq=cseq, headers=headers, body=body
+    )
+
+
+def format_request(
+    method: str,
+    target: str,
+    cseq: int,
+    *,
+    headers: Optional[Mapping[str, str]] = None,
+    body: bytes = b"",
+) -> bytes:
+    """Serialize one client request."""
+    lines = [f"{method} {target} {RTSP_VERSION}", f"CSeq: {cseq}"]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    if body:
+        lines.append(f"Content-Length: {len(body)}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body
+
+
+def format_response(
+    status: int,
+    cseq: Optional[int],
+    *,
+    headers: Optional[Mapping[str, str]] = None,
+    body: bytes = b"",
+) -> bytes:
+    """Serialize one server response (CSeq echoed when known)."""
+    reason = STATUS_REASONS.get(status, "Unknown")
+    lines = [f"{RTSP_VERSION} {status} {reason}"]
+    if cseq is not None:
+        lines.append(f"CSeq: {cseq}")
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    if body:
+        lines.append(f"Content-Length: {len(body)}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body
+
+
+def parse_response(head: bytes, body: bytes = b"") -> Tuple[int, Dict[str, str], bytes]:
+    """Parse one response head; returns ``(status, headers, body)``."""
+    lines = [line for line in head.split(b"\r\n") if line != b""]
+    if not lines:
+        raise ControlError(400, "empty response")
+    status_line = _decode_line(lines[0])
+    parts = status_line.split(None, 2)
+    if len(parts) < 2 or parts[0] != RTSP_VERSION or not parts[1].isdigit():
+        raise ControlError(400, f"malformed status line {status_line!r}")
+    headers = _parse_headers(lines[1:])
+    return int(parts[1]), headers, body
+
+
+class SessionState:
+    """The RTSP session lifecycle (Appendix A of RFC 2326, reduced).
+
+    ``INIT -> READY -> PLAYING <-> PAUSED -> DONE``; ``TEARDOWN`` is
+    legal from every live state.  :meth:`transition` validates one
+    method against the current state and either advances it or raises
+    :class:`ControlError` 455.
+    """
+
+    INIT = "INIT"
+    READY = "READY"
+    PLAYING = "PLAYING"
+    PAUSED = "PAUSED"
+    DONE = "DONE"
+
+    _TRANSITIONS = {
+        ("SETUP", INIT): READY,
+        ("PLAY", READY): PLAYING,
+        ("PLAY", PLAYING): PLAYING,
+        ("PLAY", PAUSED): PLAYING,
+        ("PAUSE", PLAYING): PAUSED,
+        ("PAUSE", PAUSED): PAUSED,
+        ("TEARDOWN", READY): DONE,
+        ("TEARDOWN", PLAYING): DONE,
+        ("TEARDOWN", PAUSED): DONE,
+    }
+
+    def __init__(self) -> None:
+        self.state = self.INIT
+
+    def transition(self, method: str) -> str:
+        next_state = self._TRANSITIONS.get((method, self.state))
+        if next_state is None:
+            raise ControlError(
+                455, f"{method} not valid in state {self.state}"
+            )
+        self.state = next_state
+        return next_state

@@ -1,0 +1,289 @@
+"""Seeded loopback probe: the gateway pinned against the simulator.
+
+:func:`run_loopback_probe` stands up a full real-socket session on
+loopback — in-process :class:`~repro.gateway.server.GatewayServer`, a
+TCP control client doing SETUP/PLAY/TEARDOWN, and a UDP client endpoint
+feeding a :class:`~repro.gateway.receiver.GatewayReceiver` that answers
+REPORTs — then checks the gateway's behaviour against the simulator:
+
+* the sender's :class:`~repro.core.protocol.SessionResult` must equal
+  :func:`repro.core.protocol.run_session` for the same stream/config
+  (object engine over real sockets == columnar kernel engine);
+* the per-window :class:`~repro.gateway.sender.TrajectoryPoint`s (CLF,
+  ALF, Equation-1 ``b̂`` per layer, fitted Gilbert parameters) must
+  match the simulated session's trajectory bit-for-bit;
+* the receiver's independently-measured REPORTs must agree with the
+  sender's own window results.
+
+Any divergence is collected into :class:`ProbeOutcome.mismatches`; the
+CLI (``repro gateway probe``) exits non-zero if the list is non-empty.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.protocol import ProtocolConfig, SessionResult, run_session
+from repro.errors import GatewayError
+from repro.gateway import control
+from repro.gateway.receiver import GatewayReceiver
+from repro.gateway.sender import TrajectoryPoint, snapshot_trajectory
+from repro.gateway.server import GatewayServer
+from repro.media.gop import GOP_12
+from repro.media.stream import make_video_stream
+
+__all__ = ["ProbeSpec", "ProbeOutcome", "run_loopback_probe"]
+
+
+@dataclass(frozen=True)
+class ProbeSpec:
+    """One seeded loopback probe configuration."""
+
+    seed: int = 0
+    gops: int = 8
+    max_windows: int = 4
+    reorder_span: int = 0
+    config_overrides: Dict[str, object] = field(default_factory=dict)
+    timeout: float = 60.0
+
+    def config(self) -> ProtocolConfig:
+        return ProtocolConfig(seed=self.seed, **self.config_overrides)
+
+
+@dataclass
+class ProbeOutcome:
+    """Everything the probe measured, plus the differential verdict."""
+
+    spec: ProbeSpec
+    gateway_result: SessionResult
+    simulated_result: SessionResult
+    gateway_trajectory: List[TrajectoryPoint]
+    simulated_trajectory: List[TrajectoryPoint]
+    receiver_windows: int
+    duplicates: int
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def matches(self) -> bool:
+        return not self.mismatches
+
+    def summary_lines(self) -> List[str]:
+        lines = [
+            f"windows={len(self.gateway_trajectory)} "
+            f"receiver_windows={self.receiver_windows} "
+            f"duplicates={self.duplicates}",
+        ]
+        for point in self.gateway_trajectory:
+            estimates = " ".join(
+                f"b{layer}={estimate:.3f}"
+                for layer, estimate in point.layer_estimates
+            )
+            lines.append(
+                f"window {point.window}: clf={point.clf} alf={point.alf:.4f} "
+                f"{estimates} p_good={point.p_good:.4f} p_bad={point.p_bad:.4f}"
+            )
+        if self.matches:
+            lines.append("differential: gateway == simulator (bit-for-bit)")
+        else:
+            lines.append(f"differential: {len(self.mismatches)} mismatch(es)")
+            lines.extend(f"  - {line}" for line in self.mismatches)
+        return lines
+
+
+class _ClientEndpoint(asyncio.DatagramProtocol):
+    """The probe's UDP socket: receiver in, REPORTs straight back out."""
+
+    def __init__(self, receiver: GatewayReceiver) -> None:
+        self.receiver = receiver
+        self.finished = asyncio.Event()
+        self.errors: List[str] = []
+        self.transport: Optional[asyncio.DatagramTransport] = None
+
+    def connection_made(self, transport) -> None:
+        self.transport = transport
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        try:
+            response = self.receiver.on_datagram(data)
+        except Exception as exc:
+            self.errors.append(f"{type(exc).__name__}: {exc}")
+            return
+        if response is not None and self.transport is not None:
+            self.transport.sendto(response, addr)
+        if self.receiver.finished:
+            self.finished.set()
+
+
+async def _request(
+    reader, writer, method: str, target: str, cseq: int, **kwargs
+) -> Tuple[int, Dict[str, str]]:
+    writer.write(control.format_request(method, target, cseq, **kwargs))
+    await writer.drain()
+    head = await reader.readuntil(b"\r\n\r\n")
+    status, headers, _ = control.parse_response(head)
+    if status != 200:
+        raise GatewayError(f"{method} answered {status}")
+    if headers.get("cseq") != str(cseq):
+        raise GatewayError(
+            f"{method} echoed CSeq {headers.get('cseq')!r}, expected {cseq}"
+        )
+    return status, headers
+
+
+async def _probe(spec: ProbeSpec) -> Tuple[SessionResult, List[TrajectoryPoint],
+                                           GatewayReceiver, List[str]]:
+    """Run the real-socket session; returns sender result + trajectory."""
+    server = GatewayServer(report_timeout=min(2.0, spec.timeout))
+    await server.start()
+    receiver = GatewayReceiver()
+    endpoint = _ClientEndpoint(receiver)
+    loop = asyncio.get_running_loop()
+    transport, _ = await loop.create_datagram_endpoint(
+        lambda: endpoint, local_addr=(server.host, 0)
+    )
+    reader = writer = None
+    try:
+        client_port = transport.get_extra_info("sockname")[1]
+        reader, writer = await asyncio.open_connection(
+            server.host, server.control_port
+        )
+        target = f"rtsp://{server.host}/stream"
+        body = json.dumps(
+            {
+                "gops": spec.gops,
+                "max_windows": spec.max_windows,
+                "client_port": client_port,
+                "reorder_span": spec.reorder_span,
+                "config": {"seed": spec.seed, **spec.config_overrides},
+            }
+        ).encode("utf-8")
+        _, headers = await _request(reader, writer, "SETUP", target, 1, body=body)
+        session_id = headers.get("session")
+        if not session_id:
+            raise GatewayError("SETUP answered without a Session id")
+        session = server.sessions[session_id]
+        await _request(
+            reader, writer, "PLAY", target, 2, headers={"Session": session_id}
+        )
+        await asyncio.wait_for(session.done.wait(), timeout=spec.timeout)
+        if session.error:
+            raise GatewayError(f"session pump failed: {session.error}")
+        await _request(
+            reader, writer, "TEARDOWN", target, 3, headers={"Session": session_id}
+        )
+        if not endpoint.finished.is_set():
+            raise GatewayError("receiver never saw the FIN trailer")
+        return (
+            session.sender.result,
+            list(session.trajectory),
+            receiver,
+            list(endpoint.errors),
+        )
+    finally:
+        if writer is not None:
+            writer.close()
+        transport.close()
+        await server.stop()
+
+
+def _compare(outcome: ProbeOutcome, receiver: GatewayReceiver) -> None:
+    """Fill ``outcome.mismatches`` with every divergence found."""
+    report = outcome.mismatches
+    gateway, simulated = outcome.gateway_result, outcome.simulated_result
+    if len(gateway.windows) != len(simulated.windows):
+        report.append(
+            f"window count: gateway {len(gateway.windows)} "
+            f"vs simulator {len(simulated.windows)}"
+        )
+        return
+    for ours, theirs in zip(gateway.windows, simulated.windows):
+        if ours != theirs:
+            report.append(f"window {ours.index}: gateway result != simulator result")
+    if gateway != simulated:
+        for name in ("acks_sent", "acks_used", "acks_lost",
+                     "packets_offered", "packets_lost"):
+            mine, other = getattr(gateway, name), getattr(simulated, name)
+            if mine != other:
+                report.append(f"{name}: gateway {mine} vs simulator {other}")
+        if gateway.series != simulated.series:
+            report.append("window series diverged")
+    for mine, other in zip(
+        outcome.gateway_trajectory, outcome.simulated_trajectory
+    ):
+        if mine != other:
+            report.append(
+                f"trajectory window {mine.window}: {mine} vs {other}"
+            )
+    if len(outcome.gateway_trajectory) != len(outcome.simulated_trajectory):
+        report.append(
+            f"trajectory length: gateway {len(outcome.gateway_trajectory)} "
+            f"vs simulator {len(outcome.simulated_trajectory)}"
+        )
+    # The receiver's independent measurements against the sender's.
+    received = receiver.windows
+    if len(received) != len(gateway.windows):
+        report.append(
+            f"receiver finalized {len(received)} windows, "
+            f"sender ran {len(gateway.windows)}"
+        )
+    for window, result in zip(received, gateway.windows):
+        if window.report.clf != result.clf:
+            report.append(
+                f"window {result.index}: receiver CLF {window.report.clf} "
+                f"vs sender {result.clf}"
+            )
+        if window.report.unit_losses != result.unit_losses:
+            report.append(
+                f"window {result.index}: receiver unit losses "
+                f"{window.report.unit_losses} vs sender {result.unit_losses}"
+            )
+        if window.report.layer_bursts != result.layer_bursts:
+            report.append(
+                f"window {result.index}: receiver layer bursts "
+                f"{window.report.layer_bursts} vs sender {result.layer_bursts}"
+            )
+        if window.report.loss_statistics != result.first_attempt_stats:
+            report.append(
+                f"window {result.index}: receiver first-attempt stats "
+                f"{window.report.loss_statistics} "
+                f"vs sender {result.first_attempt_stats}"
+            )
+        if window.received != result.received:
+            report.append(
+                f"window {result.index}: receiver set diverged "
+                f"({sorted(window.received)} vs {sorted(result.received)})"
+            )
+
+
+def run_loopback_probe(spec: ProbeSpec) -> ProbeOutcome:
+    """Run one seeded loopback session and pin it against the simulator."""
+    result, trajectory, receiver, errors = asyncio.run(_probe(spec))
+    stream = make_video_stream(GOP_12, gop_count=spec.gops)
+    config = spec.config()
+    simulated, simulated_trajectory = snapshot_trajectory(
+        stream, config, max_windows=spec.max_windows
+    )
+    kernel_result = run_session(stream, config, max_windows=spec.max_windows)
+    outcome = ProbeOutcome(
+        spec=spec,
+        gateway_result=result,
+        simulated_result=simulated,
+        gateway_trajectory=trajectory,
+        simulated_trajectory=simulated_trajectory,
+        receiver_windows=len(receiver.windows),
+        duplicates=receiver.duplicates,
+    )
+    outcome.mismatches.extend(errors)
+    _compare(outcome, receiver)
+    if kernel_result != simulated:
+        outcome.mismatches.append(
+            "columnar kernel result diverged from the object engine"
+        )
+    if kernel_result != result:
+        outcome.mismatches.append(
+            "gateway result diverged from the columnar kernel engine"
+        )
+    return outcome

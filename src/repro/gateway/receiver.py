@@ -1,0 +1,233 @@
+"""The gateway receiver: un-permute arrivals, measure CLF/ALF, report.
+
+The receiver is deliberately transport-agnostic — feed it raw datagram
+bytes via :meth:`GatewayReceiver.on_datagram` and it hands back the
+encoded REPORT to send when a window completes.  It trusts nothing but
+what arrived: the received set, decodability (rebuilt from the
+trailer's frame types through the same MPEG dependency poset the
+simulator uses), per-layer worst bursts in the scrambled transmission
+order, and the first-attempt loss statistics are all reconstructed
+from MEDIA datagram coordinates.
+
+Delivery is idempotent: duplicated datagrams land in sets, arbitrary
+reordering is absorbed by explicit (window, frame, attempt, fragment)
+coordinates, and a duplicated TRAILER re-sends the cached REPORT
+byte-for-byte (the sender retries trailers on report timeouts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro import obs
+from repro.core.layered import LayeredScheduler
+from repro.errors import GatewayError
+from repro.gateway.wire import (
+    MediaDatagram,
+    WindowReport,
+    WindowTrailer,
+    decode,
+)
+from repro.media.ldu import FrameType
+from repro.metrics.continuity import consecutive_loss
+from repro.network.estimation import loss_runs
+
+__all__ = ["GatewayReceiver", "ReceivedWindow"]
+
+#: Dependency schedulers are cached by window shape across windows (and
+#: receivers); a steady-state stream reuses one entry.
+_scheduler_cache: Dict[Tuple[Tuple[FrameType, ...], bool], LayeredScheduler] = {}
+
+
+def _media_scheduler(
+    frame_types: Tuple[FrameType, ...], closed_gops: bool
+) -> LayeredScheduler:
+    key = (frame_types, closed_gops)
+    scheduler = _scheduler_cache.get(key)
+    if scheduler is None:
+        from repro.poset.builders import mpeg_poset
+
+        scheduler = LayeredScheduler(
+            mpeg_poset(list(frame_types), closed_gops=closed_gops)
+        )
+        _scheduler_cache[key] = scheduler
+    return scheduler
+
+
+@dataclass
+class _WindowState:
+    """Arrival bookkeeping for one in-flight window."""
+
+    #: (frame offset, attempt) -> arrived fragment indices.
+    fragments: Dict[Tuple[int, int], Set[int]] = field(default_factory=dict)
+    #: (frame offset, attempt) -> declared fragment count.
+    expected: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    #: (frame offset, attempt) -> stamped virtual arrival time.
+    vtimes: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    #: (layer, layer slot) -> frame offset, learned from any arrival.
+    slot_frames: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    #: frame offset -> whether the *first* attempt fully arrived.
+    datagrams: int = 0
+
+
+@dataclass
+class ReceivedWindow:
+    """One finalized window, as the receiver measured it."""
+
+    report: WindowReport
+    received: Set[int]
+    decodable: Set[int]
+    late: int
+    arrival_times: Dict[int, float]
+
+
+class GatewayReceiver:
+    """Client-side reassembly and live CLF/ALF measurement."""
+
+    def __init__(self, stream_id: Optional[int] = None) -> None:
+        self.stream_id = stream_id
+        self._windows: Dict[int, _WindowState] = {}
+        self._finalized: Dict[int, ReceivedWindow] = {}
+        self._reports: Dict[int, bytes] = {}
+        self.finished = False
+        self.duplicates = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def windows(self) -> List[ReceivedWindow]:
+        return [self._finalized[index] for index in sorted(self._finalized)]
+
+    def report_for(self, window: int) -> Optional[WindowReport]:
+        finalized = self._finalized.get(window)
+        return finalized.report if finalized else None
+
+    # ------------------------------------------------------------------
+
+    def on_datagram(self, data: bytes) -> Optional[bytes]:
+        """Process one datagram; returns REPORT bytes to send, if any."""
+        message = decode(data)
+        if self.stream_id is not None and message.stream_id != self.stream_id:
+            raise GatewayError(
+                f"datagram for stream {message.stream_id}, "
+                f"expected {self.stream_id}"
+            )
+        if isinstance(message, MediaDatagram):
+            self._on_media(message)
+            return None
+        if isinstance(message, WindowTrailer):
+            return self._on_trailer(message)
+        raise GatewayError(f"unexpected datagram {type(message).__name__} at receiver")
+
+    def _on_media(self, datagram: MediaDatagram) -> None:
+        state = self._windows.get(datagram.window)
+        if state is None:
+            if datagram.window in self._reports:
+                # Straggler after finalization: the report is already
+                # out; count it, do not reopen the window.
+                if obs.enabled():
+                    obs.counter("gateway.stragglers").inc()
+                return
+            state = self._windows.setdefault(datagram.window, _WindowState())
+        state.datagrams += 1
+        key = (datagram.frame_offset, datagram.attempt)
+        fragments = state.fragments.setdefault(key, set())
+        if datagram.fragment in fragments:
+            self.duplicates += 1
+            if obs.enabled():
+                obs.counter("gateway.duplicates").inc()
+            return
+        fragments.add(datagram.fragment)
+        state.expected[key] = datagram.fragments
+        state.vtimes[key] = datagram.arrival_vtime
+        state.slot_frames[(datagram.layer, datagram.layer_slot)] = (
+            datagram.frame_offset
+        )
+
+    def _on_trailer(self, trailer: WindowTrailer) -> bytes:
+        cached = self._reports.get(trailer.window)
+        if cached is not None:
+            if obs.enabled():
+                obs.counter("gateway.trailer_duplicates").inc()
+            return cached
+        state = self._windows.pop(trailer.window, _WindowState())
+        received_window = self._measure(trailer, state)
+        encoded = received_window.report.encode()
+        self._finalized[trailer.window] = received_window
+        self._reports[trailer.window] = encoded
+        if trailer.fin:
+            self.finished = True
+        if obs.enabled():
+            obs.counter("gateway.windows_received").inc()
+            obs.histogram("gateway.window_clf").observe(received_window.report.clf)
+            obs.histogram("gateway.window_alf").observe(received_window.report.alf)
+        return encoded
+
+    # ------------------------------------------------------------------
+
+    def _measure(self, trailer: WindowTrailer, state: _WindowState) -> ReceivedWindow:
+        """Reconstruct the simulator's receiver-side arithmetic."""
+        complete: Dict[Tuple[int, int], float] = {
+            key: state.vtimes[key]
+            for key, fragments in state.fragments.items()
+            if len(fragments) == state.expected[key]
+        }
+        # A frame's arrival is its earliest complete attempt (the
+        # engine stops retransmitting once an attempt is delivered, so
+        # at most one attempt completes per frame in practice).
+        arrival: Dict[int, float] = {}
+        for (offset, _attempt), vtime in complete.items():
+            if offset not in arrival or vtime < arrival[offset]:
+                arrival[offset] = vtime
+        received: Set[int] = set()
+        arrival_times: Dict[int, float] = {}
+        late = 0
+        for offset, vtime in arrival.items():
+            slot_time = trailer.playback_start + offset / trailer.fps
+            if vtime <= slot_time:
+                received.add(offset)
+                arrival_times[offset] = vtime
+            else:
+                late += 1
+        media = _media_scheduler(trailer.frame_types, trailer.closed_gops)
+        decodable = set(media.decodable(sorted(received)))
+        indicator = [
+            0 if offset in decodable else 1 for offset in range(trailer.frames)
+        ]
+        unit_losses = sum(indicator)
+        clf = consecutive_loss(indicator)
+        layer_bursts: Dict[int, int] = {}
+        for layer, size in enumerate(trailer.layer_sizes):
+            losses = []
+            for slot in range(size):
+                frame = state.slot_frames.get((layer, slot))
+                losses.append(0 if frame in received else 1)
+            layer_bursts[layer] = consecutive_loss(losses)
+        first_indicator = [
+            0
+            if len(state.fragments.get((offset, 1), ()))
+            == state.expected.get((offset, 1), -1)
+            else 1
+            for offset in trailer.offered_first
+        ]
+        report = WindowReport(
+            stream_id=trailer.stream_id,
+            window=trailer.window,
+            clf=clf,
+            unit_losses=unit_losses,
+            frames=trailer.frames,
+            loss_statistics=(
+                sum(first_indicator),
+                len(loss_runs(first_indicator)),
+                len(first_indicator),
+            ),
+            layer_bursts=layer_bursts,
+        )
+        return ReceivedWindow(
+            report=report,
+            received=received,
+            decodable=decodable,
+            late=late,
+            arrival_times=arrival_times,
+        )

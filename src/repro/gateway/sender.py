@@ -1,0 +1,270 @@
+"""The gateway's sending engine: the simulator's protocol over real UDP.
+
+:class:`GatewaySenderSession` subclasses the *unmodified*
+:class:`~repro.core.protocol.ProtocolSession` window engine — budget
+arithmetic, k-CPO scrambling, anchor retransmission, Equation-1
+adaptation all run verbatim — and attaches it to a real transport
+through two seams:
+
+* the forward :class:`~repro.network.channel.SimulatedChannel`'s
+  ``on_burst`` hook emits one MEDIA datagram per *delivered* fragment
+  of each transmission attempt, stamped with the attempt's virtual
+  arrival time (the Gilbert pair stays the loss/timing oracle — see
+  :mod:`repro.gateway.shim`);
+* ``_send_ack`` is overridden to *defer* the feedback step: instead of
+  fabricating the client's measurements locally, the pump transmits a
+  TRAILER, waits for the real receiver's REPORT datagram, and only
+  then replays the simulator's ACK bookkeeping (feedback-channel loss
+  draw, sequence numbering, pending-arrival queue) via
+  :meth:`complete_ack` — so the `b̂` estimators are driven by numbers
+  that actually crossed the network.
+
+Because the deferred step happens between ``run_window`` calls and
+touches the same state in the same order, a loopback session whose
+receiver measures what the simulator would have measured is
+*bit-for-bit* the simulated session.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.core.protocol import ProtocolConfig, ProtocolSession, WindowResult
+from repro.errors import GatewayError
+from repro.gateway.shim import ImpairedLink
+from repro.gateway.wire import MediaDatagram, WindowReport, WindowTrailer
+from repro.media.stream import MediaStream
+from repro.network.feedback import Feedback
+
+__all__ = ["GatewaySenderSession", "TrajectoryPoint", "snapshot_trajectory"]
+
+
+@dataclass(frozen=True)
+class TrajectoryPoint:
+    """One window's QoE + estimator state — the differential pin unit.
+
+    ``layer_estimates`` are the Equation-1 ``b̂`` values per layer;
+    ``p_good``/``p_bad`` are the Gilbert estimator's fitted parameters
+    after this window's bookkeeping.
+    """
+
+    window: int
+    clf: int
+    alf: float
+    layer_estimates: Tuple[Tuple[int, float], ...]
+    p_good: float
+    p_bad: float
+
+    @classmethod
+    def capture(cls, session: ProtocolSession, result: WindowResult):
+        estimates = tuple(
+            sorted(
+                (layer, estimator.estimate)
+                for layer, estimator in session.controller.layers.items()
+            )
+        )
+        return cls(
+            window=result.index,
+            clf=result.clf,
+            alf=result.alf,
+            layer_estimates=estimates,
+            p_good=session.channel_estimator.p_good,
+            p_bad=session.channel_estimator.p_bad,
+        )
+
+
+def snapshot_trajectory(
+    stream: MediaStream,
+    config: ProtocolConfig,
+    *,
+    max_windows: Optional[int] = None,
+) -> Tuple[object, List[TrajectoryPoint]]:
+    """Reference trajectory: the simulated session, window by window.
+
+    Runs the plain object-model :class:`ProtocolSession` (the engine the
+    gateway embeds) and captures a :class:`TrajectoryPoint` after every
+    window — the anchor the loopback gateway is pinned against.
+    Returns ``(SessionResult, trajectory)``.
+    """
+    session = ProtocolSession(stream, config)
+    windows = list(stream.windows(config.window_frames))
+    if max_windows is not None:
+        windows = windows[:max_windows]
+    points = []
+    for index, window in enumerate(windows):
+        result = session.run_window(index, window)
+        points.append(TrajectoryPoint.capture(session, result))
+    return session.result, points
+
+
+@dataclass
+class _PendingAck:
+    """One window's deferred feedback step."""
+
+    window_index: int
+    at_time: float
+    result: WindowResult
+
+
+class GatewaySenderSession(ProtocolSession):
+    """A protocol session whose delivered fragments ride real datagrams.
+
+    The pump drives it one window at a time::
+
+        result = sender.run_window(index, window)     # datagrams fly
+        trailer = sender.build_trailer(index, window, result, fin=...)
+        ... transmit trailer, await the receiver's REPORT ...
+        feedback = sender.feedback_from_report(report, result)
+        sender.complete_ack(feedback)                 # Equation-1 loop
+    """
+
+    def __init__(
+        self,
+        stream: MediaStream,
+        config: ProtocolConfig,
+        *,
+        stream_id: int,
+        link: ImpairedLink,
+    ) -> None:
+        self.stream_id = stream_id
+        self.link = link
+        forward, feedback = link.channels
+        forward.on_burst = self._emit_attempt
+        super().__init__(stream, config, channels=(forward, feedback))
+        #: frame offset -> (layer index, slot in the layer's scrambled
+        #: order) for the window currently being transmitted.
+        self._frame_slots: Dict[int, Tuple[int, int]] = {}
+        #: Frame offsets in first-attempt offer order (= the order of
+        #: the engine's ``first_attempt_indicator``).
+        self._offered_first: List[int] = []
+        self._attempts: Dict[int, int] = {}
+        self._layer_order: List[int] = []
+        self._pending_ack: Optional[_PendingAck] = None
+
+    # ------------------------------------------------------------------
+    # Window planning: record the slot map the datagram headers need.
+    # ------------------------------------------------------------------
+
+    def _plan_window(self, scheduler, window_index):
+        plan = super()._plan_window(scheduler, window_index)
+        slots: Dict[int, Tuple[int, int]] = {}
+        for layer, perm in zip(plan.layers, plan.permutations):
+            for slot, member in enumerate(perm.order):
+                slots[layer.members[member]] = (layer.index, slot)
+        self._frame_slots = slots
+        self._layer_order = [layer.index for layer in plan.layers]
+        self._offered_first = []
+        self._attempts = {}
+        return plan
+
+    # ------------------------------------------------------------------
+    # Real emission: one datagram per delivered fragment.
+    # ------------------------------------------------------------------
+
+    def _emit_attempt(self, packets, transmissions) -> None:
+        """``on_burst`` hook: one burst is one attempt of one frame."""
+        first = packets[0]
+        offset = first.frame_index - first.window_index * self.config.window_frames
+        attempt = self._attempts.get(offset, 0) + 1
+        self._attempts[offset] = attempt
+        if not first.is_retransmission:
+            self._offered_first.append(offset)
+        layer, layer_slot = self._frame_slots[offset]
+        arrival = transmissions[-1].completed_at + self.forward.propagation_delay
+        for packet, transmission in zip(packets, transmissions):
+            if transmission.lost:
+                self.link.drop()
+                continue
+            datagram = MediaDatagram(
+                stream_id=self.stream_id,
+                window=first.window_index,
+                frame_offset=offset,
+                layer=layer,
+                layer_slot=layer_slot,
+                attempt=attempt,
+                fragment=packet.fragment,
+                fragments=packet.fragments,
+                payload_bytes=packet.size_bytes,
+                arrival_vtime=arrival,
+                retransmission=packet.is_retransmission,
+            )
+            self.link.emit(datagram.encode())
+
+    # ------------------------------------------------------------------
+    # Deferred feedback: the real receiver supplies the measurements.
+    # ------------------------------------------------------------------
+
+    def _send_ack(self, window_index, at_time, result) -> None:
+        """Defer the ACK step until the receiver's REPORT arrives."""
+        if self._pending_ack is not None:
+            raise GatewayError(
+                f"window {self._pending_ack.window_index} still awaits its report"
+            )
+        self._pending_ack = _PendingAck(
+            window_index=window_index, at_time=at_time, result=result
+        )
+
+    def build_trailer(
+        self, window_index: int, window, result: WindowResult, *, fin: bool
+    ) -> WindowTrailer:
+        return WindowTrailer(
+            stream_id=self.stream_id,
+            window=window_index,
+            frames=result.frames,
+            playback_start=result.playback_start,
+            fps=self.stream.fps,
+            closed_gops=self.config.closed_gops,
+            frame_types=tuple(ldu.frame_type for ldu in window),
+            layer_sizes=tuple(
+                result.layer_sizes[layer] for layer in self._layer_order
+            ),
+            offered_first=tuple(self._offered_first),
+            fin=fin,
+        )
+
+    def feedback_from_report(
+        self, report: WindowReport, result: WindowResult
+    ) -> Feedback:
+        """The simulator's Feedback, built from receiver measurements."""
+        lost, runs, total = report.loss_statistics
+        return Feedback(
+            sequence=self._ack_sequence,
+            window_index=report.window,
+            burst_estimates=dict(report.layer_bursts),
+            loss_rates={
+                layer: min(1.0, burst / max(1, result.frames))
+                for layer, burst in report.layer_bursts.items()
+            },
+            loss_statistics=(lost, runs, total),
+        )
+
+    def complete_ack(self, feedback: Feedback) -> WindowResult:
+        """Replay the simulator's ACK bookkeeping for the pending window.
+
+        Mirrors ``ProtocolSession._send_ack`` exactly: one sequence
+        number, one feedback-channel loss draw at the window's end, and
+        a pending-arrival entry that ``_drain_acks`` applies at a later
+        window start — except the feedback *content* came from the real
+        receiver.
+        """
+        pending = self._pending_ack
+        if pending is None:
+            raise GatewayError("no window awaits feedback")
+        self._pending_ack = None
+        self._ack_sequence += 1
+        self.result.acks_sent += 1
+        obs.counter("protocol.acks_sent").inc()
+        packet = self.packetizer.control_packet()
+        transmission = self.feedback_channel.send(packet, pending.at_time)
+        if transmission.lost:
+            self.result.acks_lost += 1
+            obs.counter("protocol.acks_lost").inc()
+            pending.result.ack_delivered = False
+            if obs.enabled():
+                obs.counter("gateway.feedback_suppressed").inc()
+            return pending.result
+        assert transmission.arrives_at is not None
+        self._pending_acks.append((transmission.arrives_at, feedback))
+        return pending.result

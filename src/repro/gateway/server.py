@@ -1,0 +1,418 @@
+"""The gateway server: RTSP-style control over TCP, media over UDP.
+
+:class:`GatewayServer` binds one TCP control socket and one UDP data
+socket.  Each control connection can manage sessions through the RTSP
+subset in :mod:`repro.gateway.control`:
+
+* ``SETUP`` carries a JSON session description (stream length, protocol
+  config overrides, the client's UDP port) and answers with a
+  ``Session`` id and the server's data port;
+* ``PLAY`` starts (or resumes) the window pump, which transmits one
+  buffer window per iteration: the embedded
+  :class:`~repro.gateway.sender.GatewaySenderSession` engine emits
+  MEDIA datagrams, a TRAILER closes the window, and the pump then waits
+  for the receiver's REPORT before replaying the feedback step;
+* ``PAUSE`` halts the pump at the next window boundary;
+* ``TEARDOWN`` ends the session.
+
+Malformed control input is answered with its 4xx/5xx status — the
+connection stays open.  Lost REPORTs are handled by re-sending the
+TRAILER (the receiver answers duplicates from cache), bounded by
+``trailer_retries``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.core.protocol import ProtocolConfig, WindowResult
+from repro.errors import ControlError, GatewayError
+from repro.gateway import control
+from repro.gateway.sender import GatewaySenderSession, TrajectoryPoint
+from repro.gateway.shim import ImpairedLink
+from repro.gateway.wire import WindowReport, decode
+from repro.media.gop import GOP_12
+from repro.media.ldu import Ldu
+from repro.media.stream import make_video_stream
+
+__all__ = ["GatewayServer", "GatewaySession"]
+
+_MAX_HEAD_BYTES = 16 * 1024
+_MAX_BODY_BYTES = 64 * 1024
+
+#: Config keys a SETUP body may override (everything else is 400).
+_CONFIG_FIELDS = frozenset(ProtocolConfig.__dataclass_fields__)
+
+_CSEQ_RE = re.compile(rb"(?im)^cseq:[ \t]*([0-9]{1,9})[ \t]*\r?$")
+_LENGTH_RE = re.compile(rb"(?im)^content-length:[ \t]*([0-9]{1,7})[ \t]*\r?$")
+
+
+@dataclass
+class GatewaySession:
+    """One streaming session: engine, pump state, trajectory."""
+
+    session_id: str
+    stream_id: int
+    sender: GatewaySenderSession
+    windows: List[Sequence[Ldu]]
+    client_addr: Tuple[str, int]
+    state: control.SessionState = field(default_factory=control.SessionState)
+    trajectory: List[TrajectoryPoint] = field(default_factory=list)
+    play: asyncio.Event = field(default_factory=asyncio.Event)
+    done: asyncio.Event = field(default_factory=asyncio.Event)
+    teardown: bool = False
+    error: Optional[str] = None
+    pump_task: Optional[asyncio.Task] = None
+
+    @property
+    def results(self) -> List[WindowResult]:
+        return self.sender.result.windows
+
+
+class _DataPlane(asyncio.DatagramProtocol):
+    """The server's UDP socket: sends media, demuxes client REPORTs."""
+
+    def __init__(self, server: "GatewayServer") -> None:
+        self.server = server
+        self.transport: Optional[asyncio.DatagramTransport] = None
+
+    def connection_made(self, transport) -> None:
+        self.transport = transport
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        self.server._on_report_datagram(data)
+
+
+class GatewayServer:
+    """Serve scrambled streams to real sockets on a loopback-safe pair."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        control_port: int = 0,
+        data_port: int = 0,
+        *,
+        report_timeout: float = 1.0,
+        trailer_retries: int = 5,
+    ) -> None:
+        self.host = host
+        self._requested_ports = (control_port, data_port)
+        self.report_timeout = report_timeout
+        self.trailer_retries = trailer_retries
+        self.sessions: Dict[str, GatewaySession] = {}
+        self._control_server: Optional[asyncio.base_events.Server] = None
+        self._data: Optional[_DataPlane] = None
+        self._report_futures: Dict[Tuple[int, int], asyncio.Future] = {}
+        self._next_stream_id = 1
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        loop = asyncio.get_running_loop()
+        control_port, data_port = self._requested_ports
+        self._control_server = await asyncio.start_server(
+            self._handle_control, self.host, control_port
+        )
+        transport, protocol = await loop.create_datagram_endpoint(
+            lambda: _DataPlane(self), local_addr=(self.host, data_port)
+        )
+        self._data = protocol
+        assert self._data.transport is transport
+
+    async def stop(self) -> None:
+        for session in list(self.sessions.values()):
+            session.teardown = True
+            session.play.set()
+            if session.pump_task is not None:
+                session.pump_task.cancel()
+                try:
+                    await session.pump_task
+                except (asyncio.CancelledError, Exception):
+                    pass
+        if self._control_server is not None:
+            self._control_server.close()
+            await self._control_server.wait_closed()
+        if self._data is not None and self._data.transport is not None:
+            self._data.transport.close()
+
+    @property
+    def control_port(self) -> int:
+        assert self._control_server is not None
+        return self._control_server.sockets[0].getsockname()[1]
+
+    @property
+    def data_port(self) -> int:
+        assert self._data is not None and self._data.transport is not None
+        return self._data.transport.get_extra_info("sockname")[1]
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+
+    async def _handle_control(self, reader, writer) -> None:
+        peer = writer.get_extra_info("peername")
+        try:
+            while True:
+                try:
+                    head = await reader.readuntil(b"\r\n\r\n")
+                except asyncio.IncompleteReadError as exc:
+                    if exc.partial:
+                        writer.write(
+                            control.format_response(400, _best_effort_cseq(exc.partial))
+                        )
+                        await writer.drain()
+                    break
+                except asyncio.LimitOverrunError:
+                    writer.write(control.format_response(400, None))
+                    await writer.drain()
+                    break
+                if len(head) > _MAX_HEAD_BYTES:
+                    writer.write(control.format_response(400, _best_effort_cseq(head)))
+                    await writer.drain()
+                    continue
+                body = b""
+                length_match = _LENGTH_RE.search(head)
+                if length_match:
+                    length = int(length_match.group(1))
+                    if length > _MAX_BODY_BYTES:
+                        writer.write(
+                            control.format_response(400, _best_effort_cseq(head))
+                        )
+                        await writer.drain()
+                        continue
+                    body = await reader.readexactly(length)
+                response = await self._dispatch(head, body, peer)
+                writer.write(response)
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # Loop teardown while parked on a read: exit quietly.
+            pass
+        finally:
+            writer.close()
+
+    async def _dispatch(self, head: bytes, body: bytes, peer) -> bytes:
+        cseq: Optional[int] = _best_effort_cseq(head)
+        try:
+            request = control.parse_request(head, body)
+            cseq = request.cseq
+            if obs.enabled():
+                obs.counter("gateway.control_requests").inc()
+            if request.method == "OPTIONS":
+                return control.format_response(
+                    200, cseq, headers={"Public": ", ".join(control.METHODS)}
+                )
+            if request.method == "SETUP":
+                return await self._setup(request, peer)
+            session = self._session_for(request)
+            session.state.transition(request.method)
+            if request.method == "PLAY":
+                session.play.set()
+            elif request.method == "PAUSE":
+                session.play.clear()
+            elif request.method == "TEARDOWN":
+                session.teardown = True
+                session.play.set()
+            return control.format_response(
+                200, cseq, headers={"Session": session.session_id}
+            )
+        except ControlError as exc:
+            if obs.enabled():
+                obs.counter("gateway.control_errors").inc()
+            return control.format_response(exc.status, cseq)
+        except Exception:
+            return control.format_response(500, cseq)
+
+    def _session_for(self, request: control.ControlRequest) -> GatewaySession:
+        session_id = request.session_id
+        if session_id is None:
+            raise ControlError(454, "missing Session header")
+        session = self.sessions.get(session_id)
+        if session is None:
+            raise ControlError(454, f"unknown session {session_id!r}")
+        return session
+
+    async def _setup(self, request: control.ControlRequest, peer) -> bytes:
+        description = _parse_setup_body(request.body)
+        config = _config_from(description.get("config", {}))
+        gops = description.get("gops", 4)
+        if not isinstance(gops, int) or gops <= 0:
+            raise ControlError(400, "gops must be a positive integer")
+        client_port = description.get("client_port")
+        if not isinstance(client_port, int) or not 0 < client_port < 65536:
+            raise ControlError(400, "client_port must be a UDP port number")
+        max_windows = description.get("max_windows")
+        if max_windows is not None and (
+            not isinstance(max_windows, int) or max_windows <= 0
+        ):
+            raise ControlError(400, "max_windows must be a positive integer")
+        reorder_span = description.get("reorder_span", 0)
+        if not isinstance(reorder_span, int) or reorder_span < 0:
+            raise ControlError(400, "reorder_span must be a non-negative integer")
+
+        stream_id = self._next_stream_id
+        self._next_stream_id += 1
+        session_id = f"ES{stream_id:06d}"
+        client_host = peer[0] if peer else self.host
+        client_addr = (client_host, client_port)
+        stream = make_video_stream(GOP_12, gop_count=gops)
+        assert self._data is not None and self._data.transport is not None
+        transport = self._data.transport
+        link = ImpairedLink(
+            config,
+            emit=lambda data: transport.sendto(data, client_addr),
+            reorder_span=reorder_span,
+        )
+        sender = GatewaySenderSession(
+            stream, config, stream_id=stream_id, link=link
+        )
+        windows = list(stream.windows(config.window_frames))
+        if max_windows is not None:
+            windows = windows[:max_windows]
+        session = GatewaySession(
+            session_id=session_id,
+            stream_id=stream_id,
+            sender=sender,
+            windows=windows,
+            client_addr=client_addr,
+        )
+        session.state.transition("SETUP")
+        self.sessions[session_id] = session
+        session.pump_task = asyncio.get_running_loop().create_task(
+            self._pump(session)
+        )
+        if obs.enabled():
+            obs.counter("gateway.sessions").inc()
+        return control.format_response(
+            200,
+            request.cseq,
+            headers={
+                "Session": session_id,
+                "Transport": (
+                    f"ES/UDP;unicast;client_port={client_port};"
+                    f"server_port={self.data_port}"
+                ),
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+
+    def _on_report_datagram(self, data: bytes) -> None:
+        try:
+            message = decode(data)
+        except Exception:
+            if obs.enabled():
+                obs.counter("gateway.bad_datagrams").inc()
+            return
+        if not isinstance(message, WindowReport):
+            if obs.enabled():
+                obs.counter("gateway.unexpected_datagrams").inc()
+            return
+        future = self._report_futures.get((message.stream_id, message.window))
+        if future is not None and not future.done():
+            future.set_result(message)
+        elif obs.enabled():
+            obs.counter("gateway.report_duplicates").inc()
+
+    async def _pump(self, session: GatewaySession) -> None:
+        """Transmit windows while playing; defer each ACK to a REPORT."""
+        sender = session.sender
+        try:
+            for index, window in enumerate(session.windows):
+                await session.play.wait()
+                if session.teardown:
+                    break
+                result = sender.run_window(index, window)
+                fin = index == len(session.windows) - 1
+                trailer = sender.build_trailer(index, window, result, fin=fin)
+                sender.link.flush()
+                report = await self._await_report(session, trailer.encode(), index)
+                feedback = sender.feedback_from_report(report, result)
+                sender.complete_ack(feedback)
+                session.trajectory.append(TrajectoryPoint.capture(sender, result))
+                if obs.enabled():
+                    obs.counter("gateway.windows_served").inc()
+                    if report.clf != result.clf:
+                        obs.counter("gateway.report_mismatch").inc()
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # surfaced via the session, not the loop
+            session.error = f"{type(exc).__name__}: {exc}"
+        finally:
+            session.done.set()
+
+    async def _await_report(
+        self, session: GatewaySession, trailer_bytes: bytes, window: int
+    ) -> WindowReport:
+        assert self._data is not None and self._data.transport is not None
+        loop = asyncio.get_running_loop()
+        key = (session.stream_id, window)
+        future: asyncio.Future = loop.create_future()
+        self._report_futures[key] = future
+        started = loop.time()
+        try:
+            for attempt in range(self.trailer_retries + 1):
+                self._data.transport.sendto(trailer_bytes, session.client_addr)
+                if attempt > 0 and obs.enabled():
+                    obs.counter("gateway.trailer_resends").inc()
+                done, _ = await asyncio.wait(
+                    [future], timeout=self.report_timeout
+                )
+                if done:
+                    report = future.result()
+                    if obs.enabled():
+                        obs.histogram("gateway.feedback_rtt_seconds").observe(
+                            loop.time() - started
+                        )
+                    return report
+            raise GatewayError(
+                f"window {window}: no REPORT after "
+                f"{self.trailer_retries + 1} trailers"
+            )
+        finally:
+            self._report_futures.pop(key, None)
+
+
+# ----------------------------------------------------------------------
+# SETUP body / helpers
+# ----------------------------------------------------------------------
+
+
+def _best_effort_cseq(head: bytes) -> Optional[int]:
+    """Extract a CSeq to echo in error responses, if one is legible."""
+    match = _CSEQ_RE.search(head)
+    return int(match.group(1)) if match else None
+
+
+def _parse_setup_body(body: bytes) -> dict:
+    if not body:
+        raise ControlError(400, "SETUP requires a JSON body")
+    try:
+        description = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        raise ControlError(400, "SETUP body is not valid JSON") from None
+    if not isinstance(description, dict):
+        raise ControlError(400, "SETUP body must be a JSON object")
+    return description
+
+
+def _config_from(overrides) -> ProtocolConfig:
+    if not isinstance(overrides, dict):
+        raise ControlError(400, "config must be a JSON object")
+    unknown = set(overrides) - _CONFIG_FIELDS
+    if unknown:
+        raise ControlError(400, f"unknown config fields {sorted(unknown)}")
+    try:
+        return ProtocolConfig(**overrides)
+    except Exception as exc:
+        raise ControlError(400, f"invalid config: {exc}") from None

@@ -1,0 +1,137 @@
+"""Loopback impairment shim: the Gilbert channel attached to real UDP.
+
+The gateway's data plane must be *deterministic under a seed* so the
+differential battery can pin its behaviour against the simulator.  The
+shim achieves that by keeping :class:`repro.network.channel
+.SimulatedChannel` (and its Gilbert loss model) as the loss-and-timing
+oracle for every datagram:
+
+* **drop** — a fragment the Gilbert process marks lost is simply never
+  written to the socket, exactly as the simulator never delivers it;
+* **delay** — virtual serialization/propagation times are stamped into
+  each datagram's header (``arrival_vtime``), so the receiver's
+  continuity arithmetic uses the same clock as the simulator no matter
+  how fast the real loopback path is;
+* **reorder** — delivered datagrams pass through a bounded shuffle
+  buffer driven by a seeded RNG, deterministically scrambling the real
+  emission order (the receiver reassembles by explicit coordinates, so
+  this must not change any measured metric — a property the tests pin).
+
+``ImpairedLink`` owns the (forward, feedback) simulated pair built with
+the exact :func:`~repro.network.channel.make_duplex` call the simulated
+engine uses, which is what makes the loopback gateway's loss
+realization bit-for-bit the simulator's for the same config and seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Tuple
+
+from repro import obs
+from repro.core.protocol import ProtocolConfig
+from repro.errors import ConfigurationError
+from repro.network.channel import SimulatedChannel, make_duplex
+
+__all__ = ["ImpairedLink", "ReorderBuffer"]
+
+#: Seed offset of the reorder RNG (distinct from the loss processes).
+_REORDER_SEED_OFFSET = 271_828_182
+
+
+class ReorderBuffer:
+    """Deterministically shuffle the real emission order of datagrams.
+
+    Holds up to ``span`` datagrams; once full, emits one element picked
+    by the seeded RNG.  ``span=0`` forwards immediately.  :meth:`flush`
+    drains the buffer (in seeded-random order) — the sender calls it
+    before every window trailer so a trailer is never overtaken.
+    """
+
+    def __init__(
+        self, span: int, emit: Callable[[bytes], None], *, seed: int = 0
+    ) -> None:
+        if span < 0:
+            raise ConfigurationError("reorder span must be non-negative")
+        self.span = span
+        self._emit = emit
+        self._rng = random.Random(seed + _REORDER_SEED_OFFSET)
+        self._held: List[bytes] = []
+        self.reordered = 0
+
+    def push(self, datagram: bytes) -> None:
+        if self.span == 0:
+            self._emit(datagram)
+            return
+        self._held.append(datagram)
+        if len(self._held) > self.span:
+            self._pop_one()
+
+    def _pop_one(self) -> None:
+        index = self._rng.randrange(len(self._held))
+        if index != 0:
+            self.reordered += 1
+            if obs.enabled():
+                obs.counter("gateway.datagrams_reordered").inc()
+        self._emit(self._held.pop(index))
+
+    def flush(self) -> None:
+        while self._held:
+            self._pop_one()
+
+
+class ImpairedLink:
+    """The sender's loss/timing oracle plus the real emission path.
+
+    Parameters
+    ----------
+    config:
+        The session's protocol config; the simulated duplex is built
+        from it exactly as the simulator builds its own.
+    emit:
+        Callable receiving each surviving datagram's bytes (usually
+        ``transport.sendto`` bound to the client address).
+    reorder_span:
+        Size of the deterministic reorder buffer (0 = in-order).
+    """
+
+    def __init__(
+        self,
+        config: ProtocolConfig,
+        *,
+        emit: Callable[[bytes], None],
+        reorder_span: int = 0,
+    ) -> None:
+        self.forward, self.feedback = make_duplex(
+            config.bandwidth_bps,
+            config.rtt,
+            p_good=config.p_good,
+            p_bad=config.p_bad,
+            seed=config.seed,
+            lossy_feedback=config.lossy_feedback,
+        )
+        self._reorder = ReorderBuffer(reorder_span, emit, seed=config.seed)
+
+    @property
+    def channels(self) -> Tuple[SimulatedChannel, SimulatedChannel]:
+        """The (forward, feedback) pair to inject into the engine."""
+        return self.forward, self.feedback
+
+    @property
+    def reordered(self) -> int:
+        return self._reorder.reordered
+
+    def emit(self, datagram: bytes) -> None:
+        """Queue one surviving datagram for real transmission."""
+        self._reorder.push(datagram)
+        if obs.enabled():
+            obs.counter("gateway.datagrams_sent").inc()
+
+    def drop(self, count: int = 1) -> None:
+        """Record fragments the Gilbert process removed from the wire."""
+        if obs.enabled():
+            obs.counter("gateway.datagrams_dropped").inc(count)
+
+    def flush(self) -> None:
+        """Drain the reorder buffer (call before emitting a trailer)."""
+        self._reorder.flush()

@@ -1,0 +1,311 @@
+"""Binary wire format of the gateway's UDP data plane.
+
+Three datagram types flow between sender and receiver, all big-endian
+(``struct`` ``!``), all prefixed with the same four bytes — magic
+``0x4553`` ("ES"), version, type:
+
+``MEDIA``
+    One fragment of one transmission attempt of one LDU.  Carries the
+    stream id, window ordinal, slot index (frame offset within the
+    window, plus the antichain layer and the frame's slot in that
+    layer's scrambled transmission order), the attempt/fragment
+    coordinates and flags.  The ``arrival_vtime`` field is the
+    *virtual* arrival time stamped by the sender's loss/timing oracle,
+    so the receiver's continuity arithmetic is independent of
+    wall-clock jitter on the real path.
+
+``TRAILER``
+    End-of-window marker.  Describes the window (frame count, playback
+    start, fps, frame types, per-layer sizes) and the ordered list of
+    first-attempt offers, which is everything the receiver needs to
+    measure CLF/ALF, per-layer bursts and the first-attempt loss
+    statistics without trusting the sender's own measurements.
+
+``REPORT``
+    The receiver's per-window feedback: CLF, unit losses, per-layer
+    worst bursts and the ``(lost, runs, total)`` sufficient statistics
+    that drive the sender's Gilbert estimator.
+
+Decoding is strict: bad magic/version/type, truncated datagrams and
+trailing bytes all raise :class:`~repro.errors.WireFormatError`.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.errors import WireFormatError
+from repro.media.ldu import FrameType
+
+__all__ = [
+    "MAGIC",
+    "WIRE_VERSION",
+    "TYPE_MEDIA",
+    "TYPE_TRAILER",
+    "TYPE_REPORT",
+    "FLAG_RETRANSMISSION",
+    "FLAG_FIN",
+    "MediaDatagram",
+    "WindowTrailer",
+    "WindowReport",
+    "decode",
+]
+
+MAGIC = 0x4553  # "ES" — error spreading
+WIRE_VERSION = 1
+
+TYPE_MEDIA = 1
+TYPE_TRAILER = 2
+TYPE_REPORT = 3
+
+#: The datagram carries a retransmission attempt (MEDIA only).
+FLAG_RETRANSMISSION = 0x01
+#: The window is the stream's last one (TRAILER only).
+FLAG_FIN = 0x02
+
+_PREFIX = struct.Struct("!HBB")
+_MEDIA = struct.Struct("!BIIHHHBBBId")
+_TRAILER_FIXED = struct.Struct("!BIIHddBHH")
+_REPORT_FIXED = struct.Struct("!BIIHHIIIH")
+_U16 = struct.Struct("!H")
+_LAYER_PAIR = struct.Struct("!HH")
+
+_TYPE_CODES = {ft: code for code, ft in enumerate((FrameType.I, FrameType.P,
+                                                   FrameType.B, FrameType.X))}
+_CODE_TYPES = {code: ft for ft, code in _TYPE_CODES.items()}
+
+
+@dataclass(frozen=True)
+class MediaDatagram:
+    """One MEDIA datagram: a fragment of one attempt of one LDU."""
+
+    stream_id: int
+    window: int
+    frame_offset: int       # slot index within the window, playback order
+    layer: int              # antichain layer index
+    layer_slot: int         # position in the layer's scrambled order
+    attempt: int            # 1-based transmission attempt of the frame
+    fragment: int
+    fragments: int
+    payload_bytes: int      # virtual payload size (bytes are elided)
+    arrival_vtime: float    # virtual arrival time at the client
+    retransmission: bool = False
+
+    def encode(self) -> bytes:
+        flags = FLAG_RETRANSMISSION if self.retransmission else 0
+        return _PREFIX.pack(MAGIC, WIRE_VERSION, TYPE_MEDIA) + _MEDIA.pack(
+            flags,
+            self.stream_id,
+            self.window,
+            self.frame_offset,
+            self.layer,
+            self.layer_slot,
+            self.attempt,
+            self.fragment,
+            self.fragments,
+            self.payload_bytes,
+            self.arrival_vtime,
+        )
+
+
+@dataclass(frozen=True)
+class WindowTrailer:
+    """End-of-window TRAILER: the window's shape and offer history."""
+
+    stream_id: int
+    window: int
+    frames: int
+    playback_start: float
+    fps: float
+    closed_gops: bool
+    frame_types: Tuple[FrameType, ...]     # one per frame offset
+    layer_sizes: Tuple[int, ...]           # indexed by layer 0..L-1
+    offered_first: Tuple[int, ...]         # frame offsets, first-attempt order
+    fin: bool = False
+
+    def encode(self) -> bytes:
+        if len(self.frame_types) != self.frames:
+            raise WireFormatError(
+                f"trailer carries {len(self.frame_types)} frame types "
+                f"for {self.frames} frames"
+            )
+        flags = FLAG_FIN if self.fin else 0
+        parts = [
+            _PREFIX.pack(MAGIC, WIRE_VERSION, TYPE_TRAILER),
+            _TRAILER_FIXED.pack(
+                flags,
+                self.stream_id,
+                self.window,
+                self.frames,
+                self.playback_start,
+                self.fps,
+                1 if self.closed_gops else 0,
+                len(self.layer_sizes),
+                len(self.offered_first),
+            ),
+            bytes(_TYPE_CODES[ft] for ft in self.frame_types),
+        ]
+        parts.extend(_U16.pack(size) for size in self.layer_sizes)
+        parts.extend(_U16.pack(offset) for offset in self.offered_first)
+        return b"".join(parts)
+
+
+@dataclass(frozen=True)
+class WindowReport:
+    """The receiver's REPORT for one window (client -> server feedback)."""
+
+    stream_id: int
+    window: int
+    clf: int
+    unit_losses: int
+    frames: int
+    #: First-attempt sufficient statistics: (lost, runs, total).
+    loss_statistics: Tuple[int, int, int]
+    #: Per-layer observed worst burst, keyed by layer index.
+    layer_bursts: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def alf(self) -> float:
+        return self.unit_losses / self.frames if self.frames else 0.0
+
+    def encode(self) -> bytes:
+        lost, runs, total = self.loss_statistics
+        parts = [
+            _PREFIX.pack(MAGIC, WIRE_VERSION, TYPE_REPORT),
+            _REPORT_FIXED.pack(
+                0,
+                self.stream_id,
+                self.window,
+                self.clf,
+                self.unit_losses,
+                lost,
+                runs,
+                total,
+                len(self.layer_bursts),
+            ),
+            _U16.pack(self.frames),
+        ]
+        parts.extend(
+            _LAYER_PAIR.pack(layer, burst)
+            for layer, burst in sorted(self.layer_bursts.items())
+        )
+        return b"".join(parts)
+
+
+def _need(data: bytes, offset: int, size: int, what: str) -> int:
+    if len(data) < offset + size:
+        raise WireFormatError(
+            f"truncated datagram: {what} needs {offset + size} bytes, "
+            f"got {len(data)}"
+        )
+    return offset + size
+
+
+def decode(data: bytes):
+    """Decode one datagram into its dataclass; strict on shape.
+
+    Returns a :class:`MediaDatagram`, :class:`WindowTrailer` or
+    :class:`WindowReport`; raises :class:`WireFormatError` for anything
+    that is not a well-formed, exactly-sized gateway datagram.
+    """
+    _need(data, 0, _PREFIX.size, "prefix")
+    magic, version, dtype = _PREFIX.unpack_from(data, 0)
+    if magic != MAGIC:
+        raise WireFormatError(f"bad magic 0x{magic:04x}")
+    if version != WIRE_VERSION:
+        raise WireFormatError(f"unsupported wire version {version}")
+    offset = _PREFIX.size
+    if dtype == TYPE_MEDIA:
+        end = _need(data, offset, _MEDIA.size, "media header")
+        (flags, stream_id, window, frame_offset, layer, layer_slot, attempt,
+         fragment, fragments, payload, vtime) = _MEDIA.unpack_from(data, offset)
+        if len(data) != end:
+            raise WireFormatError(
+                f"oversized media datagram: {len(data)} bytes, expected {end}"
+            )
+        if fragments == 0 or fragment >= fragments or attempt == 0:
+            raise WireFormatError(
+                f"invalid media coordinates: attempt {attempt}, "
+                f"fragment {fragment}/{fragments}"
+            )
+        return MediaDatagram(
+            stream_id=stream_id,
+            window=window,
+            frame_offset=frame_offset,
+            layer=layer,
+            layer_slot=layer_slot,
+            attempt=attempt,
+            fragment=fragment,
+            fragments=fragments,
+            payload_bytes=payload,
+            arrival_vtime=vtime,
+            retransmission=bool(flags & FLAG_RETRANSMISSION),
+        )
+    if dtype == TYPE_TRAILER:
+        offset = _need(data, offset, _TRAILER_FIXED.size, "trailer header")
+        (flags, stream_id, window, frames, playback_start, fps, closed,
+         layer_count, offered_count) = _TRAILER_FIXED.unpack_from(
+            data, offset - _TRAILER_FIXED.size
+        )
+        end = _need(
+            data, offset, frames + 2 * (layer_count + offered_count), "trailer body"
+        )
+        if len(data) != end:
+            raise WireFormatError(
+                f"oversized trailer: {len(data)} bytes, expected {end}"
+            )
+        try:
+            types = tuple(_CODE_TYPES[code] for code in data[offset:offset + frames])
+        except KeyError as exc:
+            raise WireFormatError(f"unknown frame-type code {exc}") from None
+        offset += frames
+        layer_sizes = tuple(
+            _U16.unpack_from(data, offset + 2 * i)[0] for i in range(layer_count)
+        )
+        offset += 2 * layer_count
+        offered = tuple(
+            _U16.unpack_from(data, offset + 2 * i)[0] for i in range(offered_count)
+        )
+        return WindowTrailer(
+            stream_id=stream_id,
+            window=window,
+            frames=frames,
+            playback_start=playback_start,
+            fps=fps,
+            closed_gops=bool(closed),
+            frame_types=types,
+            layer_sizes=layer_sizes,
+            offered_first=offered,
+            fin=bool(flags & FLAG_FIN),
+        )
+    if dtype == TYPE_REPORT:
+        offset = _need(data, offset, _REPORT_FIXED.size, "report header")
+        (_flags, stream_id, window, clf, unit_losses, lost, runs, total,
+         layer_count) = _REPORT_FIXED.unpack_from(
+            data, offset - _REPORT_FIXED.size
+        )
+        offset = _need(data, offset, _U16.size, "report frames")
+        (frames,) = _U16.unpack_from(data, offset - _U16.size)
+        end = _need(data, offset, _LAYER_PAIR.size * layer_count, "report layers")
+        if len(data) != end:
+            raise WireFormatError(
+                f"oversized report: {len(data)} bytes, expected {end}"
+            )
+        bursts = {}
+        for i in range(layer_count):
+            layer, burst = _LAYER_PAIR.unpack_from(
+                data, offset + _LAYER_PAIR.size * i
+            )
+            bursts[layer] = burst
+        return WindowReport(
+            stream_id=stream_id,
+            window=window,
+            clf=clf,
+            unit_losses=unit_losses,
+            frames=frames,
+            loss_statistics=(lost, runs, total),
+            layer_bursts=bursts,
+        )
+    raise WireFormatError(f"unknown datagram type {dtype}")

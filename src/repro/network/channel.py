@@ -82,6 +82,16 @@ class SimulatedChannel:
         self.stats = ChannelStats()
         self._busy_until = 0.0
 
+    #: Optional transport hook: called once per :meth:`send_all` burst
+    #: with ``(packets, transmissions)`` after the burst's fate is
+    #: decided.  One burst is one transmission *attempt* of one frame,
+    #: so this is the natural place for a real transport (the
+    #: :mod:`repro.gateway` loopback shim) to emit actual datagrams for
+    #: the delivered fragments while the simulated channel stays the
+    #: loss/timing oracle.  ``None`` (the default) costs one attribute
+    #: check per burst.
+    on_burst = None
+
     @property
     def busy_until(self) -> float:
         """Time at which the link finishes its current queue."""
@@ -126,7 +136,10 @@ class SimulatedChannel:
 
     def send_all(self, packets: Sequence[Packet], at_time: float) -> List[Transmission]:
         """Offer a burst of packets back-to-back starting at ``at_time``."""
-        return [self.send(packet, at_time) for packet in packets]
+        transmissions = [self.send(packet, at_time) for packet in packets]
+        if self.on_burst is not None:
+            self.on_burst(packets, transmissions)
+        return transmissions
 
     def reset_clock(self) -> None:
         """Forget queue state (new experiment, same loss process)."""

@@ -1,0 +1,197 @@
+"""Control-plane grammar: valid requests parse, malformed ones get 4xx.
+
+The Hypothesis fuzzers assert the parser's one hard guarantee: for
+*any* byte string — including mutations of well-formed requests —
+``parse_request`` either returns a request or raises
+:class:`~repro.errors.ControlError` carrying a proper 4xx/5xx status.
+It never raises anything else and never kills the caller's loop.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ControlError
+from repro.gateway.control import (
+    METHODS,
+    ControlRequest,
+    SessionState,
+    format_request,
+    format_response,
+    parse_request,
+    parse_response,
+)
+
+
+def _parse(head: bytes, body: bytes = b""):
+    try:
+        return parse_request(head, body)
+    except ControlError as exc:
+        assert 400 <= exc.status < 600
+        assert exc.reason
+        return None
+
+
+class TestValidRequests:
+    def test_round_trip(self):
+        raw = format_request(
+            "SETUP",
+            "rtsp://h/stream",
+            7,
+            headers={"Session": "ES000001"},
+            body=b"{}",
+        )
+        head, _, body = raw.partition(b"\r\n\r\n")
+        request = parse_request(head, body)
+        assert request.method == "SETUP"
+        assert request.cseq == 7
+        assert request.session_id == "ES000001"
+        assert request.body == b"{}"
+
+    def test_bare_lf_tolerated(self):
+        request = parse_request(b"PLAY rtsp://h/s RTSP/1.0\nCSeq: 3\n\n")
+        assert request.method == "PLAY"
+        assert request.cseq == 3
+
+    def test_asterisk_target(self):
+        assert parse_request(b"OPTIONS * RTSP/1.0\r\nCSeq: 0\r\n\r\n").cseq == 0
+
+    def test_response_round_trip(self):
+        raw = format_response(200, 9, headers={"Session": "x"})
+        head, _, body = raw.partition(b"\r\n\r\n")
+        status, headers, _ = parse_response(head, body)
+        assert status == 200
+        assert headers["cseq"] == "9"
+        assert headers["session"] == "x"
+
+
+class TestRejections:
+    @pytest.mark.parametrize(
+        "head, status",
+        [
+            (b"", 400),
+            (b"PLAY rtsp://h/s\r\nCSeq: 1\r\n\r\n", 400),        # no version
+            (b"PLAY rtsp://h/s HTTP/1.1\r\nCSeq: 1\r\n\r\n", 400),
+            (b"PLAY rtsp://h/s RTSP/1.0\r\n\r\n", 400),           # no CSeq
+            (b"PLAY rtsp://h/s RTSP/1.0\r\nCSeq: x7\r\n\r\n", 400),
+            (b"PLAY rtsp://h/s RTSP/1.0\r\nCSeq: -1\r\n\r\n", 400),
+            (b"PLAY rtsp://h/s RTSP/1.0\r\nCSeq: 99999999999\r\n\r\n", 400),
+            (b"PLAY rtsp://h/s RTSP/1.0\r\nCSeq: 1\r\nCSeq: 2\r\n\r\n", 400),
+            (b"PLAY rtsp://h/s RTSP/1.0\r\nNoColonHere\r\nCSeq: 1\r\n\r\n", 400),
+            (b"DESCRIBE rtsp://h/s RTSP/1.0\r\nCSeq: 1\r\n\r\n", 501),
+            (b"PLAY http://h/s RTSP/1.0\r\nCSeq: 1\r\n\r\n", 404),
+            ("PLAY rtsp://h/ś RTSP/1.0\r\nCSeq: 1\r\n\r\n".encode("utf-8"), 400),
+        ],
+    )
+    def test_statuses(self, head, status):
+        with pytest.raises(ControlError) as err:
+            parse_request(head)
+        assert err.value.status == status
+
+    def test_body_length_mismatch(self):
+        head = b"SETUP rtsp://h/s RTSP/1.0\r\nCSeq: 1\r\nContent-Length: 5\r\n\r\n"
+        with pytest.raises(ControlError) as err:
+            parse_request(head, b"123")
+        assert err.value.status == 400
+
+    def test_body_without_length(self):
+        head = b"SETUP rtsp://h/s RTSP/1.0\r\nCSeq: 1\r\n\r\n"
+        with pytest.raises(ControlError) as err:
+            parse_request(head, b"unexpected")
+        assert err.value.status == 400
+
+    def test_oversized_header_line(self):
+        head = (
+            b"PLAY rtsp://h/s RTSP/1.0\r\nCSeq: 1\r\nX-Pad: "
+            + b"a" * 5000
+            + b"\r\n\r\n"
+        )
+        with pytest.raises(ControlError) as err:
+            parse_request(head)
+        assert err.value.status == 400
+
+
+class TestFuzz:
+    @given(st.binary(max_size=512))
+    @settings(max_examples=300, deadline=None)
+    def test_arbitrary_bytes(self, blob):
+        result = _parse(blob)
+        assert result is None or isinstance(result, ControlRequest)
+
+    @given(
+        st.sampled_from(METHODS),
+        st.integers(min_value=0, max_value=10**6),
+        st.data(),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_mutated_valid_request(self, method, cseq, data):
+        raw = format_request(
+            method, "rtsp://host/stream", cseq, headers={"Session": "ES000009"}
+        )
+        head = bytearray(raw[: -len(b"\r\n\r\n")] + b"\r\n\r\n")
+        # Mutate up to three bytes anywhere in the head.
+        for _ in range(data.draw(st.integers(min_value=1, max_value=3))):
+            index = data.draw(
+                st.integers(min_value=0, max_value=len(head) - 1)
+            )
+            head[index] = data.draw(st.integers(min_value=0, max_value=255))
+        result = _parse(bytes(head))
+        assert result is None or isinstance(result, ControlRequest)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.text(
+                    alphabet=st.characters(
+                        min_codepoint=33, max_codepoint=126, exclude_characters=":"
+                    ),
+                    min_size=1,
+                    max_size=12,
+                ),
+                st.text(
+                    alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+                    max_size=24,
+                ),
+            ),
+            max_size=8,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_arbitrary_headers(self, extra_headers):
+        lines = ["PLAY rtsp://h/s RTSP/1.0", "CSeq: 1"]
+        lines.extend(f"{name}: {value}" for name, value in extra_headers)
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+        result = _parse(head)
+        assert result is None or result.cseq == 1
+
+
+class TestSessionState:
+    def test_happy_path(self):
+        state = SessionState()
+        assert state.transition("SETUP") == SessionState.READY
+        assert state.transition("PLAY") == SessionState.PLAYING
+        assert state.transition("PAUSE") == SessionState.PAUSED
+        assert state.transition("PLAY") == SessionState.PLAYING
+        assert state.transition("TEARDOWN") == SessionState.DONE
+
+    def test_play_before_setup(self):
+        with pytest.raises(ControlError) as err:
+            SessionState().transition("PLAY")
+        assert err.value.status == 455
+
+    def test_nothing_after_teardown(self):
+        state = SessionState()
+        state.transition("SETUP")
+        state.transition("TEARDOWN")
+        for method in ("SETUP", "PLAY", "PAUSE", "TEARDOWN"):
+            with pytest.raises(ControlError):
+                state.transition(method)
+
+    def test_double_setup(self):
+        state = SessionState()
+        state.transition("SETUP")
+        with pytest.raises(ControlError) as err:
+            state.transition("SETUP")
+        assert err.value.status == 455

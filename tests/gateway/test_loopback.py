@@ -1,0 +1,104 @@
+"""The differential battery: real-socket gateway == simulator, pinned.
+
+Each probe stands up a real TCP control connection and a real UDP
+loopback data path, streams a seeded session, and asserts the sender's
+:class:`~repro.core.protocol.SessionResult`, the per-window
+CLF/ALF/`b̂`/Gilbert trajectory, and the receiver's independent REPORT
+measurements are *bit-for-bit* the simulated session's — on every
+available acceleration backend.  This file must keep passing with
+NumPy absent (the ``gateway-smoke`` CI job runs it on the pure
+backend), so it never imports it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import accel
+from repro.core.protocol import run_session
+from repro.gateway.probe import ProbeSpec, run_loopback_probe
+from repro.gateway.sender import snapshot_trajectory
+from repro.media.gop import GOP_12
+from repro.media.stream import make_video_stream
+from repro.serve import SessionRequest, serve_sessions
+
+#: The seeded configurations the acceptance criteria pin (>= 3), one
+#: with real datagram reordering and one on the quantile burst policy.
+BATTERY = [
+    pytest.param(ProbeSpec(seed=7), id="seed7-baseline"),
+    pytest.param(ProbeSpec(seed=11, reorder_span=5), id="seed11-reordered"),
+    pytest.param(
+        ProbeSpec(seed=2000, config_overrides={"burst_policy": "quantile"}),
+        id="seed2000-quantile",
+    ),
+    pytest.param(
+        ProbeSpec(seed=3, gops=6, max_windows=3,
+                  config_overrides={"p_bad": 0.5}),
+        id="seed3-lossier",
+    ),
+]
+
+
+@pytest.mark.parametrize("spec", BATTERY)
+def test_differential_battery(spec):
+    """Gateway == object engine == columnar kernel, on every backend."""
+    previous = accel.backend_name()
+    try:
+        for name in accel.available_backends():
+            accel.set_backend(name)
+            outcome = run_loopback_probe(spec)
+            assert outcome.matches, (
+                f"backend {name!r}:\n" + "\n".join(outcome.mismatches)
+            )
+            assert len(outcome.gateway_trajectory) == len(
+                outcome.simulated_trajectory
+            )
+            assert outcome.gateway_trajectory == outcome.simulated_trajectory
+    finally:
+        accel.set_backend(previous)
+
+
+@pytest.mark.parametrize("spec", BATTERY)
+def test_matches_streaming_service(spec):
+    """The gateway session equals the K = 1 StreamingService session."""
+    outcome = run_loopback_probe(spec)
+    stream = make_video_stream(GOP_12, gop_count=spec.gops)
+    config = spec.config()
+    request = SessionRequest(
+        session_id="only",
+        stream=stream,
+        config=config,
+        max_windows=spec.max_windows,
+    )
+    service = serve_sessions([request], config.bandwidth_bps)
+    assert len(service.admitted) == 1
+    assert service.outcomes[0].result == outcome.gateway_result
+
+
+def test_feedback_actually_drives_adaptation():
+    """The b-hat trajectory moves once real REPORTs start arriving."""
+    outcome = run_loopback_probe(ProbeSpec(seed=7))
+    assert outcome.matches
+    first = dict(outcome.gateway_trajectory[0].layer_estimates)
+    last = dict(outcome.gateway_trajectory[-1].layer_estimates)
+    assert first != last, "feedback never moved the Equation-1 estimates"
+
+
+def test_trajectory_is_reproducible():
+    spec = ProbeSpec(seed=42, gops=6, max_windows=3)
+    first = run_loopback_probe(spec)
+    second = run_loopback_probe(spec)
+    assert first.matches and second.matches
+    assert first.gateway_trajectory == second.gateway_trajectory
+    assert first.gateway_result == second.gateway_result
+
+
+def test_snapshot_trajectory_matches_kernel_engine():
+    """The reference anchor itself agrees with run_session."""
+    stream = make_video_stream(GOP_12, gop_count=6)
+    from repro.core.protocol import ProtocolConfig
+
+    config = ProtocolConfig(seed=13)
+    result, points = snapshot_trajectory(stream, config, max_windows=3)
+    assert result == run_session(stream, config, max_windows=3)
+    assert [point.window for point in points] == [0, 1, 2]

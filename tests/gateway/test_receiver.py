@@ -1,0 +1,177 @@
+"""Receiver reconstruction: idempotent under duplication and reordering.
+
+The receiver addresses every arrival by explicit (window, frame,
+attempt, fragment) coordinates, so delivering the same datagrams twice,
+or in any order, must finalize byte-identical REPORTs — and those
+REPORTs must agree with the sender engine's own window measurements.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.protocol import ProtocolConfig
+from repro.errors import GatewayError
+from repro.gateway.receiver import GatewayReceiver
+from repro.gateway.sender import GatewaySenderSession
+from repro.gateway.shim import ImpairedLink
+from repro.gateway.wire import decode
+from repro.media.gop import GOP_12
+from repro.media.stream import make_video_stream
+
+
+def run_offline_session(seed=3, gops=4, **config_kwargs):
+    """Drive the sender engine without sockets; returns the wire history.
+
+    Returns ``(per_window, sender, receiver)`` where ``per_window`` is a
+    list of ``(media_datagrams, trailer_bytes)`` and ``receiver`` is the
+    baseline receiver whose REPORTs drove the sender's feedback loop.
+    """
+    config = ProtocolConfig(seed=seed, **config_kwargs)
+    stream = make_video_stream(GOP_12, gop_count=gops)
+    outbox = []
+    link = ImpairedLink(config, emit=outbox.append)
+    sender = GatewaySenderSession(stream, config, stream_id=1, link=link)
+    receiver = GatewayReceiver()
+    windows = list(stream.windows(config.window_frames))
+    per_window = []
+    for index, window in enumerate(windows):
+        result = sender.run_window(index, window)
+        trailer = sender.build_trailer(
+            index, window, result, fin=(index == len(windows) - 1)
+        )
+        link.flush()
+        media = list(outbox)
+        outbox.clear()
+        trailer_bytes = trailer.encode()
+        per_window.append((media, trailer_bytes))
+        for datagram in media:
+            assert receiver.on_datagram(datagram) is None
+        report_bytes = receiver.on_datagram(trailer_bytes)
+        assert report_bytes is not None
+        sender.complete_ack(
+            sender.feedback_from_report(decode(report_bytes), result)
+        )
+    return per_window, sender, receiver
+
+
+@pytest.fixture(scope="module")
+def session():
+    return run_offline_session()
+
+
+class TestAgainstSender:
+    def test_reports_match_engine_measurements(self, session):
+        _, sender, receiver = session
+        assert len(receiver.windows) == len(sender.result.windows)
+        for window, result in zip(receiver.windows, sender.result.windows):
+            assert window.report.clf == result.clf
+            assert window.report.unit_losses == result.unit_losses
+            assert window.report.alf == result.alf
+            assert window.report.layer_bursts == result.layer_bursts
+            assert window.report.loss_statistics == result.first_attempt_stats
+            assert window.received == result.received
+            assert window.arrival_times == result.arrival_times
+            assert window.late == result.late
+            assert window.decodable == result.decodable
+
+    def test_fin_observed(self, session):
+        _, _, receiver = session
+        assert receiver.finished
+
+
+class TestIdempotence:
+    def _replay(self, per_window, mutate):
+        replica = GatewayReceiver()
+        reports = []
+        for media, trailer_bytes in per_window:
+            for datagram in mutate(list(media)):
+                replica.on_datagram(datagram)
+            reports.append(replica.on_datagram(trailer_bytes))
+        return replica, reports
+
+    def _baseline_reports(self, session):
+        per_window, _, receiver = session
+        return [receiver.report_for(i).encode() for i in range(len(per_window))]
+
+    def test_duplicated_delivery(self, session):
+        per_window, _, _ = session
+        replica, reports = self._replay(
+            per_window, lambda media: media + media
+        )
+        assert reports == self._baseline_reports(session)
+        assert replica.duplicates == sum(len(m) for m, _ in per_window)
+
+    def test_reversed_delivery(self, session):
+        per_window, _, _ = session
+        _, reports = self._replay(per_window, lambda media: media[::-1])
+        assert reports == self._baseline_reports(session)
+
+    def test_shuffled_delivery(self, session):
+        per_window, _, _ = session
+        rng = random.Random(1234)
+
+        def shuffle(media):
+            rng.shuffle(media)
+            return media
+
+        _, reports = self._replay(per_window, shuffle)
+        assert reports == self._baseline_reports(session)
+
+    def test_duplicate_trailer_resends_cached_report(self, session):
+        per_window, _, _ = session
+        replica = GatewayReceiver()
+        media, trailer_bytes = per_window[0]
+        for datagram in media:
+            replica.on_datagram(datagram)
+        first = replica.on_datagram(trailer_bytes)
+        second = replica.on_datagram(trailer_bytes)
+        assert first == second
+        assert len(replica.windows) == 1
+
+    def test_straggler_after_finalize_is_ignored(self, session):
+        per_window, _, _ = session
+        media, trailer_bytes = per_window[0]
+        if not media:
+            pytest.skip("window produced no media datagrams")
+        replica = GatewayReceiver()
+        for datagram in media[1:]:
+            replica.on_datagram(datagram)
+        report = replica.on_datagram(trailer_bytes)
+        assert replica.on_datagram(media[0]) is None  # straggler
+        assert replica.report_for(0).encode() == report
+
+
+class TestGuards:
+    def test_stream_id_mismatch(self, session):
+        per_window, _, _ = session
+        media, _ = per_window[0]
+        if not media:
+            pytest.skip("window produced no media datagrams")
+        strict = GatewayReceiver(stream_id=2)
+        with pytest.raises(GatewayError):
+            strict.on_datagram(media[0])
+
+    def test_report_datagram_rejected(self, session):
+        per_window, _, receiver = session
+        report = receiver.report_for(0)
+        with pytest.raises(GatewayError):
+            GatewayReceiver().on_datagram(report.encode())
+
+    def test_empty_window_finalizes(self):
+        """A trailer with no preceding media measures an all-lost window."""
+        from repro.gateway.wire import WindowTrailer
+        from repro.media.ldu import FrameType
+
+        trailer = WindowTrailer(
+            stream_id=9, window=0, frames=2, playback_start=1.0, fps=24.0,
+            closed_gops=False, frame_types=(FrameType.I, FrameType.P),
+            layer_sizes=(2,), offered_first=(0, 1),
+        )
+        receiver = GatewayReceiver()
+        report = decode(receiver.on_datagram(trailer.encode()))
+        assert report.unit_losses == 2
+        assert report.layer_bursts == {0: 2}
+        assert report.loss_statistics == (2, 1, 2)

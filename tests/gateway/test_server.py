@@ -1,0 +1,235 @@
+"""Server behaviour over real sockets: error answers, lifecycle, retries."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.gateway import control
+from repro.gateway.receiver import GatewayReceiver
+from repro.gateway.server import GatewayServer
+
+
+def _control_session(exchanges):
+    """Open one TCP control connection and run raw request/response pairs.
+
+    ``exchanges`` is a list of raw request byte strings; returns the
+    parsed ``(status, headers)`` of each response, proving the
+    connection survived every earlier (possibly malformed) request.
+    """
+
+    async def go():
+        server = GatewayServer()
+        await server.start()
+        try:
+            reader, writer = await asyncio.open_connection(
+                server.host, server.control_port
+            )
+            responses = []
+            for raw in exchanges:
+                writer.write(raw)
+                await writer.drain()
+                head = await asyncio.wait_for(
+                    reader.readuntil(b"\r\n\r\n"), timeout=5.0
+                )
+                responses.append(control.parse_response(head)[:2])
+            writer.close()
+            return responses
+        finally:
+            await server.stop()
+
+    return asyncio.run(go())
+
+
+def _request(method, cseq, *, headers=None, body=b""):
+    return control.format_request(
+        method, "rtsp://127.0.0.1/stream", cseq, headers=headers, body=body
+    )
+
+
+class TestControlErrors:
+    def test_malformed_then_valid_on_same_connection(self):
+        """A bad request gets 400; the connection keeps serving."""
+        responses = _control_session(
+            [
+                b"NONSENSE\r\nCSeq: 4\r\n\r\n",
+                _request("OPTIONS", 5),
+            ]
+        )
+        assert responses[0][0] == 400
+        assert responses[0][1].get("cseq") == "4"  # best-effort echo
+        assert responses[1][0] == 200
+        assert "OPTIONS" in responses[1][1].get("public", "")
+
+    def test_play_before_setup_is_454(self):
+        (status, _), = _control_session(
+            [_request("PLAY", 1, headers={"Session": "ES000001"})]
+        )
+        assert status == 454
+
+    def test_play_without_session_header_is_454(self):
+        (status, _), = _control_session([_request("PLAY", 1)])
+        assert status == 454
+
+    def test_unknown_method_is_501(self):
+        (status, _), = _control_session(
+            [b"DESCRIBE rtsp://h/s RTSP/1.0\r\nCSeq: 2\r\n\r\n"]
+        )
+        assert status == 501
+
+    def test_bad_cseq_is_400(self):
+        (status, headers), = _control_session(
+            [b"OPTIONS * RTSP/1.0\r\nCSeq: nope\r\n\r\n"]
+        )
+        assert status == 400
+        assert "cseq" not in headers
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            b"this is not json",
+            json.dumps({"client_port": 5000, "config": {"bogus_knob": 1}}).encode(),
+            json.dumps({"client_port": 5000, "config": {"gop_size": -1}}).encode(),
+            json.dumps({"client_port": -4}).encode(),
+            json.dumps({"client_port": 5000, "gops": 0}).encode(),
+            json.dumps([1, 2, 3]).encode(),
+            b"",
+        ],
+    )
+    def test_bad_setup_bodies_are_400(self, body):
+        (status, _), = _control_session([_request("SETUP", 1, body=body)])
+        assert status == 400
+
+    def test_setup_answers_session_and_transport(self):
+        (status, headers), = _control_session(
+            [
+                _request(
+                    "SETUP",
+                    1,
+                    body=json.dumps(
+                        {"gops": 2, "max_windows": 1, "client_port": 39999}
+                    ).encode(),
+                )
+            ]
+        )
+        assert status == 200
+        assert headers.get("session", "").startswith("ES")
+        assert "server_port=" in headers.get("transport", "")
+
+    def test_pause_before_play_is_455(self):
+        setup = _request(
+            "SETUP",
+            1,
+            body=json.dumps(
+                {"gops": 2, "max_windows": 1, "client_port": 39998}
+            ).encode(),
+        )
+        responses = _control_session(
+            [setup, _request("PAUSE", 2, headers={"Session": "ES000001"})]
+        )
+        assert responses[0][0] == 200
+        assert responses[1][0] == 455
+
+
+class _CollectingEndpoint(asyncio.DatagramProtocol):
+    """Client endpoint that can drop the first N trailers per window."""
+
+    def __init__(self, receiver, *, ignore_first_trailers=0):
+        self.receiver = receiver
+        self.ignore = ignore_first_trailers
+        self.trailer_counts = {}
+        self.finished = asyncio.Event()
+        self.transport = None
+
+    def connection_made(self, transport):
+        self.transport = transport
+
+    def datagram_received(self, data, addr):
+        from repro.gateway.wire import TYPE_TRAILER, WIRE_VERSION  # noqa: F401
+
+        is_trailer = len(data) >= 4 and data[3] == TYPE_TRAILER
+        if is_trailer:
+            window = int.from_bytes(data[9:13], "big")
+            seen = self.trailer_counts.get(window, 0)
+            self.trailer_counts[window] = seen + 1
+            if seen < self.ignore:
+                return  # drop it: force the server to resend
+        response = self.receiver.on_datagram(data)
+        if response is not None:
+            self.transport.sendto(response, addr)
+        if self.receiver.finished:
+            self.finished.set()
+
+
+def _stream_session(*, ignore_first_trailers=0, report_timeout=0.25):
+    """SETUP/PLAY a short session; returns (server session, receiver)."""
+
+    async def go():
+        server = GatewayServer(report_timeout=report_timeout)
+        await server.start()
+        receiver = GatewayReceiver()
+        endpoint = _CollectingEndpoint(
+            receiver, ignore_first_trailers=ignore_first_trailers
+        )
+        loop = asyncio.get_running_loop()
+        transport, _ = await loop.create_datagram_endpoint(
+            lambda: endpoint, local_addr=(server.host, 0)
+        )
+        try:
+            client_port = transport.get_extra_info("sockname")[1]
+            reader, writer = await asyncio.open_connection(
+                server.host, server.control_port
+            )
+            body = json.dumps(
+                {"gops": 2, "max_windows": 1, "client_port": client_port}
+            ).encode()
+            writer.write(_request("SETUP", 1, body=body))
+            await writer.drain()
+            head = await reader.readuntil(b"\r\n\r\n")
+            status, headers, _ = control.parse_response(head)
+            assert status == 200
+            session_id = headers["session"]
+            writer.write(
+                _request("PLAY", 2, headers={"Session": session_id})
+            )
+            await writer.drain()
+            await reader.readuntil(b"\r\n\r\n")
+            session = server.sessions[session_id]
+            await asyncio.wait_for(session.done.wait(), timeout=20.0)
+            writer.close()
+            return session, receiver, dict(endpoint.trailer_counts)
+        finally:
+            transport.close()
+            await server.stop()
+
+    return asyncio.run(go())
+
+
+class TestDataPlane:
+    def test_session_completes_and_measures(self):
+        session, receiver, _ = _stream_session()
+        assert session.error is None
+        assert len(session.results) == 1
+        assert len(receiver.windows) == 1
+        assert receiver.windows[0].report.clf == session.results[0].clf
+
+    def test_lost_trailer_is_resent(self):
+        """Dropping the first trailer forces a timeout + resend."""
+        session, receiver, trailer_counts = _stream_session(
+            ignore_first_trailers=1
+        )
+        assert session.error is None
+        assert len(session.results) == 1
+        assert trailer_counts[0] >= 2  # original + at least one resend
+        assert receiver.windows[0].report.clf == session.results[0].clf
+
+    def test_report_exhaustion_surfaces_as_session_error(self):
+        """A client that never answers REPORTs fails the pump cleanly."""
+        session, _, trailer_counts = _stream_session(
+            ignore_first_trailers=99, report_timeout=0.05
+        )
+        assert session.error is not None
+        assert "no REPORT" in session.error
+        assert trailer_counts[0] >= 2

@@ -1,0 +1,188 @@
+"""Property tests for the gateway's binary datagram format."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WireFormatError
+from repro.gateway.wire import (
+    MAGIC,
+    MediaDatagram,
+    WindowReport,
+    WindowTrailer,
+    decode,
+)
+from repro.media.ldu import FrameType
+
+u32 = st.integers(min_value=0, max_value=2**32 - 1)
+u16 = st.integers(min_value=0, max_value=2**16 - 1)
+vtimes = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def media_datagrams(draw):
+    fragments = draw(st.integers(min_value=1, max_value=255))
+    return MediaDatagram(
+        stream_id=draw(u32),
+        window=draw(u32),
+        frame_offset=draw(u16),
+        layer=draw(u16),
+        layer_slot=draw(u16),
+        attempt=draw(st.integers(min_value=1, max_value=255)),
+        fragment=draw(st.integers(min_value=0, max_value=fragments - 1)),
+        fragments=fragments,
+        payload_bytes=draw(u32),
+        arrival_vtime=draw(vtimes),
+        retransmission=draw(st.booleans()),
+    )
+
+
+@st.composite
+def window_trailers(draw):
+    types = draw(
+        st.lists(st.sampled_from(list(FrameType)), min_size=1, max_size=48)
+    )
+    layer_sizes = draw(st.lists(u16, min_size=0, max_size=12))
+    offered = draw(st.lists(u16, min_size=0, max_size=48))
+    return WindowTrailer(
+        stream_id=draw(u32),
+        window=draw(u32),
+        frames=len(types),
+        playback_start=draw(vtimes),
+        fps=draw(st.floats(min_value=1.0, max_value=120.0)),
+        closed_gops=draw(st.booleans()),
+        frame_types=tuple(types),
+        layer_sizes=tuple(layer_sizes),
+        offered_first=tuple(offered),
+        fin=draw(st.booleans()),
+    )
+
+
+@st.composite
+def window_reports(draw):
+    total = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    lost = draw(st.integers(min_value=0, max_value=total))
+    runs = draw(st.integers(min_value=0, max_value=lost))
+    layers = draw(
+        st.dictionaries(u16, u16, max_size=12)
+    )
+    return WindowReport(
+        stream_id=draw(u32),
+        window=draw(u32),
+        clf=draw(u16),
+        unit_losses=draw(u16),
+        frames=draw(u16),
+        loss_statistics=(lost, runs, total),
+        layer_bursts=layers,
+    )
+
+
+class TestRoundTrip:
+    @given(media_datagrams())
+    @settings(max_examples=200, deadline=None)
+    def test_media(self, datagram):
+        assert decode(datagram.encode()) == datagram
+
+    @given(window_trailers())
+    @settings(max_examples=200, deadline=None)
+    def test_trailer(self, trailer):
+        assert decode(trailer.encode()) == trailer
+
+    @given(window_reports())
+    @settings(max_examples=200, deadline=None)
+    def test_report(self, report):
+        assert decode(report.encode()) == report
+
+
+class TestStrictness:
+    @given(
+        st.one_of(media_datagrams(), window_trailers(), window_reports()),
+        st.data(),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_any_truncation_raises(self, message, data):
+        encoded = message.encode()
+        cut = data.draw(st.integers(min_value=0, max_value=len(encoded) - 1))
+        with pytest.raises(WireFormatError):
+            decode(encoded[:cut])
+
+    @given(st.one_of(media_datagrams(), window_trailers(), window_reports()))
+    @settings(max_examples=100, deadline=None)
+    def test_trailing_bytes_raise(self, message):
+        with pytest.raises(WireFormatError):
+            decode(message.encode() + b"\x00")
+
+    @given(st.binary(max_size=64))
+    @settings(max_examples=200, deadline=None)
+    def test_arbitrary_bytes_never_crash(self, blob):
+        try:
+            decode(blob)
+        except WireFormatError:
+            pass  # the only acceptable failure mode
+
+    def test_bad_magic(self):
+        good = MediaDatagram(
+            stream_id=1, window=0, frame_offset=0, layer=0, layer_slot=0,
+            attempt=1, fragment=0, fragments=1, payload_bytes=10,
+            arrival_vtime=0.5,
+        ).encode()
+        assert decode(good)
+        with pytest.raises(WireFormatError):
+            decode(b"\x00" + good[1:])
+
+    def test_bad_version(self):
+        import struct
+
+        good = WindowReport(
+            stream_id=1, window=0, clf=0, unit_losses=0, frames=24,
+            loss_statistics=(0, 0, 0),
+        ).encode()
+        bad = struct.pack("!HBB", MAGIC, 99, good[3]) + good[4:]
+        with pytest.raises(WireFormatError):
+            decode(bad)
+
+    def test_unknown_type(self):
+        import struct
+
+        blob = struct.pack("!HBB", MAGIC, 1, 200)
+        with pytest.raises(WireFormatError):
+            decode(blob)
+
+    def test_invalid_media_coordinates(self):
+        base = MediaDatagram(
+            stream_id=1, window=0, frame_offset=0, layer=0, layer_slot=0,
+            attempt=1, fragment=0, fragments=2, payload_bytes=10,
+            arrival_vtime=0.5,
+        )
+        from dataclasses import replace
+
+        for bad in (
+            dict(fragment=2),      # fragment >= fragments
+            dict(attempt=0),       # attempts are 1-based
+        ):
+            with pytest.raises(WireFormatError):
+                decode(replace(base, **bad).encode())
+
+    def test_trailer_type_count_mismatch_rejected_at_encode(self):
+        trailer = WindowTrailer(
+            stream_id=1, window=0, frames=3, playback_start=1.0, fps=24.0,
+            closed_gops=False, frame_types=(FrameType.I,),
+            layer_sizes=(), offered_first=(),
+        )
+        with pytest.raises(WireFormatError):
+            trailer.encode()
+
+    def test_unknown_frame_type_code(self):
+        trailer = WindowTrailer(
+            stream_id=1, window=0, frames=1, playback_start=1.0, fps=24.0,
+            closed_gops=False, frame_types=(FrameType.I,),
+            layer_sizes=(), offered_first=(),
+        )
+        encoded = bytearray(trailer.encode())
+        encoded[-1] = 250  # the lone frame-type byte
+        with pytest.raises(WireFormatError):
+            decode(bytes(encoded))
