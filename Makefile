@@ -1,4 +1,4 @@
-.PHONY: install test bench bench-batch bench-serve bench-kernel bench-all profile profile-serve profile-kernel experiments examples serve-demo gateway-demo obs-demo obs-guard lint all
+.PHONY: install test bench bench-batch bench-serve bench-kernel bench-hierarchy bench-all profile profile-serve profile-kernel profile-hierarchy experiments examples serve-demo gateway-demo obs-demo obs-guard capacity-plan lint all
 
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
@@ -23,6 +23,9 @@ bench-serve:
 bench-kernel:
 	$(PYTHON) tools/bench_compare.py --bench-path benchmarks/test_bench_kernel.py --tag kernel
 
+bench-hierarchy:
+	$(PYTHON) tools/bench_compare.py --bench-path benchmarks/test_bench_hierarchy.py --tag hierarchy
+
 bench-all:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
 
@@ -34,6 +37,9 @@ profile-serve:
 
 profile-kernel:
 	$(PYTHON) tools/profile_hotpath.py --target kernel
+
+profile-hierarchy:
+	$(PYTHON) tools/profile_hotpath.py --target hierarchy
 
 experiments:
 	$(PYTHON) -m repro experiments
@@ -55,6 +61,11 @@ obs-demo:
 
 obs-guard:
 	$(PYTHON) tools/obs_overhead_guard.py --repeats 15
+
+# Regenerate the committed capacity-planning manifest (seed-pinned; only
+# wall timings move between machines).
+capacity-plan:
+	$(PYTHON) -m repro serve plan --seed 0 --out manifests/capacity_plan.json
 
 lint:
 	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \

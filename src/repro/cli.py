@@ -182,16 +182,65 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--shards",
-        type=int,
-        default=1,
+        default="1",
         metavar="S",
-        help="fan the fleet out over S bottleneck shards (processes)",
+        help=(
+            "fan the fleet out over S bottleneck shards (processes); "
+            "'auto' derives S from the usable CPU cores "
+            "(os.process_cpu_count, falling back to os.cpu_count), "
+            "capped by the fleet size"
+        ),
     )
     serve.add_argument(
         "--manifest-out",
         default=None,
         metavar="FILE",
         help="record metrics and write a service run manifest",
+    )
+
+    serve_actions = serve.add_subparsers(dest="serve_action")
+    plan = serve_actions.add_parser(
+        "plan",
+        help=(
+            "capacity-planning sweep: K x offered-load arms through the "
+            "hierarchical fan-out (repro.serve.hierarchy)"
+        ),
+    )
+    plan.add_argument(
+        "--seed",
+        dest="plan_seed",
+        type=int,
+        default=0,
+        help="load-generator base seed (default 0)",
+    )
+    plan.add_argument(
+        "--smoke",
+        dest="plan_smoke",
+        action="store_true",
+        help="tiny CI profile (one K=64 family) instead of the full sweep",
+    )
+    plan.add_argument(
+        "--jobs",
+        dest="plan_jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="process-pool cap for each arm's workers (default 1)",
+    )
+    plan.add_argument(
+        "--target-cost",
+        dest="plan_target_cost",
+        type=int,
+        default=None,
+        metavar="SW",
+        help="override the planner's session-windows budget per shard",
+    )
+    plan.add_argument(
+        "--out",
+        dest="plan_out",
+        default=None,
+        metavar="FILE",
+        help="write a run manifest (the committed manifests/capacity_plan.json)",
     )
 
     gateway = commands.add_parser(
@@ -353,18 +402,34 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
 
     from repro import obs
     from repro.experiments.reporting import render_table
+    from repro.errors import ConfigurationError
     from repro.serve import (
         LoadSpec,
         build_service_manifest,
         generate_requests,
         make_scheduler,
+        resolve_auto_shards,
         run_sharded,
         serve_sessions,
     )
 
-    if args.shards < 1:
-        print("--shards must be at least 1", file=out)
-        return 2
+    if getattr(args, "serve_action", None) == "plan":
+        return _cmd_serve_plan(args, out)
+    if args.shards == "auto":
+        try:
+            shards = resolve_auto_shards(args.sessions)
+        except ConfigurationError as exc:
+            print(str(exc), file=out)
+            return 2
+    else:
+        try:
+            shards = int(args.shards)
+        except ValueError:
+            print("--shards must be an integer or 'auto'", file=out)
+            return 2
+        if shards < 1:
+            print("--shards must be at least 1", file=out)
+            return 2
     if args.manifest_out is not None:
         obs.enable()
         obs.reset()
@@ -376,11 +441,11 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
         max_windows=args.windows,
     )
     started = time.perf_counter()
-    if args.shards > 1:
+    if shards > 1:
         result = run_sharded(
             spec,
             args.capacity_mbps * 1e6,
-            shards=args.shards,
+            shards=shards,
             scheduler=args.scheduler,
             shedding=not args.no_shedding,
             admission=not args.no_admission,
@@ -439,6 +504,61 @@ def _cmd_serve(args: argparse.Namespace, out) -> int:
         path = save_run_manifest(manifest, args.manifest_out)
         print(f"wrote manifest to {path}", file=out)
     return 0
+
+
+def _cmd_serve_plan(args: argparse.Namespace, out) -> int:
+    import time
+    from dataclasses import replace
+
+    from repro import accel, obs
+    from repro.experiments.capacity_plan import (
+        full_sweep_config,
+        run_capacity_plan,
+        smoke_config,
+    )
+
+    config = (
+        smoke_config(args.plan_seed)
+        if args.plan_smoke
+        else full_sweep_config(args.plan_seed)
+    )
+    if args.plan_target_cost is not None:
+        config = replace(config, target_shard_cost=args.plan_target_cost)
+    # Metrics are snapshotted from a fresh registry so a seed-pinned run
+    # writes a reproducible manifest (only the timing section moves —
+    # `repro obs diff` already ignores wall clocks).
+    obs.reset()
+    obs.set_info("accel.backend", accel.backend_name())
+    started = time.perf_counter()
+    result = run_capacity_plan(config, jobs=args.plan_jobs)
+    wall = time.perf_counter() - started
+    print(result.render(), file=out)
+    for perf in result.performance:
+        print(
+            f"  {perf['label']}: {perf['wall_seconds']:.2f}s wall, "
+            f"{perf['sessions_per_second']:,.0f} sessions/s",
+            file=out,
+        )
+    if args.plan_out is not None:
+        from repro.experiments.persist import build_run_manifest, save_run_manifest
+
+        manifest = build_run_manifest(
+            experiment="capacity-plan",
+            config={
+                "profile": "smoke" if args.plan_smoke else "full",
+                "target_shard_cost": config.target_shard_cost,
+                "jobs": args.plan_jobs,
+            },
+            seed=config.base_seed,
+            backend=accel.backend_name(),
+            metrics=obs.snapshot(),
+            wall_seconds=wall,
+            shape_holds=result.shape_holds,
+            summary=result.summary_dict(),
+        )
+        path = save_run_manifest(manifest, args.plan_out)
+        print(f"wrote manifest to {path}", file=out)
+    return 0 if result.shape_holds else 1
 
 
 def _cmd_obs(args: argparse.Namespace, out) -> int:

@@ -66,6 +66,7 @@ from __future__ import annotations
 
 import os
 import random
+import secrets
 from dataclasses import dataclass, replace
 from itertools import islice
 from typing import (
@@ -101,21 +102,27 @@ __all__ = [
     "FEEDBACK_SEED_OFFSET",
     "PREFETCH_SLACK",
     "PREFETCH_WINDOWS",
+    "FleetBatch",
     "FleetState",
+    "FleetView",
     "RowWindow",
     "SessionRow",
     "SharedFleet",
     "WindowInfo",
     "WindowShape",
+    "audit_segments",
     "available_tiers",
     "drain_acks",
     "loss_run_count",
+    "new_segment",
     "plan_refills",
     "prefetch_flags",
+    "reap_segments",
     "row_bounds",
     "run_row_sender",
     "send_ack",
     "set_tier",
+    "step_fleet",
     "step_window",
     "tier_name",
 ]
@@ -1336,6 +1343,83 @@ def step_window(
 
 
 # ----------------------------------------------------------------------
+# Fleet-slab stepping: many uniform groups, one window epoch
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class FleetBatch:
+    """One uniform row group ready to advance through one window.
+
+    The slab counterpart of a single :func:`step_window` call: ``rows``
+    must satisfy the same uniformity contract (one config family, one
+    window info, one playback rate).  A slab is a list of batches —
+    typically every group of every fleet a worker advances in one
+    window epoch — handed to :func:`step_fleet` together so the
+    loss-flag prefetch can stack across all of them.
+    """
+
+    rows: Sequence[SessionRow]
+    info: WindowInfo
+    config: ProtocolConfig
+    fps: float
+    window_index: int
+    control_serialization: Union[float, Callable[[SessionRow], float]]
+    shed_for: Optional[Callable[[SessionRow, LayeredPlan], frozenset]] = None
+
+
+def step_fleet(batches: Sequence[FleetBatch], *, tier: Optional[str] = None) -> int:
+    """Advance a slab of uniform row groups through one window epoch.
+
+    The fleet-slab entry point behind the serving fast path and the
+    hierarchical fan-out (:mod:`repro.serve.hierarchy`): refills are
+    planned per batch but *drawn* once per Gilbert parameter family
+    across the whole slab — one stacked
+    :func:`repro.accel.gilbert_states_batch` call covers every fleet
+    advancing in the epoch — then each batch steps through
+    :func:`step_window`.  Results are bit-for-bit what stepping each
+    batch alone would produce: draws come off each row's private
+    stream in order, so prefetch batching never changes a loss
+    sequence.
+
+    Returns the number of rows refilled (callers feed their own
+    telemetry from it).
+    """
+    refills: Dict[
+        Tuple[float, float], List[Tuple[SessionRow, int, int]]
+    ] = {}
+    for batch in batches:
+        entries = plan_refills(
+            batch.rows, batch.info.first_attempt_packets + PREFETCH_SLACK
+        )
+        if entries:
+            refills.setdefault(
+                (batch.config.p_good, batch.config.p_bad), []
+            ).extend(entries)
+    refill_rows = 0
+    for (p_good, p_bad), entries in refills.items():
+        prefetch_flags(entries, p_good, p_bad)
+        refill_rows += len(entries)
+    if obs.enabled():
+        obs.counter("kernel.slab.steps").inc()
+        obs.counter("kernel.slab.batches").inc(len(batches))
+        if refill_rows:
+            obs.counter("kernel.slab.refill_rows").inc(refill_rows)
+    for batch in batches:
+        step_window(
+            batch.rows,
+            batch.info,
+            batch.config,
+            batch.fps,
+            batch.window_index,
+            control_serialization=batch.control_serialization,
+            shed_for=batch.shed_for,
+            tier=tier,
+        )
+    return refill_rows
+
+
+# ----------------------------------------------------------------------
 # Columnar fleet state (shared-memory transferable)
 # ----------------------------------------------------------------------
 
@@ -1349,6 +1433,166 @@ ROW_COLUMNS = (
     "fb_bad",
     "ack_seq",
 )
+
+#: Name prefixes of every shared-memory segment this package creates.
+#: The owner pid is baked into the name (``repro-fleet-<pid>-<token>``)
+#: so :func:`reap_segments` can tell a crashed run's leak from a live
+#: run's in-flight segment.
+SEGMENT_PREFIXES = ("repro-fleet", "repro-arena")
+
+_SHM_DIR = "/dev/shm"
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except OSError:
+        # Permission (or platform) errors mean the pid slot is taken.
+        return True
+    return True
+
+
+def _segment_owner(name: str) -> Optional[int]:
+    parts = name.split("-")
+    if len(parts) < 4:
+        return None
+    try:
+        return int(parts[2])
+    except ValueError:
+        return None
+
+
+def new_segment(size: int, *, owner_pid: Optional[int] = None, kind: str = "fleet"):
+    """Create a shared-memory segment with a recognizable, owned name.
+
+    ``owner_pid`` names the process responsible for unlinking (default:
+    the caller).  Workers creating segments for their coordinator pass
+    the coordinator's pid, so a segment only ever counts as leaked once
+    the process that was meant to consume it is gone.
+    """
+    from multiprocessing import shared_memory
+
+    owner = os.getpid() if owner_pid is None else owner_pid
+    for _ in range(32):
+        name = f"repro-{kind}-{owner}-{secrets.token_hex(4)}"
+        try:
+            return shared_memory.SharedMemory(create=True, size=size, name=name)
+        except FileExistsError:
+            continue
+    # 32 token collisions in a row cannot happen; keep a safe fallback.
+    return shared_memory.SharedMemory(create=True, size=size)
+
+
+def audit_segments() -> List[str]:
+    """Names of this package's shared-memory segments present on the host.
+
+    Empty on platforms without a ``/dev/shm`` view of the namespace.
+    """
+    try:
+        entries = os.listdir(_SHM_DIR)
+    except OSError:
+        return []
+    return sorted(
+        name
+        for name in entries
+        if any(name.startswith(prefix + "-") for prefix in SEGMENT_PREFIXES)
+    )
+
+
+def reap_segments() -> List[str]:
+    """Unlink segments whose owning process is dead; returns their names.
+
+    The crash-recovery half of the segment lifecycle: normal runs unlink
+    their own segments, but a worker killed mid-run (or a coordinator
+    dying before it decodes) leaves the file behind in ``/dev/shm``.
+    Any later run may call this — segments whose baked-in owner pid is
+    still alive are never touched.
+    """
+    from multiprocessing import shared_memory
+
+    reaped: List[str] = []
+    for name in audit_segments():
+        owner = _segment_owner(name)
+        if owner is None or _pid_alive(owner):
+            continue
+        try:
+            segment = shared_memory.SharedMemory(name=name)
+        except (FileNotFoundError, OSError):
+            continue
+        segment.close()
+        try:
+            segment.unlink()
+        except (FileNotFoundError, OSError):
+            continue
+        reaped.append(name)
+    if reaped and obs.enabled():
+        obs.counter("kernel.segments_reaped").inc(len(reaped))
+    return reaped
+
+
+class FleetView:
+    """Writable zero-copy columnar view over a float64 buffer.
+
+    The mutable twin of :class:`FleetState`: columns are ``'d'``-typed
+    memoryview slices of one contiguous buffer (typically a
+    shared-memory segment mapped via :meth:`SharedFleet.map`), laid out
+    column-major at a stride of ``rows`` doubles — the exact layout
+    :meth:`FleetState.to_shared` writes.  Writes land directly in the
+    backing segment; no copies, no pickling.  Call :meth:`close` when
+    done (views must be released before a segment can close).
+    """
+
+    __slots__ = ("names", "rows", "_mv", "_columns", "_segment")
+
+    def __init__(self, buffer, names: Sequence[str], rows: int, segment=None) -> None:
+        mv = memoryview(buffer).cast("d")
+        if len(mv) < len(names) * rows:
+            mv.release()
+            raise ConfigurationError(
+                f"buffer holds {len(mv)} doubles; "
+                f"{len(names)} columns x {rows} rows need {len(names) * rows}"
+            )
+        self.names = tuple(names)
+        self.rows = rows
+        self._mv = mv
+        self._columns = {
+            name: mv[position * rows:(position + 1) * rows]
+            for position, name in enumerate(self.names)
+        }
+        self._segment = segment
+
+    def column(self, name: str):
+        """The live ``'d'`` memoryview of one column (writable)."""
+        return self._columns[name]
+
+    def write_row(self, index: int, values: Mapping[str, float]) -> None:
+        """Write one row's cells across the named columns."""
+        for name, value in values.items():
+            self._columns[name][index] = value
+
+    def snapshot(self) -> FleetState:
+        """An immutable :class:`FleetState` copy of the current contents."""
+        return FleetState(
+            {name: list(self._columns[name]) for name in self.names}
+        )
+
+    def close(self) -> None:
+        """Release the views (and detach the backing segment, if any)."""
+        for view in self._columns.values():
+            view.release()
+        self._columns = {}
+        self._mv.release()
+        if self._segment is not None:
+            self._segment.close()
+            self._segment = None
+
+    def __enter__(self) -> "FleetView":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 @dataclass(frozen=True)
@@ -1382,6 +1626,23 @@ class SharedFleet:
         finally:
             segment.close()
         return FleetState(columns)
+
+    def map(self) -> FleetView:
+        """Attach a writable zero-copy :class:`FleetView` over the segment.
+
+        Unlike :meth:`open` nothing is copied: column reads and writes
+        go straight to the shared pages.  ``close()`` the view when
+        done (it detaches the segment but does not unlink it — the
+        owner still calls :meth:`unlink` exactly once).
+        """
+        from multiprocessing import shared_memory
+
+        segment = shared_memory.SharedMemory(name=self.shm_name)
+        try:
+            return FleetView(segment.buf, self.names, self.rows, segment=segment)
+        except Exception:
+            segment.close()
+            raise
 
     def unlink(self) -> None:
         """Release the segment (safe to call if it is already gone)."""
@@ -1448,20 +1709,23 @@ class FleetState:
             }
         )
 
-    def to_shared(self) -> SharedFleet:
+    def to_shared(self, *, owner_pid: Optional[int] = None) -> SharedFleet:
         """Park the columns in a shared-memory segment; returns the handle.
 
         The segment is deliberately *not* registered for automatic
         cleanup in this process (a pooled worker would otherwise reap
         it at exit before the parent attaches); the receiving side owns
-        the lifetime via :meth:`SharedFleet.unlink`.
+        the lifetime via :meth:`SharedFleet.unlink`.  ``owner_pid``
+        bakes the consuming process into the segment name (see
+        :func:`new_segment`) so a crashed run's leftovers are
+        recognizable — and reapable via :func:`reap_segments` — by any
+        later run.
         """
         from array import array
-        from multiprocessing import shared_memory
 
         stride = 8 * self.rows
         size = max(stride * len(self._names), 1)
-        segment = shared_memory.SharedMemory(create=True, size=size)
+        segment = new_segment(size, owner_pid=owner_pid)
         try:
             for position, name in enumerate(self._names):
                 payload = array("d", self._columns[name]).tobytes()

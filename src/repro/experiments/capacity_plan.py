@@ -1,0 +1,353 @@
+"""Capacity planning: QoE-vs-offered-load curves at planetary K.
+
+The capacity sweep (:mod:`repro.experiments.capacity`) asks how one
+bottleneck degrades as a handful of viewers pile on; this experiment
+asks the operator's question instead: *how much capacity does a fleet
+of servers need so that K viewers keep their continuity SLO?*  Each
+sweep point provisions a hierarchical fan-out
+(:func:`repro.serve.hierarchy.run_hierarchy`) — the planner sizes the
+shard tree from its cost model, every shard is one modeled server with
+its own bottleneck and admission controller — and dials the per-server
+capacity so the *offered load* (viewers x the measured per-viewer
+demand, :func:`repro.serve.admission.estimate_demand` on the generated
+stream) sits at a chosen multiplier of it: 0.9 = 10% headroom, 1.2 =
+20% oversubscribed (the shedding regime), 1.6 = past the critical-layer
+floor (the admission regime — the generated streams' anchor layers are
+about two thirds of their bits, so rejections begin near load 1.5).
+
+Per point the fleet's own distribution is the statistic — with K
+independent viewers per arm there is no replication axis — and the
+curves the paper's operator would pin on the wall come out per K
+family: stream-CLF p50/p95/p99 and the shed rate as functions of the
+load multiplier.  The reproduced shape: the admitted fraction falls and
+the shed rate rises monotonically with offered load, and every arm
+provisioned at or under capacity holds the admitted fleet's mean CLF at
+the adaptive target — overload arms degrade, and that degradation *is*
+the curve the planner reads the required capacity off.
+
+The default profile keeps ``repro experiments`` quick; the committed
+``manifests/capacity_plan.json`` is the :func:`full_sweep_config`
+profile (K up to the 100k smoke point) via ``repro serve plan``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.protocol import ProtocolConfig
+from repro.experiments.reporting import render_table
+from repro.serve.admission import estimate_demand
+from repro.serve.hierarchy import (
+    TARGET_SHARD_COST,
+    plan_hierarchy,
+    run_hierarchy,
+)
+from repro.serve.loadgen import LoadSpec, generate_requests
+
+__all__ = [
+    "ArmPoint",
+    "CapacityPlanConfig",
+    "CapacityPlanResult",
+    "PlanPoint",
+    "full_sweep_config",
+    "run_capacity_plan",
+    "smoke_config",
+]
+
+
+@dataclass(frozen=True)
+class PlanPoint:
+    """One K family of the sweep: a fleet size and its load multipliers."""
+
+    sessions: int
+    gop_count: int
+    max_windows: int
+    #: Offered-load multipliers swept at this K (offered / capacity).
+    loads: Tuple[float, ...]
+
+
+#: Registry profile — small enough that ``repro experiments`` stays
+#: interactive while still exercising two K families x three loads.
+DEFAULT_POINTS: Tuple[PlanPoint, ...] = (
+    PlanPoint(sessions=256, gop_count=4, max_windows=2, loads=(0.9, 1.2, 1.6)),
+    PlanPoint(sessions=1024, gop_count=4, max_windows=2, loads=(0.9, 1.2, 1.6)),
+)
+
+#: The committed-manifest profile: K from 10^3 to the 10^5 smoke point,
+#: stream length tapering so the full sweep stays a coffee-break run.
+FULL_POINTS: Tuple[PlanPoint, ...] = (
+    PlanPoint(sessions=1_000, gop_count=8, max_windows=4, loads=(0.9, 1.2, 1.6)),
+    PlanPoint(sessions=4_000, gop_count=8, max_windows=4, loads=(0.9, 1.2, 1.6)),
+    PlanPoint(sessions=10_000, gop_count=4, max_windows=2, loads=(0.9, 1.2, 1.6)),
+    PlanPoint(sessions=30_000, gop_count=4, max_windows=2, loads=(1.0, 1.6)),
+    PlanPoint(sessions=100_000, gop_count=4, max_windows=2, loads=(1.2,)),
+)
+
+#: CI profile: one K=64 family, pure-backend friendly, seconds end to end.
+#: Two windows minimum everywhere: a single-window session departs at
+#: the same virtual instant it arrives (its one share is fixed on
+#: arrival), so one-window fleets never contend for the bottleneck.
+SMOKE_POINTS: Tuple[PlanPoint, ...] = (
+    PlanPoint(sessions=64, gop_count=4, max_windows=2, loads=(1.0, 1.6)),
+)
+
+
+@dataclass(frozen=True)
+class CapacityPlanConfig:
+    """One capacity-planning sweep through the hierarchical fan-out."""
+
+    points: Tuple[PlanPoint, ...] = DEFAULT_POINTS
+    base_seed: int = 0
+    scheduler: str = "fair"
+    target_shard_cost: int = TARGET_SHARD_COST
+    #: Mean arrival spacing, seconds.  Capacity planning is a steady-state
+    #: question, so the whole fleet must overlap: with the load
+    #: generator's default 0.25 s spacing a shard's viewers barely
+    #: coexist and no bottleneck ever binds.  10^-4 s packs even a
+    #: 1024-viewer shard's arrivals into a tenth of one stream's air
+    #: time — a flash crowd, the planner's worst steady state.
+    mean_interarrival: float = 1e-4
+    #: The continuity SLO the admitted fleet must hold at every load.
+    target_clf: float = 3.0
+    session_config: ProtocolConfig = ProtocolConfig()
+
+
+def full_sweep_config(seed: int = 0) -> CapacityPlanConfig:
+    """The committed-manifest profile (``repro serve plan`` default)."""
+    return CapacityPlanConfig(points=FULL_POINTS, base_seed=seed)
+
+
+def smoke_config(seed: int = 0) -> CapacityPlanConfig:
+    """The CI profile (``repro serve plan --smoke``)."""
+    return CapacityPlanConfig(points=SMOKE_POINTS, base_seed=seed)
+
+
+def _spec(config: CapacityPlanConfig, point: PlanPoint) -> LoadSpec:
+    return LoadSpec(
+        sessions=point.sessions,
+        seed=config.base_seed,
+        mean_interarrival=config.mean_interarrival,
+        gop_count=point.gop_count,
+        max_windows=point.max_windows,
+        config=config.session_config,
+    )
+
+
+def _per_viewer_demand_bps(config: CapacityPlanConfig, point: PlanPoint) -> float:
+    """Measured full demand of one generated viewer, bits/second.
+
+    The load generator interns one LDU tuple per GOP count, so every
+    viewer of a family carries the same stream shape — one probe viewer
+    prices the whole fleet.
+    """
+    probe = replace(_spec(config, point), sessions=1)
+    request = generate_requests(probe)[0]
+    full, _ = estimate_demand(
+        request.stream, request.config, max_windows=probe.max_windows
+    )
+    return full
+
+
+@dataclass(frozen=True)
+class ArmPoint:
+    """One provisioned (K, load) arm of the sweep."""
+
+    sessions: int
+    windows: int
+    load: float
+    capacity_bps: float
+    shards: int
+    admitted: int
+    rejected: int
+    mean_clf: float
+    worst_clf: int
+    shed_frames: int
+    frames: int
+    shed_rate: float
+    clf_p50: float
+    clf_p95: float
+    clf_p99: float
+    per_window: Tuple[Dict[str, float], ...]
+
+    @property
+    def admitted_fraction(self) -> float:
+        return self.admitted / self.sessions if self.sessions else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "sessions": self.sessions,
+            "windows": self.windows,
+            "load": self.load,
+            "capacity_bps": self.capacity_bps,
+            "shards": self.shards,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "mean_clf": self.mean_clf,
+            "worst_clf": self.worst_clf,
+            "shed_frames": self.shed_frames,
+            "frames": self.frames,
+            "shed_rate": self.shed_rate,
+            "clf_p50": self.clf_p50,
+            "clf_p95": self.clf_p95,
+            "clf_p99": self.clf_p99,
+            "per_window": list(self.per_window),
+        }
+
+
+def _run_arm(
+    config: CapacityPlanConfig, point: PlanPoint, load: float, jobs: int
+) -> Tuple[ArmPoint, Dict[str, object]]:
+    """Provision and run one (K, load) arm; returns (point, perf split)."""
+    spec = _spec(config, point)
+    # Size the shard tree first (capacity does not shape it), then dial
+    # each modeled server's bottleneck so the offered load — its share
+    # of the fleet at the measured per-viewer demand — sits at the
+    # requested multiplier of capacity.
+    sizing = plan_hierarchy(
+        spec,
+        1.0,
+        target_shard_cost=config.target_shard_cost,
+        scheduler=config.scheduler,
+    )
+    sessions_per_shard = spec.sessions / sizing.shards
+    offered_bps = sessions_per_shard * _per_viewer_demand_bps(config, point)
+    plan = replace(sizing, capacity_bps=offered_bps / load)
+    run = run_hierarchy(plan, jobs=jobs)
+    tiles = run.clf_percentiles()["stream_clf"]
+    arm = ArmPoint(
+        sessions=point.sessions,
+        windows=plan.windows_per_session,
+        load=load,
+        capacity_bps=plan.capacity_bps,
+        shards=plan.shards,
+        admitted=run.admitted_count,
+        rejected=run.rejected_count,
+        mean_clf=run.mean_clf,
+        worst_clf=run.worst_clf,
+        shed_frames=run.shed_total,
+        frames=run.frames_total,
+        shed_rate=run.shed_rate,
+        clf_p50=tiles["p50"],
+        clf_p95=tiles["p95"],
+        clf_p99=tiles["p99"],
+        per_window=tuple(run.per_window_curve()),
+    )
+    performance = dict(run.performance_dict())
+    performance["label"] = f"K={point.sessions} load={load:g}"
+    return arm, performance
+
+
+@dataclass(frozen=True)
+class CapacityPlanResult:
+    config: CapacityPlanConfig
+    arms: List[ArmPoint]
+    #: Per-arm wall-clock splits (:meth:`HierarchyResult.performance_dict`
+    #: plus a ``label``) — kept out of :meth:`summary_dict` so identical
+    #: seeds reproduce identical summaries byte for byte.
+    performance: List[Dict[str, object]]
+
+    def family(self, sessions: int) -> List[ArmPoint]:
+        """One K family's arms, in sweep (ascending load) order."""
+        return [arm for arm in self.arms if arm.sessions == sessions]
+
+    @property
+    def shape_holds(self) -> bool:
+        """The operator curves bend the right way.
+
+        Within every K family, raising the offered load never *raises*
+        the admitted fraction or *lowers* the shed rate (both tighten
+        monotonically), and every arm provisioned at or under capacity
+        (load <= 1.0) holds the admitted fleet's mean CLF at the
+        configured continuity target — overload arms are allowed to
+        degrade; that degradation is the curve being measured.
+        """
+        for point in self.config.points:
+            family = self.family(point.sessions)
+            fractions = [arm.admitted_fraction for arm in family]
+            if any(b > a + 1e-12 for a, b in zip(fractions, fractions[1:])):
+                return False
+            rates = [arm.shed_rate for arm in family]
+            if any(b < a - 1e-12 for a, b in zip(rates, rates[1:])):
+                return False
+            for arm in family:
+                if arm.load <= 1.0 and arm.mean_clf > self.config.target_clf:
+                    return False
+        return True
+
+    def rows(self) -> List[List[object]]:
+        rows: List[List[object]] = []
+        for arm in self.arms:
+            rows.append(
+                [
+                    arm.sessions,
+                    arm.windows,
+                    f"{arm.load:.2f}",
+                    f"{arm.capacity_bps / 1e6:.1f}",
+                    arm.shards,
+                    f"{arm.admitted_fraction:.3f}",
+                    f"{arm.mean_clf:.3f}",
+                    f"{arm.clf_p50:.0f}/{arm.clf_p95:.0f}/{arm.clf_p99:.0f}",
+                    f"{arm.shed_rate:.4f}",
+                ]
+            )
+        return rows
+
+    def render(self) -> str:
+        table = render_table(
+            [
+                "sessions",
+                "windows",
+                "load",
+                "Mbps/shard",
+                "shards",
+                "admit frac",
+                "mean CLF",
+                "CLF p50/p95/p99",
+                "shed rate",
+            ],
+            self.rows(),
+            title="capacity plan: offered load vs continuity (hierarchical fan-out)",
+        )
+        verdict = (
+            f"admission/shedding tighten with load; provisioned arms hold "
+            f"mean CLF <= {self.config.target_clf:g}: "
+            f"{'HOLDS' if self.shape_holds else 'VIOLATED'}"
+        )
+        return f"{table}\n{verdict}"
+
+    def summary_dict(self) -> Dict[str, object]:
+        """Deterministic, JSON-ready summary (no wall-clock numbers)."""
+        return {
+            "seed": self.config.base_seed,
+            "scheduler": self.config.scheduler,
+            "target_shard_cost": self.config.target_shard_cost,
+            "target_clf": self.config.target_clf,
+            "shape_holds": self.shape_holds,
+            "arms": [arm.to_dict() for arm in self.arms],
+        }
+
+
+def run_capacity_plan(
+    config: Optional[CapacityPlanConfig] = None,
+    *,
+    replications: Optional[int] = None,
+    jobs: int = 1,
+) -> CapacityPlanResult:
+    """Run the sweep; ``jobs`` caps each arm's worker pool.
+
+    ``replications`` is accepted for registry-signature uniformity and
+    ignored: each arm's statistic is the distribution over its own K
+    independent viewers, not a replication axis.
+    """
+    del replications
+    if config is None:
+        config = CapacityPlanConfig()
+    arms: List[ArmPoint] = []
+    performance: List[Dict[str, object]] = []
+    for point in config.points:
+        for load in point.loads:
+            arm, perf = _run_arm(config, point, load, jobs)
+            arms.append(arm)
+            performance.append(perf)
+    return CapacityPlanResult(config=config, arms=arms, performance=performance)

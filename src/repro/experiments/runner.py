@@ -126,6 +126,12 @@ def _capacity(jobs: int, replications: Optional[int] = None):
     return run_capacity(replications=replications, jobs=jobs)
 
 
+def _capacity_plan(jobs: int, replications: Optional[int] = None):
+    from repro.experiments.capacity_plan import run_capacity_plan
+
+    return run_capacity_plan(replications=replications, jobs=jobs)
+
+
 EXPERIMENTS: Dict[str, Callable[..., object]] = {
     "table1": _table1,
     "table2": _table2,
@@ -141,6 +147,7 @@ EXPERIMENTS: Dict[str, Callable[..., object]] = {
     "packetsize": _packetsize,
     "policies": _policies,
     "capacity": _capacity,
+    "capacity-plan": _capacity_plan,
 }
 
 

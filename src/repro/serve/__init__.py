@@ -33,9 +33,18 @@ from repro.serve.fastpath import (
     FastStreamingService,
     ShardedResult,
     ShardedService,
+    resolve_auto_shards,
     run_sharded,
     serve_sessions_fast,
     shard_specs,
+)
+from repro.serve.hierarchy import (
+    HierarchyPlan,
+    HierarchyResult,
+    ResultArena,
+    ShardTask,
+    plan_hierarchy,
+    run_hierarchy,
 )
 from repro.serve.bandwidth import (
     FairShareScheduler,
@@ -60,14 +69,18 @@ __all__ = [
     "AdmissionDecision",
     "FairShareScheduler",
     "FastStreamingService",
+    "HierarchyPlan",
+    "HierarchyResult",
     "LayeredShedPolicy",
     "LoadSpec",
     "PriorityScheduler",
+    "ResultArena",
     "ServedSession",
     "ServiceResult",
     "SessionDemand",
     "SessionOutcome",
     "SessionRequest",
+    "ShardTask",
     "ShardedResult",
     "ShardedService",
     "StreamingService",
@@ -75,6 +88,9 @@ __all__ = [
     "estimate_demand",
     "generate_requests",
     "make_scheduler",
+    "plan_hierarchy",
+    "resolve_auto_shards",
+    "run_hierarchy",
     "run_sharded",
     "serve_sessions",
     "serve_sessions_fast",

@@ -26,6 +26,7 @@ from repro.media.stream import MediaStream
 from repro.serve.bandwidth import SessionDemand
 
 __all__ = [
+    "ADMITTED_REASON",
     "AdmissionController",
     "AdmissionDecision",
     "estimate_demand",
@@ -112,6 +113,13 @@ def estimate_demand(
     return full, critical
 
 
+#: The one reason string every admitted session carries.  Pinned as a
+#: constant so lean result transports (the hierarchical fan-out ships
+#: only numeric columns home) can reconstruct admitted outcomes' reasons
+#: without moving ``K`` identical strings across processes.
+ADMITTED_REASON = "critical layers covered for all sessions"
+
+
 @dataclass(frozen=True)
 class AdmissionDecision:
     """Outcome of one admission test."""
@@ -163,6 +171,6 @@ class AdmissionController:
                 )
         return AdmissionDecision(
             admitted=True,
-            reason="critical layers covered for all sessions",
+            reason=ADMITTED_REASON,
             share_bps=shares[candidate.session_id],
         )

@@ -63,6 +63,7 @@ pickled transport's, because float64 survives the copy exactly.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -71,7 +72,6 @@ from repro import obs
 from repro.core import kernel
 from repro.core.kernel import (
     CONTROL_PACKET_BYTES as _CONTROL_PACKET_BYTES,
-    PREFETCH_SLACK as _PREFETCH_SLACK,
     FleetState,
     SessionRow as _Row,
     SharedFleet,
@@ -94,6 +94,7 @@ __all__ = [
     "FastStreamingService",
     "ShardedResult",
     "ShardedService",
+    "resolve_auto_shards",
     "run_sharded",
     "serve_sessions_fast",
     "shard_specs",
@@ -235,81 +236,84 @@ def _ack_serialization(row: _FleetRow) -> float:
     return _CONTROL_PACKET_BYTES * 8.0 / row.bandwidth_bps
 
 
-def _run_fleet_window(
-    rows: List[_FleetRow],
-    info: _WindowInfo,
-    window: Sequence[Ldu],
-    window_index: int,
-    shed_policy,
-) -> None:
-    """Advance one group of rows through one window via the kernel.
+class _FleetExecution:
+    """One admitted fleet advancing in window-ordinal lockstep.
 
-    Every row in ``rows`` shares the same window shape, configuration
-    family and effective share (that is the grouping invariant), so the
-    whole group steps through :func:`repro.core.kernel.step_window`
-    as one batch — stacked receiver kernels, shared plans, and fused
-    timeline collapse where each row's losses allow — with serve-grade
-    shedding and a share-dependent ACK serialization bound in.
+    The execute half of the plan-then-execute fast path, packaged so
+    both drivers share it: :func:`_execute_fleet` steps one fleet per
+    epoch, the hierarchical fan-out (:mod:`repro.serve.hierarchy`)
+    interleaves *many* fleets per epoch through one
+    :func:`repro.core.kernel.step_fleet` slab call.
+
+    ``batches_for(ordinal)`` groups the fleet's live rows into uniform
+    :class:`~repro.core.kernel.FleetBatch` groups — rows share a batch
+    iff their (config sans seed, fps), window tuple and effective share
+    all agree (the grouping invariant :func:`step_window` requires) —
+    with serve-grade shedding and the share-dependent ACK serialization
+    bound in.  ``finalize()`` writes each row's results back onto its
+    session outcome.
     """
-    fps = rows[0].fps
-    config = rows[0].config  # uniform across the group except the seed
-    shed_for = (
-        _make_shed_for(shed_policy, window, fps) if shed_policy is not None else None
-    )
-    kernel.step_window(
-        rows,
-        info,
-        config,
-        fps,
-        window_index,
-        control_serialization=_ack_serialization,
-        shed_for=shed_for,
+
+    __slots__ = (
+        "rows",
+        "shed_policy",
+        "total_windows",
+        "_shape_caches",
+        "_info_cache",
+        "_window_ids",
+        "_window_ids_by_obj",
     )
 
+    def __init__(self, plans: List[_SessionPlan], shed_policy) -> None:
+        self.rows = [_FleetRow(plan) for plan in plans]
+        self.shed_policy = shed_policy
+        # Shape caches (schedulers, dependency masks, permutation plans)
+        # are keyed by the config family only, so every bandwidth
+        # variant of a window shares one plan cache.  Window infos
+        # additionally depend on the packetization timing, hence on the
+        # effective share.
+        self._shape_caches: Dict[tuple, dict] = {}
+        self._info_cache: Dict[tuple, _WindowInfo] = {}
+        # Intern the expensive-to-hash group-key components once: rows
+        # share a batch group iff their (config sans seed, fps), window
+        # tuple and effective share all agree, but hashing whole configs
+        # and 24-LDU window tuples on every row-step would dominate the
+        # bookkeeping.
+        config_ids: Dict[tuple, int] = {}
+        for row in self.rows:
+            base = (replace(row.config, seed=0), row.fps)
+            row.group_id = config_ids.setdefault(base, len(config_ids))
+        self._window_ids: Dict[Tuple[Ldu, ...], int] = {}
+        # Identity memo over the content map: the service interns window
+        # tuples per stream shape, so most rows carry the *same* tuple
+        # objects and the 24-LDU content hash runs once per distinct
+        # object (ids are stable here — the plans keep every window
+        # alive).
+        self._window_ids_by_obj: Dict[int, int] = {}
+        self.total_windows = max(len(row.plan.windows) for row in self.rows)
 
-def _execute_fleet(plans: List[_SessionPlan], shed_policy) -> None:
-    """Run every admitted session's schedule, window ordinals in lockstep."""
-    rows = [_FleetRow(plan) for plan in plans]
-    # Shape caches (schedulers, dependency masks, permutation plans) are
-    # keyed by the config family only, so every bandwidth variant of a
-    # window shares one plan cache.  Window infos additionally depend on
-    # the packetization timing, hence on the effective share.
-    shape_caches: Dict[tuple, dict] = {}
-    info_cache: Dict[tuple, _WindowInfo] = {}
-    # Intern the expensive-to-hash group-key components once: rows share
-    # a batch group iff their (config sans seed, fps), window tuple and
-    # effective share all agree, but hashing whole configs and 24-LDU
-    # window tuples on every row-step would dominate the bookkeeping.
-    config_ids: Dict[tuple, int] = {}
-    for row in rows:
-        base = (replace(row.config, seed=0), row.fps)
-        row.group_id = config_ids.setdefault(base, len(config_ids))
-    window_ids: Dict[Tuple[Ldu, ...], int] = {}
-    # Identity memo over the content map: the service interns window
-    # tuples per stream shape, so most rows carry the *same* tuple
-    # objects and the 24-LDU content hash runs once per distinct object
-    # (ids are stable here — the plans keep every window alive).
-    window_ids_by_obj: Dict[int, int] = {}
-
-    total_windows = max(len(row.plan.windows) for row in rows)
-    for ordinal in range(total_windows):
-        step_rows = [row for row in rows if ordinal < len(row.plan.windows)]
+    def batches_for(self, ordinal: int) -> List[kernel.FleetBatch]:
+        """The epoch's uniform row groups, shares applied, ready to step."""
         groups: Dict[tuple, List[_FleetRow]] = {}
         group_info: Dict[tuple, _WindowInfo] = {}
         group_window: Dict[tuple, Tuple[Ldu, ...]] = {}
-        for row in step_rows:
+        info_cache = self._info_cache
+        window_ids_by_obj = self._window_ids_by_obj
+        for row in self.rows:
+            if ordinal >= len(row.plan.windows):
+                continue
             effective = row.apply_share(row.plan.shares[ordinal])
             row.plan.outcome.share_bps = effective
             window = row.plan.windows[ordinal]
             wid = window_ids_by_obj.get(id(window))
             if wid is None:
-                wid = window_ids.setdefault(window, len(window_ids))
+                wid = self._window_ids.setdefault(window, len(self._window_ids))
                 window_ids_by_obj[id(window)] = wid
             key = (row.group_id, effective, wid)
             info = info_cache.get(key)
             if info is None:
                 family = (row.config.closed_gops, row.config.effort, row.config.layered)
-                shapes = shape_caches.setdefault(family, {})
+                shapes = self._shape_caches.setdefault(family, {})
                 info = _WindowInfo(
                     window,
                     replace(row.config, seed=0, bandwidth_bps=effective),
@@ -324,57 +328,73 @@ def _execute_fleet(plans: List[_SessionPlan], shed_policy) -> None:
                 group_window[key] = window
             else:
                 members.append(row)
-
-        # Batched loss-flag prefetch across the whole step: rows that
-        # cannot cover their window's first-attempt packets (plus
-        # retransmission slack) refill together, one stacked Gilbert
-        # call per channel-parameter family.
-        refills: Dict[Tuple[float, float], List[Tuple[_FleetRow, int, int]]] = {}
+        shed_policy = self.shed_policy
+        batches: List[kernel.FleetBatch] = []
         for key, members in groups.items():
-            needed = group_info[key].first_attempt_packets + _PREFETCH_SLACK
-            for row in members:
-                if row.pos:
-                    del row.flags[: row.pos]
-                    row.pos = 0
-                missing = needed - len(row.flags)
-                if missing > 0:
-                    refills.setdefault(
-                        (row.config.p_good, row.config.p_bad), []
-                    ).append((row, missing, needed))
-        for (p_good, p_bad), entries in refills.items():
-            kernel.prefetch_flags(entries, p_good, p_bad)
-            if obs.enabled():
-                obs.counter("serve.fastpath.refill_rows").inc(len(entries))
-
-        for key, members in groups.items():
-            _run_fleet_window(
-                members, group_info[key], group_window[key], ordinal, shed_policy
+            window = group_window[key]
+            fps = members[0].fps
+            batches.append(
+                kernel.FleetBatch(
+                    rows=members,
+                    info=group_info[key],
+                    config=members[0].config,  # uniform bar the seed
+                    fps=fps,
+                    window_index=ordinal,
+                    control_serialization=_ack_serialization,
+                    shed_for=(
+                        _make_shed_for(shed_policy, window, fps)
+                        if shed_policy is not None
+                        else None
+                    ),
+                )
             )
-        if obs.enabled():
+        return batches
+
+    def finalize(self) -> None:
+        """Write each finished row's results back onto its outcome."""
+        for row in self.rows:
+            outcome = row.plan.outcome
+            outcome.result = row.result
+            outcome.shed_frames = row.shed_total
+            outcome.min_share_bps = row.min_share_bps
+            if obs.enabled():
+                obs.counter("serve.sessions_completed").inc()
+                session_id = outcome.request.session_id
+                obs.gauge(f"serve.session.{session_id}.mean_clf").set(
+                    outcome.result.mean_clf
+                )
+                obs.gauge(f"serve.session.{session_id}.mean_alf").set(
+                    outcome.result.series.alf_summary.mean
+                )
+                obs.histogram("serve.session_stream_clf").observe(
+                    outcome.result.stream_clf
+                )
+
+
+def _execute_fleet(plans: List[_SessionPlan], shed_policy) -> None:
+    """Run every admitted session's schedule, window ordinals in lockstep.
+
+    Each epoch's groups step through the kernel's fleet-slab entry
+    point (:func:`repro.core.kernel.step_fleet`): rows that cannot
+    cover their window's first-attempt packets (plus retransmission
+    slack) refill together, one stacked Gilbert call per
+    channel-parameter family, then every group advances.
+    """
+    execution = _FleetExecution(plans, shed_policy)
+    track = obs.enabled()
+    for ordinal in range(execution.total_windows):
+        batches = execution.batches_for(ordinal)
+        refilled = kernel.step_fleet(batches)
+        if track:
             obs.counter("serve.fastpath.steps").inc()
-            for members in groups.values():
-                if len(members) > 1:
-                    obs.counter("serve.fastpath.windows_batched").inc(len(members))
+            if refilled:
+                obs.counter("serve.fastpath.refill_rows").inc(refilled)
+            for batch in batches:
+                if len(batch.rows) > 1:
+                    obs.counter("serve.fastpath.windows_batched").inc(len(batch.rows))
                 else:
                     obs.counter("serve.fastpath.windows_fallback").inc()
-
-    for row in rows:
-        outcome = row.plan.outcome
-        outcome.result = row.result
-        outcome.shed_frames = row.shed_total
-        outcome.min_share_bps = row.min_share_bps
-        if obs.enabled():
-            obs.counter("serve.sessions_completed").inc()
-            session_id = outcome.request.session_id
-            obs.gauge(f"serve.session.{session_id}.mean_clf").set(
-                outcome.result.mean_clf
-            )
-            obs.gauge(f"serve.session.{session_id}.mean_alf").set(
-                outcome.result.series.alf_summary.mean
-            )
-            obs.histogram("serve.session_stream_clf").observe(
-                outcome.result.stream_clf
-            )
+    execution.finalize()
 
 
 # ----------------------------------------------------------------------
@@ -455,6 +475,23 @@ class FastStreamingService:
 # ----------------------------------------------------------------------
 # Sharded fan-out
 # ----------------------------------------------------------------------
+
+
+def resolve_auto_shards(sessions: int) -> int:
+    """The ``--shards auto`` heuristic: one shard per usable core.
+
+    Uses :func:`os.process_cpu_count` (the CPUs this process may
+    actually run on — affinity masks and cgroup limits included) where
+    the runtime has it, falling back to :func:`os.cpu_count`, and caps
+    the result at the fleet size so no shard starts empty.
+    """
+    if sessions <= 0:
+        raise ConfigurationError("sessions must be positive")
+    counter = getattr(os, "process_cpu_count", None)
+    cpus = counter() if counter is not None else None
+    if not cpus:
+        cpus = os.cpu_count() or 1
+    return max(1, min(cpus, sessions))
 
 
 def shard_specs(spec: LoadSpec, shards: int) -> List[LoadSpec]:
@@ -596,33 +633,50 @@ def _unpack_shard_result(
 
 
 def _run_shard(task):
-    """Worker: serve one shard's fleet (module-level for pickling)."""
-    spec, capacity_bps, scheduler_name, shedding, admission, fast, transport = task
+    """Worker: serve one shard's fleet (module-level for pickling).
+
+    Never lets an exception escape with a live shared-memory segment
+    behind it: the segment is created last — after the serve completed
+    and the columns are packed, so no failure can strand it — and its
+    name carries the *coordinator's* pid, which makes a leak from an
+    abnormal exit (worker SIGKILLed mid-transfer, coordinator gone)
+    reapable via :func:`repro.core.kernel.reap_segments`.  Exceptions
+    travel home as ``("error", exc, ...)`` markers rather than through
+    the pool, so the coordinator can decode — and unlink — every
+    sibling shard's segment before re-raising.
+    """
+    spec, capacity_bps, scheduler_name, shedding, admission, fast, transport, owner = (
+        task
+    )
     from repro.serve.bandwidth import make_scheduler
     from repro.serve.service import serve_sessions
 
     started = time.perf_counter()
-    result = serve_sessions(
-        generate_requests(spec),
-        capacity_bps,
-        fast=fast,
-        scheduler=make_scheduler(scheduler_name),
-        shedding=shedding,
-        admission=admission,
-    )
-    wall = time.perf_counter() - started
-    if transport != "shm":
-        return ("pickle", result, None, wall)
-    state, meta = _pack_shard_result(result)
-    if state is not None:
-        try:
-            return ("shm", state.to_shared(), meta, wall)
-        except (OSError, ValueError):
-            # No usable shared-memory backing (e.g. /dev/shm missing):
-            # fall back to shipping the raw columns through the pickle
-            # channel — still no per-session objects on the wire.
-            return ("columns", state.as_dict(), meta, wall)
-    return ("columns", None, meta, wall)
+    try:
+        result = serve_sessions(
+            generate_requests(spec),
+            capacity_bps,
+            fast=fast,
+            scheduler=make_scheduler(scheduler_name),
+            shedding=shedding,
+            admission=admission,
+        )
+        wall = time.perf_counter() - started
+        if transport != "shm":
+            return ("pickle", result, None, wall)
+        state, meta = _pack_shard_result(result)
+        if state is not None:
+            try:
+                return ("shm", state.to_shared(owner_pid=owner), meta, wall)
+            except (OSError, ValueError):
+                # No usable shared-memory backing (e.g. /dev/shm
+                # missing): fall back to shipping the raw columns
+                # through the pickle channel — still no per-session
+                # objects on the wire.
+                return ("columns", state.as_dict(), meta, wall)
+        return ("columns", None, meta, wall)
+    except Exception as exc:
+        return ("error", exc, None, time.perf_counter() - started)
 
 
 def _decode_shard_output(output) -> Tuple[ServiceResult, float, str]:
@@ -639,6 +693,16 @@ def _decode_shard_output(output) -> Tuple[ServiceResult, float, str]:
         return _unpack_shard_result(state, meta), wall, mode
     state = FleetState(payload) if payload is not None else None
     return _unpack_shard_result(state, meta), wall, mode
+
+
+def _release_shard_outputs(outputs) -> None:
+    """Unlink whatever segments a failed fan-out left undecoded."""
+    for output in outputs:
+        if output[0] == "shm":
+            try:
+                output[1].unlink()
+            except Exception:
+                pass
 
 
 @dataclass
@@ -774,13 +838,38 @@ class ShardedService:
                 self.admission,
                 self.fast,
                 self.transport,
+                os.getpid(),
             )
             for shard_spec in specs
         ]
         jobs = self.jobs if self.jobs is not None else len(tasks)
         started = time.perf_counter()
-        outputs = parallel_map(_run_shard, tasks, jobs)
-        decoded = [_decode_shard_output(output) for output in outputs]
+        try:
+            outputs = parallel_map(_run_shard, tasks, jobs)
+        except BaseException:
+            # The pool died without returning (a worker was killed, a
+            # result failed to unpickle): any segment a worker parked
+            # for us is now orphaned — it carries our pid, so the next
+            # run's reap would get it, but clean up promptly ourselves.
+            for name in kernel.audit_segments():
+                if f"-{os.getpid()}-" in name:
+                    SharedFleet(shm_name=name, names=(), rows=0).unlink()
+            raise
+        errors = [output[1] for output in outputs if output[0] == "error"]
+        if errors:
+            # Unlink every sibling segment before surfacing the first
+            # worker failure — a crashed shard must not leak /dev/shm.
+            _release_shard_outputs(
+                [output for output in outputs if output[0] != "error"]
+            )
+            raise errors[0]
+        decoded = []
+        for position, output in enumerate(outputs):
+            try:
+                decoded.append(_decode_shard_output(output))
+            except BaseException:
+                _release_shard_outputs(outputs[position + 1:])
+                raise
         if obs.enabled():
             obs.counter("serve.fastpath.shard_runs").inc()
             obs.counter("serve.fastpath.shards").inc(len(tasks))

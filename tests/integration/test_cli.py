@@ -109,3 +109,52 @@ class TestCli:
         )
         assert completed.returncode == 0
         assert "certified" in completed.stdout
+
+
+class TestServeCli:
+    def test_serve_shards_auto(self, monkeypatch):
+        import repro.serve.fastpath as fastpath
+
+        # Pin the heuristic so the assertion does not depend on the host.
+        monkeypatch.setattr(fastpath.os, "process_cpu_count", lambda: 2, raising=False)
+        out = io.StringIO()
+        assert main(
+            ["serve", "--sessions", "6", "--shards", "auto", "--fast"], out=out
+        ) == 0
+        # Two shards of three sessions each, shard-prefixed labels.
+        text = out.getvalue()
+        assert "0:s00" in text and "1:s00" in text
+
+    def test_serve_shards_rejects_garbage(self):
+        out = io.StringIO()
+        assert main(["serve", "--shards", "many"], out=out) == 2
+        assert "integer or 'auto'" in out.getvalue()
+        out = io.StringIO()
+        assert main(["serve", "--shards", "0"], out=out) == 2
+
+    def test_serve_plan_smoke_writes_reproducible_manifest(self, tmp_path):
+        import json
+
+        from repro.obs.manifest import validate_manifest
+
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        for path in (first, second):
+            out = io.StringIO()
+            assert main(
+                ["serve", "plan", "--smoke", "--seed", "7", "--out", str(path)],
+                out=out,
+            ) == 0
+            assert "capacity plan" in out.getvalue()
+        a = json.loads(first.read_text())
+        b = json.loads(second.read_text())
+        assert validate_manifest(a) == []
+        assert a["experiment"] == "capacity-plan"
+        assert a["seed"] == 7
+        assert a["summary"] == b["summary"]
+        assert a["config"] == b["config"]
+
+    def test_capacity_plan_experiment_registered(self):
+        from repro.experiments.runner import available_experiments
+
+        assert "capacity-plan" in available_experiments()

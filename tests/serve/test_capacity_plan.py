@@ -1,0 +1,72 @@
+"""Tests for the capacity-planning experiment (repro.experiments.capacity_plan)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.capacity_plan import (
+    CapacityPlanConfig,
+    PlanPoint,
+    run_capacity_plan,
+    smoke_config,
+)
+
+
+def _two_load_config() -> CapacityPlanConfig:
+    return CapacityPlanConfig(
+        points=(
+            PlanPoint(sessions=48, gop_count=4, max_windows=2, loads=(1.0, 1.6)),
+        ),
+        base_seed=3,
+    )
+
+
+class TestCapacityPlan:
+    def test_smoke_profile_bends_the_right_way(self):
+        result = run_capacity_plan(smoke_config())
+        assert result.shape_holds
+        under, over = result.arms
+        assert under.load < over.load
+        # Overload must actually be visible in the curve, or the sweep
+        # is not exercising the bottleneck at all.
+        assert over.shed_rate > under.shed_rate
+        assert over.admitted_fraction <= under.admitted_fraction
+        assert over.clf_p95 >= under.clf_p95
+
+    def test_summary_is_deterministic_and_json_ready(self):
+        config = _two_load_config()
+        first = run_capacity_plan(config).summary_dict()
+        second = run_capacity_plan(config).summary_dict()
+        assert first == second
+        encoded = json.dumps(first)
+        assert '"seed": 3' in encoded
+        assert "wall" not in encoded and "seconds" not in encoded
+
+    def test_performance_split_is_kept_out_of_the_summary(self):
+        result = run_capacity_plan(_two_load_config())
+        assert len(result.performance) == len(result.arms)
+        for perf in result.performance:
+            assert perf["wall_seconds"] > 0.0
+            assert "label" in perf
+
+    def test_render_carries_percentiles_and_verdict(self):
+        result = run_capacity_plan(_two_load_config())
+        text = result.render()
+        assert "CLF p50/p95/p99" in text
+        assert "shed rate" in text
+        assert "HOLDS" in text or "VIOLATED" in text
+
+    def test_capacity_scales_with_load(self):
+        result = run_capacity_plan(_two_load_config())
+        under, over = result.arms
+        # Same offered traffic, scaled provisioning: capacity ratio is
+        # exactly the inverse load ratio.
+        assert over.capacity_bps * over.load == pytest_approx(
+            under.capacity_bps * under.load
+        )
+
+
+def pytest_approx(value: float):
+    import pytest
+
+    return pytest.approx(value, rel=1e-12)

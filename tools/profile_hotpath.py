@@ -14,6 +14,11 @@ Three targets:
 * ``--target kernel`` runs the same fast path on the K = 256
   steady-state fleet the kernel benchmark gates at 10x — wide enough
   that the fused tier's per-window cohort work dominates the listing.
+* ``--target hierarchy`` runs the two-level fan-out
+  (:mod:`repro.serve.hierarchy`) on a K = 1024, 32-shard plan with
+  ``jobs=1`` so the shard workers execute in-process and the listing
+  covers both sides of the split; the sanity line reports the
+  coordinator-vs-worker wall breakdown from ``performance_dict()``.
 
 Writes the full cumulative-time listing to
 ``benchmarks/results/PROFILE_<rev>[_<target>].txt`` and prints the top
@@ -65,16 +70,50 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--target",
-        choices=("figure8", "serve", "kernel"),
+        choices=("figure8", "serve", "kernel", "hierarchy"),
         default="figure8",
         help="hot path to profile: the Figure-8 session engine, the "
-        "window-batched serving fast path, or the K = 256 fused-kernel "
-        "steady state (default figure8)",
+        "window-batched serving fast path, the K = 256 fused-kernel "
+        "steady state, or the K = 1024 hierarchical fan-out "
+        "(default figure8)",
     )
     args = parser.parse_args(argv)
 
     sys.path.insert(0, str(REPO_ROOT / "src"))
-    if args.target in ("serve", "kernel"):
+    if args.target == "hierarchy":
+        from repro.serve import LoadSpec, generate_requests, serve_sessions
+        from repro.serve.hierarchy import plan_hierarchy, run_hierarchy
+
+        spec = LoadSpec(
+            sessions=1024,
+            seed=3,
+            gop_count=8,
+            max_windows=4,
+            mean_interarrival=1e-4,
+        )
+        capacity_bps = 20e6
+        # Warm the permutation, stream and demand caches so the profile
+        # shows the steady-state fan-out, not one-off plan searches.
+        serve_sessions(generate_requests(spec), capacity_bps, fast=True)
+        plan = plan_hierarchy(spec, capacity_bps)
+
+        def workload():
+            # jobs=1 keeps the shard workers in-process so cProfile sees
+            # both the coordinator and the worker hot path.
+            return run_hierarchy(plan, jobs=1)
+
+        def sanity(result):
+            perf = result.performance_dict()
+            return (
+                f"fleet sanity: {result.admitted_count}/{result.sessions} "
+                f"admitted over {plan.shards} shards; wall split "
+                f"plan {perf['worker_plan_seconds']:.3f}s / "
+                f"serve {perf['worker_serve_seconds']:.3f}s / "
+                f"reduce {perf['worker_reduce_seconds']:.3f}s / "
+                f"coordinator {perf['coordinator_seconds']:.3f}s "
+                f"({perf['sessions_per_second']:,.0f} sessions/s)"
+            )
+    elif args.target in ("serve", "kernel"):
         from repro.serve import LoadSpec, generate_requests, serve_sessions
 
         if args.target == "kernel":
