@@ -32,6 +32,14 @@ Commands
     (bit-for-bit identical results), ``--shards S`` fans the fleet out
     over ``S`` independent bottleneck shards in worker processes, and
     ``--manifest-out FILE`` records a service run manifest.
+``scenario [--smoke] [--seed S] [--replications R] [--out FILE]``
+    Run the regime-switching scenario matrix (Equation-1 tracking lag
+    across channel phase switches) and print the per-arm table;
+    ``--out`` writes the run manifest (the committed
+    ``manifests/scenario_matrix.json``).  ``scenario emit`` writes an
+    example ``ScenarioSpec`` JSON and ``scenario run FILE`` serves the
+    fleet a spec file describes (``--shards``/``--event-loop`` pick the
+    engine).
 ``obs dump EXPERIMENT [--jobs N] [--replications R] [--out FILE]``
     Run one experiment with metrics enabled and write its JSON run
     manifest (stdout by default).
@@ -299,6 +307,75 @@ def build_parser() -> argparse.ArgumentParser:
         help="UDP data port (default ephemeral)",
     )
 
+    scenario = commands.add_parser(
+        "scenario",
+        help=(
+            "regime-switching scenario matrix: Equation-1 tracking lag "
+            "across channel phase switches (repro.scenario)"
+        ),
+    )
+    scenario.add_argument(
+        "--seed", type=int, default=0, help="matrix base seed (default 0)"
+    )
+    scenario.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny CI profile (4 rows, 10 windows) instead of the default",
+    )
+    scenario.add_argument(
+        "--replications",
+        type=int,
+        default=None,
+        metavar="R",
+        help="override the replication row count per arm",
+    )
+    scenario.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="accepted for CLI uniformity (the sweep runs in-process)",
+    )
+    scenario.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write a run manifest (the committed manifests/scenario_matrix.json)",
+    )
+
+    scenario_actions = scenario.add_subparsers(dest="scenario_action")
+    emit = scenario_actions.add_parser(
+        "emit", help="write an example ScenarioSpec JSON (validated)"
+    )
+    emit.add_argument(
+        "--name", default="flash-regime-switch", help="scenario name"
+    )
+    emit.add_argument(
+        "--seed", dest="emit_seed", type=int, default=0, help="scenario seed"
+    )
+    emit.add_argument(
+        "--out", dest="emit_out", default="-", help="spec file (default stdout)"
+    )
+
+    scenario_run = scenario_actions.add_parser(
+        "run", help="serve the fleet described by a ScenarioSpec JSON file"
+    )
+    scenario_run.add_argument("spec", help="ScenarioSpec JSON file")
+    scenario_run.add_argument(
+        "--event-loop",
+        action="store_true",
+        help="use the per-packet event loop instead of the fast path "
+        "(bit-for-bit identical results)",
+    )
+    scenario_run.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="S",
+        help="fan out over S bottleneck shards (LoadSpec-expressible "
+        "scenarios only)",
+    )
+
     obs_cmd = commands.add_parser(
         "obs", help="dump, diff and validate observability run manifests"
     )
@@ -561,6 +638,156 @@ def _cmd_serve_plan(args: argparse.Namespace, out) -> int:
     return 0 if result.shape_holds else 1
 
 
+def _cmd_scenario(args: argparse.Namespace, out) -> int:
+    action = getattr(args, "scenario_action", None)
+    if action == "emit":
+        return _cmd_scenario_emit(args, out)
+    if action == "run":
+        return _cmd_scenario_run(args, out)
+
+    import time
+
+    from repro import accel, obs
+    from repro.experiments.scenario import (
+        default_matrix_config,
+        run_scenario_matrix,
+        smoke_config,
+    )
+
+    config = (
+        smoke_config(args.seed) if args.smoke else default_matrix_config(args.seed)
+    )
+    # Same discipline as `serve plan`: snapshot from a fresh registry so
+    # a seed-pinned run writes a reproducible manifest.
+    obs.reset()
+    obs.set_info("accel.backend", accel.backend_name())
+    started = time.perf_counter()
+    result = run_scenario_matrix(
+        config, replications=args.replications, jobs=args.jobs
+    )
+    wall = time.perf_counter() - started
+    print(result.render(), file=out)
+    if args.out is not None:
+        from repro.experiments.persist import build_run_manifest, save_run_manifest
+
+        manifest = build_run_manifest(
+            experiment="scenario",
+            config={
+                "profile": "smoke" if args.smoke else "default",
+                "replications": args.replications,
+                "jobs": args.jobs,
+            },
+            seed=config.base_seed,
+            backend=accel.backend_name(),
+            metrics=obs.snapshot(),
+            wall_seconds=wall,
+            shape_holds=result.shape_holds,
+            summary=result.summary_dict(),
+        )
+        path = save_run_manifest(manifest, args.out)
+        print(f"wrote manifest to {path}", file=out)
+    return 0 if result.shape_holds else 1
+
+
+def _cmd_scenario_emit(args: argparse.Namespace, out) -> int:
+    from repro.network.markov import GilbertPhase
+    from repro.scenario import (
+        ChannelSpec,
+        LoadSpec,
+        ScenarioSpec,
+        to_json,
+        validate_spec_dict,
+    )
+    from repro.scenario.spec import to_dict
+
+    spec = ScenarioSpec(
+        name=args.name,
+        seed=args.emit_seed,
+        channel=ChannelSpec(
+            phases=(
+                GilbertPhase(packets=120, p_good=0.99, p_bad=0.3),
+                GilbertPhase(packets=1_000_000_000, p_good=0.85, p_bad=0.75),
+            ),
+        ),
+        load=LoadSpec(arrival="flash"),
+    )
+    errors = validate_spec_dict(to_dict(spec))
+    if errors:  # pragma: no cover - example spec is schema-pinned
+        for error in errors:
+            print(error, file=out)
+        return 1
+    text = to_json(spec)
+    if args.emit_out == "-":
+        print(text, file=out)
+    else:
+        from pathlib import Path
+
+        path = Path(args.emit_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"wrote scenario spec to {path}", file=out)
+    return 0
+
+
+def _cmd_scenario_run(args: argparse.Namespace, out) -> int:
+    from pathlib import Path
+
+    from repro.errors import ConfigurationError
+    from repro.experiments.reporting import render_table
+    from repro.scenario import from_json, run_scenario
+
+    try:
+        spec = from_json(Path(args.spec).read_text(encoding="utf-8"))
+    except OSError as exc:
+        print(f"cannot read spec: {exc}", file=out)
+        return 2
+    except ConfigurationError as exc:
+        print(str(exc), file=out)
+        return 2
+    try:
+        result = run_scenario(
+            spec, fast=not args.event_loop, shards=args.shards
+        )
+    except ConfigurationError as exc:
+        print(str(exc), file=out)
+        return 2
+    if args.shards > 1:
+        labelled = [
+            (f"{index}:{outcome.request.session_id}", outcome)
+            for index, shard in enumerate(result.shards)
+            for outcome in shard.outcomes
+        ]
+    else:
+        labelled = [
+            (outcome.request.session_id, outcome) for outcome in result.outcomes
+        ]
+    rows = []
+    for label, outcome in labelled:
+        session = outcome.result
+        rows.append(
+            (
+                label,
+                outcome.request.priority,
+                "yes" if outcome.admitted else "NO",
+                f"{session.mean_clf:.2f}" if session else "-",
+                session.stream_clf if session else "-",
+                outcome.shed_frames,
+            )
+        )
+    print(
+        render_table(
+            ["session", "prio", "admitted", "mean CLF", "stream CLF", "shed"],
+            rows,
+            title=f"scenario {spec.name!r}: {result.describe()}",
+        ),
+        file=out,
+    )
+    for label, outcome in labelled:
+        if not outcome.admitted:
+            print(f"rejected {label}: {outcome.reason}", file=out)
+    return 0
+
+
 def _cmd_obs(args: argparse.Namespace, out) -> int:
     import json
 
@@ -756,6 +983,7 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         "bounds": _cmd_bounds,
         "replay": _cmd_replay,
         "serve": _cmd_serve,
+        "scenario": _cmd_scenario,
         "gateway": _cmd_gateway,
         "obs": _cmd_obs,
     }

@@ -90,6 +90,7 @@ from repro.metrics.continuity import consecutive_loss
 from repro.metrics.windows import WindowSeries
 from repro.network.estimation import GilbertEstimator
 from repro.network.feedback import Feedback, FeedbackCollector
+from repro.network.markov import GilbertPhase, phase_params_at, phase_segments
 from repro.network.packet import fragments_needed
 from repro.poset.builders import independent_poset, ldu_poset
 
@@ -332,11 +333,13 @@ class SessionRow:
         "result",
         "fwd_rng",
         "fwd_bad",
+        "fwd_drawn",
         "flags",
         "pos",
         "fwd_busy",
         "fb_rng",
         "fb_bad",
+        "fb_drawn",
         "fb_busy",
         "controller",
         "estimator",
@@ -355,6 +358,7 @@ class SessionRow:
         )
         self.fwd_rng = random.Random(seed)
         self.fwd_bad = False       # Gilbert state at the END of the buffer
+        self.fwd_drawn = 0         # draws consumed = absolute packet index
         self.flags: List[bool] = []
         self.pos = 0
         self.fwd_busy = 0.0
@@ -364,6 +368,7 @@ class SessionRow:
             else None
         )
         self.fb_bad = False
+        self.fb_drawn = 0
         self.fb_busy = 0.0
         self.controller = AdaptiveController(alpha=config.alpha)
         self.estimator = GilbertEstimator()
@@ -372,11 +377,32 @@ class SessionRow:
         self.pending: List[Tuple[float, Feedback]] = []
 
     def refill(self, count: int, config: ProtocolConfig) -> None:
-        """Draw ``count`` more loss flags off the private forward stream."""
+        """Draw ``count`` more loss flags off the private forward stream.
+
+        With a phase schedule the batch is split at phase boundaries
+        (by absolute draw index, which equals the packet index) and each
+        run replayed with the carried Gilbert state — exact, because the
+        recurrence is per-draw Markov.
+        """
         draws = [self.fwd_rng.random() for _ in range(count)]
-        states = accel.gilbert_states(
-            draws, config.p_good, config.p_bad, start_bad=self.fwd_bad
-        )
+        if config.channel_phases is None:
+            states = accel.gilbert_states(
+                draws, config.p_good, config.p_bad, start_bad=self.fwd_bad
+            )
+        else:
+            states = []
+            offset = 0
+            bad = self.fwd_bad
+            for take, p_good, p_bad in phase_segments(
+                config.channel_phases, self.fwd_drawn, count
+            ):
+                segment = accel.gilbert_states(
+                    draws[offset : offset + take], p_good, p_bad, start_bad=bad
+                )
+                states.extend(segment)
+                bad = bool(segment[-1])
+                offset += take
+        self.fwd_drawn += count
         if states:
             self.fwd_bad = bool(states[-1])
         self.flags.extend(states)
@@ -422,6 +448,7 @@ def prefetch_flags(
     entries: Sequence[Tuple[SessionRow, int, int]],
     p_good: float,
     p_bad: float,
+    phases: Optional[Tuple[GilbertPhase, ...]] = None,
 ) -> None:
     """One stacked Gilbert draw covering every listed row's deficit.
 
@@ -430,6 +457,14 @@ def prefetch_flags(
     the stacked :func:`repro.accel.gilbert_states_batch` call stays
     rectangular.  Draws come off each row's private stream in order, so
     prefetch depth never changes any row's loss sequence.
+
+    With ``phases`` the chunk is split at phase boundaries and replayed
+    segment by segment (per-phase-segment prefetch): rows are grouped by
+    their absolute draw position — rows at the same position share the
+    same segmentation — and each segment is one rectangular stacked call
+    with the per-row Gilbert states carried across the cut.  Splitting
+    is exact (the recurrence is per-draw Markov), so a single-phase
+    schedule reproduces the stationary prefetch bit for bit.
     """
     if not entries:
         return
@@ -437,19 +472,43 @@ def prefetch_flags(
         max(missing, PREFETCH_WINDOWS * needed)
         for _, missing, needed in entries
     )
-    # ``iter(rng.random, 2.0)`` never hits its sentinel, so islice runs
-    # the exact same sequence of draws as a listcomp would — in C.
-    draw_rows = [
-        list(islice(iter(row.fwd_rng.random, 2.0), chunk))
-        for row, _, _ in entries
-    ]
-    states_rows = accel.gilbert_states_batch(
-        draw_rows, p_good, p_bad, [row.fwd_bad for row, _, _ in entries]
-    )
-    for (row, _, _), states in zip(entries, states_rows):
-        if states:
-            row.fwd_bad = bool(states[-1])
-        row.flags.extend(states)
+    if phases is None:
+        # ``iter(rng.random, 2.0)`` never hits its sentinel, so islice
+        # runs the exact same sequence of draws as a listcomp would — in C.
+        draw_rows = [
+            list(islice(iter(row.fwd_rng.random, 2.0), chunk))
+            for row, _, _ in entries
+        ]
+        states_rows = accel.gilbert_states_batch(
+            draw_rows, p_good, p_bad, [row.fwd_bad for row, _, _ in entries]
+        )
+        for (row, _, _), states in zip(entries, states_rows):
+            if states:
+                row.fwd_bad = bool(states[-1])
+            row.flags.extend(states)
+            row.fwd_drawn += chunk
+        return
+    cohorts: Dict[int, List[SessionRow]] = {}
+    for row, _, _ in entries:
+        cohorts.setdefault(row.fwd_drawn, []).append(row)
+    for start, rows in cohorts.items():
+        draw_rows = [
+            list(islice(iter(row.fwd_rng.random, 2.0), chunk)) for row in rows
+        ]
+        bads = [row.fwd_bad for row in rows]
+        offset = 0
+        for take, seg_good, seg_bad in phase_segments(phases, start, chunk):
+            segment_rows = [draws[offset : offset + take] for draws in draw_rows]
+            states_rows = accel.gilbert_states_batch(
+                segment_rows, seg_good, seg_bad, bads
+            )
+            for row, states in zip(rows, states_rows):
+                row.flags.extend(states)
+            bads = [bool(states[-1]) for states in states_rows]
+            offset += take
+        for row, bad in zip(rows, bads):
+            row.fwd_bad = bad
+            row.fwd_drawn += chunk
 
 
 # ----------------------------------------------------------------------
@@ -737,11 +796,20 @@ def send_ack(
     lost = False
     if row.fb_rng is not None:
         draw = row.fb_rng.random()
+        if config.channel_phases is None:
+            p_good, p_bad = config.p_good, config.p_bad
+        else:
+            # The feedback channel walks the same phase schedule, one
+            # draw per ACK — mirrors SwitchingGilbertModel.step.
+            p_good, p_bad = phase_params_at(
+                config.channel_phases, row.fb_drawn
+            )
+        row.fb_drawn += 1
         if row.fb_bad:
-            if draw >= config.p_bad:
+            if draw >= p_bad:
                 row.fb_bad = False
         else:
-            if draw >= config.p_good:
+            if draw >= p_good:
                 row.fb_bad = True
         lost = row.fb_bad
     if lost:
@@ -1036,6 +1104,7 @@ def _step_fused(
         plan_refills(rows, info.first_attempt_packets + PREFETCH_SLACK),
         config.p_good,
         config.p_bad,
+        phases=config.channel_phases,
     )
 
     all_results: List[WindowResult] = []
@@ -1274,6 +1343,7 @@ def _step_reference(
         plan_refills(rows, info.first_attempt_packets + PREFETCH_SLACK),
         config.p_good,
         config.p_bad,
+        phases=config.channel_phases,
     )
 
     pairs = [
@@ -1385,8 +1455,12 @@ def step_fleet(batches: Sequence[FleetBatch], *, tier: Optional[str] = None) -> 
     Returns the number of rows refilled (callers feed their own
     telemetry from it).
     """
+    # The slab-wide refill groups rows by their full channel dynamics:
+    # stationary parameters AND phase schedule.  Two batches differing
+    # only in ``channel_phases`` must never share a stacked prefetch.
     refills: Dict[
-        Tuple[float, float], List[Tuple[SessionRow, int, int]]
+        Tuple[float, float, Optional[Tuple[GilbertPhase, ...]]],
+        List[Tuple[SessionRow, int, int]],
     ] = {}
     for batch in batches:
         entries = plan_refills(
@@ -1394,11 +1468,16 @@ def step_fleet(batches: Sequence[FleetBatch], *, tier: Optional[str] = None) -> 
         )
         if entries:
             refills.setdefault(
-                (batch.config.p_good, batch.config.p_bad), []
+                (
+                    batch.config.p_good,
+                    batch.config.p_bad,
+                    batch.config.channel_phases,
+                ),
+                [],
             ).extend(entries)
     refill_rows = 0
-    for (p_good, p_bad), entries in refills.items():
-        prefetch_flags(entries, p_good, p_bad)
+    for (p_good, p_bad, phases), entries in refills.items():
+        prefetch_flags(entries, p_good, p_bad, phases=phases)
         refill_rows += len(entries)
     if obs.enabled():
         obs.counter("kernel.slab.steps").inc()
@@ -1431,6 +1510,8 @@ ROW_COLUMNS = (
     "pos",
     "fwd_bad",
     "fb_bad",
+    "fwd_drawn",
+    "fb_drawn",
     "ack_seq",
 )
 
@@ -1705,6 +1786,8 @@ class FleetState:
                 "pos": [float(row.pos) for row in rows],
                 "fwd_bad": [1.0 if row.fwd_bad else 0.0 for row in rows],
                 "fb_bad": [1.0 if row.fb_bad else 0.0 for row in rows],
+                "fwd_drawn": [float(row.fwd_drawn) for row in rows],
+                "fb_drawn": [float(row.fb_drawn) for row in rows],
                 "ack_seq": [float(row.ack_seq) for row in rows],
             }
         )

@@ -38,6 +38,7 @@ from repro.media.stream import MediaStream
 from repro.metrics.continuity import ContinuityReport, consecutive_loss
 from repro.metrics.windows import WindowSeries
 from repro.network.channel import make_duplex
+from repro.network.markov import GilbertPhase
 from repro.network.feedback import Feedback, FeedbackCollector
 from repro.network.packet import Packetizer
 from repro.poset.builders import ldu_poset
@@ -66,6 +67,14 @@ class ProtocolConfig:
     #: feedback statistics and design for the epsilon-quantile run.
     burst_policy: str = "equation1"
     quantile_epsilon: float = 0.05
+    #: Optional non-stationary channel: a tuple of
+    #: :class:`~repro.network.markov.GilbertPhase` walked packet by
+    #: packet (the final phase repeats forever).  When set, ``p_good``/
+    #: ``p_bad`` are ignored by every engine; a single-phase schedule
+    #: with matching parameters reproduces the stationary path bit for
+    #: bit.  Kept as a tuple so the config stays hashable (the serving
+    #: fast path groups sessions by config value).
+    channel_phases: Optional[Tuple[GilbertPhase, ...]] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -85,6 +94,17 @@ class ProtocolConfig:
             )
         if not 0.0 < self.quantile_epsilon < 1.0:
             raise ConfigurationError("quantile_epsilon must be within (0, 1)")
+        if self.channel_phases is not None:
+            phases = tuple(self.channel_phases)
+            if not phases:
+                raise ConfigurationError("channel_phases must not be empty")
+            for phase in phases:
+                if not isinstance(phase, GilbertPhase):
+                    raise ConfigurationError(
+                        "channel_phases entries must be GilbertPhase, "
+                        f"got {type(phase).__name__}"
+                    )
+            object.__setattr__(self, "channel_phases", phases)
 
     @property
     def window_frames(self) -> int:
@@ -245,6 +265,7 @@ class ProtocolSession:
                 p_bad=config.p_bad,
                 seed=config.seed,
                 lossy_feedback=config.lossy_feedback,
+                phases=config.channel_phases,
             )
         self.packetizer = Packetizer(config.packet_size_bytes)
         self.controller = AdaptiveController(alpha=config.alpha)

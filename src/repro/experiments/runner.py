@@ -132,6 +132,12 @@ def _capacity_plan(jobs: int, replications: Optional[int] = None):
     return run_capacity_plan(replications=replications, jobs=jobs)
 
 
+def _scenario(jobs: int, replications: Optional[int] = None):
+    from repro.experiments.scenario import run_scenario_matrix
+
+    return run_scenario_matrix(replications=replications, jobs=jobs)
+
+
 EXPERIMENTS: Dict[str, Callable[..., object]] = {
     "table1": _table1,
     "table2": _table2,
@@ -148,6 +154,7 @@ EXPERIMENTS: Dict[str, Callable[..., object]] = {
     "policies": _policies,
     "capacity": _capacity,
     "capacity-plan": _capacity_plan,
+    "scenario": _scenario,
 }
 
 

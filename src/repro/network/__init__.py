@@ -17,6 +17,8 @@ from repro.network.markov import (
     GilbertModel,
     GilbertPhase,
     SwitchingGilbertModel,
+    phase_params_at,
+    phase_segments,
 )
 from repro.network.packet import (
     DEFAULT_PACKET_SIZE_BYTES,
@@ -54,4 +56,6 @@ __all__ = [
     "Transmission",
     "fragments_needed",
     "make_duplex",
+    "phase_params_at",
+    "phase_segments",
 ]

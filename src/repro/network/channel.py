@@ -14,7 +14,7 @@ from typing import List, Optional, Sequence
 
 from repro import obs
 from repro.errors import NetworkError
-from repro.network.markov import GilbertModel
+from repro.network.markov import GilbertModel, GilbertPhase, SwitchingGilbertModel
 from repro.network.packet import Packet
 
 
@@ -155,6 +155,7 @@ def make_duplex(
     seed: int = 0,
     lossy_feedback: bool = True,
     feedback_bandwidth_bps: Optional[float] = None,
+    phases: Optional[Sequence[GilbertPhase]] = None,
 ) -> "tuple[SimulatedChannel, SimulatedChannel]":
     """(forward, feedback) channel pair with the paper's parameters.
 
@@ -162,19 +163,34 @@ def make_duplex(
     process; the feedback direction carries ACKs, by default through an
     independent Gilbert process with the same parameters (ACKs are UDP
     packets and can be lost too — the protocol tolerates this).
+
+    With ``phases`` both directions become
+    :class:`~repro.network.markov.SwitchingGilbertModel` processes that
+    walk the phase schedule packet by packet (``p_good``/``p_bad`` are
+    ignored); the seed lineage (forward at ``seed``, feedback at
+    ``seed + 104729``) is unchanged, so a single-phase schedule matching
+    the stationary parameters reproduces the stationary draws bit for
+    bit.
     """
     if rtt < 0:
         raise NetworkError("RTT must be non-negative")
+    if phases is not None:
+        forward_loss: GilbertModel | SwitchingGilbertModel = SwitchingGilbertModel(
+            list(phases), seed=seed
+        )
+    else:
+        forward_loss = GilbertModel(p_good=p_good, p_bad=p_bad, seed=seed)
     forward = SimulatedChannel(
         bandwidth_bps=bandwidth_bps,
         propagation_delay=rtt / 2.0,
-        loss_model=GilbertModel(p_good=p_good, p_bad=p_bad, seed=seed),
+        loss_model=forward_loss,
     )
-    feedback_loss = (
-        GilbertModel(p_good=p_good, p_bad=p_bad, seed=seed + 104729)
-        if lossy_feedback
-        else None
-    )
+    if not lossy_feedback:
+        feedback_loss = None
+    elif phases is not None:
+        feedback_loss = SwitchingGilbertModel(list(phases), seed=seed + 104729)
+    else:
+        feedback_loss = GilbertModel(p_good=p_good, p_bad=p_bad, seed=seed + 104729)
     feedback = SimulatedChannel(
         bandwidth_bps=feedback_bandwidth_bps or bandwidth_bps,
         propagation_delay=rtt / 2.0,

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List
+from typing import List, Sequence, Tuple
 
 from repro import accel, obs
 from repro.errors import ConfigurationError
@@ -183,6 +183,64 @@ class GilbertPhase:
                 raise ConfigurationError(f"{name} must be within [0, 1], got {p}")
 
 
+def phase_params_at(
+    phases: Sequence[GilbertPhase], index: int
+) -> Tuple[float, float]:
+    """``(p_good, p_bad)`` governing the draw at absolute packet ``index``.
+
+    Phase ``i`` covers packets ``[sum(packets[:i]), sum(packets[:i+1]))``;
+    the final phase extends forever.
+    """
+    if index < 0:
+        raise ConfigurationError("packet index must be non-negative")
+    if not phases:
+        raise ConfigurationError("need at least one phase")
+    remaining = index
+    for phase in phases[:-1]:
+        if remaining < phase.packets:
+            return phase.p_good, phase.p_bad
+        remaining -= phase.packets
+    last = phases[-1]
+    return last.p_good, last.p_bad
+
+
+def phase_segments(
+    phases: Sequence[GilbertPhase], start: int, count: int
+) -> List[Tuple[int, float, float]]:
+    """Split draws ``[start, start + count)`` into per-phase runs.
+
+    Returns ``(take, p_good, p_bad)`` triples in order; the takes sum to
+    ``count``.  Because the Gilbert recurrence is per-draw Markov, feeding
+    each run through the stationary kernel with the carried state is
+    *exact* — this is the bridge that lets the batched engines replay a
+    :class:`SwitchingGilbertModel` bit for bit.
+    """
+    if start < 0:
+        raise ConfigurationError("segment start must be non-negative")
+    if count < 0:
+        raise ConfigurationError("count must be non-negative")
+    if not phases:
+        raise ConfigurationError("need at least one phase")
+    segments: List[Tuple[int, float, float]] = []
+    position = start
+    end_of_phase = 0
+    remaining = count
+    for i, phase in enumerate(phases):
+        if remaining == 0:
+            break
+        if i == len(phases) - 1:
+            segments.append((remaining, phase.p_good, phase.p_bad))
+            break
+        end_of_phase += phase.packets
+        if position >= end_of_phase:
+            continue
+        take = min(remaining, end_of_phase - position)
+        segments.append((take, phase.p_good, phase.p_bad))
+        position += take
+        remaining -= take
+    return segments
+
+
 class SwitchingGilbertModel:
     """A Gilbert channel whose parameters change over time.
 
@@ -223,6 +281,14 @@ class SwitchingGilbertModel:
 
     def step(self) -> bool:
         """Advance one packet; returns True if it is lost."""
+        lost = self._step_quiet()
+        if obs.enabled():
+            obs.counter("channel.packets").inc()
+            if lost:
+                obs.counter("channel.losses").inc()
+        return lost
+
+    def _step_quiet(self) -> bool:
         phase = self.current_phase
         draw = self._rng.random()
         if self._state == GOOD:
@@ -241,9 +307,15 @@ class SwitchingGilbertModel:
         return self._state == BAD
 
     def losses(self, count: int) -> List[bool]:
+        """Outcomes for the next ``count`` packets (True = lost).
+
+        Consumes exactly the draws ``step`` would, so mixing the two
+        APIs stays reproducible — same contract as
+        :meth:`GilbertModel.losses`.
+        """
         if count < 0:
             raise ConfigurationError("count must be non-negative")
-        states = [self.step() for _ in range(count)]
+        states = [self._step_quiet() for _ in range(count)]
         if obs.enabled():
             _record_loss_batch(states)
         return states

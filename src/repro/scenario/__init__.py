@@ -1,0 +1,56 @@
+"""Seeded scenario DSL: regime-switching channels, load and policy.
+
+One :class:`ScenarioSpec` pins channel dynamics (a
+:class:`~repro.network.markov.GilbertPhase` schedule plus cross-session
+loss correlation), load (arrival process, stream family, priority mix)
+and server policy (scheduler, shedding, admission, capacity) into a
+single JSON-serializable value, reproducible from its seed alone.  See
+``tools/scenario_schema.json`` for the wire format and
+:mod:`repro.scenario.runner` for the bridge into the engines.
+"""
+
+from repro.scenario.runner import (
+    as_load_spec,
+    build_config,
+    build_requests,
+    run_scenario,
+)
+from repro.scenario.spec import (
+    ARRIVALS,
+    CORRELATIONS,
+    SCENARIO_KIND,
+    SCENARIO_SCHEMA_VERSION,
+    SCHEDULERS,
+    ChannelSpec,
+    LoadSpec,
+    PolicySpec,
+    ScenarioSpec,
+    from_dict,
+    from_json,
+    scenario_schema_path,
+    to_dict,
+    to_json,
+    validate_spec_dict,
+)
+
+__all__ = [
+    "ARRIVALS",
+    "CORRELATIONS",
+    "SCENARIO_KIND",
+    "SCENARIO_SCHEMA_VERSION",
+    "SCHEDULERS",
+    "ChannelSpec",
+    "LoadSpec",
+    "PolicySpec",
+    "ScenarioSpec",
+    "as_load_spec",
+    "build_config",
+    "build_requests",
+    "from_dict",
+    "from_json",
+    "run_scenario",
+    "scenario_schema_path",
+    "to_dict",
+    "to_json",
+    "validate_spec_dict",
+]

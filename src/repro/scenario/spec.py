@@ -1,0 +1,279 @@
+"""The seeded scenario DSL: one manifest = one reproducible run.
+
+A :class:`ScenarioSpec` composes the three independent axes of a
+streaming experiment into a single value:
+
+* **channel dynamics** — a phase schedule over
+  :class:`~repro.network.markov.GilbertPhase` (regime-switching
+  channels; a single phase is the stationary special case, bit-for-bit),
+  plus whether sessions behind the same bottleneck see *correlated*
+  loss (every forward channel replays the same Gilbert process) or
+  independent draws;
+* **load** — fleet size, arrival process (simultaneous ``batch``,
+  ``poisson`` with a mean inter-arrival gap, or a ``flash`` crowd where
+  a front slice of the fleet piles in at t=0), stream family size and
+  the priority mix, all generated through :mod:`repro.serve.loadgen`;
+* **policy** — bandwidth scheduler, load shedding, admission control
+  and the bottleneck capacity.
+
+Specs are frozen dataclasses that round-trip through JSON *exactly*
+(:func:`to_json` / :func:`from_json`), and the wire format is pinned by
+a checked-in schema (``tools/scenario_schema.json``) validated with the
+same subset validator as the run manifests.  Anything malformed —
+unknown keys, empty phase lists, negative rates, unknown policy names —
+raises :class:`~repro.errors.ConfigurationError`, never a bare
+``KeyError``/``TypeError``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.network.markov import GilbertPhase
+
+#: Wire-format version stamped into every serialized spec.
+SCENARIO_SCHEMA_VERSION = 1
+
+#: The ``kind`` discriminator of a serialized spec.
+SCENARIO_KIND = "repro-scenario-spec"
+
+#: Supported arrival processes.
+ARRIVALS = ("batch", "poisson", "flash")
+
+#: Supported cross-session loss correlation modes.
+CORRELATIONS = ("independent", "shared")
+
+#: Scheduler names accepted by :func:`repro.serve.bandwidth.make_scheduler`.
+SCHEDULERS = ("fair", "priority")
+
+
+def scenario_schema_path() -> Path:
+    """The checked-in spec schema, located relative to the repo root."""
+    return (
+        Path(__file__).resolve().parents[3] / "tools" / "scenario_schema.json"
+    )
+
+
+@dataclass(frozen=True)
+class ChannelSpec:
+    """Channel dynamics: a Gilbert phase schedule plus loss correlation.
+
+    ``phases`` is walked packet by packet by every engine (the final
+    phase repeats forever).  ``correlation="shared"`` models sessions
+    behind one congested bottleneck: every forward channel replays the
+    *same* seeded loss process, so bursts hit the whole fleet at once.
+    """
+
+    phases: Tuple[GilbertPhase, ...]
+    correlation: str = "independent"
+
+    def __post_init__(self) -> None:
+        phases = tuple(self.phases)
+        if not phases:
+            raise ConfigurationError("channel needs at least one phase")
+        for phase in phases:
+            if not isinstance(phase, GilbertPhase):
+                raise ConfigurationError(
+                    f"phases entries must be GilbertPhase, got {type(phase).__name__}"
+                )
+        object.__setattr__(self, "phases", phases)
+        if self.correlation not in CORRELATIONS:
+            raise ConfigurationError(
+                f"unknown correlation {self.correlation!r}; "
+                f"available: {list(CORRELATIONS)}"
+            )
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """Fleet load: arrival process, stream family and priority mix."""
+
+    sessions: int = 4
+    arrival: str = "poisson"
+    mean_interarrival: float = 0.25
+    #: ``flash`` arrivals: fraction of the fleet arriving together at
+    #: t=0 (the flash crowd); the rest trickle in on the Poisson gaps.
+    flash_fraction: float = 0.5
+    gop_count: int = 8
+    max_windows: int = 4
+    high_priority_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.sessions <= 0:
+            raise ConfigurationError("sessions must be positive")
+        if self.arrival not in ARRIVALS:
+            raise ConfigurationError(
+                f"unknown arrival process {self.arrival!r}; "
+                f"available: {list(ARRIVALS)}"
+            )
+        if self.mean_interarrival < 0:
+            raise ConfigurationError("mean_interarrival must be non-negative")
+        if not 0.0 <= self.flash_fraction <= 1.0:
+            raise ConfigurationError("flash_fraction must be within [0, 1]")
+        if self.gop_count <= 0:
+            raise ConfigurationError("gop_count must be positive")
+        if self.max_windows <= 0:
+            raise ConfigurationError("max_windows must be positive")
+        if not 0.0 <= self.high_priority_fraction <= 1.0:
+            raise ConfigurationError(
+                "high_priority_fraction must be within [0, 1]"
+            )
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """Server-side policy: scheduler, shedding, admission, capacity."""
+
+    scheduler: str = "fair"
+    shedding: bool = True
+    admission: bool = True
+    capacity_bps: float = 2_400_000.0
+
+    def __post_init__(self) -> None:
+        if self.scheduler not in SCHEDULERS:
+            raise ConfigurationError(
+                f"unknown bandwidth scheduler {self.scheduler!r}; "
+                f"available: {list(SCHEDULERS)}"
+            )
+        if self.capacity_bps <= 0:
+            raise ConfigurationError("capacity must be positive")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully-specified, seeded streaming scenario."""
+
+    name: str
+    channel: ChannelSpec
+    load: LoadSpec = field(default_factory=LoadSpec)
+    policy: PolicySpec = field(default_factory=PolicySpec)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("scenario name must be non-empty")
+        if not isinstance(self.channel, ChannelSpec):
+            raise ConfigurationError("channel must be a ChannelSpec")
+        if not isinstance(self.load, LoadSpec):
+            raise ConfigurationError("load must be a LoadSpec")
+        if not isinstance(self.policy, PolicySpec):
+            raise ConfigurationError("policy must be a PolicySpec")
+
+
+# ----------------------------------------------------------------------
+# JSON wire format
+# ----------------------------------------------------------------------
+
+
+def to_dict(spec: ScenarioSpec) -> Dict[str, Any]:
+    """The spec's wire form (validates against the checked-in schema)."""
+    return {
+        "schema": SCENARIO_SCHEMA_VERSION,
+        "kind": SCENARIO_KIND,
+        "name": spec.name,
+        "seed": spec.seed,
+        "channel": {
+            "phases": [
+                {
+                    "packets": phase.packets,
+                    "p_good": phase.p_good,
+                    "p_bad": phase.p_bad,
+                }
+                for phase in spec.channel.phases
+            ],
+            "correlation": spec.channel.correlation,
+        },
+        "load": {
+            "sessions": spec.load.sessions,
+            "arrival": spec.load.arrival,
+            "mean_interarrival": spec.load.mean_interarrival,
+            "flash_fraction": spec.load.flash_fraction,
+            "gop_count": spec.load.gop_count,
+            "max_windows": spec.load.max_windows,
+            "high_priority_fraction": spec.load.high_priority_fraction,
+        },
+        "policy": {
+            "scheduler": spec.policy.scheduler,
+            "shedding": spec.policy.shedding,
+            "admission": spec.policy.admission,
+            "capacity_bps": spec.policy.capacity_bps,
+        },
+    }
+
+
+def validate_spec_dict(data: Any) -> List[str]:
+    """Schema-validation errors of a wire-form spec ([] = valid)."""
+    from repro.obs.manifest import load_schema, validate_manifest
+
+    if not isinstance(data, dict):
+        return [f"$: expected object, got {type(data).__name__}"]
+    return validate_manifest(data, schema=load_schema(scenario_schema_path()))
+
+
+def from_dict(data: Any) -> ScenarioSpec:
+    """Rebuild a spec from its wire form; exact inverse of :func:`to_dict`.
+
+    Raises :class:`ConfigurationError` on any schema violation or
+    semantically invalid value (the dataclass validators re-run).
+    """
+    errors = validate_spec_dict(data)
+    if errors:
+        raise ConfigurationError(
+            "invalid scenario spec: " + "; ".join(errors)
+        )
+    channel = data["channel"]
+    load = data["load"]
+    policy = data["policy"]
+    try:
+        phases = tuple(
+            GilbertPhase(
+                packets=entry["packets"],
+                p_good=entry["p_good"],
+                p_bad=entry["p_bad"],
+            )
+            for entry in channel["phases"]
+        )
+        return ScenarioSpec(
+            name=data["name"],
+            seed=data["seed"],
+            channel=ChannelSpec(
+                phases=phases, correlation=channel["correlation"]
+            ),
+            load=LoadSpec(
+                sessions=load["sessions"],
+                arrival=load["arrival"],
+                mean_interarrival=load["mean_interarrival"],
+                flash_fraction=load["flash_fraction"],
+                gop_count=load["gop_count"],
+                max_windows=load["max_windows"],
+                high_priority_fraction=load["high_priority_fraction"],
+            ),
+            policy=PolicySpec(
+                scheduler=policy["scheduler"],
+                shedding=policy["shedding"],
+                admission=policy["admission"],
+                capacity_bps=policy["capacity_bps"],
+            ),
+        )
+    except ConfigurationError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(f"invalid scenario spec: {exc}") from None
+
+
+def to_json(spec: ScenarioSpec, *, indent: Optional[int] = 2) -> str:
+    """Serialize a spec; ``from_json`` recovers it exactly."""
+    return json.dumps(to_dict(spec), indent=indent, sort_keys=True)
+
+
+def from_json(text: str) -> ScenarioSpec:
+    """Parse a serialized spec; raises :class:`ConfigurationError` on junk."""
+    try:
+        data = json.loads(text)
+    except (json.JSONDecodeError, TypeError) as exc:
+        raise ConfigurationError(f"scenario spec is not JSON: {exc}") from None
+    return from_dict(data)

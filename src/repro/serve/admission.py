@@ -70,14 +70,22 @@ def estimate_demand(
     windowing (the only inputs the estimate reads) — the capacity sweep
     recomputes identical demands for every replication.
     """
-    id_key = (id(stream.ldus), stream.fps, config.window_frames, max_windows)
+    # Both keys carry the channel-phase schedule: two scenarios that
+    # differ only in channel dynamics must never share a cached plan.
+    id_key = (
+        id(stream.ldus),
+        stream.fps,
+        config.window_frames,
+        config.channel_phases,
+        max_windows,
+    )
     id_hit = _demand_id_cache.get(id_key)
     if id_hit is not None and id_hit[0] is stream.ldus:
         _demand_id_cache.move_to_end(id_key)
         if obs.enabled():
             obs.counter("serve.demand_cache.hits").inc()
         return id_hit[1]
-    key = (stream, config.window_frames, max_windows)
+    key = (stream, config.window_frames, config.channel_phases, max_windows)
     cached = _demand_cache.get(key)
     if cached is not None:
         _demand_cache.move_to_end(key)

@@ -312,7 +312,16 @@ class _FleetExecution:
             key = (row.group_id, effective, wid)
             info = info_cache.get(key)
             if info is None:
-                family = (row.config.closed_gops, row.config.effort, row.config.layered)
+                # The family carries the phase schedule too: scenarios
+                # that differ only in channel dynamics get separate
+                # shape/permutation-plan caches (their burst bounds
+                # evolve differently, so sharing would couple them).
+                family = (
+                    row.config.closed_gops,
+                    row.config.effort,
+                    row.config.layered,
+                    row.config.channel_phases,
+                )
                 shapes = self._shape_caches.setdefault(family, {})
                 info = _WindowInfo(
                     window,

@@ -50,6 +50,8 @@ class TestLargeFleetRoundTrip:
             "pos",
             "fwd_bad",
             "fb_bad",
+            "fwd_drawn",
+            "fb_drawn",
             "ack_seq",
         )
         state = kernel.FleetState(

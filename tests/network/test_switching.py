@@ -5,7 +5,21 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.network.markov import GilbertModel, GilbertPhase, SwitchingGilbertModel
+from repro.network.markov import (
+    GilbertModel,
+    GilbertPhase,
+    SwitchingGilbertModel,
+    phase_params_at,
+    phase_segments,
+)
+
+#: The regression-pin schedule: three regimes, 12 + 8 packets then the
+#: final phase forever.
+_PIN_PHASES = (
+    GilbertPhase(12, 0.95, 0.4),
+    GilbertPhase(8, 0.6, 0.9),
+    GilbertPhase(20, 0.99, 0.2),
+)
 
 
 class TestPhase:
@@ -80,3 +94,108 @@ class TestSwitchingModel:
         )
         losses = model.losses(10)
         assert all(losses)  # BAD is absorbing in both phases once entered
+
+
+class TestGoldenTrajectories:
+    """Seeded trajectories pinned forever.
+
+    Any change to the switching model's draw order, state carry-over or
+    phase accounting shows up here before it silently re-seeds every
+    scenario manifest in the repo.
+    """
+
+    @pytest.mark.parametrize(
+        "seed,loss_indices",
+        [
+            (7, (13, 14, 15, 16)),
+            (42, (14, 15, 16, 17, 18, 19)),
+        ],
+    )
+    def test_pinned_trajectory(self, seed, loss_indices):
+        model = SwitchingGilbertModel(list(_PIN_PHASES), seed=seed)
+        losses = model.losses(48)
+        assert tuple(i for i, lost in enumerate(losses) if lost) == (
+            loss_indices
+        )
+
+    def test_step_equals_losses(self):
+        """`step` and `losses` walk one shared draw stream identically
+        — the API contract `GilbertModel` also honours."""
+        batched = SwitchingGilbertModel(list(_PIN_PHASES), seed=7)
+        stepped = SwitchingGilbertModel(list(_PIN_PHASES), seed=7)
+        assert [stepped.step() for _ in range(48)] == batched.losses(48)
+
+    def test_step_and_losses_interleave(self):
+        """Mixing the two APIs consumes the same stream as either alone."""
+        reference = SwitchingGilbertModel(list(_PIN_PHASES), seed=42)
+        mixed = SwitchingGilbertModel(list(_PIN_PHASES), seed=42)
+        expected = reference.losses(40)
+        actual = (
+            [mixed.step() for _ in range(10)]
+            + mixed.losses(20)
+            + [mixed.step() for _ in range(10)]
+        )
+        assert actual == expected
+
+    def test_api_surface_matches_gilbert_model(self):
+        """Every public method of `GilbertModel` exists here with the
+        same behaviourally-compatible signature (drop-in for channels)."""
+        for name in ("step", "losses", "reset"):
+            assert callable(getattr(SwitchingGilbertModel, name))
+        model = SwitchingGilbertModel(list(_PIN_PHASES), seed=0)
+        assert isinstance(model.step(), bool)
+        assert isinstance(model.losses(3), list)
+
+
+class TestPhaseHelpers:
+    """`phase_params_at` / `phase_segments` — the kernel's lookup core."""
+
+    def test_params_walk_the_schedule(self):
+        assert phase_params_at(_PIN_PHASES, 0) == (0.95, 0.4)
+        assert phase_params_at(_PIN_PHASES, 11) == (0.95, 0.4)
+        assert phase_params_at(_PIN_PHASES, 12) == (0.6, 0.9)
+        assert phase_params_at(_PIN_PHASES, 19) == (0.6, 0.9)
+        assert phase_params_at(_PIN_PHASES, 20) == (0.99, 0.2)
+        # The final phase repeats forever, far past its nominal length.
+        assert phase_params_at(_PIN_PHASES, 10_000) == (0.99, 0.2)
+
+    def test_params_validation(self):
+        with pytest.raises(ConfigurationError):
+            phase_params_at(_PIN_PHASES, -1)
+        with pytest.raises(ConfigurationError):
+            phase_params_at((), 0)
+
+    def test_segments_cover_exactly(self):
+        segments = phase_segments(_PIN_PHASES, 0, 48)
+        assert segments == [
+            (12, 0.95, 0.4),
+            (8, 0.6, 0.9),
+            (28, 0.99, 0.2),
+        ]
+
+    def test_segments_mid_phase_start(self):
+        assert phase_segments(_PIN_PHASES, 10, 5) == [
+            (2, 0.95, 0.4),
+            (3, 0.6, 0.9),
+        ]
+        assert phase_segments(_PIN_PHASES, 20, 100) == [(100, 0.99, 0.2)]
+
+    def test_segments_agree_with_params(self):
+        """Expanding the segments packet by packet equals the pointwise
+        lookup — the equivalence the kernel's prefetch relies on."""
+        start, count = 5, 40
+        expanded = []
+        for take, p_good, p_bad in phase_segments(_PIN_PHASES, start, count):
+            expanded.extend([(p_good, p_bad)] * take)
+        assert expanded == [
+            phase_params_at(_PIN_PHASES, start + i) for i in range(count)
+        ]
+
+    def test_segments_validation(self):
+        assert phase_segments(_PIN_PHASES, 3, 0) == []
+        with pytest.raises(ConfigurationError):
+            phase_segments(_PIN_PHASES, -1, 5)
+        with pytest.raises(ConfigurationError):
+            phase_segments(_PIN_PHASES, 0, -5)
+        with pytest.raises(ConfigurationError):
+            phase_segments((), 0, 5)

@@ -1,0 +1,110 @@
+"""Plan caches must key on channel dynamics, not just (p_good, p_bad).
+
+Two scenarios differing *only* in their phase schedule must never
+share a cached admission plan, shape cache or stacked prefetch — the
+satellite pin of the scenario PR.  The demand cache is observed through
+its own counters; the fast path and slab refill are pinned
+behaviourally (a mixed stationary + phased fleet equals each fleet
+served alone).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro import obs
+from repro.core.protocol import ProtocolConfig
+from repro.media.gop import GOP_12
+from repro.media.stream import make_video_stream
+from repro.network.markov import GilbertPhase
+from repro.serve import SessionRequest, serve_sessions
+from repro.serve.admission import estimate_demand
+
+_FOREVER = 1_000_000_000
+
+PHASED = (
+    GilbertPhase(30, 0.99, 0.3),
+    GilbertPhase(_FOREVER, 0.85, 0.75),
+)
+
+
+@pytest.fixture()
+def metrics():
+    registry = obs.enable()
+    obs.reset()
+    yield registry
+    obs.disable()
+
+
+class TestDemandCache:
+    def test_phase_schedules_never_share_entries(self, metrics):
+        """Same stream, same windowing — a different phase schedule is
+        a cache miss, then its own hit."""
+        # A geometry no other test uses, so the module-global LRU has
+        # no warm entry for it.
+        stream = make_video_stream(GOP_12, gop_count=9, name="cache-pin")
+        base = ProtocolConfig()
+        phased = replace(base, channel_phases=PHASED)
+        other = replace(
+            base, channel_phases=(GilbertPhase(_FOREVER, 0.92, 0.6),)
+        )
+        misses = obs.counter("serve.demand_cache.misses")
+        hits = obs.counter("serve.demand_cache.hits")
+
+        first = estimate_demand(stream, base, max_windows=4)
+        assert misses.snapshot() == 1
+        assert estimate_demand(stream, base, max_windows=4) == first
+        assert hits.snapshot() == 1
+
+        # New dynamics: a miss even though stream and windowing match.
+        assert estimate_demand(stream, phased, max_windows=4) == first
+        assert misses.snapshot() == 2
+        # ...and a third schedule is a third entry.
+        assert estimate_demand(stream, other, max_windows=4) == first
+        assert misses.snapshot() == 3
+
+        # Each schedule hits its own entry afterwards.
+        estimate_demand(stream, phased, max_windows=4)
+        estimate_demand(stream, other, max_windows=4)
+        assert hits.snapshot() == 3
+        assert misses.snapshot() == 3
+
+
+class TestMixedFleetIsolation:
+    def test_mixed_dynamics_fleet_equals_solo_serving(self):
+        """Serving stationary and phased sessions *together* changes
+        nothing: the fast path's shape caches and the slab prefetch
+        key on the full channel dynamics."""
+        stream = make_video_stream(GOP_12, gop_count=4)
+        configs = {
+            "stationary": ProtocolConfig(seed=5),
+            "phased": ProtocolConfig(channel_phases=PHASED, seed=5),
+            # Same (p_good, p_bad) as stationary, spelled as one phase:
+            # the adversarial case for a (p_good, p_bad)-keyed cache.
+            "single": ProtocolConfig(
+                channel_phases=(GilbertPhase(_FOREVER, 0.92, 0.6),), seed=5
+            ),
+        }
+        requests = [
+            SessionRequest(
+                session_id=name, stream=stream, config=config, max_windows=3
+            )
+            for name, config in configs.items()
+        ]
+        capacity = 3 * ProtocolConfig().bandwidth_bps
+        for fast in (False, True):
+            mixed = serve_sessions(requests, capacity, fast=fast)
+            for request in requests:
+                (solo,) = serve_sessions(
+                    [request], ProtocolConfig().bandwidth_bps, fast=fast
+                ).outcomes
+                together = next(
+                    o
+                    for o in mixed.outcomes
+                    if o.request.session_id == request.session_id
+                )
+                assert together.result == solo.result, (
+                    f"{request.session_id} diverged (fast={fast})"
+                )

@@ -1,0 +1,232 @@
+"""Property tests for the scenario DSL wire format.
+
+Two invariants, mirroring the gateway wire fuzzers: every *valid*
+:class:`~repro.scenario.ScenarioSpec` round-trips through JSON exactly
+(same frozen dataclasses, same floats), and every *malformed* wire form
+— unknown keys, empty phase lists, negative rates, unknown policy
+names, type junk — raises :class:`~repro.errors.ConfigurationError`,
+never a bare ``KeyError``/``TypeError``/``ValueError``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.network.markov import GilbertPhase
+from repro.scenario import (
+    ARRIVALS,
+    CORRELATIONS,
+    SCHEDULERS,
+    ChannelSpec,
+    LoadSpec,
+    PolicySpec,
+    ScenarioSpec,
+    from_dict,
+    from_json,
+    to_dict,
+    to_json,
+    validate_spec_dict,
+)
+
+probabilities = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+fractions = probabilities
+
+
+@st.composite
+def gilbert_phases(draw):
+    return GilbertPhase(
+        packets=draw(st.integers(min_value=1, max_value=100_000)),
+        p_good=draw(probabilities),
+        p_bad=draw(probabilities),
+    )
+
+
+@st.composite
+def scenario_specs(draw):
+    return ScenarioSpec(
+        name=draw(
+            st.text(
+                alphabet="abcdefghijklmnopqrstuvwxyz0123456789-",
+                min_size=1,
+                max_size=24,
+            )
+        ),
+        seed=draw(st.integers(min_value=0, max_value=2**31)),
+        channel=ChannelSpec(
+            phases=tuple(
+                draw(st.lists(gilbert_phases(), min_size=1, max_size=5))
+            ),
+            correlation=draw(st.sampled_from(CORRELATIONS)),
+        ),
+        load=LoadSpec(
+            sessions=draw(st.integers(min_value=1, max_value=64)),
+            arrival=draw(st.sampled_from(ARRIVALS)),
+            mean_interarrival=draw(
+                st.floats(
+                    min_value=0.0,
+                    max_value=10.0,
+                    allow_nan=False,
+                    allow_infinity=False,
+                )
+            ),
+            flash_fraction=draw(fractions),
+            gop_count=draw(st.integers(min_value=1, max_value=32)),
+            max_windows=draw(st.integers(min_value=1, max_value=16)),
+            high_priority_fraction=draw(fractions),
+        ),
+        policy=PolicySpec(
+            scheduler=draw(st.sampled_from(SCHEDULERS)),
+            shedding=draw(st.booleans()),
+            admission=draw(st.booleans()),
+            capacity_bps=draw(
+                st.floats(
+                    min_value=1.0,
+                    max_value=1e9,
+                    allow_nan=False,
+                    allow_infinity=False,
+                )
+            ),
+        ),
+    )
+
+
+class TestRoundTrip:
+    @given(scenario_specs())
+    @settings(max_examples=50, deadline=None)
+    def test_json_round_trip_is_exact(self, spec):
+        assert from_json(to_json(spec)) == spec
+
+    @given(scenario_specs())
+    @settings(max_examples=50, deadline=None)
+    def test_wire_form_validates(self, spec):
+        assert validate_spec_dict(to_dict(spec)) == []
+
+    @given(scenario_specs())
+    @settings(max_examples=25, deadline=None)
+    def test_serialization_is_canonical(self, spec):
+        """Same spec, same bytes: the text is stable across round-trips."""
+        text = to_json(spec)
+        assert to_json(from_json(text)) == text
+
+
+def _mutations():
+    """(label, mutate) pairs; each turns a valid wire dict invalid."""
+
+    def drop(key):
+        def _mutate(data):
+            del data[key]
+
+        return _mutate
+
+    def put(path, value):
+        def _mutate(data):
+            node = data
+            for step in path[:-1]:
+                node = node[step]
+            node[path[-1]] = value
+
+        return _mutate
+
+    return [
+        ("missing-name", drop("name")),
+        ("missing-channel", drop("channel")),
+        ("missing-policy", drop("policy")),
+        ("unknown-top-key", put(("intensity",), 11)),
+        ("unknown-load-key", put(("load", "bitrate"), 1.0)),
+        ("empty-phases", put(("channel", "phases"), [])),
+        ("zero-length-phase", put(("channel", "phases", 0, "packets"), 0)),
+        ("negative-rate", put(("channel", "phases", 0, "p_bad"), -0.5)),
+        ("rate-above-one", put(("channel", "phases", 0, "p_good"), 1.5)),
+        ("unknown-correlation", put(("channel", "correlation"), "psychic")),
+        ("unknown-arrival", put(("load", "arrival"), "stampede")),
+        ("zero-sessions", put(("load", "sessions"), 0)),
+        ("float-sessions", put(("load", "sessions"), 2.5)),
+        ("negative-gap", put(("load", "mean_interarrival"), -1.0)),
+        ("flash-above-one", put(("load", "flash_fraction"), 1.5)),
+        ("unknown-scheduler", put(("policy", "scheduler"), "lifo")),
+        ("boolean-capacity", put(("policy", "capacity_bps"), True)),
+        ("zero-capacity", put(("policy", "capacity_bps"), 0.0)),
+        ("string-seed", put(("seed",), "zero")),
+        ("wrong-kind", put(("kind",), "repro-run-manifest")),
+        ("wrong-schema-version", put(("schema",), 99)),
+        ("phases-not-a-list", put(("channel", "phases"), {"packets": 1})),
+    ]
+
+
+@pytest.mark.parametrize(
+    "label,mutate", _mutations(), ids=[m[0] for m in _mutations()]
+)
+def test_mutated_spec_raises_configuration_error(label, mutate):
+    data = to_dict(
+        ScenarioSpec(
+            name="battery",
+            channel=ChannelSpec(phases=(GilbertPhase(10, 0.9, 0.5),)),
+        )
+    )
+    mutate(data)
+    with pytest.raises(ConfigurationError):
+        from_dict(data)
+
+
+@given(st.text(max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_junk_text_never_crashes(text):
+    """Arbitrary text either parses to a valid spec or raises cleanly."""
+    try:
+        spec = from_json(text)
+    except ConfigurationError:
+        return
+    assert isinstance(spec, ScenarioSpec)
+
+
+@given(
+    st.recursive(
+        st.one_of(
+            st.none(),
+            st.booleans(),
+            st.integers(min_value=-(2**31), max_value=2**31),
+            st.floats(allow_nan=False, allow_infinity=False),
+            st.text(max_size=20),
+        ),
+        lambda children: st.one_of(
+            st.lists(children, max_size=4),
+            st.dictionaries(st.text(max_size=10), children, max_size=4),
+        ),
+        max_leaves=20,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_junk_json_values_never_crash(value):
+    """Arbitrary JSON values fail validation cleanly, never crash."""
+    try:
+        from_dict(value)
+    except ConfigurationError:
+        return
+    # The only values that construct are genuine wire forms.
+    assert isinstance(value, dict)
+    assert validate_spec_dict(value) == []
+
+
+def test_non_dict_wire_forms_report_one_error():
+    assert validate_spec_dict([1, 2]) == ["$: expected object, got list"]
+    assert validate_spec_dict(None) == ["$: expected object, got NoneType"]
+
+
+def test_from_json_rejects_non_string():
+    with pytest.raises(ConfigurationError):
+        from_json(None)
+
+
+def test_to_json_matches_plain_dumps():
+    spec = ScenarioSpec(
+        name="canonical",
+        channel=ChannelSpec(phases=(GilbertPhase(5, 0.8, 0.4),)),
+    )
+    assert json.loads(to_json(spec)) == to_dict(spec)
