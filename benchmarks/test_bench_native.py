@@ -1,0 +1,116 @@
+"""Native tier at steady state: parity and the 3x gate at K = 256.
+
+Runs the same K = 256 Monte-Carlo fleet on the fused and native kernel
+tiers and checks bit-for-bit parity of every window stream plus the
+native tier's headline: with numba importable (the JIT rung) the native
+step is at least 3x faster than the fused tier at a steady-state fleet
+width of 256 rows per window step.  Without numba the NumPy twin rung
+runs the identical array program interpreted — parity still holds and
+the twin must still clear a more modest floor.
+
+The workload is fragment-heavy on purpose: five GOPs per window and
+2 KiB packets put ~190 packets in each window span, which is where the
+fused tier's per-packet Python dominates and the compiled kernels pull
+away.  The near-clean channel (``p_good=0.99``) keeps most rows on the
+collapsed cohort path, matching the serve-side steady state.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+
+from repro import accel
+from repro.core import kernel
+from repro.core.batch import run_sessions_batch
+from repro.core.native import kernels as native_kernels
+from repro.core.protocol import ProtocolConfig
+from repro.media.gop import GOP_12
+from repro.media.stream import make_video_stream
+
+SESSIONS = 256
+WINDOWS = 24
+#: Fragment-heavy near-clean steady state: wide windows, small packets,
+#: no anchor retransmission (every dirty row stays on the columnar
+#: receiver instead of replaying the scalar sender).
+CONFIG = ProtocolConfig(
+    gops_per_window=5,
+    p_good=0.99,
+    retransmit_anchors=False,
+    packet_size_bytes=2048,
+)
+STREAM = make_video_stream(GOP_12, 256)
+SEEDS = tuple(range(SESSIONS))
+
+
+def _run(tier: str):
+    previous = kernel.tier_name()
+    kernel.set_tier(tier)
+    try:
+        return run_sessions_batch(
+            STREAM, CONFIG, seeds=SEEDS, max_windows=WINDOWS
+        )
+    finally:
+        kernel.set_tier(previous)
+
+
+def _canon(results):
+    """The bit-for-bit comparable surface of a session sweep."""
+    out = []
+    for result in results:
+        out.append(result.windows)
+        out.append(result.series)
+    return out
+
+
+def test_bench_native_steady_state(benchmark, show):
+    _run("native")  # warm permutation / stream / shape caches
+    result = benchmark.pedantic(lambda: _run("native"), rounds=3, iterations=1)
+    assert len(result) == SESSIONS
+    rung = "jit" if native_kernels.numba_available() else "twin"
+    show(
+        f"native tier ({rung} rung) on the {accel.backend_name()} backend: "
+        f"K={SESSIONS}, {SESSIONS * WINDOWS} windows"
+    )
+
+
+def test_bench_native_speedup_and_parity(benchmark, show):
+    _run("fused")  # warm permutation / stream / shape caches
+
+    # Interleaved min-of-3 on both tiers: scheduler and allocator noise
+    # hits both arms alike, so the minima give the honest ratio.
+    fused_times = []
+    native_times = []
+    expected = got = None
+    for _ in range(3):
+        gc.collect()
+        started = time.perf_counter()
+        expected = _run("fused")
+        fused_times.append(time.perf_counter() - started)
+        gc.collect()
+        started = time.perf_counter()
+        got = _run("native")
+        native_times.append(time.perf_counter() - started)
+
+    assert _canon(expected) == _canon(got)
+
+    # Record the native arm for regression gating (tools/bench_compare.py).
+    benchmark.pedantic(lambda: _run("native"), rounds=1, iterations=1)
+
+    fused_time = min(fused_times)
+    native_time = min(native_times)
+    speedup = fused_time / native_time
+    windows = SESSIONS * WINDOWS
+    rung = "jit" if native_kernels.numba_available() else "twin"
+    show(
+        f"fused {fused_time:.3f}s, native ({rung} rung) {native_time:.3f}s "
+        f"=> {speedup:.2f}x on the {accel.backend_name()} backend "
+        f"(K={SESSIONS}, {windows} windows, "
+        f"{windows / native_time:,.0f} windows/sec)"
+    )
+    if accel.backend_name() != "numpy":
+        return  # pure backend: native downgrades to fused wholesale
+    if native_kernels.numba_available():
+        assert speedup >= 3.0
+    else:
+        assert speedup >= 1.2

@@ -46,11 +46,22 @@ both accel backends, with and without NumPy):
     The tier dispatch counters (``kernel.dispatch.*``,
     ``kernel.collapse.*``) expose the split.
 
+``native``
+    The compiled tier (:mod:`repro.core.native`): the fused tier's
+    hot loop re-expressed as an array program over the FleetState
+    column ABI — drain/Equation-1 folds, burst bounds, loss masking,
+    CLF scoring and shed accounting run as whole-fleet kernels, JIT
+    compiled via Numba when it is importable and executed as their
+    NumPy twins otherwise.  Without NumPy (the pure backend) it falls
+    back to ``fused`` wholesale, recording the downgrade on the
+    ``kernel.native.fallback`` counter.
+
 Select a tier with :func:`set_tier`, or the ``REPRO_KERNEL``
-environment variable (``reference`` / ``fused`` / ``auto``; ``auto``
-resolves to ``fused``).  Tier choice is orthogonal to the accel
-backend: the fused tier runs — and is parity-tested — on the pure
-backend too; the NumPy backend vectorizes its stacked kernel calls.
+environment variable (``reference`` / ``fused`` / ``native`` /
+``auto``; ``auto`` resolves to ``fused``).  Tier choice is orthogonal
+to the accel backend: the fused tier runs — and is parity-tested — on
+the pure backend too; the NumPy backend vectorizes its stacked kernel
+calls.
 
 Fleet state
 -----------
@@ -97,6 +108,7 @@ from repro.poset.builders import independent_poset, ldu_poset
 __all__ = [
     "AUTO",
     "FUSED",
+    "NATIVE",
     "REFERENCE",
     "ENV_TIER",
     "CONTROL_PACKET_BYTES",
@@ -126,6 +138,7 @@ __all__ = [
     "step_fleet",
     "step_window",
     "tier_name",
+    "writeback_native_rng",
 ]
 
 #: Seed offset of the feedback channel's Gilbert process
@@ -152,12 +165,13 @@ PREFETCH_WINDOWS = 8
 
 REFERENCE = "reference"
 FUSED = "fused"
+NATIVE = "native"
 AUTO = "auto"
 
 #: Environment variable selecting the kernel tier at import time.
 ENV_TIER = "REPRO_KERNEL"
 
-_TIERS = (REFERENCE, FUSED)
+_TIERS = (REFERENCE, FUSED, NATIVE)
 
 
 def available_tiers() -> Tuple[str, ...]:
@@ -180,10 +194,13 @@ _active_tier = _resolve(os.environ.get(ENV_TIER, AUTO))
 
 
 def set_tier(name: str) -> str:
-    """Select the active kernel tier (``reference``/``fused``/``auto``).
+    """Select the active kernel tier.
 
-    Returns the resolved tier name.  Both tiers produce identical
-    results; ``reference`` exists for differential gating and debugging.
+    ``reference``/``fused``/``native``/``auto`` (``auto`` resolves to
+    ``fused``).  Returns the resolved tier name.  All tiers produce
+    identical results; ``reference`` exists for differential gating and
+    debugging, ``native`` for throughput (it downgrades to ``fused``
+    when its array kernels cannot run).
     """
     global _active_tier
     _active_tier = _resolve(name)
@@ -209,7 +226,7 @@ class WindowShape:
     per row, so they get their own cache keyed by bounds.
     """
 
-    __slots__ = ("transmission", "media", "need_masks", "_plans")
+    __slots__ = ("transmission", "media", "need_masks", "_plans", "native")
 
     def __init__(self, window: Sequence[Ldu], config: ProtocolConfig) -> None:
         media_poset = ldu_poset(window, closed_gops=config.closed_gops)
@@ -230,6 +247,9 @@ class WindowShape:
                 mask |= 1 << dep
             masks.append(mask)
         self.need_masks = masks
+        #: Native-tier shape precompute (column map, mask vectors);
+        #: built lazily by :mod:`repro.core.native`.
+        self.native = None
         self._plans: Dict[
             Tuple[Tuple[Tuple[int, int], ...], bool],
             Tuple[LayeredPlan, Tuple[Tuple[int, ...], ...]],
@@ -346,6 +366,9 @@ class SessionRow:
         "collector",
         "ack_seq",
         "pending",
+        "native_ctl",
+        "native_rng",
+        "native_flags",
     )
 
     def __init__(self, config: ProtocolConfig, seed: int) -> None:
@@ -375,6 +398,21 @@ class SessionRow:
         self.collector = FeedbackCollector()
         self.ack_seq = 0
         self.pending: List[Tuple[float, Feedback]] = []
+        #: Columnar Equation-1 state owned by the native tier while it
+        #: steps this row (``None`` = the controller objects are truth).
+        self.native_ctl = None
+        #: ``(key, pos, drawn_at)`` while the native tier owns the
+        #: forward loss stream: the MT19937 state of ``fwd_rng`` (same
+        #: generator, same 53-bit doubles) as an int64 key array and
+        #: word index, positioned at absolute draw index ``drawn_at``.
+        #: ``None`` = ``fwd_rng`` is the truth.  See
+        #: :func:`writeback_native_rng`.
+        self.native_rng = None
+        #: NumPy bool mirror of ``flags`` (same indices, same length)
+        #: maintained by the native tier's prefetch so dirty-cohort flag
+        #: matrices slice without list round-trips.  Any scalar-path
+        #: mutation of ``flags`` sets this back to ``None``.
+        self.native_flags = None
 
     def refill(self, count: int, config: ProtocolConfig) -> None:
         """Draw ``count`` more loss flags off the private forward stream.
@@ -384,6 +422,9 @@ class SessionRow:
         run replayed with the carried Gilbert state — exact, because the
         recurrence is per-draw Markov.
         """
+        if self.native_rng is not None:
+            writeback_native_rng(self)
+        self.native_flags = None
         draws = [self.fwd_rng.random() for _ in range(count)]
         if config.channel_phases is None:
             states = accel.gilbert_states(
@@ -424,6 +465,30 @@ class RowWindow:
 # ----------------------------------------------------------------------
 
 
+def writeback_native_rng(row: "SessionRow") -> None:
+    """Fold the native tier's bulk-draw stream back into ``fwd_rng``.
+
+    While the native tier owns a row's forward stream its MT19937 state
+    lives as an int64 key/pos array pair advanced by a compiled kernel
+    — the same generator and 53-bit double recipe as ``random.Random``,
+    so the streams are interchangeable bit for bit.  Any scalar-path
+    draw (:meth:`SessionRow.refill`, a fused-tier prefetch after a tier
+    switch) calls here first so the object stream resumes exactly where
+    the bulk stream stopped.
+    """
+    native = row.native_rng
+    if native is None:
+        return
+    row.native_rng = None
+    key, pos, drawn_at = native
+    if drawn_at != row.fwd_drawn:
+        # Defensive: the handoff marker and the draw counter can only
+        # disagree if fwd_rng advanced without a writeback, in which
+        # case the object stream is already the truth.
+        return
+    row.fwd_rng.setstate((3, tuple(key.tolist()) + (pos,), None))
+
+
 def plan_refills(
     rows: Sequence[SessionRow], needed: int
 ) -> List[Tuple[SessionRow, int, int]]:
@@ -438,6 +503,7 @@ def plan_refills(
         if row.pos:
             del row.flags[: row.pos]
             row.pos = 0
+            row.native_flags = None
         missing = needed - len(row.flags)
         if missing > 0:
             entries.append((row, missing, needed))
@@ -468,6 +534,9 @@ def prefetch_flags(
     """
     if not entries:
         return
+    for row, _, _ in entries:
+        if row.native_rng is not None:
+            writeback_native_rng(row)
     chunk = max(
         max(missing, PREFETCH_WINDOWS * needed)
         for _, missing, needed in entries
@@ -486,6 +555,7 @@ def prefetch_flags(
             if states:
                 row.fwd_bad = bool(states[-1])
             row.flags.extend(states)
+            row.native_flags = None
             row.fwd_drawn += chunk
         return
     cohorts: Dict[int, List[SessionRow]] = {}
@@ -508,6 +578,7 @@ def prefetch_flags(
             offset += take
         for row, bad in zip(rows, bads):
             row.fwd_bad = bad
+            row.native_flags = None
             row.fwd_drawn += chunk
 
 
@@ -954,6 +1025,7 @@ class _Schedule:
         "sent_count",
         "layer_sizes",
         "clean",
+        "native",
     )
 
     def __init__(
@@ -988,6 +1060,9 @@ class _Schedule:
         self.sent_count = len(attempts)
         self.layer_sizes = {layer.index: layer.size for layer in plan.layers}
         self.clean: Optional[_CleanVerdict] = None
+        #: Native-tier timeline precompute (attempt offsets, arrival
+        #: masks, reduce boundaries); built lazily by ``core.native``.
+        self.native = None
 
 
 class _CleanVerdict:
@@ -1404,6 +1479,13 @@ def step_window(
         obs.histogram("kernel.rows_per_window").observe(len(rows))
     if active == FUSED:
         _step_fused(
+            rows, info, config, fps, window_index, control_serialization, shed_for
+        )
+    elif active == NATIVE:
+        # Imported lazily: the native package imports this module.
+        from repro.core.native import step_native
+
+        step_native(
             rows, info, config, fps, window_index, control_serialization, shed_for
         )
     else:

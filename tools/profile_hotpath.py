@@ -77,9 +77,19 @@ def main(argv: list[str] | None = None) -> int:
         "steady state, or the K = 1024 hierarchical fan-out "
         "(default figure8)",
     )
+    parser.add_argument(
+        "--tier",
+        default=None,
+        help="kernel tier to profile under (reference, fused, native or "
+        "auto); default: the session's resolved tier (REPRO_KERNEL)",
+    )
     args = parser.parse_args(argv)
 
     sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.core import kernel as repro_kernel
+
+    if args.tier is not None:
+        repro_kernel.set_tier(args.tier)
     if args.target == "hierarchy":
         from repro.serve import LoadSpec, generate_requests, serve_sessions
         from repro.serve.hierarchy import plan_hierarchy, run_hierarchy
@@ -172,10 +182,18 @@ def main(argv: list[str] | None = None) -> int:
     buffer = io.StringIO()
     stats = pstats.Stats(profiler, stream=buffer)
     stats.sort_stats("cumulative").print_stats()
-    listing = buffer.getvalue()
+    from repro import accel
+
+    header = (
+        f"# target={args.target} tier={repro_kernel.tier_name()} "
+        f"backend={accel.backend_name()} rev={git_short_rev()}\n"
+    )
+    listing = header + buffer.getvalue()
 
     args.out_dir.mkdir(parents=True, exist_ok=True)
     suffix = "" if args.target == "figure8" else f"_{args.target}"
+    if args.tier is not None:
+        suffix += f"_{repro_kernel.tier_name()}"
     out_path = args.out_dir / f"PROFILE_{git_short_rev()}{suffix}.txt"
     out_path.write_text(listing)
 
